@@ -1,0 +1,79 @@
+//! Ablation benches: the Section 4 alternatives — per-VMAC simulation
+//! modes, multiplication partitioning, and the lumped injector — costed
+//! against each other.
+
+use ams_core::inject::GaussianInjector;
+use ams_core::partition::PartitionedVmac;
+use ams_core::vmac::Vmac;
+use ams_core::vmac_sim::{AdcBehavior, VmacSimulator};
+use ams_tensor::{rng, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn operands(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut r = rng::seeded(seed);
+    let w: Vec<f32> = (0..n).map(|_| r.gen::<f32>() * 2.0 - 1.0).collect();
+    let x: Vec<f32> = (0..n).map(|_| r.gen::<f32>()).collect();
+    (w, x)
+}
+
+fn dot_modes(c: &mut Criterion) {
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let (w, x) = operands(512, 1);
+    let mut group = c.benchmark_group("vmac_dot_512");
+    for (label, behavior) in [
+        ("ideal", AdcBehavior::Ideal),
+        ("quantizing", AdcBehavior::Quantizing),
+        ("delta_sigma", AdcBehavior::DeltaSigma { final_extra_bits: 2.0 }),
+        ("ref_scaled", AdcBehavior::RefScaled { alpha: 0.25 }),
+    ] {
+        let sim = VmacSimulator::new(vmac, behavior);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sim, |b, s| {
+            b.iter(|| s.dot(&w, &x));
+        });
+    }
+    group.finish();
+}
+
+fn lumped_vs_per_vmac(c: &mut Criterion) {
+    // The paper's modeling tradeoff: one Gaussian per output element vs a
+    // full chunked simulation of the same dot product.
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let (w, x) = operands(512, 2);
+    let sim = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
+    let mut group = c.benchmark_group("error_model_per_output");
+    group.bench_function("per_vmac_sim", |b| b.iter(|| sim.dot(&w, &x)));
+    group.bench_function("lumped_gaussian", |b| {
+        let mut injector = GaussianInjector::new(3);
+        let mut out = Tensor::scalar(0.0);
+        b.iter(|| {
+            let ideal: f64 = w.iter().zip(&x).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            out.data_mut()[0] = ideal as f32;
+            injector.inject(&mut out, &vmac, 512);
+            out.data()[0]
+        });
+    });
+    group.finish();
+}
+
+fn partition_analysis(c: &mut Criterion) {
+    let base = Vmac::new(9, 9, 8, 14.0);
+    c.bench_function("partition_design_sweep", |b| {
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for (nw, nx) in [(1u32, 1u32), (2, 1), (2, 2), (4, 2), (4, 4), (8, 8)] {
+                for slice_enob in [8.0f64, 10.0, 12.0, 14.0] {
+                    if let Ok(p) = PartitionedVmac::new(base, nw, nx, slice_enob) {
+                        if p.equivalent_enob(1024) >= 13.0 {
+                            best = best.min(p.energy_per_mac_fj());
+                        }
+                    }
+                }
+            }
+            best
+        });
+    });
+}
+
+criterion_group!(ablations, dot_modes, lumped_vs_per_vmac, partition_analysis);
+criterion_main!(ablations);

@@ -1,0 +1,92 @@
+//! Benches for the paper's figures.
+//!
+//! * **Fig. 4/5** — one noisy validation pass per ENOB (the unit of work
+//!   behind each plotted point).
+//! * **Fig. 6** — a probed validation pass (activation-mean collection).
+//! * **Fig. 7** — survey synthesis + hull extraction.
+//! * **Fig. 8** — full design-space grid evaluation.
+
+use ams_bench::{bench_data, bench_net};
+use ams_core::energy::{survey_lower_hull, synthesize_survey};
+use ams_core::tradeoff::{AccuracyCurve, TradeoffGrid};
+use ams_core::vmac::Vmac;
+use ams_data::Batcher;
+use ams_models::HardwareConfig;
+use ams_nn::{accuracy, Layer, Mode};
+use ams_quant::QuantConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn noisy_eval_pass(net: &mut ams_models::ResNetMini, data: &ams_data::SynthImageNet) -> f32 {
+    let mut acc = 0.0;
+    let mut n = 0;
+    for (images, labels) in Batcher::sequential(&data.val, 16) {
+        let logits = net.forward(&images, Mode::Eval);
+        acc += accuracy(&logits, &labels) * labels.len() as f32;
+        n += labels.len();
+    }
+    acc / n as f32
+}
+
+fn fig4_eval_pass(c: &mut Criterion) {
+    let data = bench_data();
+    let mut group = c.benchmark_group("fig4_eval_pass");
+    group.sample_size(10);
+    for enob in [4.0f64, 6.0, 8.0] {
+        let vmac = Vmac::new(8, 8, 8, enob);
+        group.bench_with_input(BenchmarkId::from_parameter(enob), &vmac, |b, &v| {
+            let mut net = bench_net(&HardwareConfig::ams_eval_only(QuantConfig::w8a8(), v));
+            b.iter(|| noisy_eval_pass(&mut net, &data));
+        });
+    }
+    group.finish();
+}
+
+fn fig5_eval_pass(c: &mut Criterion) {
+    let data = bench_data();
+    let vmac = Vmac::new(6, 6, 8, 5.0);
+    c.bench_function("fig5_eval_pass_6b", |b| {
+        let mut net = bench_net(&HardwareConfig::ams_eval_only(QuantConfig::w6a6(), vmac));
+        b.iter(|| noisy_eval_pass(&mut net, &data));
+    });
+}
+
+fn fig6_probe_pass(c: &mut Criterion) {
+    let data = bench_data();
+    c.bench_function("fig6_probed_pass", |b| {
+        let mut net = bench_net(&HardwareConfig::quantized(QuantConfig::w8a8()));
+        b.iter(|| {
+            net.set_probes(true);
+            let acc = noisy_eval_pass(&mut net, &data);
+            let means = net.probe_means();
+            (acc, means.len())
+        });
+    });
+}
+
+fn fig7_survey(c: &mut Criterion) {
+    c.bench_function("fig7_survey_and_hull", |b| {
+        b.iter(|| {
+            let points = synthesize_survey(300, 7);
+            survey_lower_hull(&points, 15)
+        });
+    });
+}
+
+fn fig8_grid(c: &mut Criterion) {
+    let curve = AccuracyCurve::new(
+        8,
+        vec![(4.0, 0.4), (5.0, 0.15), (6.0, 0.05), (7.0, 0.01), (8.0, 0.002)],
+    )
+    .expect("valid curve");
+    let enobs: Vec<f64> = (0..32).map(|i| 4.0 + 0.25 * i as f64).collect();
+    let n_mults: Vec<usize> = (1..=9).map(|i| 1usize << i).collect();
+    c.bench_function("fig8_grid_eval", |b| {
+        b.iter(|| {
+            let grid = TradeoffGrid::evaluate(&curve, &enobs, &n_mults);
+            (grid.min_energy_for_loss(0.004), grid.level_curve_deviation())
+        });
+    });
+}
+
+criterion_group!(figures, fig4_eval_pass, fig5_eval_pass, fig6_probe_pass, fig7_survey, fig8_grid);
+criterion_main!(figures);

@@ -1,0 +1,87 @@
+//! Kernel-level benches: the computational primitives every experiment is
+//! built from (matmul, im2col convolution, batch norm, quantization,
+//! error injection).
+
+use ams_core::inject::GaussianInjector;
+use ams_core::vmac::Vmac;
+use ams_nn::functional::{conv2d_backward, conv2d_forward};
+use ams_nn::{BatchNorm2d, Layer, Mode};
+use ams_quant::{quantize_activations, WeightQuantizer};
+use ams_tensor::{im2col, matmul, rng, ConvGeom, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn random(dims: &[usize], seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut t, -1.0, 1.0, &mut r);
+    t
+}
+
+fn matmul_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let a = random(&[n, n], 1);
+        let b = random(&[n, n], 2);
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn im2col_kernel(c: &mut Criterion) {
+    let input = random(&[8, 16, 16, 16], 3);
+    let geom = ConvGeom::new(8, 16, 16, 16, 3, 3, 1, 1);
+    c.bench_function("im2col_8x16x16x16_k3", |b| b.iter(|| im2col(&input, &geom)));
+}
+
+fn conv_forward_backward(c: &mut Criterion) {
+    let input = random(&[8, 16, 16, 16], 4);
+    let wmat = random(&[32, 16 * 9], 5);
+    c.bench_function("conv_forward", |b| {
+        b.iter(|| conv2d_forward(&input, &wmat, None, 3, 3, 1, 1, false));
+    });
+    let (y, cache) = conv2d_forward(&input, &wmat, None, 3, 3, 1, 1, true);
+    let cache = cache.expect("train-mode cache");
+    c.bench_function("conv_backward", |b| b.iter(|| conv2d_backward(&cache, &y)));
+}
+
+fn batchnorm_kernel(c: &mut Criterion) {
+    let x = random(&[16, 32, 8, 8], 6);
+    c.bench_function("batchnorm_train_forward", |b| {
+        let mut bn = BatchNorm2d::new("bn", 32);
+        b.iter(|| bn.forward(&x, Mode::Train));
+    });
+}
+
+fn quantize_kernels(c: &mut Criterion) {
+    let w = random(&[32, 16, 3, 3], 7);
+    let quantizer = WeightQuantizer::new(8);
+    c.bench_function("dorefa_weight_quantize_4608", |b| b.iter(|| quantizer.quantize(&w)));
+    let a = random(&[8, 16, 16, 16], 8).map(f32::abs);
+    c.bench_function("activation_quantize_32768", |b| b.iter(|| quantize_activations(&a, 8)));
+}
+
+fn injection_kernel(c: &mut Criterion) {
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let mut group = c.benchmark_group("inject");
+    group.throughput(Throughput::Elements(8 * 16 * 16 * 16));
+    group.bench_function("gaussian_32768", |b| {
+        let mut injector = GaussianInjector::new(9);
+        let mut t = Tensor::zeros(&[8, 16, 16, 16]);
+        b.iter(|| injector.inject(&mut t, &vmac, 144));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    matmul_kernel,
+    im2col_kernel,
+    conv_forward_backward,
+    batchnorm_kernel,
+    quantize_kernels,
+    injection_kernel
+);
+criterion_main!(kernels);

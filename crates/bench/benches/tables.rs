@@ -1,0 +1,72 @@
+//! Benches for the paper's tables.
+//!
+//! * **Table 1** — one epoch of DoReFa-quantized retraining per row
+//!   configuration (the unit of work the table's accuracies are built
+//!   from).
+//! * **Table 2** — a freeze-policy application plus one retraining step
+//!   per policy (the unit of work of the selective-freezing study).
+
+use ams_bench::{bench_data, bench_net};
+use ams_core::vmac::Vmac;
+use ams_data::Batcher;
+use ams_models::{FreezePolicy, HardwareConfig};
+use ams_nn::{softmax_cross_entropy, Layer, Mode, Sgd};
+use ams_quant::QuantConfig;
+use ams_tensor::rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn one_epoch(c: &mut Criterion) {
+    let data = bench_data();
+    let mut group = c.benchmark_group("table1_epoch");
+    group.sample_size(10);
+    for (label, quant) in [
+        ("fp32", QuantConfig::fp32()),
+        ("w8a8", QuantConfig::w8a8()),
+        ("w6a6", QuantConfig::w6a6()),
+        ("w6a4", QuantConfig::w6a4()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &quant, |b, &q| {
+            let mut net = bench_net(&HardwareConfig::quantized(q));
+            let opt = Sgd::with_momentum(0.01, 0.9);
+            let mut r = rng::seeded(0);
+            b.iter(|| {
+                for (images, labels) in Batcher::new(&data.train, 16, &mut r) {
+                    let logits = net.forward(&images, Mode::Train);
+                    let (_, grad) = softmax_cross_entropy(&logits, &labels);
+                    net.backward(&grad);
+                    opt.step(&mut net);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn freezing_step(c: &mut Criterion) {
+    let data = bench_data();
+    let vmac = Vmac::new(8, 8, 8, 5.0);
+    let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
+    let (images, labels) = {
+        let mut r = rng::seeded(1);
+        Batcher::new(&data.train, 16, &mut r).next().expect("nonempty")
+    };
+    let mut group = c.benchmark_group("table2_step");
+    group.sample_size(10);
+    for policy in FreezePolicy::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(policy), &policy, |b, &p| {
+            let mut net = bench_net(&hw);
+            net.apply_freeze(p);
+            let opt = Sgd::with_momentum(0.01, 0.9);
+            b.iter(|| {
+                let logits = net.forward(&images, Mode::Train);
+                let (_, grad) = softmax_cross_entropy(&logits, &labels);
+                net.backward(&grad);
+                opt.step(&mut net);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(tables, one_epoch, freezing_step);
+criterion_main!(tables);

@@ -1,0 +1,21 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches regenerate each paper table/figure's computational load at
+//! a bench-safe scale (full regeneration — training included — lives in
+//! the `ams-exp` binaries; see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ams_data::{SynthConfig, SynthImageNet};
+use ams_models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
+
+/// A bench-scale dataset (tiny, deterministic).
+pub fn bench_data() -> SynthImageNet {
+    SynthConfig::tiny().generate()
+}
+
+/// A bench-scale network for the given hardware.
+pub fn bench_net(hw: &HardwareConfig) -> ResNetMini {
+    ResNetMini::new(&ResNetMiniConfig::tiny(), hw)
+}

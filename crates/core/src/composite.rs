@@ -1,0 +1,178 @@
+//! Separate multiplier and ADC error modeling (paper §4: "Modeling the
+//! error of the multipliers and ADC separately would allow even more
+//! fine-grained analysis of the VMAC").
+//!
+//! The main model lumps every AMS error source into `ENOB_VMAC`. This
+//! module splits the budget into
+//!
+//! * a **per-multiplier** additive error (thermal noise + nonlinearity of
+//!   each D-to-A multiplier, referred to its output, in product units),
+//!   which accumulates over the `N_mult` products summed in analog, and
+//! * the **ADC** error, the usual `LSB²/12` of the conversion,
+//!
+//! and provides the round trip to an *effective* lumped `ENOB_VMAC`, so a
+//! composite budget can be dropped into everything downstream (accuracy
+//! curves, Fig. 8 grids) unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vmac::Vmac;
+
+/// A VMAC error budget split into multiplier and ADC contributions.
+///
+/// # Example
+///
+/// ```
+/// use ams_core::composite::CompositeError;
+/// use ams_core::vmac::Vmac;
+///
+/// // A 10-bit ADC with multipliers contributing 1e-3 RMS each:
+/// let adc = Vmac::new(8, 8, 8, 10.0);
+/// let model = CompositeError::new(adc, 1e-3);
+/// // The effective lumped resolution is a little below the ADC's.
+/// assert!(model.effective_enob() < 10.0);
+/// assert!(model.effective_enob() > 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompositeError {
+    adc: Vmac,
+    multiplier_sigma: f64,
+}
+
+impl CompositeError {
+    /// Creates a composite budget: `adc` describes the conversion
+    /// (its `enob` is now the *ADC-only* resolution) and
+    /// `multiplier_sigma` is the RMS additive error of one D-to-A
+    /// multiplier in product units (products live in `[-1, 1]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multiplier_sigma` is negative or non-finite.
+    pub fn new(adc: Vmac, multiplier_sigma: f64) -> Self {
+        assert!(
+            multiplier_sigma.is_finite() && multiplier_sigma >= 0.0,
+            "CompositeError: multiplier sigma must be non-negative, got {multiplier_sigma}"
+        );
+        CompositeError { adc, multiplier_sigma }
+    }
+
+    /// The ADC-only configuration.
+    pub fn adc(&self) -> &Vmac {
+        &self.adc
+    }
+
+    /// Per-multiplier RMS error.
+    pub fn multiplier_sigma(&self) -> f64 {
+        self.multiplier_sigma
+    }
+
+    /// Error variance of one VMAC conversion: `N_mult` independent
+    /// multiplier errors summed in analog, plus the ADC's `LSB²/12`.
+    pub fn conversion_variance(&self) -> f64 {
+        self.adc.n_mult as f64 * self.multiplier_sigma * self.multiplier_sigma
+            + self.adc.error_variance()
+    }
+
+    /// Total error variance per output activation needing `n_tot`
+    /// multiplies (the composite analogue of paper Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0`.
+    pub fn total_error_variance(&self, n_tot: usize) -> f64 {
+        assert!(n_tot > 0, "total_error_variance: n_tot must be positive");
+        (n_tot as f64 / self.adc.n_mult as f64) * self.conversion_variance()
+    }
+
+    /// √ of [`CompositeError::total_error_variance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0`.
+    pub fn total_error_sigma(&self, n_tot: usize) -> f64 {
+        self.total_error_variance(n_tot).sqrt()
+    }
+
+    /// The lumped `ENOB_VMAC` whose `LSB²/12` equals this composite
+    /// budget — the bridge back to the paper's single-parameter model
+    /// (and everything built on it).
+    ///
+    /// From `Var = (N_mult·2^−(E−1))²/12`:
+    /// `E = 1 − ½·log2(12·Var / N_mult²)`.
+    pub fn effective_enob(&self) -> f64 {
+        let n_mult = self.adc.n_mult as f64;
+        1.0 - 0.5 * (12.0 * self.conversion_variance() / (n_mult * n_mult)).log2()
+    }
+
+    /// The lumped [`Vmac`] equivalent of this composite budget.
+    pub fn to_lumped(&self) -> Vmac {
+        self.adc.with_enob(self.effective_enob())
+    }
+
+    /// The largest per-multiplier RMS error that keeps the composite
+    /// budget within `target_enob` for this ADC — how clean the
+    /// multipliers must be before the ADC dominates (`None` if the ADC
+    /// alone already misses the target).
+    pub fn multiplier_budget_for(adc: Vmac, target_enob: f64) -> Option<f64> {
+        let target_var = adc.with_enob(target_enob).error_variance();
+        let adc_var = adc.error_variance();
+        if adc_var > target_var {
+            return None;
+        }
+        Some(((target_var - adc_var) / adc.n_mult as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_multipliers_reduce_to_lumped_model() {
+        let adc = Vmac::new(8, 8, 8, 11.0);
+        let model = CompositeError::new(adc, 0.0);
+        assert_eq!(model.conversion_variance(), adc.error_variance());
+        assert!((model.effective_enob() - 11.0).abs() < 1e-9);
+        assert_eq!(model.to_lumped().n_mult, 8);
+    }
+
+    #[test]
+    fn multiplier_noise_lowers_effective_enob() {
+        let adc = Vmac::new(8, 8, 8, 11.0);
+        let clean = CompositeError::new(adc, 1e-4).effective_enob();
+        let dirty = CompositeError::new(adc, 1e-2).effective_enob();
+        assert!(dirty < clean);
+        assert!(clean <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn round_trip_through_effective_enob() {
+        let adc = Vmac::new(8, 8, 16, 9.5);
+        let model = CompositeError::new(adc, 3e-3);
+        let lumped = model.to_lumped();
+        for n_tot in [64usize, 1024, 4608] {
+            let a = model.total_error_variance(n_tot);
+            let b = lumped.total_error_variance(n_tot);
+            assert!((a / b - 1.0).abs() < 1e-9, "n_tot {n_tot}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_budget_inverts_effective_enob() {
+        let adc = Vmac::new(8, 8, 8, 12.0);
+        let budget = CompositeError::multiplier_budget_for(adc, 11.0).expect("feasible");
+        let check = CompositeError::new(adc, budget).effective_enob();
+        assert!((check - 11.0).abs() < 1e-6, "{check}");
+        // Impossible target: ADC alone too coarse.
+        assert!(CompositeError::multiplier_budget_for(adc, 13.0).is_none());
+    }
+
+    #[test]
+    fn variance_additivity() {
+        let adc = Vmac::new(8, 8, 8, 10.0);
+        let m = 2e-3;
+        let model = CompositeError::new(adc, m);
+        let expected = 8.0 * m * m + adc.error_variance();
+        assert!((model.conversion_variance() - expected).abs() < 1e-15);
+    }
+}

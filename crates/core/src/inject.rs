@@ -1,0 +1,164 @@
+//! Forward-pass Gaussian error injection (paper Fig. 3).
+//!
+//! The paper lumps the errors of all the VMACs contributing to one output
+//! activation into a single additive, approximately Gaussian error injected
+//! at the output of the digital summation — i.e. at the convolution output,
+//! before batch normalization. Injection happens in the **forward pass
+//! only**; the backward pass is untouched (the injector is not a layer and
+//! has no gradient).
+
+use ams_tensor::{rng, Tensor};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::vmac::Vmac;
+
+/// Standard deviation of the lumped error for a layer needing `n_tot`
+/// multiplies per output activation (paper Eq. 2, as a σ).
+///
+/// Convenience free function mirroring [`Vmac::total_error_sigma`] but
+/// returning `f32` for direct use on activation tensors.
+///
+/// # Panics
+///
+/// Panics if `n_tot == 0`.
+pub fn layer_error_sigma(vmac: &Vmac, n_tot: usize) -> f32 {
+    vmac.total_error_sigma(n_tot) as f32
+}
+
+/// A seeded source of additive Gaussian error.
+///
+/// One injector is shared across all layers of a network so that a single
+/// seed reproduces an entire noisy evaluation.
+///
+/// # Example
+///
+/// ```
+/// use ams_core::inject::GaussianInjector;
+/// use ams_core::vmac::Vmac;
+/// use ams_tensor::Tensor;
+///
+/// let mut inj = GaussianInjector::new(7);
+/// let vmac = Vmac::new(8, 8, 8, 10.0);
+/// let mut acts = Tensor::zeros(&[1, 4, 8, 8]);
+/// inj.inject(&mut acts, &vmac, 576);
+/// assert!(acts.max_abs() > 0.0); // noise landed
+/// ```
+#[derive(Debug)]
+pub struct GaussianInjector {
+    rng: StdRng,
+}
+
+impl GaussianInjector {
+    /// Creates an injector from a seed.
+    pub fn new(seed: u64) -> Self {
+        GaussianInjector { rng: rng::seeded(seed) }
+    }
+
+    /// Adds `N(0, σ²)` error to every element, with σ from the VMAC error
+    /// model for a layer with `n_tot` multiplies per output activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0`.
+    pub fn inject(&mut self, activations: &mut Tensor, vmac: &Vmac, n_tot: usize) {
+        self.inject_sigma(activations, layer_error_sigma(vmac, n_tot));
+    }
+
+    /// Adds `N(0, σ²)` error with an explicit σ (used by tests and by
+    /// callers that precompute per-layer σ once).
+    ///
+    /// A non-positive σ is a no-op, so callers can disable injection by
+    /// zeroing the σ rather than branching.
+    pub fn inject_sigma(&mut self, activations: &mut Tensor, sigma: f32) {
+        if sigma <= 0.0 {
+            return;
+        }
+        for v in activations.data_mut() {
+            *v += sigma * rng::standard_normal(&mut self.rng);
+        }
+    }
+
+    /// Draws a single `N(0, 1)` sample (exposed for the per-VMAC simulator
+    /// which shares this RNG).
+    pub fn standard_normal(&mut self) -> f32 {
+        rng::standard_normal(&mut self.rng)
+    }
+
+    /// Reseeds the injector (each of the paper's five validation passes
+    /// uses fresh noise; reseeding makes each pass independently
+    /// reproducible).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = rng::seeded(seed);
+    }
+
+    /// Draws a uniform sample in `[0, 1)` (shared-RNG convenience).
+    pub fn uniform(&mut self) -> f32 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_noise_has_requested_sigma() {
+        let mut inj = GaussianInjector::new(1);
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let n_tot = 576;
+        let sigma = layer_error_sigma(&vmac, n_tot);
+        let mut t = Tensor::zeros(&[64, 16, 8, 8]);
+        inj.inject(&mut t, &vmac, n_tot);
+        let mean = t.mean();
+        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.02 * sigma.max(1.0), "mean {mean}");
+        assert!(
+            (var.sqrt() - sigma).abs() < 0.02 * sigma,
+            "sigma {} vs expected {sigma}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn zero_sigma_is_noop() {
+        let mut inj = GaussianInjector::new(2);
+        let mut t = Tensor::ones(&[4, 4]);
+        inj.inject_sigma(&mut t, 0.0);
+        assert_eq!(t, Tensor::ones(&[4, 4]));
+    }
+
+    #[test]
+    fn same_seed_same_noise() {
+        let vmac = Vmac::new(8, 8, 8, 10.0);
+        let mut a = Tensor::zeros(&[2, 2, 2, 2]);
+        let mut b = Tensor::zeros(&[2, 2, 2, 2]);
+        GaussianInjector::new(42).inject(&mut a, &vmac, 64);
+        GaussianInjector::new(42).inject(&mut b, &vmac, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reseed_restores_stream() {
+        let mut inj = GaussianInjector::new(3);
+        let first = inj.standard_normal();
+        inj.standard_normal();
+        inj.reseed(3);
+        assert_eq!(inj.standard_normal(), first);
+    }
+
+    #[test]
+    fn averaging_equivalence() {
+        // Paper §2: averaging-based hardware divides the analog sum by
+        // N_mult and rescales digitally; signal and noise scale equally,
+        // so the *relative* injected error is identical. Model check:
+        // σ(averaged then rescaled) == σ(addition-based).
+        let vmac = Vmac::new(8, 8, 16, 10.0);
+        let sigma_add = vmac.total_error_sigma(1024);
+        // Averaging: full-scale shrinks by N_mult ⇒ LSB and σ shrink by
+        // N_mult; digital rescale multiplies back by N_mult.
+        let sigma_avg_rescaled = (vmac.total_error_sigma(1024) / vmac.n_mult as f64)
+            * vmac.n_mult as f64;
+        assert!((sigma_add - sigma_avg_rescaled).abs() < 1e-15);
+    }
+}

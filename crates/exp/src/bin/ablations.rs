@@ -1,0 +1,12 @@
+//! Section 4 ablations: per-VMAC simulation vs the lumped model, delta-
+//! sigma error recycling, ADC reference scaling, multiplication
+//! partitioning, and the last-layer training-injection rule.
+
+use ams_exp::{Experiments, Scale};
+
+fn main() {
+    let (scale, results) = Scale::from_args();
+    let exp = Experiments::new(scale, &results);
+    let ab = exp.ablations();
+    ab.report(exp.results_dir(), &exp.scale().name);
+}

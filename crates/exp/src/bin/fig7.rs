@@ -1,0 +1,14 @@
+//! Regenerates the paper's Figure 7 (Murmann ADC survey with the Schreier
+//! FOM hull) on a synthetic survey — the model (Eq. 3) is exact; the
+//! survey points are synthesized above it (see DESIGN.md).
+
+use ams_exp::{Experiments, Scale};
+
+fn main() {
+    let (scale, results) = Scale::from_args();
+    let exp = Experiments::new(scale, &results);
+    let f7 = exp.fig7();
+    f7.report(exp.results_dir(), &exp.scale().name);
+    println!("\nModel: E_ADC = 0.3 pJ for ENOB <= 10.5, then 10^(0.1(6.02*ENOB - 68.25)) pJ");
+    println!("(the 187 dB Schreier-FOM line; energy quadruples per extra bit).");
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's Figure 8: the (ENOB, N_mult) design space with
+//! accuracy-loss and energy-per-MAC level curves, mapped from the measured
+//! N_mult = 8 retrained curve exactly as the paper does.
+
+use ams_exp::{Experiments, Scale};
+
+fn main() {
+    let (scale, results) = Scale::from_args();
+    let exp = Experiments::new(scale, &results);
+    let f8 = exp.fig8();
+    f8.report(exp.results_dir(), &exp.scale().name);
+    println!("\nPaper headline (ResNet-50): <0.4% loss needs >= ~313 fJ/MAC; <1% needs ~78 fJ/MAC;");
+    println!("accuracy-loss and energy level curves are parallel in the thermal-noise region.");
+}

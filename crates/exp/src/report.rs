@@ -1,0 +1,134 @@
+//! Result statistics, table printing and CSV output.
+
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Mean ± sample standard deviation of repeated measurements — the format
+/// of every accuracy the paper reports ("the sample mean of five passes of
+/// the validation dataset … with error bars showing the sample standard
+/// deviation").
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Stat {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std: f64,
+}
+
+impl Stat {
+    /// Computes mean and sample standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "Stat: no samples");
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let std = if samples.len() > 1 {
+            (samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)).sqrt()
+        } else {
+            0.0
+        };
+        Stat { mean, std }
+    }
+
+    /// The loss of this statistic relative to a baseline mean
+    /// (`baseline − self`), propagating both standard deviations in
+    /// quadrature.
+    pub fn loss_relative_to(&self, baseline: Stat) -> Stat {
+        Stat {
+            mean: baseline.mean - self.mean,
+            std: (self.std * self.std + baseline.std * baseline.std).sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for Stat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.1e}", self.mean, self.std)
+    }
+}
+
+/// Prints an aligned text table with a title, in the style of the paper's
+/// tables.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    println!("\n{title}");
+    println!("{}", "=".repeat(total.max(title.len())));
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    println!("{}", header_line.join(" | "));
+    println!("{}", "-".repeat(total.max(title.len())));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        println!("{}", line.join(" | "));
+    }
+}
+
+/// Writes rows as CSV (headers first). Parent directories are created.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        // Quote cells containing commas.
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| if c.contains(',') { format!("\"{c}\"") } else { c.clone() })
+            .collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_matches_hand_computation() {
+        let s = Stat::from_samples(&[1.0, 2.0, 3.0]);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.std - 1.0).abs() < 1e-12);
+        let single = Stat::from_samples(&[5.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn loss_relative_subtracts_and_propagates() {
+        let base = Stat { mean: 0.78, std: 0.003 };
+        let cfg = Stat { mean: 0.74, std: 0.004 };
+        let loss = cfg.loss_relative_to(base);
+        assert!((loss.mean - 0.04).abs() < 1e-12);
+        assert!((loss.std - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("ams_exp_csv_test.csv");
+        write_csv(&dir, &["a", "b"], &[vec!["1".into(), "x,y".into()]]).unwrap();
+        let text = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(text, "a,b\n1,\"x,y\"\n");
+        let _ = std::fs::remove_file(dir);
+    }
+}

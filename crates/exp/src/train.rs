@@ -1,0 +1,193 @@
+//! The training and evaluation loops.
+
+use ams_data::{Batcher, Dataset};
+use ams_models::ResNetMini;
+use ams_nn::{accuracy, softmax_cross_entropy, Checkpoint, Layer, Mode, Sgd};
+use ams_tensor::rng;
+
+use crate::report::Stat;
+
+/// Result of a training run with per-epoch validation: the best epoch's
+/// snapshot and history.
+///
+/// The paper does not use learning-rate scheduling: "if the validation set
+/// accuracy begins to decrease after some time, the training run is
+/// stopped and the maximum validation accuracy is reported". This loop
+/// mirrors that by snapshotting the best-validation epoch.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Snapshot of the model at its best validation epoch.
+    pub best_checkpoint: Checkpoint,
+    /// Single-pass validation accuracy of the best epoch.
+    pub best_val_acc: f64,
+    /// 1-based index of the best epoch.
+    pub best_epoch: usize,
+    /// `(train_loss, val_acc)` per epoch.
+    pub history: Vec<(f64, f64)>,
+}
+
+/// Trains `net` for `epochs` epochs of SGD with momentum 0.9 (and weight
+/// decay 5e-4 on decaying parameters), validating after each epoch and
+/// snapshotting the best.
+///
+/// Random horizontal flips augment each epoch's training data.
+///
+/// # Panics
+///
+/// Panics if `epochs == 0` or either dataset is empty.
+pub fn train_with_eval(
+    net: &mut ResNetMini,
+    train: &Dataset,
+    val: &Dataset,
+    epochs: usize,
+    lr: f32,
+    batch: usize,
+    seed: u64,
+) -> TrainOutcome {
+    train_scheduled(net, train, val, epochs, lr, batch, seed, &[])
+}
+
+/// [`train_with_eval`] with step learning-rate decay: the learning rate is
+/// multiplied by 0.2 at each (1-based) epoch listed in `decay_at`.
+///
+/// Used for FP32 *pretraining* only — the paper's retraining runs use a
+/// constant learning rate ("learning rate scheduling is not implemented
+/// here", §3), which [`train_with_eval`] preserves.
+///
+/// # Panics
+///
+/// Panics if `epochs == 0` or either dataset is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn train_scheduled(
+    net: &mut ResNetMini,
+    train: &Dataset,
+    val: &Dataset,
+    epochs: usize,
+    lr: f32,
+    batch: usize,
+    seed: u64,
+    decay_at: &[usize],
+) -> TrainOutcome {
+    assert!(epochs > 0, "train_with_eval: zero epochs");
+    assert!(!train.is_empty() && !val.is_empty(), "train_with_eval: empty dataset");
+    let mut opt = Sgd::with_momentum(lr, 0.9).weight_decay(5e-4);
+    let mut shuffle_rng = rng::seeded(seed);
+    let mut best = TrainOutcome {
+        best_checkpoint: Checkpoint::new(),
+        best_val_acc: f64::NEG_INFINITY,
+        best_epoch: 0,
+        history: Vec::with_capacity(epochs),
+    };
+    for epoch in 1..=epochs {
+        if decay_at.contains(&epoch) {
+            opt.lr *= 0.2;
+        }
+        let augmented = train.random_flip(&mut shuffle_rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for (images, labels) in Batcher::new(&augmented, batch, &mut shuffle_rng) {
+            let logits = net.forward(&images, Mode::Train);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            opt.step(net);
+            loss_sum += f64::from(loss);
+            batches += 1;
+        }
+        let val_acc = f64::from(eval_accuracy(net, val, batch));
+        best.history.push((loss_sum / batches as f64, val_acc));
+        if val_acc > best.best_val_acc {
+            best.best_val_acc = val_acc;
+            best.best_epoch = epoch;
+            best.best_checkpoint = Checkpoint::from_layer(net);
+        }
+    }
+    // Leave the network at its best epoch, as the paper reports it.
+    best.best_checkpoint.load_into(net).expect("own snapshot always loads");
+    best
+}
+
+/// Single evaluation pass: top-1 accuracy over a dataset in `Mode::Eval`.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn eval_accuracy(net: &mut ResNetMini, data: &Dataset, batch: usize) -> f32 {
+    assert!(!data.is_empty(), "eval_accuracy: empty dataset");
+    let mut correct_weighted = 0.0f64;
+    let mut total = 0usize;
+    for (images, labels) in Batcher::sequential(data, batch) {
+        let logits = net.forward(&images, Mode::Eval);
+        correct_weighted += f64::from(accuracy(&logits, &labels)) * labels.len() as f64;
+        total += labels.len();
+    }
+    (correct_weighted / total as f64) as f32
+}
+
+/// The paper's reporting protocol: the sample mean and standard deviation
+/// of `passes` validation passes.
+///
+/// When the network injects AMS error at evaluation (`stochastic_eval`),
+/// each pass reseeds the noise streams and runs the full validation set —
+/// the variance comes from the error itself. For deterministic networks
+/// each pass evaluates an independent 80 % subsample (multi-GPU
+/// nondeterminism provided the paper's variance; a deterministic
+/// single-thread evaluation needs an explicit resampling source — see
+/// DESIGN.md).
+///
+/// # Panics
+///
+/// Panics if `passes == 0` or the dataset is empty.
+pub fn eval_passes(
+    net: &mut ResNetMini,
+    val: &Dataset,
+    passes: usize,
+    batch: usize,
+    stochastic_eval: bool,
+    base_seed: u64,
+) -> Stat {
+    assert!(passes > 0, "eval_passes: zero passes");
+    let mut samples = Vec::with_capacity(passes);
+    for pass in 0..passes {
+        let acc = if stochastic_eval {
+            net.reseed_noise(base_seed.wrapping_add(pass as u64).wrapping_mul(0x9E37_79B9));
+            eval_accuracy(net, val, batch)
+        } else {
+            let mut r = rng::seeded(base_seed.wrapping_add(pass as u64));
+            let sub = val.subsample(0.8, &mut r);
+            eval_accuracy(net, &sub, batch)
+        };
+        samples.push(f64::from(acc));
+    }
+    Stat::from_samples(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_data::SynthConfig;
+    use ams_models::{HardwareConfig, ResNetMiniConfig};
+
+    #[test]
+    fn training_learns_above_chance() {
+        let data = SynthConfig::tiny().generate();
+        let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &HardwareConfig::fp32());
+        let out = train_with_eval(&mut net, &data.train, &data.val, 6, 0.08, 16, 0);
+        let chance = 1.0 / data.config().classes as f64;
+        assert!(
+            out.best_val_acc > chance + 0.15,
+            "best val acc {} barely above chance {chance}",
+            out.best_val_acc
+        );
+        assert_eq!(out.history.len(), 6);
+        assert!(out.best_epoch >= 1 && out.best_epoch <= 6);
+    }
+
+    #[test]
+    fn eval_passes_deterministic_vs_stochastic() {
+        let data = SynthConfig::tiny().generate();
+        let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &HardwareConfig::fp32());
+        let s1 = eval_passes(&mut net, &data.val, 3, 16, false, 7);
+        let s2 = eval_passes(&mut net, &data.val, 3, 16, false, 7);
+        assert_eq!(s1, s2, "same seeds, same subsamples, same stat");
+    }
+}

@@ -1,0 +1,196 @@
+//! A plain (non-residual) CNN baseline.
+//!
+//! The AMS papers the introduction surveys mostly evaluate small
+//! feed-forward CNNs on MNIST/CIFAR-class tasks; this builder provides
+//! that baseline shape — `[conv → BN → ReLU1 → pool]×N → FC` — on the
+//! same quantized/AMS layer stack as [`crate::ResNetMini`], so experiments
+//! can compare residual vs plain topologies under identical hardware.
+
+use ams_nn::{BatchNorm2d, ClippedRelu, Flatten, Layer, MaxPool2d, Mode, Param, Sequential};
+use ams_tensor::{rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{HardwareConfig, InputKind};
+use crate::qconv::QConv2d;
+use crate::qlinear::QLinear;
+
+/// Architecture of a [`PlainCnn`].
+///
+/// # Example
+///
+/// ```
+/// use ams_models::{HardwareConfig, PlainCnn, PlainCnnConfig};
+/// use ams_nn::{Layer, Mode};
+/// use ams_tensor::Tensor;
+///
+/// let arch = PlainCnnConfig { image_size: 16, ..PlainCnnConfig::default() };
+/// let mut net = PlainCnn::new(&arch, &HardwareConfig::fp32());
+/// let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
+/// assert_eq!(y.dims(), &[2, arch.classes]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlainCnnConfig {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Square input size in pixels (needed to size the classifier).
+    pub image_size: usize,
+    /// Channel widths of the conv blocks; each block halves the spatial
+    /// size with a 2×2 max pool.
+    pub widths: Vec<usize>,
+    /// Weight-initialization seed.
+    pub init_seed: u64,
+}
+
+impl Default for PlainCnnConfig {
+    /// Two blocks of 8 and 16 channels on 16×16 inputs, 16 classes.
+    fn default() -> Self {
+        PlainCnnConfig { in_channels: 3, classes: 16, image_size: 16, widths: vec![8, 16], init_seed: 42 }
+    }
+}
+
+impl PlainCnnConfig {
+    /// Spatial size after all pooling stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not survive the pools (size must be
+    /// divisible by `2^blocks` and stay ≥ 1).
+    pub fn final_spatial(&self) -> usize {
+        let mut s = self.image_size;
+        for _ in &self.widths {
+            assert!(s >= 2, "PlainCnnConfig: image too small for {} pools", self.widths.len());
+            s /= 2;
+        }
+        s.max(1)
+    }
+}
+
+/// The plain CNN baseline: a [`Sequential`] of quantized blocks.
+#[derive(Debug)]
+pub struct PlainCnn {
+    net: Sequential,
+    config: PlainCnnConfig,
+}
+
+impl PlainCnn {
+    /// Builds the network for the given architecture and hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` is empty or the image is too small for the
+    /// pooling stages.
+    pub fn new(arch: &PlainCnnConfig, hw: &HardwareConfig) -> Self {
+        assert!(!arch.widths.is_empty(), "PlainCnn: need at least one block");
+        let final_spatial = arch.final_spatial();
+        let mut init = rng::seeded(arch.init_seed);
+        let mut net = Sequential::new("plain_cnn");
+        let mut c_in = arch.in_channels;
+        for (bi, &width) in arch.widths.iter().enumerate() {
+            let input_kind = if bi == 0 { InputKind::SignedRescaled } else { InputKind::Unit };
+            net.push(QConv2d::new(
+                format!("b{bi}.conv"),
+                c_in,
+                width,
+                3,
+                1,
+                1,
+                hw,
+                input_kind,
+                bi as u64,
+                &mut init,
+            ));
+            net.push(BatchNorm2d::new(format!("b{bi}.bn"), width));
+            net.push(ClippedRelu::new(format!("b{bi}.act")));
+            net.push(MaxPool2d::new(format!("b{bi}.pool"), 2));
+            c_in = width;
+        }
+        net.push(Flatten::new("flatten"));
+        let fc_in = c_in * final_spatial * final_spatial;
+        net.push(QLinear::new("fc", fc_in, arch.classes, hw, true, 1000, &mut init));
+        PlainCnn { net, config: arch.clone() }
+    }
+
+    /// The architecture this network was built from.
+    pub fn config(&self) -> &PlainCnnConfig {
+        &self.config
+    }
+}
+
+impl Layer for PlainCnn {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        self.net.forward(input, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.net.backward(grad_output)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.net.for_each_param(f);
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.net.for_each_state(f);
+    }
+
+    fn name(&self) -> &str {
+        self.net.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::vmac::Vmac;
+    use ams_quant::QuantConfig;
+
+    #[test]
+    fn shapes_and_param_names() {
+        let arch = PlainCnnConfig { image_size: 8, widths: vec![4, 8], classes: 4, ..Default::default() };
+        let mut net = PlainCnn::new(&arch, &HardwareConfig::fp32());
+        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 4]);
+        let mut names = Vec::new();
+        net.for_each_param(&mut |p| names.push(p.name().to_string()));
+        assert!(names.contains(&"b0.conv.weight".to_string()));
+        assert!(names.contains(&"b1.bn.gamma".to_string()));
+        assert!(names.contains(&"fc.bias".to_string()));
+    }
+
+    #[test]
+    fn trains_a_step_under_ams_hardware() {
+        let arch = PlainCnnConfig { image_size: 8, widths: vec![4], classes: 4, ..Default::default() };
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 7.0));
+        let mut net = PlainCnn::new(&arch, &hw);
+        let mut r = rng::seeded(1);
+        let mut x = Tensor::zeros(&[4, 3, 8, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y = net.forward(&x, Mode::Train);
+        let (loss, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1, 2, 3]);
+        assert!(loss.is_finite());
+        net.backward(&grad);
+        ams_nn::Sgd::new(0.01).step(&mut net);
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        use ams_nn::Checkpoint;
+        let arch = PlainCnnConfig { image_size: 8, widths: vec![4], classes: 4, ..Default::default() };
+        let mut a = PlainCnn::new(&arch, &HardwareConfig::fp32());
+        let ckpt = Checkpoint::from_layer(&mut a);
+        let arch_b = PlainCnnConfig { init_seed: 43, ..arch };
+        let mut b = PlainCnn::new(&arch_b, &HardwareConfig::fp32());
+        ckpt.load_into(&mut b).expect("same structure");
+        let x = Tensor::full(&[1, 3, 8, 8], 0.3);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn rejects_undersized_images() {
+        let arch = PlainCnnConfig { image_size: 2, widths: vec![4, 8, 16], ..Default::default() };
+        let result = std::panic::catch_unwind(|| arch.final_spatial());
+        assert!(result.is_err());
+    }
+}

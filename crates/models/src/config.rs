@@ -1,0 +1,193 @@
+//! The hardware description applied to a network.
+
+use ams_core::mismatch::MismatchModel;
+use ams_core::vmac::Vmac;
+use ams_quant::{QuantConfig, WeightScheme};
+use serde::{Deserialize, Serialize};
+
+/// How AMS error is realized at evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ErrorMode {
+    /// One Gaussian per output activation with Eq. 2's σ — the paper's
+    /// main method (fast; assumes independent per-VMAC errors).
+    #[default]
+    Lumped,
+    /// Chunk every reduction into `N_mult`-sized analog partial sums and
+    /// quantize each on the ADC grid (paper §4's proposed refinement:
+    /// "split up the convolution into VMAC-sized units and inject error
+    /// at the output of each VMAC separately... this modeling can be
+    /// performed for evaluation only"). Training still uses the lumped
+    /// model, exactly as the paper suggests to avoid the slowdown.
+    PerVmac,
+}
+
+/// How a quantized layer interprets its input activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum InputKind {
+    /// Inputs are already in `[0, 1]` (the output of a preceding ReLU-1);
+    /// quantized unsigned to `B_X` bits.
+    #[default]
+    Unit,
+    /// Inputs are raw network inputs in `[0, 1]`; the layer rescales them
+    /// to `[-1, 1]` and quantizes sign-magnitude to `B_X` bits — the
+    /// paper's first-layer treatment ("we rescale them by the maximum
+    /// input activation value so that they lie in the range [-1, 1] before
+    /// quantizing", §2).
+    SignedRescaled,
+}
+
+/// The full hardware story applied to every quantized layer of a network.
+///
+/// Three presets cover the paper's regimes:
+///
+/// * [`HardwareConfig::fp32`] — no quantization, no error (baseline);
+/// * [`HardwareConfig::quantized`] — DoReFa quantization only (Table 1);
+/// * [`HardwareConfig::ams`] — quantization plus VMAC error injection
+///   (Figs. 4–6, Table 2).
+///
+/// # Example
+///
+/// ```
+/// use ams_core::vmac::Vmac;
+/// use ams_models::HardwareConfig;
+/// use ams_quant::QuantConfig;
+///
+/// let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 10.0));
+/// assert!(hw.vmac.is_some());
+/// assert!(hw.inject_eval && hw.inject_train);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HardwareConfig {
+    /// Weight/activation bit-widths.
+    pub quant: QuantConfig,
+    /// Weight transform scheme.
+    pub scheme: WeightScheme,
+    /// The AMS cell; `None` models ideal digital hardware.
+    pub vmac: Option<Vmac>,
+    /// Inject AMS error during training forward passes.
+    pub inject_train: bool,
+    /// Inject AMS error during evaluation forward passes.
+    pub inject_eval: bool,
+    /// Inject into the *last* layer during training. The paper found this
+    /// destroys learning and leaves it off (§2); it stays available for
+    /// the ablation that reproduces that finding.
+    pub inject_last_layer_train: bool,
+    /// How evaluation-time error is realized (lumped Gaussian vs
+    /// per-VMAC chunked quantization, paper §4).
+    pub error_mode: ErrorMode,
+    /// Optional static device mismatch applied to the realized weights
+    /// (paper §4's "non-additive and data-dependent errors").
+    pub mismatch: Option<MismatchModel>,
+    /// Master seed for the per-layer error streams.
+    pub noise_seed: u64,
+}
+
+impl HardwareConfig {
+    /// Full-precision digital hardware: the FP32 baseline.
+    pub fn fp32() -> Self {
+        HardwareConfig {
+            quant: QuantConfig::fp32(),
+            scheme: WeightScheme::Tanh,
+            vmac: None,
+            inject_train: false,
+            inject_eval: false,
+            inject_last_layer_train: false,
+            error_mode: ErrorMode::Lumped,
+            mismatch: None,
+            noise_seed: 0,
+        }
+    }
+
+    /// Ideal digital hardware at reduced precision (Table 1 rows).
+    pub fn quantized(quant: QuantConfig) -> Self {
+        HardwareConfig { quant, ..Self::fp32() }
+    }
+
+    /// AMS hardware: quantization plus error injection in both training
+    /// and evaluation (the paper's retraining configuration).
+    pub fn ams(quant: QuantConfig, vmac: Vmac) -> Self {
+        HardwareConfig {
+            quant,
+            vmac: Some(vmac),
+            inject_train: true,
+            inject_eval: true,
+            ..Self::fp32()
+        }
+    }
+
+    /// AMS hardware with error injected at evaluation time only (the
+    /// "AMS error in eval only" series of Figs. 4–5).
+    pub fn ams_eval_only(quant: QuantConfig, vmac: Vmac) -> Self {
+        HardwareConfig { inject_train: false, ..Self::ams(quant, vmac) }
+    }
+
+    /// Returns a copy with a different noise seed (each of the five
+    /// validation passes uses a fresh seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.noise_seed = seed;
+        self
+    }
+
+    /// Returns a copy using per-VMAC chunked quantization at evaluation
+    /// (paper §4's fine-grained mode).
+    pub fn with_per_vmac_eval(mut self) -> Self {
+        self.error_mode = ErrorMode::PerVmac;
+        self
+    }
+
+    /// Returns a copy with static device mismatch applied to the realized
+    /// weights.
+    pub fn with_mismatch(mut self, mismatch: MismatchModel) -> Self {
+        self.mismatch = Some(mismatch);
+        self
+    }
+
+    /// Whether a layer built from this config injects error in the given
+    /// situation.
+    pub fn injects(&self, train: bool, is_last_layer: bool) -> bool {
+        if self.vmac.is_none() {
+            return false;
+        }
+        if train {
+            self.inject_train && (!is_last_layer || self.inject_last_layer_train)
+        } else {
+            self.inject_eval
+        }
+    }
+}
+
+impl Default for HardwareConfig {
+    fn default() -> Self {
+        Self::fp32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert!(HardwareConfig::fp32().quant.is_fp32());
+        let q = HardwareConfig::quantized(QuantConfig::w6a6());
+        assert_eq!(q.quant, QuantConfig::w6a6());
+        assert!(q.vmac.is_none());
+    }
+
+    #[test]
+    fn injection_rules_follow_the_paper() {
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::default());
+        // Every layer at eval, including the last.
+        assert!(hw.injects(false, true));
+        assert!(hw.injects(false, false));
+        // During training, every layer except the last.
+        assert!(hw.injects(true, false));
+        assert!(!hw.injects(true, true));
+        // Eval-only variant never injects in training.
+        let eo = HardwareConfig::ams_eval_only(QuantConfig::w8a8(), Vmac::default());
+        assert!(!eo.injects(true, false));
+        assert!(eo.injects(false, false));
+        // Digital hardware never injects.
+        assert!(!HardwareConfig::quantized(QuantConfig::w8a8()).injects(false, false));
+    }
+}

@@ -1,0 +1,133 @@
+//! Selective layer freezing (paper Table 2).
+
+use ams_nn::Layer;
+use serde::{Deserialize, Serialize};
+
+/// Which parameter groups to freeze during AMS retraining.
+///
+/// The paper freezes each group in turn to locate the mechanism of
+/// accuracy recovery: freezing the convolutions barely matters, freezing
+/// the batch-norm (and/or fully-connected) parameters destroys the
+/// recovery — evidence that **batch norm** is what adapts to the injected
+/// error.
+///
+/// # Example
+///
+/// ```
+/// use ams_models::FreezePolicy;
+///
+/// assert!(FreezePolicy::Bn.applies_to("s1.b0.bn1.gamma"));
+/// assert!(!FreezePolicy::Bn.applies_to("s1.b0.conv1.weight"));
+/// assert!(FreezePolicy::Fc.applies_to("fc.weight"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FreezePolicy {
+    /// Freeze nothing (Table 2 row "None").
+    #[default]
+    None,
+    /// Freeze every convolutional weight.
+    Conv,
+    /// Freeze every batch-norm affine parameter.
+    Bn,
+    /// Freeze the fully-connected classifier.
+    Fc,
+    /// Freeze batch norm and the classifier together.
+    BnFc,
+    /// Freeze the convolutions *and* the classifier, training only the
+    /// batch-norm parameters — the complementary probe of the paper's
+    /// mechanism: if BN alone recovers the accuracy, BN is responsible.
+    ConvFc,
+}
+
+impl FreezePolicy {
+    /// All policies: the paper's Table 2 rows plus the complementary
+    /// BN-only-training probe.
+    pub const ALL: [FreezePolicy; 6] = [
+        FreezePolicy::None,
+        FreezePolicy::Conv,
+        FreezePolicy::Bn,
+        FreezePolicy::Fc,
+        FreezePolicy::BnFc,
+        FreezePolicy::ConvFc,
+    ];
+
+    /// Whether a parameter with this hierarchical name belongs to a frozen
+    /// group under this policy.
+    ///
+    /// Classification: names starting with `fc.` are classifier
+    /// parameters, names ending in `.gamma` / `.beta` are batch-norm
+    /// parameters, and everything else is convolutional.
+    pub fn applies_to(&self, param_name: &str) -> bool {
+        let is_fc = param_name.starts_with("fc.");
+        let is_bn = param_name.ends_with(".gamma") || param_name.ends_with(".beta");
+        let is_conv = !is_fc && !is_bn;
+        match self {
+            FreezePolicy::None => false,
+            FreezePolicy::Conv => is_conv,
+            FreezePolicy::Bn => is_bn,
+            FreezePolicy::Fc => is_fc,
+            FreezePolicy::BnFc => is_bn || is_fc,
+            FreezePolicy::ConvFc => is_conv || is_fc,
+        }
+    }
+
+    /// Sets the `frozen` flag on every parameter of `model` according to
+    /// this policy (clearing flags the policy does not cover, so policies
+    /// can be swapped on a live model).
+    pub fn apply(&self, model: &mut dyn Layer) {
+        model.for_each_param(&mut |p| {
+            p.frozen = self.applies_to(p.name());
+        });
+    }
+}
+
+impl std::fmt::Display for FreezePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FreezePolicy::None => "None",
+            FreezePolicy::Conv => "Conv",
+            FreezePolicy::Bn => "BN",
+            FreezePolicy::Fc => "FC",
+            FreezePolicy::BnFc => "BN and FC",
+            FreezePolicy::ConvFc => "Conv and FC (ext)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matrix() {
+        let conv = "s2.b1.conv2.weight";
+        let down = "s2.b0.down.weight";
+        let gamma = "s2.b0.bn_down.gamma";
+        let beta = "bn0.beta";
+        let fcw = "fc.weight";
+        let fcb = "fc.bias";
+        for (policy, frozen) in [
+            (FreezePolicy::None, vec![]),
+            (FreezePolicy::Conv, vec![conv, down]),
+            (FreezePolicy::Bn, vec![gamma, beta]),
+            (FreezePolicy::Fc, vec![fcw, fcb]),
+            (FreezePolicy::BnFc, vec![gamma, beta, fcw, fcb]),
+            (FreezePolicy::ConvFc, vec![conv, down, fcw, fcb]),
+        ] {
+            for name in [conv, down, gamma, beta, fcw, fcb] {
+                assert_eq!(
+                    policy.applies_to(name),
+                    frozen.contains(&name),
+                    "policy {policy} on {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_table2_labels() {
+        let labels: Vec<String> = FreezePolicy::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(labels, vec!["None", "Conv", "BN", "FC", "BN and FC", "Conv and FC (ext)"]);
+    }
+}

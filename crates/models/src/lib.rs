@@ -1,0 +1,54 @@
+//! Networks with DoReFa quantization and AMS error-injection surgery.
+//!
+//! This crate assembles the substrates (`ams-nn`, `ams-quant`, `ams-core`)
+//! into the models the paper experiments on:
+//!
+//! * [`QConv2d`] / [`QLinear`] — quantized layers that replicate the
+//!   paper's Fig. 3 exactly: the input activations are quantized to `B_X`
+//!   bits, the shadow FP32 weights are DoReFa-quantized to `B_W` bits
+//!   every forward pass (gradients routed back through the straight-through
+//!   estimator), and the AMS error of Eq. 2 is added to the layer output —
+//!   in the forward pass only.
+//! * [`ResNetMini`] — the ResNet-50 stand-in: conv stem, three stages of
+//!   residual [`BasicBlock`]s with batch norm, global average pooling and
+//!   a fully-connected classifier. Built from a [`HardwareConfig`], the
+//!   same architecture serves as the FP32 baseline (identity quantizers),
+//!   the quantized digital baseline (Table 1), and the AMS network
+//!   (Figs. 4–6, Table 2).
+//! * [`FreezePolicy`] — the Table 2 selective-freezing study.
+//! * Activation probes — per-layer output means across a dataset (Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use ams_models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
+//! use ams_nn::{Layer, Mode};
+//! use ams_tensor::Tensor;
+//!
+//! let arch = ResNetMiniConfig::tiny();
+//! let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
+//! let x = Tensor::zeros(&[2, 3, 8, 8]);
+//! let logits = net.forward(&x, Mode::Eval);
+//! assert_eq!(logits.dims(), &[2, arch.classes]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod cnn;
+mod config;
+mod freeze;
+mod qconv;
+mod qlinear;
+mod resnet;
+pub mod surgery;
+
+pub use block::BasicBlock;
+pub use cnn::{PlainCnn, PlainCnnConfig};
+pub use config::{ErrorMode, HardwareConfig, InputKind};
+pub use freeze::FreezePolicy;
+pub use qconv::QConv2d;
+pub use qlinear::QLinear;
+pub use resnet::{ResNetMini, ResNetMiniConfig};
+pub use surgery::{fold_bn_into_conv, EnergyReport, LayerEnergy};

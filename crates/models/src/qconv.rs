@@ -1,0 +1,398 @@
+//! Quantized convolution with AMS error injection (paper Fig. 3).
+
+use ams_core::inject::GaussianInjector;
+use ams_core::vmac_sim::VmacSimulator;
+use ams_nn::functional::{conv2d_backward, conv2d_forward, ConvCache};
+use ams_nn::{Layer, Mode, Param};
+use ams_quant::{quantize_activations, quantize_signed, WeightQuantizer};
+use ams_tensor::{im2col, mat_to_nchw, rng, ConvGeom, Tensor};
+use rand::Rng;
+
+use crate::config::{ErrorMode, HardwareConfig, InputKind};
+
+/// A convolution implementing the paper's quantized layer (Fig. 3):
+/// input activations quantized to `B_X` bits, shadow FP32 weights
+/// DoReFa-quantized to `B_W` bits each forward pass, and the lumped AMS
+/// error of Eq. 2 added to the output — forward pass only, backward
+/// untouched.
+///
+/// With [`HardwareConfig::fp32`] the layer degenerates to an exact plain
+/// convolution, so the same type serves the FP32 baseline and both
+/// hardware variants (weights transfer by name through checkpoints).
+///
+/// # Example
+///
+/// ```
+/// use ams_models::{HardwareConfig, InputKind, QConv2d};
+/// use ams_nn::{Layer, Mode};
+/// use ams_tensor::{rng, Tensor};
+///
+/// let mut r = rng::seeded(0);
+/// let hw = HardwareConfig::fp32();
+/// let mut conv = QConv2d::new("stem", 3, 8, 3, 1, 1, &hw, InputKind::SignedRescaled, 0, &mut r);
+/// let y = conv.forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval);
+/// assert_eq!(y.dims(), &[1, 8, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct QConv2d {
+    name: String,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    wq: WeightQuantizer,
+    bx: u32,
+    input_kind: InputKind,
+    hw: HardwareConfig,
+    layer_index: u64,
+    injector: GaussianInjector,
+    cache: Option<ConvCache>,
+    ste_scale: Option<Tensor>,
+    probe_enabled: bool,
+    probe_sum: f64,
+    probe_count: usize,
+    last_macs_per_image: Option<usize>,
+}
+
+impl QConv2d {
+    /// Creates a quantized convolution (no bias — a batch-norm layer
+    /// always follows in the paper's networks).
+    ///
+    /// `layer_index` decorrelates this layer's noise stream from its
+    /// siblings under the shared [`HardwareConfig::noise_seed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `c_in`, `c_out`, `k`, `stride` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        hw: &HardwareConfig,
+        input_kind: InputKind,
+        layer_index: u64,
+        init_rng: &mut R,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "QConv2d: zero-sized configuration");
+        let name = name.into();
+        let mut w = Tensor::zeros(&[c_out, c_in, k, k]);
+        rng::fill_kaiming(&mut w, c_in * k * k, init_rng);
+        let weight = Param::new(format!("{name}.weight"), w);
+        QConv2d {
+            injector: GaussianInjector::new(noise_stream_seed(hw.noise_seed, layer_index)),
+            wq: WeightQuantizer::with_scheme(hw.quant.bw, hw.scheme),
+            bx: hw.quant.bx,
+            input_kind,
+            hw: *hw,
+            layer_index,
+            weight,
+            name,
+            c_in,
+            c_out,
+            k,
+            stride,
+            pad,
+            cache: None,
+            ste_scale: None,
+            probe_enabled: false,
+            probe_sum: 0.0,
+            probe_count: 0,
+            last_macs_per_image: None,
+        }
+    }
+
+    /// `N_tot` of this layer: multiplies per output activation.
+    pub fn n_tot(&self) -> usize {
+        self.c_in * self.k * self.k
+    }
+
+    /// Immutable access to the shadow FP32 weight.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The σ of the AMS error this layer injects per output element
+    /// (`None` when no VMAC is configured).
+    pub fn error_sigma(&self) -> Option<f32> {
+        self.hw.vmac.map(|v| v.total_error_sigma(self.n_tot()) as f32)
+    }
+
+    /// Reseeds the AMS noise stream (fresh noise per validation pass).
+    pub fn reseed_noise(&mut self, pass_seed: u64, layer_index: u64) {
+        self.injector.reseed(noise_stream_seed(pass_seed, layer_index));
+    }
+
+    /// Enables or disables output-mean probing (paper Fig. 6); enabling
+    /// resets the accumulator.
+    pub fn set_probe(&mut self, enabled: bool) {
+        self.probe_enabled = enabled;
+        self.probe_sum = 0.0;
+        self.probe_count = 0;
+    }
+
+    /// Mean of all outputs observed since probing was enabled, or `None`
+    /// if nothing has been observed.
+    pub fn probe_mean(&self) -> Option<f32> {
+        (self.probe_count > 0).then(|| (self.probe_sum / self.probe_count as f64) as f32)
+    }
+
+    /// MAC operations per image of the most recent forward pass
+    /// (`None` before any forward).
+    pub fn macs_per_image(&self) -> Option<usize> {
+        self.last_macs_per_image
+    }
+
+    /// The §4 fine-grained path: lower the convolution, chop every
+    /// reduction into `N_mult`-sized analog partial sums, and quantize
+    /// each partial sum on the ADC grid (mid-rise, full-scale
+    /// `±N_mult`), accumulating the digital codes.
+    fn forward_per_vmac(&self, xq: &Tensor, wmat: &Tensor) -> Tensor {
+        let vmac = self.hw.vmac.expect("per-VMAC mode requires a VMAC");
+        let (n, c_in, h, w) = xq.dims4();
+        let geom = ConvGeom::new(n, c_in, h, w, self.k, self.k, self.stride, self.pad);
+        let cols = im2col(xq, &geom);
+        let (rows, ncols) = (geom.rows(), geom.cols());
+        let n_mult = vmac.n_mult;
+        let fs = n_mult as f64;
+        let wd = wmat.data();
+        let cd = cols.data();
+        let mut ymat = Tensor::zeros(&[self.c_out, ncols]);
+        let yd = ymat.data_mut();
+        let mut acc = vec![0.0f64; ncols];
+        for co in 0..self.c_out {
+            let wrow = &wd[co * rows..(co + 1) * rows];
+            let yrow = &mut yd[co * ncols..(co + 1) * ncols];
+            let mut chunk_start = 0;
+            while chunk_start < rows {
+                let chunk_end = (chunk_start + n_mult).min(rows);
+                for a in acc.iter_mut() {
+                    *a = 0.0;
+                }
+                for r in chunk_start..chunk_end {
+                    let wv = f64::from(wrow[r]);
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let crow = &cd[r * ncols..(r + 1) * ncols];
+                    for (a, &cv) in acc.iter_mut().zip(crow) {
+                        *a += wv * f64::from(cv);
+                    }
+                }
+                for (yv, &a) in yrow.iter_mut().zip(acc.iter()) {
+                    *yv += VmacSimulator::convert(a, vmac.enob, fs) as f32;
+                }
+                chunk_start = chunk_end;
+            }
+        }
+        mat_to_nchw(&ymat, &geom, self.c_out)
+    }
+
+    fn quantize_input(&self, input: &Tensor) -> Tensor {
+        match self.input_kind {
+            InputKind::Unit => quantize_activations(input, self.bx),
+            InputKind::SignedRescaled => {
+                // [0, 1] → [-1, 1], then sign-magnitude quantization.
+                let rescaled = input.map(|v| 2.0 * v - 1.0);
+                quantize_signed(&rescaled, self.bx)
+            }
+        }
+    }
+}
+
+/// Derives a per-layer seed from the network seed (SplitMix64-style mix so
+/// consecutive layer indices give uncorrelated streams).
+pub(crate) fn noise_stream_seed(network_seed: u64, layer_index: u64) -> u64 {
+    let mut z = network_seed ^ layer_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Layer for QConv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let xq = self.quantize_input(input);
+        let qw = self.wq.quantize(&self.weight.value);
+        let realized = match &self.hw.mismatch {
+            Some(m) => m.apply(&qw.values, self.layer_index),
+            None => qw.values,
+        };
+        let wmat = realized.reshaped(&[self.c_out, self.c_in * self.k * self.k]);
+        let injecting = self.hw.injects(mode.is_train(), false);
+        // Paper §4's fine-grained mode: chunked per-VMAC ADC quantization,
+        // evaluation only (training keeps the fast lumped model).
+        let per_vmac = injecting && !mode.is_train() && self.hw.error_mode == ErrorMode::PerVmac;
+        let (mut y, cache) = if per_vmac {
+            (self.forward_per_vmac(&xq, &wmat), None)
+        } else {
+            conv2d_forward(&xq, &wmat, None, self.k, self.k, self.stride, self.pad, mode.is_train())
+        };
+        if injecting && !per_vmac {
+            let sigma = self.error_sigma().expect("injects() implies a VMAC");
+            self.injector.inject_sigma(&mut y, sigma);
+        }
+        if self.probe_enabled {
+            self.probe_sum += f64::from(y.sum());
+            self.probe_count += y.len();
+        }
+        let batch = y.dims()[0].max(1);
+        self.last_macs_per_image = Some(y.len() / batch * self.n_tot());
+        self.cache = cache;
+        self.ste_scale = mode.is_train().then(|| qw.ste_scale);
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("QConv2d::backward without a Train-mode forward");
+        let (dxq, dwmat, _) = conv2d_backward(cache, grad_output);
+        let ste = self.ste_scale.as_ref().expect("STE scale cached in Train forward");
+        let dw = dwmat
+            .reshape(&[self.c_out, self.c_in, self.k, self.k])
+            .expect("weight grad shape")
+            .mul(ste);
+        self.weight.grad.add_assign(&dw);
+        match self.input_kind {
+            // STE through the activation quantizer: passthrough.
+            InputKind::Unit => dxq,
+            // The [0,1]→[-1,1] affine contributes a factor of 2.
+            InputKind::SignedRescaled => dxq.map(|g| 2.0 * g),
+        }
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::vmac::Vmac;
+    use ams_quant::QuantConfig;
+
+    fn input() -> Tensor {
+        let mut t = Tensor::zeros(&[2, 3, 6, 6]);
+        let mut r = rng::seeded(5);
+        rng::fill_uniform(&mut t, 0.0, 1.0, &mut r);
+        t
+    }
+
+    #[test]
+    fn fp32_config_matches_plain_conv() {
+        let mut r = rng::seeded(0);
+        let hw = HardwareConfig::fp32();
+        let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
+        // Plain conv with the same weights.
+        let x = input();
+        let y = qc.forward(&x, Mode::Eval);
+        let wmat = qc.weight().value.reshaped(&[4, 27]);
+        let (want, _) = conv2d_forward(&x, &wmat, None, 3, 3, 1, 1, false);
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn quantization_bounds_weights() {
+        let mut r = rng::seeded(1);
+        let hw = HardwareConfig::quantized(QuantConfig::w6a4());
+        let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
+        let y1 = qc.forward(&input(), Mode::Eval);
+        // The effective weights are bounded by 1 so |y| ≤ N_tot.
+        assert!(y1.max_abs() <= qc.n_tot() as f32);
+    }
+
+    #[test]
+    fn eval_injection_adds_noise_with_model_sigma() {
+        let mut r = rng::seeded(2);
+        let vmac = Vmac::new(8, 8, 8, 8.0);
+        let quiet = HardwareConfig::quantized(QuantConfig::w8a8());
+        let noisy = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
+        let mut a = QConv2d::new("c", 3, 8, 3, 1, 1, &quiet, InputKind::Unit, 0, &mut r);
+        let mut r2 = rng::seeded(2); // identical init
+        let mut b = QConv2d::new("c", 3, 8, 3, 1, 1, &noisy, InputKind::Unit, 0, &mut r2);
+        let x = input();
+        let clean = a.forward(&x, Mode::Eval);
+        let dirty = b.forward(&x, Mode::Eval);
+        let diff = dirty.sub(&clean);
+        let sigma = b.error_sigma().unwrap();
+        let measured =
+            (diff.data().iter().map(|&v| (v * v) as f64).sum::<f64>() / diff.len() as f64).sqrt();
+        assert!(
+            (measured / f64::from(sigma) - 1.0).abs() < 0.1,
+            "measured {measured} vs model {sigma}"
+        );
+    }
+
+    #[test]
+    fn train_mode_respects_injection_flags() {
+        let mut r = rng::seeded(3);
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let hw = HardwareConfig::ams_eval_only(QuantConfig::w8a8(), vmac);
+        let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
+        let x = input();
+        let y_train = qc.forward(&x, Mode::Train);
+        // Re-forward in train mode: deterministic (no injection).
+        let y_train2 = qc.forward(&x, Mode::Train);
+        assert_eq!(y_train, y_train2);
+        // Eval injects: differs from the train output.
+        let y_eval = qc.forward(&x, Mode::Eval);
+        assert_ne!(y_train, y_eval);
+    }
+
+    #[test]
+    fn backward_routes_through_ste() {
+        let mut r = rng::seeded(4);
+        let hw = HardwareConfig::quantized(QuantConfig::w8a8());
+        let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
+        let x = input();
+        let y = qc.forward(&x, Mode::Train);
+        let dx = qc.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(qc.weight().grad.max_abs() > 0.0, "gradient must reach the shadow weight");
+    }
+
+    #[test]
+    fn signed_input_backward_scales_by_two() {
+        let mut r = rng::seeded(6);
+        let hw = HardwareConfig::fp32();
+        let mut unit = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
+        let mut r2 = rng::seeded(6);
+        let mut signed = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::SignedRescaled, 0, &mut r2);
+        let x = input();
+        let dy = Tensor::ones(unit.forward(&x, Mode::Train).dims());
+        let dx_unit = unit.backward(&dy);
+        signed.forward(&x, Mode::Train);
+        let dx_signed = signed.backward(&dy);
+        for (u, s) in dx_unit.data().iter().zip(dx_signed.data()) {
+            assert!((2.0 * u - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn probe_accumulates_output_mean() {
+        let mut r = rng::seeded(7);
+        let hw = HardwareConfig::fp32();
+        let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
+        qc.set_probe(true);
+        let x = input();
+        let y = qc.forward(&x, Mode::Eval);
+        let got = qc.probe_mean().unwrap();
+        assert!((got - y.mean()).abs() < 1e-6);
+        qc.set_probe(false);
+        assert!(qc.probe_mean().is_none());
+    }
+
+    #[test]
+    fn noise_streams_differ_per_layer() {
+        assert_ne!(noise_stream_seed(1, 0), noise_stream_seed(1, 1));
+        assert_ne!(noise_stream_seed(1, 0), noise_stream_seed(2, 0));
+    }
+}

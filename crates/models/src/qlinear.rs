@@ -1,0 +1,256 @@
+//! Quantized fully-connected layer with AMS error injection.
+
+use ams_core::inject::GaussianInjector;
+use ams_core::vmac_sim::VmacSimulator;
+use ams_nn::functional::{linear_backward, linear_forward, LinearCache};
+use ams_nn::{Layer, Mode, Param};
+use ams_quant::{quantize_activations, WeightQuantizer};
+use ams_tensor::{rng, Tensor};
+use rand::Rng;
+
+use crate::config::{ErrorMode, HardwareConfig};
+use crate::qconv::noise_stream_seed;
+
+/// A fully-connected layer with DoReFa weight/activation quantization and
+/// AMS error injection — the classifier head of the paper's networks.
+///
+/// As the network's *last layer* it follows the paper's special rule
+/// (§2): AMS error is injected at evaluation time but **not** during
+/// training (injecting there "led to a loss of the network's ability to
+/// learn"), unless [`HardwareConfig::inject_last_layer_train`] re-enables
+/// it for the ablation. The bias is added digitally and stays
+/// full-precision ("biases can be added digitally at little extra energy
+/// cost").
+///
+/// # Example
+///
+/// ```
+/// use ams_models::{HardwareConfig, QLinear};
+/// use ams_nn::{Layer, Mode};
+/// use ams_tensor::{rng, Tensor};
+///
+/// let mut r = rng::seeded(0);
+/// let mut fc = QLinear::new("fc", 16, 10, &HardwareConfig::fp32(), true, 9, &mut r);
+/// let y = fc.forward(&Tensor::zeros(&[4, 16]), Mode::Eval);
+/// assert_eq!(y.dims(), &[4, 10]);
+/// ```
+#[derive(Debug)]
+pub struct QLinear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    wq: WeightQuantizer,
+    bx: u32,
+    is_last: bool,
+    hw: HardwareConfig,
+    layer_index: u64,
+    injector: GaussianInjector,
+    cache: Option<LinearCache>,
+    ste_scale: Option<Tensor>,
+}
+
+impl QLinear {
+    /// Creates a quantized fully-connected layer.
+    ///
+    /// Set `is_last` for the network's final classifier so the paper's
+    /// last-layer training rule applies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        hw: &HardwareConfig,
+        is_last: bool,
+        layer_index: u64,
+        init_rng: &mut R,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "QLinear: zero-sized configuration");
+        let name = name.into();
+        let mut w = Tensor::zeros(&[out_features, in_features]);
+        rng::fill_xavier(&mut w, in_features, out_features, init_rng);
+        QLinear {
+            weight: Param::new(format!("{name}.weight"), w),
+            bias: Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[out_features])),
+            wq: WeightQuantizer::with_scheme(hw.quant.bw, hw.scheme),
+            bx: hw.quant.bx,
+            is_last,
+            hw: *hw,
+            layer_index,
+            injector: GaussianInjector::new(noise_stream_seed(hw.noise_seed, layer_index)),
+            name,
+            in_features,
+            out_features,
+            cache: None,
+            ste_scale: None,
+        }
+    }
+
+    /// `N_tot` for the error model: the input feature count.
+    pub fn n_tot(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the shadow FP32 weight.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// The σ of the AMS error this layer injects per output element.
+    pub fn error_sigma(&self) -> Option<f32> {
+        self.hw.vmac.map(|v| v.total_error_sigma(self.n_tot()) as f32)
+    }
+
+    /// MAC operations per image (`out_features · in_features`).
+    pub fn macs_per_image(&self) -> usize {
+        self.out_features * self.in_features
+    }
+
+    /// Reseeds the AMS noise stream.
+    pub fn reseed_noise(&mut self, pass_seed: u64, layer_index: u64) {
+        self.injector.reseed(noise_stream_seed(pass_seed, layer_index));
+    }
+
+    /// The §4 fine-grained path for the classifier: chunk the reduction
+    /// into `N_mult`-sized analog partial sums and quantize each on the
+    /// ADC grid; the bias is added digitally afterwards.
+    fn forward_per_vmac(&self, xq: &Tensor, weight: &Tensor) -> Tensor {
+        let vmac = self.hw.vmac.expect("per-VMAC mode requires a VMAC");
+        let n = xq.dims()[0];
+        let (n_mult, fs) = (vmac.n_mult, vmac.n_mult as f64);
+        let (wd, xd, bd) = (weight.data(), xq.data(), self.bias.value.data());
+        let (fin, fout) = (self.in_features, self.out_features);
+        let mut y = Tensor::zeros(&[n, fout]);
+        let yd = y.data_mut();
+        for row in 0..n {
+            let xrow = &xd[row * fin..(row + 1) * fin];
+            for o in 0..fout {
+                let wrow = &wd[o * fin..(o + 1) * fin];
+                let mut total = 0.0f64;
+                let mut start = 0;
+                while start < fin {
+                    let end = (start + n_mult).min(fin);
+                    let partial: f64 = wrow[start..end]
+                        .iter()
+                        .zip(&xrow[start..end])
+                        .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                        .sum();
+                    total += VmacSimulator::convert(partial, vmac.enob, fs);
+                    start = end;
+                }
+                yd[row * fout + o] = total as f32 + bd[o];
+            }
+        }
+        y
+    }
+}
+
+impl Layer for QLinear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let xq = quantize_activations(input, self.bx);
+        let qw = self.wq.quantize(&self.weight.value);
+        let realized = match &self.hw.mismatch {
+            Some(m) => m.apply(&qw.values, self.layer_index),
+            None => qw.values,
+        };
+        let injecting = self.hw.injects(mode.is_train(), self.is_last);
+        let per_vmac = injecting && !mode.is_train() && self.hw.error_mode == ErrorMode::PerVmac;
+        let (mut y, cache) = if per_vmac {
+            (self.forward_per_vmac(&xq, &realized), None)
+        } else {
+            linear_forward(&xq, &realized, Some(self.bias.value.data()), mode.is_train())
+        };
+        if injecting && !per_vmac {
+            let sigma = self.error_sigma().expect("injects() implies a VMAC");
+            self.injector.inject_sigma(&mut y, sigma);
+        }
+        self.cache = cache;
+        self.ste_scale = mode.is_train().then(|| qw.ste_scale);
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("QLinear::backward without a Train-mode forward");
+        let (dx, dw, db) = linear_backward(cache, grad_output);
+        let ste = self.ste_scale.as_ref().expect("STE scale cached in Train forward");
+        self.weight.grad.add_assign(&dw.mul(ste));
+        for (g, d) in self.bias.grad.data_mut().iter_mut().zip(&db) {
+            *g += d;
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::vmac::Vmac;
+    use ams_quant::QuantConfig;
+
+    #[test]
+    fn last_layer_injects_only_at_eval() {
+        let mut r = rng::seeded(0);
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 8.0));
+        let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
+        let x = Tensor::ones(&[2, 8]);
+        let t1 = fc.forward(&x, Mode::Train);
+        let t2 = fc.forward(&x, Mode::Train);
+        assert_eq!(t1, t2, "no injection during training on the last layer");
+        let e1 = fc.forward(&x, Mode::Eval);
+        assert_ne!(t1, e1, "eval must inject");
+    }
+
+    #[test]
+    fn ablation_flag_restores_train_injection() {
+        let mut r = rng::seeded(1);
+        let mut hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 8.0));
+        hw.inject_last_layer_train = true;
+        let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
+        let x = Tensor::ones(&[2, 8]);
+        let t1 = fc.forward(&x, Mode::Train);
+        let t2 = fc.forward(&x, Mode::Train);
+        assert_ne!(t1, t2, "ablation mode injects fresh noise each training pass");
+    }
+
+    #[test]
+    fn gradients_flow_to_shadow_params() {
+        let mut r = rng::seeded(2);
+        let hw = HardwareConfig::quantized(QuantConfig::w6a6());
+        let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
+        let mut x = Tensor::zeros(&[3, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y = fc.forward(&x, Mode::Train);
+        fc.backward(&Tensor::ones(y.dims()));
+        assert!(fc.weight().grad.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn fp32_matches_plain_linear() {
+        let mut r = rng::seeded(3);
+        let hw = HardwareConfig::fp32();
+        let mut fc = QLinear::new("fc", 6, 2, &hw, false, 0, &mut r);
+        let mut x = Tensor::zeros(&[2, 6]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y = fc.forward(&x, Mode::Eval);
+        let (want, _) = linear_forward(&x, &fc.weight().value, Some(fc.bias.value.data()), false);
+        assert_eq!(y, want);
+    }
+}

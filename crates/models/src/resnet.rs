@@ -1,0 +1,473 @@
+//! The ResNet-mini network (ResNet-50 stand-in; see DESIGN.md).
+
+use ams_nn::{BatchNorm2d, ClippedRelu, GlobalAvgPool, Layer, Mode, Param};
+use ams_tensor::{rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::block::BasicBlock;
+use crate::config::{HardwareConfig, InputKind};
+use crate::freeze::FreezePolicy;
+use crate::qconv::QConv2d;
+use crate::qlinear::QLinear;
+use crate::surgery::{EnergyReport, LayerEnergy};
+
+/// Architecture of a [`ResNetMini`].
+///
+/// Stem convolution (stride 1) into three stages of [`BasicBlock`]s; the
+/// first block of stages 2 and 3 downsamples by 2. A global average pool
+/// and a quantized fully-connected classifier form the head.
+///
+/// # Example
+///
+/// ```
+/// use ams_models::ResNetMiniConfig;
+///
+/// let arch = ResNetMiniConfig::quick();
+/// assert_eq!(arch.conv_layer_count(), 1 + 3 * 2 * arch.blocks_per_stage + 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNetMiniConfig {
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Stem output channels.
+    pub stem_channels: usize,
+    /// Channel widths of the three stages.
+    pub stage_widths: [usize; 3],
+    /// Residual blocks per stage.
+    pub blocks_per_stage: usize,
+    /// Seed for weight initialization (two nets built with equal configs
+    /// start with identical weights).
+    pub init_seed: u64,
+}
+
+impl ResNetMiniConfig {
+    /// The default experiment-scale architecture (≈11 conv layers), sized
+    /// for 16×16 SynthImageNet.
+    pub fn quick() -> Self {
+        ResNetMiniConfig {
+            in_channels: 3,
+            classes: 16,
+            stem_channels: 8,
+            stage_widths: [8, 16, 32],
+            blocks_per_stage: 1,
+            init_seed: 42,
+        }
+    }
+
+    /// A deeper/wider architecture for `--scale full` runs.
+    pub fn full() -> Self {
+        ResNetMiniConfig {
+            in_channels: 3,
+            classes: 20,
+            stem_channels: 16,
+            stage_widths: [16, 32, 64],
+            blocks_per_stage: 2,
+            init_seed: 42,
+        }
+    }
+
+    /// A minimal architecture for unit tests.
+    pub fn tiny() -> Self {
+        ResNetMiniConfig {
+            in_channels: 3,
+            classes: 4,
+            stem_channels: 4,
+            stage_widths: [4, 8, 8],
+            blocks_per_stage: 1,
+            init_seed: 42,
+        }
+    }
+
+    /// Number of (quantized) convolutional layers, counting projection
+    /// shortcuts in stages 2 and 3 and the stem.
+    pub fn conv_layer_count(&self) -> usize {
+        // Stem + per-block 2 convs + one projection in the first block of
+        // each stage whose shape changes (stages 2 and 3 always; stage 1
+        // only if stem_channels != stage_widths[0]).
+        let mut count = 1 + 3 * 2 * self.blocks_per_stage;
+        if self.stem_channels != self.stage_widths[0] {
+            count += 1;
+        }
+        count += 2; // stage 2 and 3 first-block projections (stride 2)
+        count
+    }
+}
+
+impl Default for ResNetMiniConfig {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// The ResNet-50 stand-in: a small residual network whose every
+/// convolution and classifier is a quantized/AMS layer.
+///
+/// Built twice from the same [`ResNetMiniConfig`] — once with
+/// [`HardwareConfig::fp32`], once with an AMS config — the two networks
+/// share parameter names, so an FP32 checkpoint loads directly into the
+/// AMS twin (the paper's "retraining after modifying the network" flow).
+#[derive(Debug)]
+pub struct ResNetMini {
+    name: String,
+    stem: QConv2d,
+    bn0: BatchNorm2d,
+    act0: ClippedRelu,
+    stages: Vec<Vec<BasicBlock>>,
+    gap: GlobalAvgPool,
+    fc: QLinear,
+    fc_in: usize,
+    config: ResNetMiniConfig,
+    hw: HardwareConfig,
+}
+
+/// Noise-stream index of the classifier (kept clear of the conv indices).
+const FC_NOISE_INDEX: u64 = 1000;
+
+impl ResNetMini {
+    /// Builds the network for the given architecture and hardware.
+    pub fn new(arch: &ResNetMiniConfig, hw: &HardwareConfig) -> Self {
+        let mut init = rng::seeded(arch.init_seed);
+        let stem = QConv2d::new(
+            "stem",
+            arch.in_channels,
+            arch.stem_channels,
+            3,
+            1,
+            1,
+            hw,
+            InputKind::SignedRescaled,
+            0,
+            &mut init,
+        );
+        let bn0 = BatchNorm2d::new("bn0", arch.stem_channels);
+        let mut stages = Vec::with_capacity(3);
+        let mut c_in = arch.stem_channels;
+        let mut noise_base = 1u64;
+        for (si, &width) in arch.stage_widths.iter().enumerate() {
+            let mut blocks = Vec::with_capacity(arch.blocks_per_stage);
+            for bi in 0..arch.blocks_per_stage {
+                let stride = if si > 0 && bi == 0 { 2 } else { 1 };
+                blocks.push(BasicBlock::new(
+                    format!("s{}.b{bi}", si + 1),
+                    c_in,
+                    width,
+                    stride,
+                    hw,
+                    noise_base,
+                    &mut init,
+                ));
+                noise_base += BasicBlock::NOISE_SLOTS;
+                c_in = width;
+            }
+            stages.push(blocks);
+        }
+        let fc_in = arch.stage_widths[2];
+        let fc = QLinear::new("fc", fc_in, arch.classes, hw, true, FC_NOISE_INDEX, &mut init);
+        ResNetMini {
+            name: "resnet_mini".to_string(),
+            stem,
+            bn0,
+            act0: ClippedRelu::new("act0"),
+            stages,
+            gap: GlobalAvgPool::new("gap"),
+            fc,
+            fc_in,
+            config: *arch,
+            hw: *hw,
+        }
+    }
+
+    /// The architecture this network was built from.
+    pub fn config(&self) -> &ResNetMiniConfig {
+        &self.config
+    }
+
+    /// Visits every quantized convolution in forward order.
+    pub fn for_each_qconv(&mut self, f: &mut dyn FnMut(&mut QConv2d)) {
+        f(&mut self.stem);
+        for stage in &mut self.stages {
+            for block in stage {
+                block.for_each_qconv(f);
+            }
+        }
+    }
+
+    /// Visits every batch-norm layer.
+    pub fn for_each_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm2d)) {
+        f(&mut self.bn0);
+        for stage in &mut self.stages {
+            for block in stage {
+                block.for_each_bn(f);
+            }
+        }
+    }
+
+    /// Reseeds every layer's AMS noise stream — called before each of the
+    /// paper's five independent validation passes.
+    pub fn reseed_noise(&mut self, pass_seed: u64) {
+        let mut idx = 0u64;
+        self.for_each_qconv(&mut |c| {
+            c.reseed_noise(pass_seed, idx);
+            idx += 1;
+        });
+        self.fc.reseed_noise(pass_seed, FC_NOISE_INDEX);
+    }
+
+    /// Enables or disables output-mean probes on every convolution
+    /// (paper Fig. 6). Enabling resets the accumulators.
+    pub fn set_probes(&mut self, enabled: bool) {
+        self.for_each_qconv(&mut |c| c.set_probe(enabled));
+    }
+
+    /// Collects `(layer_name, mean)` for every probed convolution that has
+    /// observed data, in forward order.
+    pub fn probe_means(&mut self) -> Vec<(String, f32)> {
+        let mut out = Vec::new();
+        self.for_each_qconv(&mut |c| {
+            if let Some(m) = c.probe_mean() {
+                out.push((c.name().to_string(), m));
+            }
+        });
+        out
+    }
+
+    /// Applies a Table 2 freezing policy to all parameters.
+    pub fn apply_freeze(&mut self, policy: FreezePolicy) {
+        policy.apply(self);
+    }
+
+    /// The hardware configuration the network was built with.
+    pub fn hardware(&self) -> &HardwareConfig {
+        &self.hw
+    }
+
+    /// Prices one inference at the given square input size under the
+    /// paper's Eq. 3–4 energy model (the §4 "lookup table" at network
+    /// granularity). Runs a dummy forward pass to size every layer.
+    ///
+    /// When no VMAC is configured, per-layer energies are zero but MAC
+    /// counts are still reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_size` is too small for the network's strides.
+    pub fn energy_report(&mut self, image_size: usize) -> EnergyReport {
+        let dummy = Tensor::zeros(&[1, self.config.in_channels, image_size, image_size]);
+        let _ = self.forward(&dummy, Mode::Eval);
+        let vmac = self.hw.vmac;
+        let mut layers = Vec::new();
+        self.for_each_qconv(&mut |c| {
+            let macs = c.macs_per_image().expect("forward just ran");
+            let energy_pj = vmac
+                .map(|v| crate::surgery::layer_energy_pj(macs, v.enob, v.n_mult))
+                .unwrap_or(0.0);
+            layers.push(LayerEnergy { name: c.name().to_string(), macs, n_tot: c.n_tot(), energy_pj });
+        });
+        let fc_macs = self.fc.macs_per_image();
+        layers.push(LayerEnergy {
+            name: self.fc.name().to_string(),
+            macs: fc_macs,
+            n_tot: self.fc.n_tot(),
+            energy_pj: vmac
+                .map(|v| crate::surgery::layer_energy_pj(fc_macs, v.enob, v.n_mult))
+                .unwrap_or(0.0),
+        });
+        EnergyReport { layers }
+    }
+
+    /// Per-layer `(name, N_tot, σ)` of the injected AMS error under the
+    /// network's hardware config (empty σ values when no VMAC).
+    pub fn error_budget(&mut self) -> Vec<(String, usize, Option<f32>)> {
+        let mut out = Vec::new();
+        self.for_each_qconv(&mut |c| {
+            out.push((c.name().to_string(), c.n_tot(), c.error_sigma()));
+        });
+        out.push((self.fc.name().to_string(), self.fc.n_tot(), self.fc.error_sigma()));
+        out
+    }
+}
+
+impl Layer for ResNetMini {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = self.stem.forward(input, mode);
+        x = self.bn0.forward(&x, mode);
+        x = self.act0.forward(&x, mode);
+        for stage in &mut self.stages {
+            for block in stage {
+                x = block.forward(&x, mode);
+            }
+        }
+        let pooled = self.gap.forward(&x, mode);
+        debug_assert_eq!(pooled.dims()[1], self.fc_in);
+        self.fc.forward(&pooled, mode)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = self.fc.backward(grad_output);
+        g = self.gap.backward(&g);
+        for stage in self.stages.iter_mut().rev() {
+            for block in stage.iter_mut().rev() {
+                g = block.backward(&g);
+            }
+        }
+        g = self.act0.backward(&g);
+        g = self.bn0.backward(&g);
+        self.stem.backward(&g)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.for_each_param(f);
+        self.bn0.for_each_param(f);
+        for stage in &mut self.stages {
+            for block in stage {
+                block.for_each_param(f);
+            }
+        }
+        self.fc.for_each_param(f);
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.stem.for_each_state(f);
+        self.bn0.for_each_state(f);
+        for stage in &mut self.stages {
+            for block in stage {
+                block.for_each_state(f);
+            }
+        }
+        self.fc.for_each_state(f);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::vmac::Vmac;
+    use ams_nn::Checkpoint;
+    use ams_quant::QuantConfig;
+
+    #[test]
+    fn forward_shapes() {
+        let arch = ResNetMiniConfig::tiny();
+        let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let arch = ResNetMiniConfig::tiny();
+        let mut a = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        let mut b = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        let x = Tensor::full(&[1, 3, 8, 8], 0.3);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn checkpoint_transfers_between_hardware_configs() {
+        let arch = ResNetMiniConfig { init_seed: 1, ..ResNetMiniConfig::tiny() };
+        let mut fp = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        let ckpt = Checkpoint::from_layer(&mut fp);
+        let arch2 = ResNetMiniConfig { init_seed: 2, ..arch };
+        let hw = HardwareConfig::quantized(QuantConfig::w8a8());
+        let mut q = ResNetMini::new(&arch2, &hw);
+        ckpt.load_into(&mut q).expect("names and shapes must match");
+        // The quantized net now holds the FP32 weights as shadows. (Avoid
+        // a constant-0.5 input: the signed rescale maps it to exactly 0.)
+        let mut r = rng::seeded(31);
+        let mut x = Tensor::zeros(&[1, 3, 8, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y_fp = fp.forward(&x, Mode::Eval);
+        let y_q = q.forward(&x, Mode::Eval);
+        // Not identical (quantization), but strongly correlated.
+        let corr: f32 = y_fp.data().iter().zip(y_q.data()).map(|(a, b)| a * b).sum();
+        assert!(corr != 0.0);
+    }
+
+    #[test]
+    fn backward_reaches_every_parameter() {
+        let arch = ResNetMiniConfig::tiny();
+        let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        let mut r = rng::seeded(9);
+        let mut x = Tensor::zeros(&[4, 3, 8, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y = net.forward(&x, Mode::Train);
+        let (_, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1, 2, 3]);
+        net.backward(&grad);
+        let mut zero_grads = Vec::new();
+        net.for_each_param(&mut |p| {
+            if p.grad.max_abs() == 0.0 {
+                zero_grads.push(p.name().to_string());
+            }
+        });
+        // Batch-norm betas always receive gradient; convs may have dead
+        // ReLU corners in a tiny net but the bulk must be nonzero.
+        assert!(
+            zero_grads.len() < 3,
+            "too many parameters without gradient: {zero_grads:?}"
+        );
+    }
+
+    #[test]
+    fn eval_with_ams_error_is_stochastic_until_reseeded() {
+        let arch = ResNetMiniConfig::tiny();
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 8.0));
+        let mut net = ResNetMini::new(&arch, &hw);
+        let x = Tensor::full(&[1, 3, 8, 8], 0.4);
+        let y1 = net.forward(&x, Mode::Eval);
+        let y2 = net.forward(&x, Mode::Eval);
+        assert_ne!(y1, y2, "fresh noise every pass");
+        net.reseed_noise(777);
+        let a = net.forward(&x, Mode::Eval);
+        net.reseed_noise(777);
+        let b = net.forward(&x, Mode::Eval);
+        assert_eq!(a, b, "reseeding reproduces a pass exactly");
+    }
+
+    #[test]
+    fn probes_cover_all_convs() {
+        let arch = ResNetMiniConfig::tiny();
+        let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        net.set_probes(true);
+        let x = Tensor::full(&[1, 3, 8, 8], 0.6);
+        net.forward(&x, Mode::Eval);
+        let means = net.probe_means();
+        assert_eq!(means.len(), arch.conv_layer_count());
+        assert!(means.iter().any(|(n, _)| n == "stem"));
+    }
+
+    #[test]
+    fn freeze_policies_mark_expected_groups() {
+        let arch = ResNetMiniConfig::tiny();
+        let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
+        net.apply_freeze(FreezePolicy::Bn);
+        let mut frozen = 0;
+        let mut total = 0;
+        net.for_each_param(&mut |p| {
+            total += 1;
+            if p.frozen {
+                frozen += 1;
+                assert!(p.name().ends_with(".gamma") || p.name().ends_with(".beta"));
+            }
+        });
+        assert!(frozen > 0 && frozen < total);
+    }
+
+    #[test]
+    fn error_budget_lists_every_injected_layer() {
+        let arch = ResNetMiniConfig::tiny();
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 10.0));
+        let mut net = ResNetMini::new(&arch, &hw);
+        let budget = net.error_budget();
+        assert_eq!(budget.len(), arch.conv_layer_count() + 1); // convs + fc
+        for (name, n_tot, sigma) in &budget {
+            assert!(*n_tot > 0, "{name}");
+            assert!(sigma.unwrap() > 0.0, "{name}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Deployment surgery: batch-norm folding and per-network energy
+//! accounting.
+//!
+//! The paper (§2) notes that batch-norm parameters need not be quantized
+//! because "after retraining, weights can be folded into the convolutional
+//! layer, while biases can be added digitally at little extra energy
+//! cost". [`fold_bn_into_conv`] implements exactly that fold. The energy
+//! report realizes §4's "lookup table" idea at network granularity:
+//! every layer's MAC count priced by the paper's Eq. 3–4 model.
+
+use ams_core::energy::mac_energy_pj;
+use ams_nn::BatchNorm2d;
+use ams_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Folds an evaluation-mode batch-norm into the convolution preceding it.
+///
+/// For per-channel scale `s_o = γ_o / √(rv_o + ε)`, the folded layer
+/// computes `conv(x; w·s) + (β − s·rm)`, which equals `BN(conv(x; w))`
+/// with running statistics — an identity checked by the tests.
+///
+/// Returns the folded `(weight, bias)`; the weight has the input's
+/// `(C_out, C_in, K, K)` shape, the bias has length `C_out`.
+///
+/// # Panics
+///
+/// Panics if `weight` is not 4-D or its `C_out` differs from the
+/// batch-norm's channel count.
+pub fn fold_bn_into_conv(weight: &Tensor, bn: &BatchNorm2d) -> (Tensor, Vec<f32>) {
+    let (c_out, _, _, _) = weight.dims4();
+    assert_eq!(c_out, bn.channels(), "fold: conv C_out {c_out} != BN channels {}", bn.channels());
+    let per_out = weight.len() / c_out;
+    let gamma = bn.gamma().data();
+    let beta = bn.beta().data();
+    let rm = bn.running_mean().data();
+    let rv = bn.running_var().data();
+    let eps = bn.eps();
+
+    let mut folded = weight.clone();
+    let fd = folded.data_mut();
+    let mut bias = Vec::with_capacity(c_out);
+    for o in 0..c_out {
+        let scale = gamma[o] / (rv[o] + eps).sqrt();
+        for v in &mut fd[o * per_out..(o + 1) * per_out] {
+            *v *= scale;
+        }
+        bias.push(beta[o] - scale * rm[o]);
+    }
+    (folded, bias)
+}
+
+/// One layer's line in a network energy report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerEnergy {
+    /// Layer name.
+    pub name: String,
+    /// MAC operations per inference (one image).
+    pub macs: usize,
+    /// Multiplies per output activation (`N_tot`).
+    pub n_tot: usize,
+    /// Energy for this layer per inference, in pJ (0 when the network has
+    /// no VMAC configured).
+    pub energy_pj: f64,
+}
+
+/// A per-network energy estimate under the paper's Eq. 3–4 model.
+///
+/// Produced by [`crate::ResNetMini::energy_report`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Per-layer breakdown in forward order.
+    pub layers: Vec<LayerEnergy>,
+}
+
+impl EnergyReport {
+    /// Total MACs per inference.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// Total energy per inference in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.layers.iter().map(|l| l.energy_pj).sum()
+    }
+
+    /// Average energy per MAC in fJ (`None` for an empty report or zero
+    /// MACs).
+    pub fn fj_per_mac(&self) -> Option<f64> {
+        let macs = self.total_macs();
+        (macs > 0).then(|| self.total_pj() * 1e3 / macs as f64)
+    }
+}
+
+/// Prices `macs` MAC operations on a VMAC with the given resolution and
+/// fan-in (Eq. 3–4), in pJ.
+pub(crate) fn layer_energy_pj(macs: usize, enob: f64, n_mult: usize) -> f64 {
+    macs as f64 * mac_energy_pj(enob, n_mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_nn::{Conv2d, Layer, Mode};
+    use ams_tensor::rng;
+
+    #[test]
+    fn folded_conv_matches_conv_then_bn() {
+        let mut r = rng::seeded(1);
+        let mut conv = Conv2d::new("c", 3, 4, 3, 1, 1, false, &mut r);
+        let mut bn = BatchNorm2d::new("bn", 4);
+        // Give BN non-trivial learned state by training on random batches.
+        for _ in 0..20 {
+            let mut x = Tensor::zeros(&[4, 3, 6, 6]);
+            rng::fill_normal(&mut x, 0.3, 0.8, &mut r);
+            let y = conv.forward(&x, Mode::Train);
+            bn.forward(&y, Mode::Train);
+        }
+        // Perturb gamma/beta away from identity.
+        bn.for_each_param(&mut |p| {
+            let sign = if p.name().ends_with("gamma") { 1.0 } else { -0.5 };
+            for (i, v) in p.value.data_mut().iter_mut().enumerate() {
+                *v += 0.1 * (i as f32 + 1.0) * sign;
+            }
+        });
+
+        let mut x = Tensor::zeros(&[2, 3, 6, 6]);
+        rng::fill_normal(&mut x, 0.0, 1.0, &mut r);
+        let reference = bn.forward(&conv.forward(&x, Mode::Eval), Mode::Eval);
+
+        let (folded_w, folded_b) = fold_bn_into_conv(&conv.weight().value, &bn);
+        let wmat = folded_w.reshaped(&[4, 27]);
+        let (folded_y, _) = ams_nn::functional::conv2d_forward(&x, &wmat, Some(&folded_b), 3, 3, 1, 1, false);
+
+        for (a, b) in reference.data().iter().zip(folded_y.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn energy_report_aggregation() {
+        let report = EnergyReport {
+            layers: vec![
+                LayerEnergy { name: "a".into(), macs: 1000, n_tot: 27, energy_pj: 2.0 },
+                LayerEnergy { name: "b".into(), macs: 3000, n_tot: 72, energy_pj: 6.0 },
+            ],
+        };
+        assert_eq!(report.total_macs(), 4000);
+        assert!((report.total_pj() - 8.0).abs() < 1e-12);
+        assert!((report.fj_per_mac().expect("macs > 0") - 2.0).abs() < 1e-12);
+        assert!(EnergyReport::default().fj_per_mac().is_none());
+    }
+
+    #[test]
+    fn layer_energy_uses_eq3_eq4() {
+        // 1000 MACs at ENOB 12 / N_mult 8 ≈ 1000 · 313 fJ.
+        let pj = layer_energy_pj(1000, 12.0, 8);
+        assert!((pj - 313.0).abs() < 15.0, "{pj}");
+    }
+}

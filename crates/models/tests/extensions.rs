@@ -1,0 +1,154 @@
+//! Integration tests of the Section 4 extensions at network level:
+//! per-VMAC evaluation, static mismatch, batch-norm folding and energy
+//! reporting.
+
+use ams_core::mismatch::MismatchModel;
+use ams_core::vmac::Vmac;
+use ams_models::{ErrorMode, HardwareConfig, ResNetMini, ResNetMiniConfig};
+use ams_nn::{Layer, Mode};
+use ams_quant::QuantConfig;
+use ams_tensor::{rng, Tensor};
+
+fn random_input(seed: u64) -> Tensor {
+    let mut x = Tensor::zeros(&[2, 3, 8, 8]);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+    x
+}
+
+#[test]
+fn per_vmac_eval_is_deterministic_and_close_to_lumped_scale() {
+    let arch = ResNetMiniConfig::tiny();
+    let quant = QuantConfig::w8a8();
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let hw_pv = HardwareConfig::ams_eval_only(quant, vmac).with_per_vmac_eval();
+    assert_eq!(hw_pv.error_mode, ErrorMode::PerVmac);
+    let mut net = ResNetMini::new(&arch, &hw_pv);
+    let x = random_input(1);
+    // Chunked quantization is deterministic: repeated eval passes agree
+    // exactly (unlike the stochastic lumped mode).
+    let y1 = net.forward(&x, Mode::Eval);
+    let y2 = net.forward(&x, Mode::Eval);
+    assert_eq!(y1, y2);
+
+    // And it differs from the error-free network by roughly the modeled
+    // amount: nonzero, but far smaller than the signal.
+    let mut clean = ResNetMini::new(&arch, &HardwareConfig::quantized(quant));
+    let yc = clean.forward(&x, Mode::Eval);
+    let diff = y1.sub(&yc);
+    assert!(diff.max_abs() > 0.0, "per-VMAC quantization must perturb the output");
+    assert!(
+        diff.max_abs() < yc.max_abs().max(1.0) * 2.0,
+        "perturbation should not dwarf the signal"
+    );
+}
+
+#[test]
+fn per_vmac_training_falls_back_to_lumped() {
+    // Paper §4: the fine-grained model "can be performed for evaluation
+    // only" — training must still work (and use the lumped path).
+    let arch = ResNetMiniConfig::tiny();
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac).with_per_vmac_eval();
+    let mut net = ResNetMini::new(&arch, &hw);
+    let x = random_input(2);
+    let y = net.forward(&x, Mode::Train);
+    let (_, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1]);
+    let dx = net.backward(&grad);
+    assert_eq!(dx.dims(), x.dims());
+}
+
+#[test]
+fn mismatch_is_static_across_passes_but_differs_across_chips() {
+    let arch = ResNetMiniConfig::tiny();
+    let quant = QuantConfig::w8a8();
+    let chip_a = HardwareConfig::quantized(quant).with_mismatch(MismatchModel::new(0.05, 1));
+    let chip_b = HardwareConfig::quantized(quant).with_mismatch(MismatchModel::new(0.05, 2));
+    let mut net_a = ResNetMini::new(&arch, &chip_a);
+    let mut net_b = ResNetMini::new(&arch, &chip_b);
+    let x = random_input(3);
+    let a1 = net_a.forward(&x, Mode::Eval);
+    let a2 = net_a.forward(&x, Mode::Eval);
+    assert_eq!(a1, a2, "mismatch is a static device draw, not noise");
+    let b = net_b.forward(&x, Mode::Eval);
+    assert_ne!(a1, b, "different chips realize different devices");
+
+    // And mismatch actually perturbs relative to the ideal network.
+    let mut ideal = ResNetMini::new(&arch, &HardwareConfig::quantized(quant));
+    let yi = ideal.forward(&x, Mode::Eval);
+    assert_ne!(a1, yi);
+}
+
+#[test]
+fn energy_report_covers_every_layer_and_prices_by_eq4() {
+    let arch = ResNetMiniConfig::tiny();
+    let vmac = Vmac::new(8, 8, 8, 12.0);
+    let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
+    let mut net = ResNetMini::new(&arch, &hw);
+    let report = net.energy_report(8);
+    assert_eq!(report.layers.len(), arch.conv_layer_count() + 1);
+    assert!(report.total_macs() > 0);
+    // Under a uniform VMAC, fJ/MAC is exactly the Eq. 4 value.
+    let fj = report.fj_per_mac().expect("macs > 0");
+    let expected = ams_core::energy::mac_energy_fj(12.0, 8);
+    assert!((fj - expected).abs() < 1e-6, "{fj} vs {expected}");
+    // The stem (8x8 output) dominates less than the widest stage: sanity
+    // that MAC counts follow geometry.
+    let stem = report.layers.iter().find(|l| l.name == "stem").expect("stem present");
+    assert_eq!(stem.macs, 8 * 8 * arch.stem_channels * stem.n_tot);
+
+    // Without a VMAC, energy is zero but MACs persist.
+    let mut fp = ResNetMini::new(&arch, &HardwareConfig::fp32());
+    let fp_report = fp.energy_report(8);
+    assert_eq!(fp_report.total_macs(), report.total_macs());
+    assert_eq!(fp_report.total_pj(), 0.0);
+}
+
+fn train_tiny() -> (ams_data::SynthImageNet, ams_nn::Checkpoint) {
+    let data = ams_data::SynthConfig::tiny().generate();
+    let arch = ResNetMiniConfig::tiny();
+    let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
+    // Short SGD loop, enough to beat chance.
+    let opt = ams_nn::Sgd::with_momentum(0.08, 0.9);
+    let mut r = rng::seeded(0);
+    for _ in 0..6 {
+        let shuffled = data.train.random_flip(&mut r);
+        for (images, labels) in ams_data::Batcher::new(&shuffled, 16, &mut r) {
+            let logits = net.forward(&images, Mode::Train);
+            let (_, grad) = ams_nn::softmax_cross_entropy(&logits, &labels);
+            net.backward(&grad);
+            opt.step(&mut net);
+        }
+    }
+    (data, ams_nn::Checkpoint::from_layer(&mut net))
+}
+
+#[test]
+fn mismatch_degrades_accuracy_monotonically_in_sigma() {
+    // Statistical, but with a wide margin: 50% device mismatch on a tiny
+    // trained net must not beat the clean network.
+    let (data, ckpt) = train_tiny();
+    let arch = ResNetMiniConfig::tiny();
+    let quant = QuantConfig::w8a8();
+    let accuracy_with = |sigma: f64| -> f32 {
+        let mut hw = HardwareConfig::quantized(quant);
+        if sigma > 0.0 {
+            hw = hw.with_mismatch(MismatchModel::new(sigma, 7));
+        }
+        let mut net = ResNetMini::new(&arch, &hw);
+        ckpt.load_into(&mut net).expect("same architecture");
+        let mut correct = 0usize;
+        for (images, labels) in ams_data::Batcher::sequential(&data.val, 16) {
+            let logits = net.forward(&images, Mode::Eval);
+            let preds = logits.argmax_rows();
+            correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        }
+        correct as f32 / data.val.len() as f32
+    };
+    let clean = accuracy_with(0.0);
+    let heavy = accuracy_with(0.5);
+    assert!(
+        heavy <= clean,
+        "50% device mismatch must not beat the clean network ({heavy} vs {clean})"
+    );
+}

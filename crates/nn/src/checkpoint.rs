@@ -1,0 +1,234 @@
+//! Named-tensor checkpoints.
+//!
+//! The paper's workflow moves weights between networks: a pretrained FP32
+//! ResNet is "modified to reflect the intended underlying hardware" and then
+//! retrained (paper §3). Here that is a [`Checkpoint`] saved from the FP32
+//! model and loaded into its quantized/AMS twin — both expose the same
+//! stable state names through [`crate::Layer::for_each_state`].
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+use ams_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// A snapshot of a model's persistent state (parameters and buffers),
+/// keyed by stable hierarchical names.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::{Checkpoint, Layer, Linear, Mode};
+/// use ams_tensor::{rng, Tensor};
+///
+/// let mut r = rng::seeded(0);
+/// let mut a = Linear::new("fc", 4, 2, &mut r);
+/// let ckpt = Checkpoint::from_layer(&mut a);
+///
+/// let mut b = Linear::new("fc", 4, 2, &mut r); // different init
+/// ckpt.load_into(&mut b).unwrap();
+/// let x = Tensor::ones(&[1, 4]);
+/// assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Checkpoint {
+    entries: BTreeMap<String, Tensor>,
+}
+
+/// Error returned when a checkpoint does not match the target model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadError {
+    /// The model has a state tensor the checkpoint lacks.
+    Missing {
+        /// Name of the missing entry.
+        name: String,
+    },
+    /// A checkpoint entry exists but its shape disagrees with the model.
+    ShapeMismatch {
+        /// Name of the mismatched entry.
+        name: String,
+        /// Shape expected by the model.
+        expected: Vec<usize>,
+        /// Shape found in the checkpoint.
+        got: Vec<usize>,
+    },
+    /// The checkpoint file could not be read or parsed.
+    Io(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Missing { name } => write!(f, "checkpoint is missing entry {name:?}"),
+            LoadError::ShapeMismatch { name, expected, got } => {
+                write!(f, "checkpoint entry {name:?} has shape {got:?}, model expects {expected:?}")
+            }
+            LoadError::Io(msg) => write!(f, "checkpoint i/o failure: {msg}"),
+        }
+    }
+}
+
+impl Error for LoadError {}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots all persistent state of `layer`.
+    pub fn from_layer(layer: &mut dyn Layer) -> Self {
+        let mut entries = BTreeMap::new();
+        layer.for_each_state(&mut |name, t| {
+            entries.insert(name.to_string(), t.clone());
+        });
+        Checkpoint { entries }
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint holds no tensors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    /// Iterates over `(name, tensor)` entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Copies matching entries into `layer`.
+    ///
+    /// Every state tensor of the model must be present in the checkpoint
+    /// with the same shape; extra checkpoint entries are ignored (so a
+    /// larger model's snapshot can seed a subset model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Missing`] or [`LoadError::ShapeMismatch`]; in
+    /// both cases the model may be partially updated.
+    pub fn load_into(&self, layer: &mut dyn Layer) -> Result<(), LoadError> {
+        let mut result = Ok(());
+        layer.for_each_state(&mut |name, t| {
+            if result.is_err() {
+                return;
+            }
+            match self.entries.get(name) {
+                None => result = Err(LoadError::Missing { name: name.to_string() }),
+                Some(src) if src.dims() != t.dims() => {
+                    result = Err(LoadError::ShapeMismatch {
+                        name: name.to_string(),
+                        expected: t.dims().to_vec(),
+                        got: src.dims().to_vec(),
+                    })
+                }
+                Some(src) => *t = src.clone(),
+            }
+        });
+        result
+    }
+
+    /// Serializes to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Io`] on filesystem or serialization failure.
+    pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), LoadError> {
+        let json = serde_json::to_string(self).map_err(|e| LoadError::Io(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| LoadError::Io(e.to_string()))
+    }
+
+    /// Deserializes from a JSON file written by [`Checkpoint::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Io`] on filesystem or parse failure.
+    pub fn load_json(path: impl AsRef<Path>) -> Result<Self, LoadError> {
+        let text = std::fs::read_to_string(path).map_err(|e| LoadError::Io(e.to_string()))?;
+        serde_json::from_str(&text).map_err(|e| LoadError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Mode, Sequential};
+    use ams_tensor::rng;
+
+    #[test]
+    fn round_trip_through_json() {
+        let mut r = rng::seeded(0);
+        let mut net = Sequential::new("net");
+        net.push(crate::Linear::new("fc", 3, 2, &mut r));
+        net.push(BatchNorm2dAdapter::new());
+        let ckpt = Checkpoint::from_layer(&mut net);
+        let dir = std::env::temp_dir().join("ams_nn_ckpt_test.json");
+        ckpt.save_json(&dir).unwrap();
+        let loaded = Checkpoint::load_json(&dir).unwrap();
+        assert_eq!(ckpt.len(), loaded.len());
+        for ((n1, t1), (n2, t2)) in ckpt.iter().zip(loaded.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2);
+        }
+        let _ = std::fs::remove_file(dir);
+    }
+
+    // Minimal adapter so the Sequential above contains BN state too.
+    struct BatchNorm2dAdapter {
+        bn: BatchNorm2d,
+    }
+    impl BatchNorm2dAdapter {
+        fn new() -> Self {
+            BatchNorm2dAdapter { bn: BatchNorm2d::new("bn", 2) }
+        }
+    }
+    impl Layer for BatchNorm2dAdapter {
+        fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+            x.clone()
+        }
+        fn backward(&mut self, g: &Tensor) -> Tensor {
+            g.clone()
+        }
+        fn for_each_param(&mut self, f: &mut dyn FnMut(&mut crate::Param)) {
+            self.bn.for_each_param(f)
+        }
+        fn for_each_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+            self.bn.for_each_state(f)
+        }
+        fn name(&self) -> &str {
+            "bn_adapter"
+        }
+    }
+
+    #[test]
+    fn missing_entry_is_reported() {
+        let mut r = rng::seeded(0);
+        let mut a = crate::Linear::new("a", 2, 2, &mut r);
+        let ckpt = Checkpoint::from_layer(&mut a);
+        let mut b = crate::Linear::new("b", 2, 2, &mut r);
+        let err = ckpt.load_into(&mut b).unwrap_err();
+        assert!(matches!(err, LoadError::Missing { .. }));
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut r = rng::seeded(0);
+        let mut a = crate::Linear::new("fc", 2, 2, &mut r);
+        let ckpt = Checkpoint::from_layer(&mut a);
+        let mut b = crate::Linear::new("fc", 3, 2, &mut r);
+        let err = ckpt.load_into(&mut b).unwrap_err();
+        assert!(matches!(err, LoadError::ShapeMismatch { .. }));
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain (full-precision) 2-D convolution layer.
+
+use ams_tensor::{rng, Tensor};
+use rand::Rng;
+
+use crate::functional::{conv2d_backward, conv2d_forward, ConvCache};
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+
+/// A 2-D convolution over NCHW tensors with square kernels.
+///
+/// Weights are Kaiming-initialized. Bias is optional — ResNet convolutions
+/// that feed a batch-norm layer conventionally omit it.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::{Conv2d, Layer, Mode};
+/// use ams_tensor::{rng, Tensor};
+///
+/// let mut r = rng::seeded(1);
+/// let mut conv = Conv2d::new("stem", 3, 8, 3, 1, 1, true, &mut r);
+/// let x = Tensor::zeros(&[2, 3, 16, 16]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    name: String,
+    c_in: usize,
+    c_out: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weight: Param,
+    bias: Option<Param>,
+    cache: Option<ConvCache>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `c_in`, `c_out`, `k` or `stride` is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "Conv2d: zero-sized configuration");
+        let name = name.into();
+        let mut w = Tensor::zeros(&[c_out, c_in, k, k]);
+        rng::fill_kaiming(&mut w, c_in * k * k, rng);
+        let weight = Param::new(format!("{name}.weight"), w);
+        let bias = bias.then(|| Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[c_out])));
+        Conv2d { name, c_in, c_out, k, stride, pad, weight, bias, cache: None }
+    }
+
+    /// Output channel count.
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Input channel count.
+    pub fn c_in(&self) -> usize {
+        self.c_in
+    }
+
+    /// `N_tot` for this layer: multiplications per output activation
+    /// (`C_in · K · K`), the quantity the AMS error model (paper Eq. 2)
+    /// needs.
+    pub fn n_tot(&self) -> usize {
+        self.c_in * self.k * self.k
+    }
+
+    /// Immutable access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let wmat = self.weight.value.reshaped(&[self.c_out, self.c_in * self.k * self.k]);
+        let bias = self.bias.as_ref().map(|b| b.value.data());
+        let (y, cache) =
+            conv2d_forward(input, &wmat, bias, self.k, self.k, self.stride, self.pad, mode.is_train());
+        self.cache = cache;
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("Conv2d::backward without a Train-mode forward");
+        let (dx, dw, db) = conv2d_backward(cache, grad_output);
+        let dw = dw.reshape(&[self.c_out, self.c_in, self.k, self.k]).expect("weight grad shape");
+        self.weight.grad.add_assign(&dw);
+        if let Some(b) = &mut self.bias {
+            for (g, d) in b.grad.data_mut().iter_mut().zip(&db) {
+                *g += d;
+            }
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = &mut self.bias {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape_with_stride() {
+        let mut r = rng::seeded(0);
+        let mut conv = Conv2d::new("c", 3, 6, 3, 2, 1, false, &mut r);
+        let x = Tensor::zeros(&[4, 3, 8, 8]);
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[4, 6, 4, 4]);
+        assert_eq!(conv.n_tot(), 27);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut r = rng::seeded(1);
+        let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, true, &mut r);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Train);
+        let dy = Tensor::ones(y.dims());
+        let dx = conv.backward(&dy);
+        assert_eq!(dx.dims(), x.dims());
+        let g1 = conv.weight().grad.clone();
+        // Backward again: gradients accumulate (doubling).
+        conv.forward(&x, Mode::Train);
+        conv.backward(&dy);
+        let g2 = conv.weight().grad.clone();
+        for (a, b) in g1.data().iter().zip(g2.data()) {
+            assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without a Train-mode forward")]
+    fn backward_requires_train_forward() {
+        let mut r = rng::seeded(2);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, false, &mut r);
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        conv.backward(&y);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut r = rng::seeded(3);
+        let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, false, &mut r);
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let y = conv.forward(&x, Mode::Train);
+        conv.backward(&y.zeros_like().map(|_| 1.0));
+        conv.zero_grads();
+        assert_eq!(conv.weight().grad.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The layer contract.
+
+use ams_tensor::Tensor;
+
+use crate::param::Param;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Training mode caches activations for the backward pass and uses batch
+/// statistics in [`crate::BatchNorm2d`]; evaluation mode uses running
+/// statistics and skips caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Mode {
+    /// Training: cache for backward, batch-norm uses batch statistics.
+    Train,
+    /// Evaluation: no caching, batch-norm uses running statistics.
+    #[default]
+    Eval,
+}
+
+impl Mode {
+    /// Returns `true` in [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// A network layer with explicit forward and backward passes.
+///
+/// Layers are stateful: `forward` in [`Mode::Train`] caches whatever the
+/// subsequent `backward` call needs, and `backward` *accumulates* parameter
+/// gradients (callers zero them via the optimizer step or
+/// [`Layer::zero_grads`]).
+///
+/// The contract mirrors classic layer-based frameworks and is deliberately
+/// minimal so the quantized/AMS layers in `ams-models` can implement it
+/// directly.
+pub trait Layer {
+    /// Computes the layer output for `input`.
+    ///
+    /// In [`Mode::Train`], caches intermediate state for [`Layer::backward`].
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_output` (gradient of the loss with respect to this
+    /// layer's output) to the input, accumulating parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a preceding
+    /// [`Mode::Train`] forward pass.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter (mutably), in a stable order.
+    ///
+    /// The default implementation visits nothing (activation layers,
+    /// pooling, ...).
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        let _ = f;
+    }
+
+    /// Visits every persistent state tensor by name — parameters *and*
+    /// non-trainable buffers such as batch-norm running statistics — for
+    /// checkpoint save/load.
+    ///
+    /// The default implementation visits the parameters only.
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.for_each_param(&mut |p| {
+            let name = p.name().to_string();
+            f(&name, &mut p.value);
+        });
+    }
+
+    /// A short, stable, human-readable layer name.
+    fn name(&self) -> &str;
+
+    /// Zeroes the gradients of all parameters.
+    fn zero_grads(&mut self) {
+        self.for_each_param(&mut |p| p.zero_grad());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_default_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+}

@@ -1,0 +1,70 @@
+//! Minimal neural-network training framework for the `ams-dnn` workspace.
+//!
+//! This crate is the Rust stand-in for the PyTorch/Distiller substrate used
+//! by Rekhi et al. (DAC 2019). It provides explicit forward/backward layers
+//! (no autograd tape), which makes the paper's two surgical requirements
+//! trivial to express:
+//!
+//! 1. *inject AMS error in the forward pass only, leaving the backward pass
+//!    untouched* (paper §2), and
+//! 2. *straight-through estimators* for quantizers (gradients pass through
+//!    the non-differentiable rounding).
+//!
+//! # Contents
+//!
+//! * [`Layer`] — the forward/backward contract; [`Mode`] selects
+//!   training vs evaluation behaviour (batch-norm statistics, caching).
+//! * Layers: [`Conv2d`], [`Linear`], [`BatchNorm2d`], [`Relu`],
+//!   [`ClippedRelu`] (DoReFa's ReLU that clips at 1), [`MaxPool2d`],
+//!   [`GlobalAvgPool`], [`Flatten`], [`Sequential`].
+//! * [`softmax_cross_entropy`] — loss and logits gradient in one pass.
+//! * [`Sgd`] — SGD with momentum and weight decay, honouring
+//!   [`Param::frozen`] (the paper's Table 2 selective-freezing study).
+//! * [`Checkpoint`] — named-tensor state save/load (JSON), used to move
+//!   weights between the FP32 network and its quantized/AMS twin.
+//! * [`functional`] — the reusable convolution/linear cores shared with the
+//!   quantized layers in `ams-models`.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_nn::{Layer, Linear, Mode, Sgd, softmax_cross_entropy};
+//! use ams_tensor::{rng, Tensor};
+//!
+//! let mut rng = rng::seeded(0);
+//! let mut layer = Linear::new("fc", 4, 3, &mut rng);
+//! let x = Tensor::ones(&[2, 4]);
+//! let logits = layer.forward(&x, Mode::Train);
+//! let (loss, dlogits) = softmax_cross_entropy(&logits, &[0, 2]);
+//! assert!(loss > 0.0);
+//! layer.backward(&dlogits);
+//! Sgd::new(0.1).step(&mut layer);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activations;
+mod batchnorm;
+mod checkpoint;
+mod container;
+mod conv;
+pub mod functional;
+mod layer;
+mod linear;
+mod loss;
+mod optim;
+mod param;
+mod pool;
+
+pub use activations::{ClippedRelu, Relu};
+pub use batchnorm::BatchNorm2d;
+pub use checkpoint::{Checkpoint, LoadError};
+pub use container::{Flatten, Sequential};
+pub use conv::Conv2d;
+pub use layer::{Layer, Mode};
+pub use linear::Linear;
+pub use loss::{accuracy, softmax_cross_entropy};
+pub use optim::Sgd;
+pub use param::Param;
+pub use pool::{GlobalAvgPool, MaxPool2d};

@@ -1,0 +1,124 @@
+//! Plain (full-precision) fully-connected layer.
+
+use ams_tensor::{rng, Tensor};
+use rand::Rng;
+
+use crate::functional::{linear_backward, linear_forward, LinearCache};
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+
+/// A fully-connected layer `y = x · Wᵀ + b` over `(N, in_features)` inputs.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::{Layer, Linear, Mode};
+/// use ams_tensor::{rng, Tensor};
+///
+/// let mut r = rng::seeded(0);
+/// let mut fc = Linear::new("fc", 16, 10, &mut r);
+/// let y = fc.forward(&Tensor::zeros(&[4, 16]), Mode::Eval);
+/// assert_eq!(y.dims(), &[4, 10]);
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    in_features: usize,
+    out_features: usize,
+    weight: Param,
+    bias: Param,
+    cache: Option<LinearCache>,
+}
+
+impl Linear {
+    /// Creates a fully-connected layer with Xavier-uniform weights and zero
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_features > 0 && out_features > 0, "Linear: zero-sized configuration");
+        let name = name.into();
+        let mut w = Tensor::zeros(&[out_features, in_features]);
+        rng::fill_xavier(&mut w, in_features, out_features, rng);
+        let weight = Param::new(format!("{name}.weight"), w);
+        let bias = Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[out_features]));
+        Linear { name, in_features, out_features, weight, bias, cache: None }
+    }
+
+    /// Input feature count (`N_tot` for the AMS error model on this layer).
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (y, cache) =
+            linear_forward(input, &self.weight.value, Some(self.bias.value.data()), mode.is_train());
+        self.cache = cache;
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("Linear::backward without a Train-mode forward");
+        let (dx, dw, db) = linear_backward(cache, grad_output);
+        self.weight.grad.add_assign(&dw);
+        for (g, d) in self.bias.grad.data_mut().iter_mut().zip(&db) {
+            *g += d;
+        }
+        dx
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_params() {
+        let mut r = rng::seeded(0);
+        let mut fc = Linear::new("fc", 8, 3, &mut r);
+        let y = fc.forward(&Tensor::ones(&[2, 8]), Mode::Train);
+        assert_eq!(y.dims(), &[2, 3]);
+        let mut names = Vec::new();
+        fc.for_each_param(&mut |p| names.push(p.name().to_string()));
+        assert_eq!(names, vec!["fc.weight", "fc.bias"]);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut r = rng::seeded(1);
+        let mut fc = Linear::new("fc", 5, 2, &mut r);
+        let x = Tensor::ones(&[3, 5]);
+        let y = fc.forward(&x, Mode::Train);
+        let dx = fc.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), &[3, 5]);
+        assert_eq!(fc.weight().grad.dims(), &[2, 5]);
+    }
+}

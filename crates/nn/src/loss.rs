@@ -1,0 +1,130 @@
+//! Classification loss and metrics.
+
+use ams_tensor::Tensor;
+
+/// Softmax cross-entropy over a `(N, K)` logits matrix.
+///
+/// Returns the mean loss over the batch and the gradient of that loss with
+/// respect to the logits, `(softmax(z) − onehot(y)) / N`, ready to feed a
+/// network's `backward`.
+///
+/// Uses the max-subtraction trick for numerical stability.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D, `labels.len() != N`, or any label is out
+/// of range.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::softmax_cross_entropy;
+/// use ams_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(&[1, 3], vec![2.0, 0.0, 0.0]).unwrap();
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.5); // correct class dominates
+/// assert_eq!(grad.dims(), &[1, 3]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.rank(), 2, "softmax_cross_entropy: logits must be 2-D");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "softmax_cross_entropy: {n} rows but {} labels", labels.len());
+    let mut grad = Tensor::zeros(&[n, k]);
+    let gd = grad.data_mut();
+    let ld = logits.data();
+    let mut loss = 0.0f64;
+    for r in 0..n {
+        let label = labels[r];
+        assert!(label < k, "softmax_cross_entropy: label {label} out of range for {k} classes");
+        let row = &ld[r * k..(r + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - m).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(log_denom - (row[label] - m));
+        let inv_n = 1.0 / n as f32;
+        for j in 0..k {
+            let p = (row[j] - m).exp() / denom;
+            gd[r * k + j] = (p - if j == label { 1.0 } else { 0.0 }) * inv_n;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Top-1 accuracy of a `(N, K)` logits matrix against integer labels.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or `labels.len()` differs from the batch
+/// size.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::accuracy;
+/// use ams_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(&[2, 2], vec![3.0, 1.0, 0.0, 9.0]).unwrap();
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+/// ```
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "accuracy: batch size mismatch");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 0.5, 3.0, 3.0, 3.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = grad.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -1.0, 0.2, 2.0, 0.0, -0.5]).unwrap();
+        let labels = [1usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "grad[{i}]: {num} vs {}", grad.data()[i]);
+        }
+    }
+
+    #[test]
+    fn stability_with_large_logits() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1000.0, -1000.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss >= 0.0);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+}

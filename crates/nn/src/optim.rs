@@ -1,0 +1,169 @@
+//! Stochastic gradient descent.
+
+use crate::layer::Layer;
+
+/// SGD with classical momentum and decoupled weight-decay flagging.
+///
+/// The update per parameter `w` with gradient `g` is
+///
+/// ```text
+/// v ← μ·v + g + λ·w      (λ applied only when the parameter opts in)
+/// w ← w − lr·v
+/// ```
+///
+/// Parameters with [`crate::Param::frozen`] set are skipped entirely — the
+/// mechanism behind the paper's Table 2 selective-freezing study. Gradients
+/// of *all* parameters (frozen included) are zeroed after the step.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::{Layer, Linear, Mode, Sgd, softmax_cross_entropy};
+/// use ams_tensor::{rng, Tensor};
+///
+/// let mut r = rng::seeded(0);
+/// let mut net = Linear::new("fc", 4, 2, &mut r);
+/// let opt = Sgd::with_momentum(0.05, 0.9);
+/// let x = Tensor::ones(&[8, 4]);
+/// let labels = vec![0usize; 8];
+/// let mut last = f32::INFINITY;
+/// for _ in 0..20 {
+///     let logits = net.forward(&x, Mode::Train);
+///     let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+///     net.backward(&grad);
+///     opt.step(&mut net);
+///     last = loss;
+/// }
+/// assert!(last < 0.1, "training did not converge: {last}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient `μ` (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient `λ` applied to parameters with
+    /// [`crate::Param::decay`] set.
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum, no decay).
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, weight_decay: 0.0 }
+    }
+
+    /// Returns a copy with the given weight decay.
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Applies one update to every unfrozen parameter of `model`, then
+    /// zeroes all gradients.
+    pub fn step(&self, model: &mut dyn Layer) {
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        model.for_each_param(&mut |p| {
+            if !p.frozen {
+                let decay = if p.decay { wd } else { 0.0 };
+                // v ← μ·v + g + λ·w ; w ← w − lr·v
+                let n = p.value.len();
+                for i in 0..n {
+                    let g = p.grad.data()[i] + decay * p.value.data()[i];
+                    let v = mu * p.velocity.data()[i] + g;
+                    p.velocity.data_mut()[i] = v;
+                    p.value.data_mut()[i] -= lr * v;
+                }
+            }
+            p.zero_grad();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Mode};
+    use ams_tensor::{rng, Tensor};
+
+    #[test]
+    fn frozen_params_do_not_move() {
+        let mut r = rng::seeded(0);
+        let mut fc = Linear::new("fc", 3, 2, &mut r);
+        fc.for_each_param(&mut |p| p.frozen = true);
+        let before: Vec<f32> = {
+            let mut v = Vec::new();
+            fc.for_each_param(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        let x = Tensor::ones(&[2, 3]);
+        let y = fc.forward(&x, Mode::Train);
+        fc.backward(&Tensor::ones(y.dims()));
+        Sgd::new(1.0).step(&mut fc);
+        let after: Vec<f32> = {
+            let mut v = Vec::new();
+            fc.for_each_param(&mut |p| v.extend_from_slice(p.value.data()));
+            v
+        };
+        assert_eq!(before, after);
+        // Gradients are still cleared.
+        fc.for_each_param(&mut |p| assert_eq!(p.grad.max_abs(), 0.0));
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut r = rng::seeded(1);
+        let mut fc = Linear::new("fc", 2, 2, &mut r);
+        let norm_before: f32 = fc.weight().value.data().iter().map(|v| v * v).sum();
+        // No backward: gradient is zero, decay still pulls weights in.
+        Sgd::new(0.1).weight_decay(0.5).step(&mut fc);
+        let norm_after: f32 = fc.weight().value.data().iter().map(|v| v * v).sum();
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        // Single scalar parameter, constant gradient of 1.
+        use crate::Param;
+        struct One {
+            p: Param,
+        }
+        impl crate::Layer for One {
+            fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+                x.clone()
+            }
+            fn backward(&mut self, g: &Tensor) -> Tensor {
+                self.p.grad.data_mut()[0] += 1.0;
+                g.clone()
+            }
+            fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+                f(&mut self.p)
+            }
+            fn name(&self) -> &str {
+                "one"
+            }
+        }
+        let mut m = One { p: Param::new("w", Tensor::zeros(&[1])) };
+        let opt = Sgd::with_momentum(1.0, 0.9);
+        let x = Tensor::zeros(&[1]);
+        let mut steps = Vec::new();
+        let mut prev = 0.0f32;
+        for _ in 0..4 {
+            m.forward(&x, Mode::Train);
+            m.backward(&x);
+            opt.step(&mut m);
+            let w = m.p.value.data()[0];
+            steps.push(prev - w);
+            prev = w;
+        }
+        // Velocity builds: 1, 1.9, 2.71, ...
+        assert!((steps[0] - 1.0).abs() < 1e-6);
+        assert!((steps[1] - 1.9).abs() < 1e-6);
+        assert!(steps[2] > steps[1]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Trainable parameters.
+
+use ams_tensor::Tensor;
+
+/// A trainable parameter: value, accumulated gradient, optimizer state and
+/// metadata.
+///
+/// Layers own their `Param`s and expose them to the optimizer through
+/// [`crate::Layer::for_each_param`]. Freezing a parameter (paper Table 2)
+/// keeps its gradient flowing to earlier layers but skips its update.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::Param;
+/// use ams_tensor::Tensor;
+///
+/// let mut p = Param::new("conv1.weight", Tensor::zeros(&[4, 3, 3, 3]));
+/// assert_eq!(p.name(), "conv1.weight");
+/// p.frozen = true; // excluded from optimizer updates
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    name: String,
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the owning layer's backward pass.
+    pub grad: Tensor,
+    /// Momentum buffer owned by the optimizer.
+    pub velocity: Tensor,
+    /// When `true`, the optimizer skips this parameter (Table 2 freezing).
+    pub frozen: bool,
+    /// Whether weight decay applies (convention: not for biases and
+    /// batch-norm affine parameters).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient and momentum, decay enabled.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = value.zeros_like();
+        let velocity = value.zeros_like();
+        Param { name: name.into(), value, grad, velocity, frozen: false, decay: true }
+    }
+
+    /// Creates a parameter with weight decay disabled (biases, batch-norm
+    /// gamma/beta).
+    pub fn new_no_decay(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.decay = false;
+        p
+    }
+
+    /// The parameter's stable, hierarchical name (e.g.
+    /// `"stage1.block0.conv1.weight"`), used for checkpointing and freezing
+    /// policies.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Zeroes the accumulated gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_matching_buffers() {
+        let p = Param::new("w", Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert_eq!(p.velocity.dims(), &[2, 3]);
+        assert!(!p.frozen);
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Param::new_no_decay("b", Tensor::zeros(&[8]));
+        assert!(!p.decay);
+    }
+}

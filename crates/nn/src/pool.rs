@@ -1,0 +1,198 @@
+//! Spatial pooling layers.
+
+use ams_tensor::Tensor;
+
+use crate::layer::{Layer, Mode};
+
+/// Max pooling with a square window and equal stride (`k × k`, stride `k`).
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::{Layer, MaxPool2d, Mode};
+/// use ams_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new("pool", 2);
+/// let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+/// let y = pool.forward(&x, Mode::Eval);
+/// assert_eq!(y.data(), &[5.0]);
+/// ```
+#[derive(Debug)]
+pub struct MaxPool2d {
+    name: String,
+    k: usize,
+    // Flat input index of the argmax for every output element.
+    argmax: Option<Vec<usize>>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with window and stride `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(name: impl Into<String>, k: usize) -> Self {
+        assert!(k > 0, "MaxPool2d: zero window");
+        MaxPool2d { name: name.into(), k, argmax: None, input_dims: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (n, c, h, w) = input.dims4();
+        let k = self.k;
+        assert!(h >= k && w >= k, "MaxPool2d: window {k} larger than input {h}x{w}");
+        let (oh, ow) = (h / k, w / k);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = Vec::with_capacity(n * c * oh * ow);
+        let src = input.data();
+        let dst = out.data_mut();
+        let mut oi = 0;
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut best_idx = base + (ohi * k) * w + owi * k;
+                        let mut best = src[best_idx];
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let idx = base + (ohi * k + di) * w + (owi * k + dj);
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[oi] = best;
+                        argmax.push(best_idx);
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        if mode.is_train() {
+            self.argmax = Some(argmax);
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward without a Train-mode forward");
+        let dims = self.input_dims.as_ref().expect("MaxPool2d::backward without a Train-mode forward");
+        assert_eq!(argmax.len(), grad_output.len(), "MaxPool2d::backward: shape changed since forward");
+        let mut dx = Tensor::zeros(dims);
+        let dxd = dx.data_mut();
+        for (&idx, &g) in argmax.iter().zip(grad_output.data()) {
+            dxd[idx] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Global average pooling: `(N, C, H, W) → (N, C)`.
+///
+/// The standard ResNet head between the last convolution stage and the
+/// fully-connected classifier.
+///
+/// # Example
+///
+/// ```
+/// use ams_nn::{GlobalAvgPool, Layer, Mode};
+/// use ams_tensor::Tensor;
+///
+/// let mut gap = GlobalAvgPool::new("gap");
+/// let x = Tensor::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]).unwrap();
+/// assert_eq!(gap.forward(&x, Mode::Eval).data(), &[2.0, 15.0]);
+/// ```
+#[derive(Debug)]
+pub struct GlobalAvgPool {
+    name: String,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global-average-pooling layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        GlobalAvgPool { name: name.into(), input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (n, c, h, w) = input.dims4();
+        let plane = (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                dst[ni * c + ci] = src[base..base + h * w].iter().sum::<f32>() / plane;
+            }
+        }
+        if mode.is_train() {
+            self.input_dims = Some(input.dims().to_vec());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("GlobalAvgPool::backward without a Train-mode forward");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(grad_output.dims(), &[n, c], "GlobalAvgPool::backward: shape changed since forward");
+        let plane = (h * w) as f32;
+        let mut dx = Tensor::zeros(dims);
+        let dxd = dx.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_output.data()[ni * c + ci] / plane;
+                let base = (ni * c + ci) * h * w;
+                for v in &mut dxd[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
+        pool.forward(&x, Mode::Train);
+        let dx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]).unwrap());
+        assert_eq!(dx.data(), &[0.0, 7.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_shape() {
+        let mut pool = MaxPool2d::new("p", 2);
+        let y = pool.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn gap_backward_spreads_uniformly() {
+        let mut gap = GlobalAvgPool::new("g");
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        gap.forward(&x, Mode::Train);
+        let dx = gap.backward(&Tensor::from_vec(&[1, 1], vec![4.0]).unwrap());
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Randomized finite-difference gradient checks for every layer type.
+//!
+//! The straight-through estimators in downstream crates only make sense if
+//! the *exact* layers here have correct gradients; these tests pin them
+//! against central differences on random configurations.
+
+use ams_nn::{
+    BatchNorm2d, ClippedRelu, Conv2d, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, Relu,
+    Sequential,
+};
+use ams_tensor::{rng, Tensor};
+
+/// ½‖y‖² loss: dL/dy = y, so one forward gives the backward seed.
+fn loss_and_seed(layer: &mut dyn Layer, x: &Tensor) -> (f32, Tensor) {
+    let y = layer.forward(x, Mode::Train);
+    (0.5 * y.data().iter().map(|v| v * v).sum::<f32>(), y)
+}
+
+fn loss_only(layer: &mut dyn Layer, x: &Tensor) -> f32 {
+    let y = layer.forward(x, Mode::Train);
+    0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
+}
+
+/// Central-difference check of dL/dx on a sample of coordinates.
+///
+/// `fresh` must build an identical layer every call (weights included),
+/// since layers mutate caches during forward.
+fn check_input_gradient(
+    mut fresh: impl FnMut() -> Box<dyn Layer>,
+    x: &Tensor,
+    eps: f32,
+    tol: f32,
+    skip_small: f32,
+) {
+    let mut layer = fresh();
+    let (_, y) = loss_and_seed(layer.as_mut(), x);
+    let dx = layer.backward(&y);
+    let stride = (x.len() / 7).max(1);
+    let mut checked = 0;
+    for i in (0..x.len()).step_by(stride) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let num = (loss_only(fresh().as_mut(), &xp) - loss_only(fresh().as_mut(), &xm)) / (2.0 * eps);
+        let ana = dx.data()[i];
+        if num.abs() < skip_small && ana.abs() < skip_small {
+            continue; // non-smooth kink (ReLU boundary, pooling tie)
+        }
+        assert!(
+            (num - ana).abs() < tol * (1.0 + ana.abs()),
+            "coordinate {i}: numeric {num} vs analytic {ana}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no coordinates were checkable");
+}
+
+fn random_input(dims: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut t, lo, hi, &mut r);
+    t
+}
+
+#[test]
+fn conv2d_input_gradient() {
+    let x = random_input(&[2, 3, 6, 6], 1, -1.0, 1.0);
+    check_input_gradient(
+        || {
+            let mut r = rng::seeded(2);
+            Box::new(Conv2d::new("c", 3, 4, 3, 1, 1, true, &mut r))
+        },
+        &x,
+        1e-2,
+        0.08,
+        0.0,
+    );
+}
+
+#[test]
+fn conv2d_strided_input_gradient() {
+    let x = random_input(&[1, 2, 7, 7], 3, -1.0, 1.0);
+    check_input_gradient(
+        || {
+            let mut r = rng::seeded(4);
+            Box::new(Conv2d::new("c", 2, 3, 3, 2, 1, false, &mut r))
+        },
+        &x,
+        1e-2,
+        0.08,
+        0.0,
+    );
+}
+
+#[test]
+fn linear_input_gradient() {
+    let x = random_input(&[3, 8], 5, -1.0, 1.0);
+    check_input_gradient(
+        || {
+            let mut r = rng::seeded(6);
+            Box::new(Linear::new("fc", 8, 5, &mut r))
+        },
+        &x,
+        1e-3,
+        0.05,
+        0.0,
+    );
+}
+
+#[test]
+fn batchnorm_input_gradient() {
+    // ½‖y‖² is *invariant* under batch norm (Σx̂² is pinned by the
+    // normalization), so use an elementwise-weighted loss
+    // L = ½·Σ wᵢ·yᵢ² with fixed random weights to break the symmetry.
+    let x = random_input(&[4, 3, 3, 3], 7, -2.0, 2.0);
+    let w = random_input(&[4, 3, 3, 3], 77, 0.2, 2.0);
+    let loss_of = |x_: &Tensor| -> f32 {
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let y = bn.forward(x_, Mode::Train);
+        0.5 * y.data().iter().zip(w.data()).map(|(v, wi)| wi * v * v).sum::<f32>()
+    };
+    let mut bn = BatchNorm2d::new("bn", 3);
+    let y = bn.forward(&x, Mode::Train);
+    let seed = y.mul(&w); // dL/dy = w ⊙ y
+    let dx = bn.backward(&seed);
+    let eps = 1e-2;
+    let mut checked = 0;
+    for i in (0..x.len()).step_by(13) {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let num = (loss_of(&xp) - loss_of(&xm)) / (2.0 * eps);
+        let ana = dx.data()[i];
+        assert!(
+            (num - ana).abs() < 0.1 * (1.0 + ana.abs()),
+            "coordinate {i}: numeric {num} vs analytic {ana}"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn relu_chain_input_gradient() {
+    let x = random_input(&[2, 2, 4, 4], 8, -1.0, 2.0);
+    check_input_gradient(
+        || {
+            let mut net = Sequential::new("net");
+            net.push(Relu::new("r"));
+            net.push(ClippedRelu::new("c"));
+            Box::new(net)
+        },
+        &x,
+        1e-3,
+        0.05,
+        1e-2, // skip kink coordinates
+    );
+}
+
+#[test]
+fn pooling_input_gradients() {
+    let x = random_input(&[2, 2, 4, 4], 9, -1.0, 1.0);
+    check_input_gradient(|| Box::new(MaxPool2d::new("p", 2)), &x, 1e-3, 0.05, 1e-2);
+    check_input_gradient(|| Box::new(GlobalAvgPool::new("g")), &x, 1e-3, 0.05, 0.0);
+}
+
+#[test]
+fn deep_chain_gradient() {
+    // conv → bn → relu1 → pool: exercise composition through caches.
+    let x = random_input(&[2, 2, 6, 6], 10, -1.0, 1.0);
+    check_input_gradient(
+        || {
+            let mut r = rng::seeded(11);
+            let mut net = Sequential::new("net");
+            net.push(Conv2d::new("c", 2, 3, 3, 1, 1, false, &mut r));
+            net.push(BatchNorm2d::new("bn", 3));
+            net.push(ClippedRelu::new("a"));
+            net.push(MaxPool2d::new("p", 2));
+            Box::new(net)
+        },
+        &x,
+        1e-2,
+        0.15,
+        5e-3,
+    );
+}
+
+#[test]
+fn parameter_gradients_via_sgd_descend_loss() {
+    // A full training sanity: repeated steps on a fixed batch must reduce
+    // the ½‖y − target‖² loss for a conv+bn+fc stack.
+    let mut r = rng::seeded(12);
+    let mut net = Sequential::new("net");
+    net.push(Conv2d::new("c", 1, 2, 3, 1, 1, true, &mut r));
+    net.push(ams_nn::Flatten::new("f"));
+    net.push(Linear::new("fc", 2 * 16, 4, &mut r));
+    let x = random_input(&[4, 1, 4, 4], 13, -1.0, 1.0);
+    let labels = [0usize, 1, 2, 3];
+    let opt = ams_nn::Sgd::with_momentum(0.05, 0.9);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..30 {
+        let logits = net.forward(&x, Mode::Train);
+        let (loss, grad) = ams_nn::softmax_cross_entropy(&logits, &labels);
+        net.backward(&grad);
+        opt.step(&mut net);
+        first.get_or_insert(loss);
+        last = loss;
+    }
+    assert!(
+        last < first.expect("ran") * 0.5,
+        "loss should halve: {first:?} -> {last}"
+    );
+}

@@ -1,0 +1,125 @@
+//! Quantization configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(B_W, B_X)` weight/activation bit-width pair.
+///
+/// `bw == 32` (or `bx == 32`) means "leave that operand in full precision";
+/// the constructors below cover Table 1 of the paper.
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::QuantConfig;
+///
+/// assert!(QuantConfig::fp32().is_fp32());
+/// assert_eq!(QuantConfig::w6a4(), QuantConfig::new(6, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Weight bit-width `B_W` (sign-magnitude; 32 = full precision).
+    pub bw: u32,
+    /// Activation bit-width `B_X` (sign-magnitude; 32 = full precision).
+    pub bx: u32,
+}
+
+impl QuantConfig {
+    /// An arbitrary `(B_W, B_X)` configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is zero or exceeds 32.
+    pub fn new(bw: u32, bx: u32) -> Self {
+        assert!((1..=32).contains(&bw), "QuantConfig: bw must be in 1..=32, got {bw}");
+        assert!((1..=32).contains(&bx), "QuantConfig: bx must be in 1..=32, got {bx}");
+        QuantConfig { bw, bx }
+    }
+
+    /// Full precision (Table 1, row 1).
+    pub fn fp32() -> Self {
+        QuantConfig { bw: 32, bx: 32 }
+    }
+
+    /// 8-bit weights and activations (Table 1, row 2).
+    pub fn w8a8() -> Self {
+        QuantConfig { bw: 8, bx: 8 }
+    }
+
+    /// 6-bit weights and activations (Table 1, row 3).
+    pub fn w6a6() -> Self {
+        QuantConfig { bw: 6, bx: 6 }
+    }
+
+    /// 6-bit weights, 4-bit activations (Table 1, row 4).
+    pub fn w6a4() -> Self {
+        QuantConfig { bw: 6, bx: 4 }
+    }
+
+    /// 4-bit weights and activations (extended Table 1; substrate
+    /// calibration — see EXPERIMENTS.md).
+    pub fn w4a4() -> Self {
+        QuantConfig { bw: 4, bx: 4 }
+    }
+
+    /// 3-bit weights and activations (extended Table 1).
+    pub fn w3a3() -> Self {
+        QuantConfig { bw: 3, bx: 3 }
+    }
+
+    /// 2-bit weights and activations (extended Table 1).
+    pub fn w2a2() -> Self {
+        QuantConfig { bw: 2, bx: 2 }
+    }
+
+    /// Whether both operands stay in full precision.
+    pub fn is_fp32(&self) -> bool {
+        self.bw == 32 && self.bx == 32
+    }
+
+    /// Magnitude bits of the ideal product of a `B_W`-bit by `B_X`-bit
+    /// sign-magnitude multiplication: `B_W + B_X − 2` (paper Fig. 2).
+    pub fn product_magnitude_bits(&self) -> u32 {
+        self.bw + self.bx - 2
+    }
+}
+
+impl Default for QuantConfig {
+    /// Defaults to the paper's primary configuration, 8-bit/8-bit.
+    fn default() -> Self {
+        Self::w8a8()
+    }
+}
+
+impl std::fmt::Display for QuantConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_fp32() {
+            write!(f, "FP32")
+        } else {
+            write!(f, "BW={}, BX={}", self.bw, self.bx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        assert_eq!(QuantConfig::w8a8().product_magnitude_bits(), 14);
+        assert_eq!(QuantConfig::w6a6().product_magnitude_bits(), 10);
+        assert_eq!(QuantConfig::w6a4().product_magnitude_bits(), 8);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(QuantConfig::fp32().to_string(), "FP32");
+        assert_eq!(QuantConfig::w6a4().to_string(), "BW=6, BX=4");
+    }
+
+    #[test]
+    #[should_panic(expected = "bw must be in 1..=32")]
+    fn zero_width_rejected() {
+        QuantConfig::new(0, 8);
+    }
+}

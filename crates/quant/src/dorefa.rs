@@ -1,0 +1,271 @@
+//! DoReFa weight and activation quantizers with straight-through
+//! estimator (STE) scale factors.
+
+use ams_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::uniform::quantize_unit;
+
+/// How weights are mapped into `[-1, 1]` before `B_W`-bit quantization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WeightScheme {
+    /// DoReFa's original transform:
+    /// `w_q = 2·Q_k( tanh(w) / (2·max|tanh(w)|) + ½ ) − 1`.
+    ///
+    /// The tanh squashes outliers smoothly and the max-normalization uses
+    /// the full code range every forward pass. This is what Distiller (and
+    /// hence the paper) runs.
+    #[default]
+    Tanh,
+    /// A plain clamp-to-`[-1, 1]` transform:
+    /// `w_q = 2·Q_k( (clamp(w, −1, 1) + 1) / 2 ) − 1`.
+    ///
+    /// Simpler hardware interpretation; provided for ablations.
+    Clamp,
+}
+
+/// Quantized weights plus the STE scale routing gradients back to the
+/// full-precision shadow parameter.
+///
+/// The backward pass of a quantized layer computes gradients with respect
+/// to the *quantized* weight actually used; multiplying elementwise by
+/// [`QuantizedWeights::ste_scale`] converts them into gradients for the
+/// stored full-precision parameter (the STE treats the rounding itself as
+/// identity but keeps the smooth part of the transform).
+#[derive(Debug, Clone)]
+pub struct QuantizedWeights {
+    /// The quantized values on the `B_W`-bit grid in `[-1, 1]`.
+    pub values: Tensor,
+    /// Elementwise `∂w_q/∂w` of the smooth part of the transform.
+    pub ste_scale: Tensor,
+}
+
+/// DoReFa weight quantizer for a fixed bit-width and scheme.
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::{WeightQuantizer, WeightScheme};
+/// use ams_tensor::Tensor;
+///
+/// let q = WeightQuantizer::with_scheme(4, WeightScheme::Clamp);
+/// let w = Tensor::from_vec(&[2], vec![0.5, -2.0]).unwrap();
+/// let out = q.quantize(&w);
+/// assert!(out.values.data()[0] > 0.0 && out.values.data()[1] == -1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WeightQuantizer {
+    bits: u32,
+    scheme: WeightScheme,
+}
+
+impl WeightQuantizer {
+    /// Creates a quantizer with the default (tanh) DoReFa scheme.
+    ///
+    /// `bits == 32` produces an identity quantizer (FP32 passthrough).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 32.
+    pub fn new(bits: u32) -> Self {
+        Self::with_scheme(bits, WeightScheme::Tanh)
+    }
+
+    /// Creates a quantizer with an explicit [`WeightScheme`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 32.
+    pub fn with_scheme(bits: u32, scheme: WeightScheme) -> Self {
+        assert!((1..=32).contains(&bits), "WeightQuantizer: bits must be in 1..=32, got {bits}");
+        WeightQuantizer { bits, scheme }
+    }
+
+    /// The configured bit-width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The configured transform scheme.
+    pub fn scheme(&self) -> WeightScheme {
+        self.scheme
+    }
+
+    /// Whether this quantizer is an FP32 passthrough.
+    pub fn is_identity(&self) -> bool {
+        self.bits == 32
+    }
+
+    /// Quantizes a weight tensor, returning values and STE scales.
+    pub fn quantize(&self, w: &Tensor) -> QuantizedWeights {
+        if self.is_identity() {
+            return QuantizedWeights { values: w.clone(), ste_scale: Tensor::ones(w.dims()) };
+        }
+        match self.scheme {
+            WeightScheme::Tanh => {
+                let t = w.map(f32::tanh);
+                let max_t = t.max_abs().max(f32::MIN_POSITIVE);
+                let values = t.map(|ti| 2.0 * quantize_unit(ti / (2.0 * max_t) + 0.5, self.bits) - 1.0);
+                // ∂/∂w of 2·(tanh(w)/(2T) + ½) − 1 = (1 − tanh²(w)) / T,
+                // treating T = max|tanh| as a constant (Distiller does too).
+                let ste_scale = w.map(|wi| {
+                    let th = wi.tanh();
+                    (1.0 - th * th) / max_t
+                });
+                QuantizedWeights { values, ste_scale }
+            }
+            WeightScheme::Clamp => {
+                let values =
+                    w.map(|wi| 2.0 * quantize_unit((wi.clamp(-1.0, 1.0) + 1.0) / 2.0, self.bits) - 1.0);
+                let ste_scale = w.map(|wi| if (-1.0..=1.0).contains(&wi) { 1.0 } else { 0.0 });
+                QuantizedWeights { values, ste_scale }
+            }
+        }
+    }
+}
+
+/// Quantizes activations already bounded to `[0, 1]` (post ReLU-1) to
+/// `bits`-bit codes; `bits == 32` is a passthrough.
+///
+/// The STE gradient of this operation is identically 1 inside the bound
+/// (the ReLU-1 layer owns the clipping mask), so no scale tensor is needed.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 32.
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::quantize_activations;
+/// use ams_tensor::Tensor;
+///
+/// let a = Tensor::from_vec(&[2], vec![0.30, 0.72]).unwrap();
+/// let q = quantize_activations(&a, 2); // grid {0, 1/3, 2/3, 1}
+/// assert!((q.data()[0] - 1.0 / 3.0).abs() < 1e-6);
+/// assert!((q.data()[1] - 2.0 / 3.0).abs() < 1e-6);
+/// ```
+pub fn quantize_activations(a: &Tensor, bits: u32) -> Tensor {
+    assert!((1..=32).contains(&bits), "quantize_activations: bits must be in 1..=32, got {bits}");
+    if bits == 32 {
+        return a.clone();
+    }
+    a.map(|x| quantize_unit(x, bits))
+}
+
+/// Sign-magnitude quantization of values in `[-1, 1]` to `bits`-bit codes
+/// (1 sign bit + `bits − 1` magnitude bits), used for the network's first
+/// layer whose inputs are rescaled to `[-1, 1]` (paper §2).
+///
+/// `bits == 32` is a passthrough. Out-of-range magnitudes clamp.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` (a sign bit alone carries no magnitude) unless
+/// `bits == 32`.
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::quantize_signed;
+/// use ams_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(&[2], vec![-0.5, 0.24]).unwrap();
+/// let q = quantize_signed(&x, 3); // magnitude grid {0, 1/3, 2/3, 1}
+/// assert!((q.data()[0] + 2.0 / 3.0).abs() < 1e-6); // -0.5 rounds half away from zero
+/// assert!(q.max_abs() <= 1.0);
+/// ```
+pub fn quantize_signed(x: &Tensor, bits: u32) -> Tensor {
+    if bits == 32 {
+        return x.clone();
+    }
+    assert!(bits >= 2, "quantize_signed: need at least 2 bits (sign + magnitude), got {bits}");
+    let mag_bits = bits - 1;
+    x.map(|v| v.signum() * quantize_unit(v.abs(), mag_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_scheme_bounds_and_grid() {
+        let q = WeightQuantizer::new(4);
+        let w = Tensor::from_vec(&[5], vec![-3.0, -0.5, 0.0, 0.5, 3.0]).unwrap();
+        let out = q.quantize(&w);
+        assert!(out.values.max_abs() <= 1.0 + 1e-6);
+        // Largest-magnitude weight maps to ±1 exactly (max-normalization).
+        assert_eq!(out.values.data()[0], -1.0);
+        assert_eq!(out.values.data()[4], 1.0);
+        // Values lie on the 4-bit grid: (v+1)/2 * 15 is an integer.
+        for &v in out.values.data() {
+            let code = (v + 1.0) / 2.0 * 15.0;
+            assert!((code - code.round()).abs() < 1e-4, "off-grid value {v}");
+        }
+    }
+
+    #[test]
+    fn tanh_ste_scale_is_positive_and_shrinks_for_outliers() {
+        let q = WeightQuantizer::new(8);
+        let w = Tensor::from_vec(&[3], vec![0.0, 1.0, 4.0]).unwrap();
+        let out = q.quantize(&w);
+        let s = out.ste_scale.data();
+        assert!(s.iter().all(|&v| v > 0.0));
+        assert!(s[0] > s[1] && s[1] > s[2], "tanh derivative must decay: {s:?}");
+    }
+
+    #[test]
+    fn clamp_scheme_kills_gradient_outside_range() {
+        let q = WeightQuantizer::with_scheme(8, WeightScheme::Clamp);
+        let w = Tensor::from_vec(&[3], vec![-1.5, 0.3, 1.5]).unwrap();
+        let out = q.quantize(&w);
+        assert_eq!(out.ste_scale.data(), &[0.0, 1.0, 0.0]);
+        assert_eq!(out.values.data()[0], -1.0);
+        assert_eq!(out.values.data()[2], 1.0);
+    }
+
+    #[test]
+    fn fp32_is_identity() {
+        let q = WeightQuantizer::new(32);
+        assert!(q.is_identity());
+        let w = Tensor::from_vec(&[2], vec![0.123456, -7.0]).unwrap();
+        let out = q.quantize(&w);
+        assert_eq!(out.values, w);
+        assert_eq!(out.ste_scale, Tensor::ones(&[2]));
+    }
+
+    #[test]
+    fn quantize_activations_is_idempotent() {
+        let a = Tensor::from_vec(&[4], vec![0.0, 0.33, 0.77, 1.0]).unwrap();
+        let q1 = quantize_activations(&a, 4);
+        let q2 = quantize_activations(&q1, 4);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn quantize_signed_preserves_sign_and_bound() {
+        let x = Tensor::from_vec(&[4], vec![-1.0, -0.01, 0.01, 1.0]).unwrap();
+        let q = quantize_signed(&x, 8);
+        assert_eq!(q.data()[0], -1.0);
+        assert!(q.data()[1] <= 0.0);
+        assert!(q.data()[2] >= 0.0);
+        assert_eq!(q.data()[3], 1.0);
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let w = Tensor::from_vec(&[101], (0..101).map(|i| (i as f32 - 50.0) / 40.0).collect()).unwrap();
+        let err = |bits: u32| -> f32 {
+            let out = WeightQuantizer::new(bits).quantize(&w);
+            let tanh_ref = WeightQuantizer::new(24).quantize(&w);
+            out.values
+                .data()
+                .iter()
+                .zip(tanh_ref.values.data())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f32::max)
+        };
+        assert!(err(2) > err(4));
+        assert!(err(4) > err(8));
+    }
+}

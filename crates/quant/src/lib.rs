@@ -1,0 +1,50 @@
+//! DoReFa-style quantization with straight-through estimators.
+//!
+//! The paper (Rekhi et al., DAC 2019, §2) builds its AMS error injection on
+//! top of DoReFa quantization (Zhou et al., 2016) as implemented in
+//! Distiller: convolutional weights are squashed to `[-1, 1]` and quantized
+//! to `B_W` bits, activations are clipped to `[0, 1]` by a ReLU-1 and
+//! quantized to `B_X` bits, and gradients flow through the rounding via a
+//! straight-through estimator (STE). The `[-1, 1]` / `[0, 1]` bounds are
+//! load-bearing for the error model: they pin the binary point of the ideal
+//! dot product (paper Fig. 2) so the VMAC LSB can be computed in closed
+//! form (paper Eq. 1).
+//!
+//! # Contents
+//!
+//! * [`quantize_unit`] — `k`-bit uniform quantization on `[0, 1]`, the
+//!   primitive everything else is built from;
+//! * [`WeightQuantizer`] — DoReFa weight transform (tanh or clamp
+//!   [`WeightScheme`]) with its STE scale factors;
+//! * [`quantize_activations`] / [`quantize_signed`] — activation and
+//!   first-layer input quantization;
+//! * [`SignMagnitude`] — the paper's sign-magnitude digital encoding of
+//!   VMAC operands, with exact round-trips;
+//! * [`QuantConfig`] — a `(B_W, B_X)` pair with the paper's configurations
+//!   as constructors.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_quant::{QuantConfig, WeightQuantizer};
+//! use ams_tensor::Tensor;
+//!
+//! let cfg = QuantConfig::w8a8();
+//! let q = WeightQuantizer::new(cfg.bw);
+//! let w = Tensor::from_vec(&[3], vec![-0.7, 0.01, 2.5]).unwrap();
+//! let out = q.quantize(&w);
+//! assert!(out.values.max_abs() <= 1.0); // DoReFa caps |w| at 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dorefa;
+mod signmag;
+mod uniform;
+
+pub use config::QuantConfig;
+pub use dorefa::{quantize_activations, quantize_signed, QuantizedWeights, WeightQuantizer, WeightScheme};
+pub use signmag::SignMagnitude;
+pub use uniform::{quantization_levels, quantize_unit};

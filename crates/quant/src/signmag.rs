@@ -1,0 +1,143 @@
+//! Sign-magnitude fixed-point encoding.
+//!
+//! The paper's VMAC operands are "`B_W`- and `B_X`-bit signed numbers
+//! (sign-magnitude representation)" (§2). This module provides the exact
+//! digital encoding so tests and the per-VMAC simulator can check that the
+//! floating-point quantizers in [`crate::dorefa`] land precisely on
+//! representable codes.
+
+use serde::{Deserialize, Serialize};
+
+/// A sign-magnitude fixed-point code: one sign bit plus `bits − 1`
+/// magnitude bits representing a value in `[-1, 1]`.
+///
+/// The represented value is `(−1)^sign · code / (2^(bits−1) − 1)`.
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::SignMagnitude;
+///
+/// let sm = SignMagnitude::encode(-0.5, 8);
+/// assert!(sm.is_negative());
+/// let back = sm.decode();
+/// assert!((back + 0.5).abs() < 1.0 / 127.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignMagnitude {
+    negative: bool,
+    code: u32,
+    bits: u32,
+}
+
+impl SignMagnitude {
+    /// Encodes `x ∈ [-1, 1]` (clamped) to the nearest `bits`-bit
+    /// sign-magnitude code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `2..=24`.
+    pub fn encode(x: f32, bits: u32) -> Self {
+        assert!((2..=24).contains(&bits), "SignMagnitude: bits must be in 2..=24, got {bits}");
+        let max_code = (1u32 << (bits - 1)) - 1;
+        let clamped = x.clamp(-1.0, 1.0);
+        let code = (clamped.abs() * max_code as f32).round() as u32;
+        SignMagnitude { negative: clamped < 0.0 && code > 0, code, bits }
+    }
+
+    /// Decodes back to the represented `f32` value.
+    pub fn decode(&self) -> f32 {
+        let max_code = (1u32 << (self.bits - 1)) - 1;
+        let mag = self.code as f32 / max_code as f32;
+        if self.negative {
+            -mag
+        } else {
+            mag
+        }
+    }
+
+    /// The magnitude code (`0 ..= 2^(bits−1) − 1`).
+    pub fn code(&self) -> u32 {
+        self.code
+    }
+
+    /// Whether the sign bit is set. Negative zero is normalized to
+    /// positive zero at encode time.
+    pub fn is_negative(&self) -> bool {
+        self.negative
+    }
+
+    /// Total bit-width (sign + magnitude).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Exact sign-magnitude product of two codes: a `(b1 + b2 − 1)`-bit
+    /// code whose magnitude is `code1 · code2` — the "`B_W + B_X − 2`
+    /// magnitude bits and one sign bit" of the paper's Fig. 2.
+    pub fn multiply(&self, other: &SignMagnitude) -> SignMagnitude {
+        let bits = self.bits + other.bits - 1;
+        let code = self.code * other.code;
+        SignMagnitude { negative: (self.negative ^ other.negative) && code > 0, code, bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::quantize_unit;
+
+    #[test]
+    fn round_trip_on_grid_is_exact() {
+        let bits = 6;
+        let max_code = (1u32 << (bits - 1)) - 1;
+        for c in 0..=max_code {
+            for sign in [1.0f32, -1.0] {
+                let x = sign * c as f32 / max_code as f32;
+                let sm = SignMagnitude::encode(x, bits);
+                assert_eq!(sm.decode(), x, "code {c} sign {sign}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let sm = SignMagnitude::encode(-0.0, 4);
+        assert!(!sm.is_negative());
+        assert_eq!(sm.decode(), 0.0);
+    }
+
+    #[test]
+    fn agrees_with_float_quantizer() {
+        // quantize_signed(x, bits) must equal encode→decode for all x.
+        for i in -50..=50 {
+            let x = i as f32 / 50.0;
+            let bits = 5;
+            let via_codes = SignMagnitude::encode(x, bits).decode();
+            let via_float = x.signum() * quantize_unit(x.abs(), bits - 1);
+            assert!(
+                (via_codes - via_float).abs() < 1e-6,
+                "x={x}: codes {via_codes} vs float {via_float}"
+            );
+        }
+    }
+
+    #[test]
+    fn product_width_matches_fig2() {
+        // B_W = 8, B_X = 8: product has 14 magnitude bits + sign.
+        let a = SignMagnitude::encode(1.0, 8);
+        let b = SignMagnitude::encode(-1.0, 8);
+        let p = a.multiply(&b);
+        assert_eq!(p.bits(), 15);
+        assert_eq!(p.code(), 127 * 127);
+        assert!(p.is_negative());
+        // 127·127 = 16129 < 2^14 = 16384: fits in 14 magnitude bits.
+        assert!(p.code() < 1 << 14);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(SignMagnitude::encode(5.0, 4).decode(), 1.0);
+        assert_eq!(SignMagnitude::encode(-5.0, 4).decode(), -1.0);
+    }
+}

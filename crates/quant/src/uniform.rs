@@ -1,0 +1,94 @@
+//! The `k`-bit uniform quantization primitive on the unit interval.
+
+/// Number of distinct levels of a `k`-bit uniform quantizer on `[0, 1]`
+/// (`2^k − 1` steps, `2^k` codes ⇒ DoReFa uses `2^k − 1` as the divisor so
+/// both endpoints are representable).
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 24` (beyond 24 bits the `f32` mantissa
+/// can no longer represent the grid exactly).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ams_quant::quantization_levels(2), 3.0);
+/// assert_eq!(ams_quant::quantization_levels(8), 255.0);
+/// ```
+pub fn quantization_levels(bits: u32) -> f32 {
+    assert!(bits >= 1 && bits <= 24, "quantization_levels: bits must be in 1..=24, got {bits}");
+    ((1u32 << bits) - 1) as f32
+}
+
+/// DoReFa's `quantize_k`: rounds `x ∈ [0, 1]` to the nearest of `2^k`
+/// uniformly spaced codes.
+///
+/// Values outside `[0, 1]` are clamped first (the callers — ReLU-1
+/// activations and the weight transform — already produce bounded values,
+/// but clamping makes the primitive total).
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 24` (see [`quantization_levels`]).
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::quantize_unit;
+/// // 1 bit: only 0 and 1 are representable.
+/// assert_eq!(quantize_unit(0.4, 1), 0.0);
+/// assert_eq!(quantize_unit(0.6, 1), 1.0);
+/// // 2 bits: grid {0, 1/3, 2/3, 1}.
+/// assert!((quantize_unit(0.3, 2) - 1.0 / 3.0).abs() < 1e-7);
+/// ```
+pub fn quantize_unit(x: f32, bits: u32) -> f32 {
+    let levels = quantization_levels(bits);
+    (x.clamp(0.0, 1.0) * levels).round() / levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_are_exact() {
+        for bits in 1..=16 {
+            assert_eq!(quantize_unit(0.0, bits), 0.0);
+            assert_eq!(quantize_unit(1.0, bits), 1.0);
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        for bits in [1u32, 2, 4, 8] {
+            for i in 0..=100 {
+                let x = i as f32 / 100.0;
+                let q = quantize_unit(x, bits);
+                assert_eq!(quantize_unit(q, bits), q, "bits={bits} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_bounded_by_half_lsb() {
+        for bits in [2u32, 4, 8] {
+            let lsb = 1.0 / quantization_levels(bits);
+            for i in 0..=1000 {
+                let x = i as f32 / 1000.0;
+                assert!((quantize_unit(x, bits) - x).abs() <= lsb / 2.0 + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        assert_eq!(quantize_unit(-3.0, 4), 0.0);
+        assert_eq!(quantize_unit(42.0, 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=24")]
+    fn zero_bits_rejected() {
+        quantize_unit(0.5, 0);
+    }
+}

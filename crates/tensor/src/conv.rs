@@ -1,0 +1,359 @@
+//! im2col / col2im lowering for NCHW convolutions.
+//!
+//! A convolution of an `(N, C_in, H, W)` input with `(C_out, C_in, K_h, K_w)`
+//! weights lowers to the matrix product `W_mat · cols` where
+//! `W_mat: (C_out, C_in·K_h·K_w)` and `cols: (C_in·K_h·K_w, N·OH·OW)`.
+//! [`col2im`] is the exact adjoint of [`im2col`] (a scatter-add), which is
+//! what the convolution backward pass needs — a property checked by a
+//! dedicated adjointness test.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution: input size, kernel, stride and padding.
+///
+/// Constructed once per layer; provides the derived output size and the
+/// `N_tot` count (multiplies per output activation) the AMS error model
+/// needs.
+///
+/// # Example
+///
+/// ```
+/// use ams_tensor::ConvGeom;
+/// let g = ConvGeom::new(4, 3, 16, 16, 3, 3, 1, 1);
+/// assert_eq!((g.oh, g.ow), (16, 16));
+/// assert_eq!(g.n_tot(), 3 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeom {
+    /// Batch size.
+    pub n: usize,
+    /// Input channels.
+    pub c_in: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+    /// Output height, derived.
+    pub oh: usize,
+    /// Output width, derived.
+    pub ow: usize,
+}
+
+impl ConvGeom {
+    /// Computes the full geometry from the basic parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (minus padding) does not fit in the input or
+    /// `stride == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        n: usize,
+        c_in: usize,
+        h: usize,
+        w: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            h + 2 * pad >= kh && w + 2 * pad >= kw,
+            "kernel {kh}x{kw} does not fit input {h}x{w} with padding {pad}"
+        );
+        let oh = (h + 2 * pad - kh) / stride + 1;
+        let ow = (w + 2 * pad - kw) / stride + 1;
+        ConvGeom { n, c_in, h, w, kh, kw, stride, pad, oh, ow }
+    }
+
+    /// Number of multiplications needed per output activation
+    /// (`N_tot = C_in · K_h · K_w` in the paper's notation).
+    pub fn n_tot(&self) -> usize {
+        self.c_in * self.kh * self.kw
+    }
+
+    /// Number of columns in the lowered matrix (`N · OH · OW`).
+    pub fn cols(&self) -> usize {
+        self.n * self.oh * self.ow
+    }
+
+    /// Number of rows in the lowered matrix (`C_in · K_h · K_w`).
+    pub fn rows(&self) -> usize {
+        self.n_tot()
+    }
+}
+
+/// Lowers an `(N, C, H, W)` input to the `(C·K_h·K_w, N·OH·OW)` column
+/// matrix of a convolution with the given geometry.
+///
+/// Out-of-bounds taps (padding) contribute zeros.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or disagrees with `geom`.
+pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Tensor {
+    let (n, c, h, w) = input.dims4();
+    assert_eq!(
+        (n, c, h, w),
+        (geom.n, geom.c_in, geom.h, geom.w),
+        "im2col: input dims disagree with geometry"
+    );
+    let cols_n = geom.cols();
+    let rows_n = geom.rows();
+    let mut cols = Tensor::zeros(&[rows_n, cols_n]);
+    let src = input.data();
+    let dst = cols.data_mut();
+    let (kh, kw, stride, pad, oh, ow) = (geom.kh, geom.kw, geom.stride, geom.pad, geom.oh, geom.ow);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let drow = &mut dst[row * cols_n..(row + 1) * cols_n];
+                for ni in 0..n {
+                    let src_plane = &src[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                    for ohi in 0..oh {
+                        let ih = (ohi * stride + ki) as isize - pad as isize;
+                        let dbase = (ni * oh + ohi) * ow;
+                        if ih < 0 || ih >= h as isize {
+                            continue; // whole output row reads padding for this tap
+                        }
+                        let ih = ih as usize;
+                        for owi in 0..ow {
+                            let iw = (owi * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            drow[dbase + owi] = src_plane[ih * w + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cols
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a `(C·K_h·K_w, N·OH·OW)` column
+/// matrix back into an `(N, C, H, W)` tensor.
+///
+/// Used for the input-gradient of a convolution.
+///
+/// # Panics
+///
+/// Panics if `cols` is not 2-D or disagrees with `geom`.
+pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Tensor {
+    assert_eq!(cols.rank(), 2, "col2im: expected a 2-D column matrix");
+    assert_eq!(
+        cols.dims(),
+        &[geom.rows(), geom.cols()],
+        "col2im: column matrix dims disagree with geometry"
+    );
+    let (n, c, h, w) = (geom.n, geom.c_in, geom.h, geom.w);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let src = cols.data();
+    let dst = out.data_mut();
+    let cols_n = geom.cols();
+    let (kh, kw, stride, pad, oh, ow) = (geom.kh, geom.kw, geom.stride, geom.pad, geom.oh, geom.ow);
+    for ci in 0..c {
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let srow = &src[row * cols_n..(row + 1) * cols_n];
+                for ni in 0..n {
+                    let plane_base = (ni * c + ci) * h * w;
+                    for ohi in 0..oh {
+                        let ih = (ohi * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let ih = ih as usize;
+                        let sbase = (ni * oh + ohi) * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            dst[plane_base + ih * w + iw as usize] += srow[sbase + owi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reinterprets a `(C_out, N·OH·OW)` product matrix as an `(N, C_out, OH, OW)`
+/// activation tensor.
+///
+/// # Panics
+///
+/// Panics if the matrix dims disagree with the geometry / `c_out`.
+pub fn mat_to_nchw(mat: &Tensor, geom: &ConvGeom, c_out: usize) -> Tensor {
+    assert_eq!(
+        mat.dims(),
+        &[c_out, geom.cols()],
+        "mat_to_nchw: matrix dims disagree with geometry"
+    );
+    let (n, oh, ow) = (geom.n, geom.oh, geom.ow);
+    let plane = oh * ow;
+    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    let src = mat.data();
+    let dst = out.data_mut();
+    for co in 0..c_out {
+        let srow = &src[co * n * plane..(co + 1) * n * plane];
+        for ni in 0..n {
+            let dbase = (ni * c_out + co) * plane;
+            dst[dbase..dbase + plane].copy_from_slice(&srow[ni * plane..(ni + 1) * plane]);
+        }
+    }
+    out
+}
+
+/// Inverse of [`mat_to_nchw`]: flattens an `(N, C, OH, OW)` tensor into a
+/// `(C, N·OH·OW)` matrix (used to lower output gradients).
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D or disagrees with the geometry.
+pub fn nchw_to_mat(t: &Tensor, geom: &ConvGeom) -> Tensor {
+    let (n, c, oh, ow) = t.dims4();
+    assert_eq!(
+        (n, oh, ow),
+        (geom.n, geom.oh, geom.ow),
+        "nchw_to_mat: tensor dims disagree with geometry"
+    );
+    let plane = oh * ow;
+    let mut out = Tensor::zeros(&[c, n * plane]);
+    let src = t.data();
+    let dst = out.data_mut();
+    for ci in 0..c {
+        let drow = &mut dst[ci * n * plane..(ci + 1) * n * plane];
+        for ni in 0..n {
+            let sbase = (ni * c + ci) * plane;
+            drow[ni * plane..(ni + 1) * plane].copy_from_slice(&src[sbase..sbase + plane]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_basic() {
+        let g = ConvGeom::new(1, 1, 5, 5, 3, 3, 2, 1);
+        assert_eq!((g.oh, g.ow), (3, 3));
+        assert_eq!(g.n_tot(), 9);
+        assert_eq!(g.cols(), 9);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: cols should equal the input
+        // flattened per channel.
+        let g = ConvGeom::new(2, 3, 4, 4, 1, 1, 1, 0);
+        let input = Tensor::from_vec(&[2, 3, 4, 4], (0..96).map(|i| i as f32).collect()).unwrap();
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.dims(), &[3, 32]);
+        // Row ci, column (n, oh, ow) = input[n, ci, oh, ow].
+        assert_eq!(cols.at(&[1, 0]), input.at(&[0, 1, 0, 0]));
+        assert_eq!(cols.at(&[2, 31]), input.at(&[1, 2, 3, 3]));
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let g = ConvGeom::new(1, 1, 2, 2, 3, 3, 1, 1);
+        let input = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col(&input, &g);
+        assert_eq!(cols.dims(), &[9, 4]);
+        // Center tap (ki=1,kj=1) always lands inside: all ones.
+        for j in 0..4 {
+            assert_eq!(cols.at(&[4, j]), 1.0);
+        }
+        // Top-left tap (ki=0,kj=0) is in-bounds only for output (1,1).
+        assert_eq!(cols.at(&[0, 0]), 0.0);
+        assert_eq!(cols.at(&[0, 3]), 1.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct() {
+        use crate::matmul::matmul;
+        let g = ConvGeom::new(1, 2, 4, 4, 3, 3, 1, 1);
+        let input =
+            Tensor::from_vec(&[1, 2, 4, 4], (0..32).map(|i| (i as f32 * 0.37).sin()).collect())
+                .unwrap();
+        let weight =
+            Tensor::from_vec(&[3, 2, 3, 3], (0..54).map(|i| (i as f32 * 0.11).cos()).collect())
+                .unwrap();
+        let cols = im2col(&input, &g);
+        let wmat = weight.reshaped(&[3, 18]);
+        let ymat = matmul(&wmat, &cols);
+        let y = mat_to_nchw(&ymat, &g, 3);
+
+        // Direct convolution.
+        for co in 0..3 {
+            for ohi in 0..4usize {
+                for owi in 0..4usize {
+                    let mut acc = 0.0f32;
+                    for ci in 0..2 {
+                        for ki in 0..3usize {
+                            for kj in 0..3usize {
+                                let ih = ohi as isize + ki as isize - 1;
+                                let iw = owi as isize + kj as isize - 1;
+                                if ih < 0 || ih >= 4 || iw < 0 || iw >= 4 {
+                                    continue;
+                                }
+                                acc += weight.at(&[co, ci, ki, kj])
+                                    * input.at(&[0, ci, ih as usize, iw as usize]);
+                            }
+                        }
+                    }
+                    let got = y.at(&[0, co, ohi, owi]);
+                    assert!((got - acc).abs() < 1e-4, "mismatch at {co},{ohi},{owi}: {got} vs {acc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        use crate::rng;
+        use rand::Rng;
+        let mut r = rng::seeded(42);
+        let g = ConvGeom::new(2, 3, 5, 5, 3, 3, 2, 1);
+        let mut x = Tensor::zeros(&[2, 3, 5, 5]);
+        for v in x.data_mut() {
+            *v = r.gen::<f32>() - 0.5;
+        }
+        let mut y = Tensor::zeros(&[g.rows(), g.cols()]);
+        for v in y.data_mut() {
+            *v = r.gen::<f32>() - 0.5;
+        }
+        let lhs: f32 = im2col(&x, &g).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(col2im(&y, &g).data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjointness violated: {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn mat_nchw_round_trip() {
+        let g = ConvGeom::new(2, 1, 3, 3, 1, 1, 1, 0);
+        let t = Tensor::from_vec(&[2, 4, 3, 3], (0..72).map(|i| i as f32).collect()).unwrap();
+        let mat = nchw_to_mat(&t, &g);
+        let back = mat_to_nchw(&mat, &g, 4);
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense `f32` tensor substrate for the `ams-dnn` workspace.
+//!
+//! This crate is the numerical foundation under the reproduction of
+//! *"Analog/Mixed-Signal Hardware Error Modeling for Deep Learning
+//! Inference"* (Rekhi et al., DAC 2019). It provides exactly the pieces a
+//! small convolutional-network training framework needs on a CPU:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major n-dimensional `f32` array
+//!   with elementwise arithmetic, reductions and reshaping;
+//! * [`matmul`], [`matmul_at_b`], [`matmul_a_bt`] — cache-blocked matrix
+//!   products (the backbone of im2col convolution and its backward pass);
+//! * [`im2col`] / [`col2im`] — lowering of NCHW convolutions to matrix
+//!   products and the adjoint scatter used for gradients;
+//! * [`rng`] — seeded random sources, a Box–Muller Gaussian, and the weight
+//!   initializers (Kaiming / Xavier) used by the network layers.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_tensor::{Tensor, matmul};
+//!
+//! # fn main() -> Result<(), ams_tensor::TensorError> {
+//! let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])?;
+//! let b = Tensor::from_vec(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0])?;
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.dims(), &[2, 2]);
+//! assert_eq!(c.data(), &[4.0, 5.0, 10.0, 11.0]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Design notes: all data is `f32` (matching the paper's FP32 baseline and
+//! the fact that quantization is *simulated* in floating point, as in
+//! Distiller/DoReFa); shapes are validated eagerly and shape errors either
+//! return [`TensorError`] (constructors, reshape) or panic with a precise
+//! message (hot-path operators, documented under *Panics*).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod matmul;
+mod ops;
+pub mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, mat_to_nchw, nchw_to_mat, ConvGeom};
+pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use shape::{ShapeExt, TensorError};
+pub use tensor::Tensor;

@@ -1,0 +1,177 @@
+//! Cache-friendly matrix products.
+//!
+//! These three kernels are the computational backbone of the workspace:
+//! im2col convolution is `W · cols`, its weight gradient is `dY · colsᵀ`
+//! ([`matmul_a_bt`]) and its input gradient is `Wᵀ · dY` ([`matmul_at_b`]).
+//! All kernels use an i-k-j loop order so the innermost loop streams over
+//! contiguous rows, which the compiler auto-vectorizes.
+
+use crate::tensor::Tensor;
+
+fn dims2(name: &str, t: &Tensor) -> (usize, usize) {
+    assert_eq!(t.rank(), 2, "{name}: expected a 2-D tensor, got rank {}", t.rank());
+    (t.dims()[0], t.dims()[1])
+}
+
+/// `C = A · B` for 2-D tensors `A: (m, k)` and `B: (k, n)`.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+///
+/// # Example
+///
+/// ```
+/// use ams_tensor::{Tensor, matmul};
+/// # fn main() -> Result<(), ams_tensor::TensorError> {
+/// let a = Tensor::from_vec(&[1, 2], vec![3.0, 4.0])?;
+/// let b = Tensor::from_vec(&[2, 1], vec![10.0, 100.0])?;
+/// assert_eq!(matmul(&a, &b).data(), &[430.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2("matmul lhs", a);
+    let (kb, n) = dims2("matmul rhs", b);
+    assert_eq!(ka, kb, "matmul: inner dimensions disagree ({ka} vs {kb})");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let crow = &mut cd[i * n..(i + 1) * n];
+        for k in 0..ka {
+            let aik = ad[i * ka + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..(k + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` for `A: (k, m)` and `B: (k, n)`, without materializing `Aᵀ`.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the leading dimensions disagree.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (ka, m) = dims2("matmul_at_b lhs", a);
+    let (kb, n) = dims2("matmul_at_b rhs", b);
+    assert_eq!(ka, kb, "matmul_at_b: leading dimensions disagree ({ka} vs {kb})");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cj, &bj) in crow.iter_mut().zip(brow) {
+                *cj += aki * bj;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` for `A: (m, k)` and `B: (n, k)`, without materializing `Bᵀ`.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the trailing dimensions disagree.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = dims2("matmul_a_bt lhs", a);
+    let (n, kb) = dims2("matmul_a_bt rhs", b);
+    assert_eq!(ka, kb, "matmul_a_bt: trailing dimensions disagree ({ka} vs {kb})");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * kb..(j + 1) * kb];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            cd[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(dims: &[usize], v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(dims, v).unwrap()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let i = t(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(matmul(&a, &i), a);
+        assert_eq!(matmul(&i, &a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_plain_matmul() {
+        let a = t(&[3, 2], vec![1.0, -1.0, 2.0, 0.5, -3.0, 4.0]);
+        let b = t(&[3, 4], (0..12).map(|i| i as f32 * 0.25 - 1.0).collect());
+        // Aᵀ·B via explicit transpose.
+        let mut at = Tensor::zeros(&[2, 3]);
+        for i in 0..3 {
+            for j in 0..2 {
+                at.set(&[j, i], a.at(&[i, j]));
+            }
+        }
+        assert_eq!(matmul_at_b(&a, &b), matmul(&at, &b));
+
+        let c = t(&[4, 2], (0..8).map(|i| (i as f32).sin()).collect());
+        let mut ct = Tensor::zeros(&[2, 4]);
+        for i in 0..4 {
+            for j in 0..2 {
+                ct.set(&[j, i], c.at(&[i, j]));
+            }
+        }
+        let lhs = t(&[3, 2], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let got = matmul_a_bt(&lhs, &c);
+        let want = matmul(&lhs, &ct);
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() < 1e-5, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn matmul_with_zero_rows() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[0, 2]);
+    }
+}

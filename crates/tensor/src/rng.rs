@@ -1,0 +1,127 @@
+//! Seeded random sources and weight initializers.
+//!
+//! Everything in the workspace that is stochastic — dataset generation,
+//! weight initialization, AMS error injection — draws from an explicitly
+//! seeded [`rand::rngs::StdRng`], so every experiment is reproducible from a
+//! single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Creates a deterministic random generator from a `u64` seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = ams_tensor::rng::seeded(7);
+/// let mut b = ams_tensor::rng::seeded(7);
+/// assert_eq!(a.gen::<u32>(), b.gen::<u32>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard-normal sample using the Box–Muller transform.
+///
+/// `rand` alone provides only uniform sources; the Gaussian needed by the
+/// AMS error injector (paper Eq. 2 treats the total error as approximately
+/// normal) is synthesized here rather than adding a distribution crate.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the open interval (0, 1].
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Fills a tensor with independent `U(lo, hi)` samples.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn fill_uniform<R: Rng + ?Sized>(t: &mut Tensor, lo: f32, hi: f32, rng: &mut R) {
+    assert!(lo <= hi, "fill_uniform: lo {lo} > hi {hi}");
+    for v in t.data_mut() {
+        *v = lo + (hi - lo) * rng.gen::<f32>();
+    }
+}
+
+/// Fills a tensor with independent `N(mean, std²)` samples.
+///
+/// # Panics
+///
+/// Panics if `std` is negative.
+pub fn fill_normal<R: Rng + ?Sized>(t: &mut Tensor, mean: f32, std: f32, rng: &mut R) {
+    assert!(std >= 0.0, "fill_normal: negative std {std}");
+    for v in t.data_mut() {
+        *v = mean + std * standard_normal(rng);
+    }
+}
+
+/// Kaiming/He normal initialization for layers followed by a ReLU:
+/// `N(0, 2 / fan_in)`.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn fill_kaiming<R: Rng + ?Sized>(t: &mut Tensor, fan_in: usize, rng: &mut R) {
+    assert!(fan_in > 0, "fill_kaiming: fan_in must be positive");
+    let std = (2.0 / fan_in as f32).sqrt();
+    fill_normal(t, 0.0, std, rng);
+}
+
+/// Xavier/Glorot uniform initialization: `U(±√(6 / (fan_in + fan_out)))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn fill_xavier<R: Rng + ?Sized>(t: &mut Tensor, fan_in: usize, fan_out: usize, rng: &mut R) {
+    assert!(fan_in + fan_out > 0, "fill_xavier: zero fan");
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    fill_uniform(t, -bound, bound, rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(123);
+        let mut b = seeded(123);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded(5);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = seeded(9);
+        let mut t = Tensor::zeros(&[1000]);
+        fill_uniform(&mut t, -0.25, 0.75, &mut rng);
+        assert!(t.min() >= -0.25 && t.max() <= 0.75);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = seeded(11);
+        let mut t = Tensor::zeros(&[4096]);
+        fill_kaiming(&mut t, 128, &mut rng);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        let expected = 2.0 / 128.0;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+}

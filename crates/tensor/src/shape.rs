@@ -1,0 +1,97 @@
+//! Shape utilities and the crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by fallible tensor constructors and shape changes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested dimensions.
+        expected: usize,
+        /// Number of elements actually provided.
+        got: usize,
+    },
+    /// A dimension list is invalid (empty, or contains a zero in a place
+    /// where the operation cannot support it).
+    InvalidShape {
+        /// The offending dimension list.
+        dims: Vec<usize>,
+        /// Human-readable reason the shape is invalid.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: shape requires {expected} elements, got {got}")
+            }
+            TensorError::InvalidShape { dims, reason } => {
+                write!(f, "invalid shape {dims:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+/// Convenience methods on dimension slices.
+///
+/// ```
+/// use ams_tensor::ShapeExt;
+/// assert_eq!([2usize, 3, 4].numel(), 24);
+/// ```
+pub trait ShapeExt {
+    /// Total number of elements implied by this dimension list.
+    fn numel(&self) -> usize;
+}
+
+impl ShapeExt for [usize] {
+    fn numel(&self) -> usize {
+        self.iter().product()
+    }
+}
+
+impl<const N: usize> ShapeExt for [usize; N] {
+    fn numel(&self) -> usize {
+        self.iter().product()
+    }
+}
+
+/// Panics with a consistent message when two dimension lists differ.
+///
+/// Used by the hot-path elementwise operators, which are documented to
+/// panic on mismatched shapes rather than return a `Result`.
+pub(crate) fn assert_same_dims(op: &str, a: &[usize], b: &[usize]) {
+    assert_eq!(a, b, "{op}: shape mismatch ({a:?} vs {b:?})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_products() {
+        assert_eq!([1usize].numel(), 1);
+        assert_eq!([2usize, 3].numel(), 6);
+        assert_eq!([4usize, 0, 7].numel(), 0);
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_concise() {
+        let e = TensorError::LengthMismatch { expected: 6, got: 5 };
+        let msg = e.to_string();
+        assert!(msg.starts_with("length mismatch"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

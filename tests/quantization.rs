@@ -1,0 +1,111 @@
+//! Cross-crate quantization properties: the floating-point DoReFa
+//! quantizers agree with exact sign-magnitude code arithmetic, and the
+//! quantized layers preserve the invariants the error model depends on.
+
+use ams_repro::models::{HardwareConfig, InputKind, QConv2d};
+use ams_repro::nn::{Layer, Mode};
+use ams_repro::quant::{
+    quantization_levels, quantize_activations, quantize_signed, QuantConfig, SignMagnitude,
+    WeightQuantizer, WeightScheme,
+};
+use ams_repro::tensor::{rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Float activation quantization lands exactly on the k-bit grid.
+    #[test]
+    fn activation_grid_exact(x in 0.0f32..1.0, bits in 1u32..12) {
+        let t = Tensor::from_vec(&[1], vec![x]).expect("len ok");
+        let q = quantize_activations(&t, bits).data()[0];
+        let code = q * quantization_levels(bits);
+        prop_assert!((code - code.round()).abs() < 1e-3, "off grid: {q} at {bits} bits");
+        prop_assert!((q - x).abs() <= 0.5 / quantization_levels(bits) + 1e-6);
+    }
+
+    /// Signed quantization agrees with exact sign-magnitude codes.
+    #[test]
+    fn signed_quant_matches_codes(x in -1.0f32..1.0, bits in 2u32..12) {
+        let t = Tensor::from_vec(&[1], vec![x]).expect("len ok");
+        let via_float = quantize_signed(&t, bits).data()[0];
+        let via_codes = SignMagnitude::encode(x, bits).decode();
+        prop_assert!((via_float - via_codes).abs() < 1e-5);
+    }
+
+    /// DoReFa weight quantization is idempotent (a quantized tensor
+    /// re-quantizes to itself) under the clamp scheme.
+    #[test]
+    fn clamp_weights_idempotent(w in proptest::collection::vec(-2.0f32..2.0, 1..32), bits in 2u32..10) {
+        let t = Tensor::from_vec(&[w.len()], w).expect("len ok");
+        let q = WeightQuantizer::with_scheme(bits, WeightScheme::Clamp);
+        let once = q.quantize(&t).values;
+        let twice = q.quantize(&once).values;
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Quantized weights are always bounded to [-1, 1] under both schemes.
+    #[test]
+    fn weights_bounded(w in proptest::collection::vec(-50.0f32..50.0, 1..64), bits in 1u32..10) {
+        let t = Tensor::from_vec(&[w.len()], w).expect("len ok");
+        for scheme in [WeightScheme::Tanh, WeightScheme::Clamp] {
+            let q = WeightQuantizer::with_scheme(bits, scheme);
+            prop_assert!(q.quantize(&t).values.max_abs() <= 1.0 + 1e-6);
+        }
+    }
+}
+
+#[test]
+fn qconv_output_bounded_by_ntot() {
+    // DoReFa bounds |w| ≤ 1 and a ∈ [0,1], so a conv output can never
+    // exceed N_tot — the invariant that pins the VMAC full-scale (Fig. 2).
+    let mut r = rng::seeded(3);
+    let hw = HardwareConfig::quantized(QuantConfig::w6a4());
+    for &(c_in, k) in &[(3usize, 3usize), (8, 1), (4, 5)] {
+        let mut conv =
+            QConv2d::new("c", c_in, 6, k, 1, k / 2, &hw, InputKind::Unit, 0, &mut r);
+        let mut x = Tensor::zeros(&[2, c_in, 8, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y = conv.forward(&x, Mode::Eval);
+        assert!(
+            y.max_abs() <= conv.n_tot() as f32 + 1e-4,
+            "output {} exceeds N_tot {}",
+            y.max_abs(),
+            conv.n_tot()
+        );
+    }
+}
+
+#[test]
+fn fp32_quantizers_are_exact_passthrough() {
+    let q = WeightQuantizer::new(32);
+    let mut r = rng::seeded(4);
+    let mut w = Tensor::zeros(&[64]);
+    rng::fill_normal(&mut w, 0.0, 3.0, &mut r);
+    assert_eq!(q.quantize(&w).values, w);
+    assert_eq!(quantize_activations(&w, 32), w);
+    assert_eq!(quantize_signed(&w, 32), w);
+}
+
+#[test]
+fn product_precision_matches_fig2() {
+    // Exhaustively: for small widths, every code product fits in
+    // B_W + B_X − 2 magnitude bits (plus sign), and the bound is tight.
+    let (bw, bx) = (4u32, 3u32);
+    let wmax = (1u32 << (bw - 1)) - 1;
+    let xmax = (1u32 << (bx - 1)) - 1;
+    let mut max_product = 0u32;
+    for wc in 0..=wmax {
+        for xc in 0..=xmax {
+            max_product = max_product.max(wc * xc);
+        }
+    }
+    let magnitude_bits = QuantConfig::new(bw, bx).product_magnitude_bits();
+    assert!(max_product < (1 << magnitude_bits), "products must fit in Fig. 2's budget");
+    assert!(
+        max_product >= (1 << (magnitude_bits - 1)),
+        "the budget is tight (uses its top bit)"
+    );
+}
