@@ -24,7 +24,12 @@ fn dot_modes(c: &mut Criterion) {
     for (label, behavior) in [
         ("ideal", AdcBehavior::Ideal),
         ("quantizing", AdcBehavior::Quantizing),
-        ("delta_sigma", AdcBehavior::DeltaSigma { final_extra_bits: 2.0 }),
+        (
+            "delta_sigma",
+            AdcBehavior::DeltaSigma {
+                final_extra_bits: 2.0,
+            },
+        ),
         ("ref_scaled", AdcBehavior::RefScaled { alpha: 0.25 }),
     ] {
         let sim = VmacSimulator::new(vmac, behavior);
@@ -47,7 +52,11 @@ fn lumped_vs_per_vmac(c: &mut Criterion) {
         let mut injector = GaussianInjector::new(3);
         let mut out = Tensor::scalar(0.0);
         b.iter(|| {
-            let ideal: f64 = w.iter().zip(&x).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            let ideal: f64 = w
+                .iter()
+                .zip(&x)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
             out.data_mut()[0] = ideal as f32;
             injector.inject(&mut out, &vmac, 512);
             out.data()[0]

@@ -14,13 +14,14 @@ use ams_data::Batcher;
 use ams_models::HardwareConfig;
 use ams_nn::{accuracy, Layer, Mode};
 use ams_quant::QuantConfig;
+use ams_tensor::ExecCtx;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn noisy_eval_pass(net: &mut ams_models::ResNetMini, data: &ams_data::SynthImageNet) -> f32 {
     let mut acc = 0.0;
     let mut n = 0;
     for (images, labels) in Batcher::sequential(&data.val, 16) {
-        let logits = net.forward(&images, Mode::Eval);
+        let logits = net.forward(&ExecCtx::serial(), &images, Mode::Eval);
         acc += accuracy(&logits, &labels) * labels.len() as f32;
         n += labels.len();
     }
@@ -75,7 +76,13 @@ fn fig7_survey(c: &mut Criterion) {
 fn fig8_grid(c: &mut Criterion) {
     let curve = AccuracyCurve::new(
         8,
-        vec![(4.0, 0.4), (5.0, 0.15), (6.0, 0.05), (7.0, 0.01), (8.0, 0.002)],
+        vec![
+            (4.0, 0.4),
+            (5.0, 0.15),
+            (6.0, 0.05),
+            (7.0, 0.01),
+            (8.0, 0.002),
+        ],
     )
     .expect("valid curve");
     let enobs: Vec<f64> = (0..32).map(|i| 4.0 + 0.25 * i as f64).collect();
@@ -83,10 +90,20 @@ fn fig8_grid(c: &mut Criterion) {
     c.bench_function("fig8_grid_eval", |b| {
         b.iter(|| {
             let grid = TradeoffGrid::evaluate(&curve, &enobs, &n_mults);
-            (grid.min_energy_for_loss(0.004), grid.level_curve_deviation())
+            (
+                grid.min_energy_for_loss(0.004),
+                grid.level_curve_deviation(),
+            )
         });
     });
 }
 
-criterion_group!(figures, fig4_eval_pass, fig5_eval_pass, fig6_probe_pass, fig7_survey, fig8_grid);
+criterion_group!(
+    figures,
+    fig4_eval_pass,
+    fig5_eval_pass,
+    fig6_probe_pass,
+    fig7_survey,
+    fig8_grid
+);
 criterion_main!(figures);

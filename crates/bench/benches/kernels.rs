@@ -7,7 +7,7 @@ use ams_core::vmac::Vmac;
 use ams_nn::functional::{conv2d_backward, conv2d_forward};
 use ams_nn::{BatchNorm2d, Layer, Mode};
 use ams_quant::{quantize_activations, WeightQuantizer};
-use ams_tensor::{im2col, matmul, rng, ConvGeom, Tensor};
+use ams_tensor::{im2col, matmul, matmul_in, rng, ConvGeom, ExecCtx, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn random(dims: &[usize], seed: u64) -> Tensor {
@@ -19,13 +19,63 @@ fn random(dims: &[usize], seed: u64) -> Tensor {
 
 fn matmul_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
-    for n in [32usize, 64, 128] {
+    for n in [32usize, 64, 128, 256] {
         let a = random(&[n, n], 1);
         let b = random(&[n, n], 2);
         group.throughput(Throughput::Elements((n * n * n) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| matmul(&a, &b));
         });
+    }
+    group.finish();
+}
+
+/// Dense vs zero-skipping inner loop at the same shape: the dense kernel
+/// auto-vectorizes, the skipping kernel wins only on a mostly-zero lhs
+/// (see the `SPARSE_GATE` density gate in `ams_tensor::matmul_in`).
+fn matmul_density(c: &mut Criterion) {
+    let n = 128usize;
+    let mut group = c.benchmark_group("matmul_density");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    let b = random(&[n, n], 2);
+    for (label, keep_every) in [("dense", 1usize), ("three_quarters_zero", 4)] {
+        let mut a = random(&[n, n], 1);
+        if keep_every > 1 {
+            for (i, v) in a.data_mut().iter_mut().enumerate() {
+                if i % keep_every != 0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+/// Serial vs worker-pool dispatch of the same product: results are
+/// bit-identical; this measures the scoped-thread overhead and (on
+/// multi-core hosts) the speedup.
+fn matmul_parallel(c: &mut Criterion) {
+    let n = 256usize;
+    let a = random(&[n, n], 1);
+    let b = random(&[n, n], 2);
+    let mut group = c.benchmark_group("matmul_parallel_256");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    for threads in [1usize, 2, 4] {
+        let ctx = if threads == 1 {
+            ExecCtx::serial()
+        } else {
+            ExecCtx::with_threads(threads)
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| matmul_in(&ctx, &a, &b));
+            },
+        );
     }
     group.finish();
 }
@@ -37,30 +87,38 @@ fn im2col_kernel(c: &mut Criterion) {
 }
 
 fn conv_forward_backward(c: &mut Criterion) {
+    let ctx = ExecCtx::serial();
     let input = random(&[8, 16, 16, 16], 4);
     let wmat = random(&[32, 16 * 9], 5);
     c.bench_function("conv_forward", |b| {
-        b.iter(|| conv2d_forward(&input, &wmat, None, 3, 3, 1, 1, false));
+        b.iter(|| conv2d_forward(&ctx, &input, &wmat, None, 3, 3, 1, 1, false));
     });
-    let (y, cache) = conv2d_forward(&input, &wmat, None, 3, 3, 1, 1, true);
+    let (y, cache) = conv2d_forward(&ctx, &input, &wmat, None, 3, 3, 1, 1, true);
     let cache = cache.expect("train-mode cache");
-    c.bench_function("conv_backward", |b| b.iter(|| conv2d_backward(&cache, &y)));
+    c.bench_function("conv_backward", |b| {
+        b.iter(|| conv2d_backward(&ctx, &cache, &y))
+    });
 }
 
 fn batchnorm_kernel(c: &mut Criterion) {
+    let ctx = ExecCtx::serial();
     let x = random(&[16, 32, 8, 8], 6);
     c.bench_function("batchnorm_train_forward", |b| {
         let mut bn = BatchNorm2d::new("bn", 32);
-        b.iter(|| bn.forward(&x, Mode::Train));
+        b.iter(|| bn.forward(&ctx, &x, Mode::Train));
     });
 }
 
 fn quantize_kernels(c: &mut Criterion) {
     let w = random(&[32, 16, 3, 3], 7);
     let quantizer = WeightQuantizer::new(8);
-    c.bench_function("dorefa_weight_quantize_4608", |b| b.iter(|| quantizer.quantize(&w)));
+    c.bench_function("dorefa_weight_quantize_4608", |b| {
+        b.iter(|| quantizer.quantize(&w))
+    });
     let a = random(&[8, 16, 16, 16], 8).map(f32::abs);
-    c.bench_function("activation_quantize_32768", |b| b.iter(|| quantize_activations(&a, 8)));
+    c.bench_function("activation_quantize_32768", |b| {
+        b.iter(|| quantize_activations(&a, 8))
+    });
 }
 
 fn injection_kernel(c: &mut Criterion) {
@@ -78,6 +136,8 @@ fn injection_kernel(c: &mut Criterion) {
 criterion_group!(
     kernels,
     matmul_kernel,
+    matmul_density,
+    matmul_parallel,
     im2col_kernel,
     conv_forward_backward,
     batchnorm_kernel,

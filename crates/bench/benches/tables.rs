@@ -12,7 +12,7 @@ use ams_data::Batcher;
 use ams_models::{FreezePolicy, HardwareConfig};
 use ams_nn::{softmax_cross_entropy, Layer, Mode, Sgd};
 use ams_quant::QuantConfig;
-use ams_tensor::rng;
+use ams_tensor::{rng, ExecCtx};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn one_epoch(c: &mut Criterion) {
@@ -31,9 +31,9 @@ fn one_epoch(c: &mut Criterion) {
             let mut r = rng::seeded(0);
             b.iter(|| {
                 for (images, labels) in Batcher::new(&data.train, 16, &mut r) {
-                    let logits = net.forward(&images, Mode::Train);
+                    let logits = net.forward(&ExecCtx::serial(), &images, Mode::Train);
                     let (_, grad) = softmax_cross_entropy(&logits, &labels);
-                    net.backward(&grad);
+                    net.backward(&ExecCtx::serial(), &grad);
                     opt.step(&mut net);
                 }
             });
@@ -48,7 +48,9 @@ fn freezing_step(c: &mut Criterion) {
     let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
     let (images, labels) = {
         let mut r = rng::seeded(1);
-        Batcher::new(&data.train, 16, &mut r).next().expect("nonempty")
+        Batcher::new(&data.train, 16, &mut r)
+            .next()
+            .expect("nonempty")
     };
     let mut group = c.benchmark_group("table2_step");
     group.sample_size(10);
@@ -58,9 +60,9 @@ fn freezing_step(c: &mut Criterion) {
             net.apply_freeze(p);
             let opt = Sgd::with_momentum(0.01, 0.9);
             b.iter(|| {
-                let logits = net.forward(&images, Mode::Train);
+                let logits = net.forward(&ExecCtx::serial(), &images, Mode::Train);
                 let (_, grad) = softmax_cross_entropy(&logits, &labels);
-                net.backward(&grad);
+                net.backward(&ExecCtx::serial(), &grad);
                 opt.step(&mut net);
             });
         });

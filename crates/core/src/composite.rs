@@ -53,7 +53,10 @@ impl CompositeError {
             multiplier_sigma.is_finite() && multiplier_sigma >= 0.0,
             "CompositeError: multiplier sigma must be non-negative, got {multiplier_sigma}"
         );
-        CompositeError { adc, multiplier_sigma }
+        CompositeError {
+            adc,
+            multiplier_sigma,
+        }
     }
 
     /// The ADC-only configuration.

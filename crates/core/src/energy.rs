@@ -58,7 +58,10 @@ pub fn schreier_energy_pj(enob: f64, fom_db: f64) -> f64 {
 /// assert!((r - 4.0).abs() < 0.01);
 /// ```
 pub fn adc_energy_pj(enob: f64) -> f64 {
-    assert!(enob.is_finite() && enob > 0.0, "adc_energy_pj: enob must be positive, got {enob}");
+    assert!(
+        enob.is_finite() && enob > 0.0,
+        "adc_energy_pj: enob must be positive, got {enob}"
+    );
     if enob <= ENOB_BREAKPOINT {
         FLAT_ENERGY_PJ
     } else {
@@ -168,8 +171,17 @@ pub fn synthesize_survey(n: usize, seed: u64) -> Vec<AdcSurveyPoint> {
         let decades = 0.05 + 2.75 * r * r;
         let energy_pj = adc_energy_pj(enob) * 10f64.powf(decades);
         let year = 1997 + (rng.gen::<f64>() * 22.0) as u16;
-        let venue = if rng.gen::<f64>() < 0.6 { Venue::Isscc } else { Venue::Vlsi };
-        points.push(AdcSurveyPoint { year, venue, enob, energy_pj });
+        let venue = if rng.gen::<f64>() < 0.6 {
+            Venue::Isscc
+        } else {
+            Venue::Vlsi
+        };
+        points.push(AdcSurveyPoint {
+            year,
+            venue,
+            enob,
+            energy_pj,
+        });
     }
     points
 }
@@ -185,7 +197,10 @@ pub fn survey_lower_hull(points: &[AdcSurveyPoint], bins: usize) -> Vec<(f64, f6
     assert!(!points.is_empty(), "survey_lower_hull: empty survey");
     assert!(bins > 0, "survey_lower_hull: need at least one bin");
     let lo = points.iter().map(|p| p.enob).fold(f64::INFINITY, f64::min);
-    let hi = points.iter().map(|p| p.enob).fold(f64::NEG_INFINITY, f64::max);
+    let hi = points
+        .iter()
+        .map(|p| p.enob)
+        .fold(f64::NEG_INFINITY, f64::max);
     let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
     let mut mins = vec![f64::INFINITY; bins];
     for p in points {
@@ -209,7 +224,10 @@ mod tests {
             let eq3 = adc_energy_pj(enob);
             let line = schreier_energy_pj(enob, SCHREIER_FOM_DB);
             // The paper's 68.25 constant bakes in FOM = 187 dB exactly.
-            assert!((eq3 / line - 1.0).abs() < 0.01, "enob {enob}: {eq3} vs {line}");
+            assert!(
+                (eq3 / line - 1.0).abs() < 0.01,
+                "enob {enob}: {eq3} vs {line}"
+            );
         }
     }
 
@@ -226,7 +244,11 @@ mod tests {
     #[test]
     fn paper_headline_energies() {
         // Fig. 8's red level curves at N_mult = 8.
-        assert!((mac_energy_fj(11.0, 8) - 78.0).abs() < 4.0, "{}", mac_energy_fj(11.0, 8));
+        assert!(
+            (mac_energy_fj(11.0, 8) - 78.0).abs() < 4.0,
+            "{}",
+            mac_energy_fj(11.0, 8)
+        );
         assert!((mac_energy_fj(11.5, 8) - 157.0).abs() < 8.0);
         assert!((mac_energy_fj(12.0, 8) - 313.0).abs() < 15.0);
         assert!((mac_energy_fj(12.5, 8) - 626.0).abs() < 30.0);
@@ -270,7 +292,10 @@ mod tests {
         let mid = hull.iter().find(|(e, _)| *e > 9.0 && *e < 12.0).copied();
         let high = hull.last().copied().unwrap();
         if let Some((_, mid_e)) = mid {
-            assert!(high.1 > mid_e, "thermal region must cost more: {high:?} vs {mid_e}");
+            assert!(
+                high.1 > mid_e,
+                "thermal region must cost more: {high:?} vs {mid_e}"
+            );
         }
     }
 

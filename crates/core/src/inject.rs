@@ -52,7 +52,9 @@ pub struct GaussianInjector {
 impl GaussianInjector {
     /// Creates an injector from a seed.
     pub fn new(seed: u64) -> Self {
-        GaussianInjector { rng: rng::seeded(seed) }
+        GaussianInjector {
+            rng: rng::seeded(seed),
+        }
     }
 
     /// Adds `N(0, σ²)` error to every element, with σ from the VMAC error
@@ -111,7 +113,12 @@ mod tests {
         let mut t = Tensor::zeros(&[64, 16, 8, 8]);
         inj.inject(&mut t, &vmac, n_tot);
         let mean = t.mean();
-        let var = t.data().iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!(mean.abs() < 0.02 * sigma.max(1.0), "mean {mean}");
         assert!(
             (var.sqrt() - sigma).abs() < 0.02 * sigma,
@@ -157,8 +164,8 @@ mod tests {
         let sigma_add = vmac.total_error_sigma(1024);
         // Averaging: full-scale shrinks by N_mult ⇒ LSB and σ shrink by
         // N_mult; digital rescale multiplies back by N_mult.
-        let sigma_avg_rescaled = (vmac.total_error_sigma(1024) / vmac.n_mult as f64)
-            * vmac.n_mult as f64;
+        let sigma_avg_rescaled =
+            (vmac.total_error_sigma(1024) / vmac.n_mult as f64) * vmac.n_mult as f64;
         assert!((sigma_add - sigma_avg_rescaled).abs() < 1e-15);
     }
 }

@@ -44,7 +44,10 @@ impl MismatchModel {
     ///
     /// Panics if `sigma` is negative or non-finite.
     pub fn new(sigma: f64, chip_seed: u64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "MismatchModel: sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "MismatchModel: sigma must be non-negative"
+        );
         MismatchModel { sigma, chip_seed }
     }
 
@@ -83,7 +86,10 @@ impl MismatchModel {
     /// Panics if `n_tot == 0` or `product_rms` is negative.
     pub fn dot_error_variance(&self, n_tot: usize, product_rms: f64) -> f64 {
         assert!(n_tot > 0, "dot_error_variance: n_tot must be positive");
-        assert!(product_rms >= 0.0, "dot_error_variance: negative product rms");
+        assert!(
+            product_rms >= 0.0,
+            "dot_error_variance: negative product rms"
+        );
         n_tot as f64 * self.sigma * self.sigma * product_rms * product_rms
     }
 
@@ -144,10 +150,11 @@ mod tests {
         let w = Tensor::from_vec(&[4], vec![0.5, -0.5, 0.25, 1.0]).unwrap();
         let realized = model.apply(&w, 0);
         let err = realized.sub(&w);
-        let dot_err = |x: &[f32]| -> f32 {
-            err.data().iter().zip(x).map(|(e, xi)| e * xi).sum()
-        };
+        let dot_err = |x: &[f32]| -> f32 { err.data().iter().zip(x).map(|(e, xi)| e * xi).sum() };
         assert_eq!(dot_err(&[0.0; 4]), 0.0);
-        assert_ne!(dot_err(&[1.0, 0.0, 0.0, 0.0]), dot_err(&[0.0, 1.0, 0.0, 0.0]));
+        assert_ne!(
+            dot_err(&[1.0, 0.0, 0.0, 0.0]),
+            dot_err(&[0.0, 1.0, 0.0, 0.0])
+        );
     }
 }

@@ -55,10 +55,19 @@ pub enum PartitionError {
 impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PartitionError::WeightSplit { magnitude_bits, n_w } => {
-                write!(f, "cannot split {magnitude_bits} weight magnitude bits into {n_w} equal slices")
+            PartitionError::WeightSplit {
+                magnitude_bits,
+                n_w,
+            } => {
+                write!(
+                    f,
+                    "cannot split {magnitude_bits} weight magnitude bits into {n_w} equal slices"
+                )
             }
-            PartitionError::ActivationSplit { magnitude_bits, n_x } => {
+            PartitionError::ActivationSplit {
+                magnitude_bits,
+                n_x,
+            } => {
                 write!(
                     f,
                     "cannot split {magnitude_bits} activation magnitude bits into {n_x} equal slices"
@@ -114,20 +123,34 @@ impl PartitionedVmac {
     ///
     /// Panics if `slice_enob` is not positive/finite or a slice count is 0.
     pub fn new(base: Vmac, n_w: u32, n_x: u32, slice_enob: f64) -> Result<Self, PartitionError> {
-        assert!(n_w > 0 && n_x > 0, "PartitionedVmac: slice counts must be positive");
+        assert!(
+            n_w > 0 && n_x > 0,
+            "PartitionedVmac: slice counts must be positive"
+        );
         assert!(
             slice_enob.is_finite() && slice_enob > 0.0,
             "PartitionedVmac: slice_enob must be positive"
         );
         let wmag = base.bw - 1;
         let xmag = base.bx - 1;
-        if wmag % n_w != 0 {
-            return Err(PartitionError::WeightSplit { magnitude_bits: wmag, n_w });
+        if !wmag.is_multiple_of(n_w) {
+            return Err(PartitionError::WeightSplit {
+                magnitude_bits: wmag,
+                n_w,
+            });
         }
-        if xmag % n_x != 0 {
-            return Err(PartitionError::ActivationSplit { magnitude_bits: xmag, n_x });
+        if !xmag.is_multiple_of(n_x) {
+            return Err(PartitionError::ActivationSplit {
+                magnitude_bits: xmag,
+                n_x,
+            });
         }
-        Ok(PartitionedVmac { base, n_w, n_x, slice_enob })
+        Ok(PartitionedVmac {
+            base,
+            n_w,
+            n_x,
+            slice_enob,
+        })
     }
 
     /// The underlying VMAC geometry.
@@ -163,7 +186,9 @@ impl PartitionedVmac {
     /// Significance-weighted variance sum `Σᵢ 4^(−i·b)` over `n` slices of
     /// `b` bits each.
     fn significance_sum(n: u32, bits_per_slice: u32) -> f64 {
-        (0..n).map(|i| 4f64.powi(-((i * bits_per_slice) as i32))).sum()
+        (0..n)
+            .map(|i| 4f64.powi(-((i * bits_per_slice) as i32)))
+            .sum()
     }
 
     /// Per-conversion error variance of one slice ADC, referred to the
@@ -209,7 +234,7 @@ impl PartitionedVmac {
         let var = self.total_error_variance(n_tot);
         let n_mult = self.base.n_mult as f64;
         let per_conv = var * n_mult / n_tot as f64; // Var(E_VMAC) equivalent
-        // per_conv = (n_mult · 2^-(E-1))² / 12
+                                                    // per_conv = (n_mult · 2^-(E-1))² / 12
         1.0 - 0.5 * (12.0 * per_conv / (n_mult * n_mult)).log2()
     }
 
@@ -227,7 +252,8 @@ impl PartitionedVmac {
     /// The paper's benefit condition: partitioning saves energy iff
     /// `E_ADC(slice_enob) < E_ADC(reference_enob) / (N_W·N_X)`.
     pub fn saves_energy_vs(&self, reference_enob: f64) -> bool {
-        adc_energy_pj(self.slice_enob) < adc_energy_pj(reference_enob) / (self.n_w * self.n_x) as f64
+        adc_energy_pj(self.slice_enob)
+            < adc_energy_pj(reference_enob) / (self.n_w * self.n_x) as f64
     }
 
     /// Energy per MAC (pJ) when lower-significance slices use graded,
@@ -240,7 +266,10 @@ impl PartitionedVmac {
     ///
     /// Panics if `delta_bits` is negative.
     pub fn graded_energy_per_mac_pj(&self, delta_bits: f64) -> f64 {
-        assert!(delta_bits >= 0.0, "graded_energy_per_mac_pj: delta must be non-negative");
+        assert!(
+            delta_bits >= 0.0,
+            "graded_energy_per_mac_pj: delta must be non-negative"
+        );
         let mut total = 0.0;
         for i in 0..self.n_w {
             for j in 0..self.n_x {
@@ -259,7 +288,10 @@ impl PartitionedVmac {
     /// Panics if `n_tot == 0` or `delta_bits` is negative.
     pub fn graded_error_variance(&self, n_tot: usize, delta_bits: f64) -> f64 {
         assert!(n_tot > 0, "graded_error_variance: n_tot must be positive");
-        assert!(delta_bits >= 0.0, "graded_error_variance: delta must be non-negative");
+        assert!(
+            delta_bits >= 0.0,
+            "graded_error_variance: delta must be non-negative"
+        );
         let conversions = n_tot as f64 / self.base.n_mult as f64;
         let (bws, bxs) = (self.weight_slice_bits(), self.activation_slice_bits());
         let mut total = 0.0;
@@ -286,9 +318,7 @@ mod tests {
         let n_tot = 1152;
         assert!((p.total_error_variance(n_tot) - base.total_error_variance(n_tot)).abs() < 1e-18);
         assert!((p.equivalent_enob(n_tot) - 11.0).abs() < 1e-9);
-        assert!(
-            (p.energy_per_mac_pj() - crate::energy::mac_energy_pj(11.0, 8)).abs() < 1e-12
-        );
+        assert!((p.energy_per_mac_pj() - crate::energy::mac_energy_pj(11.0, 8)).abs() < 1e-12);
     }
 
     #[test]
@@ -296,7 +326,10 @@ mod tests {
         let base = Vmac::new(8, 8, 8, 11.0); // 7 magnitude bits
         assert!(matches!(
             PartitionedVmac::new(base, 2, 1, 8.0),
-            Err(PartitionError::WeightSplit { magnitude_bits: 7, n_w: 2 })
+            Err(PartitionError::WeightSplit {
+                magnitude_bits: 7,
+                n_w: 2
+            })
         ));
         // 9-bit operands (8 magnitude bits) split evenly in 2 or 4.
         let base9 = Vmac::new(9, 9, 8, 11.0);
@@ -360,7 +393,10 @@ mod tests {
         // significance weighting caps the growth well below the 4^Δ
         // blow-up a uniform downgrade would cause.
         assert!(v_graded > v_flat);
-        assert!(v_graded < v_flat * 4.0, "graded error grew too much: {v_graded} vs {v_flat}");
+        assert!(
+            v_graded < v_flat * 4.0,
+            "graded error grew too much: {v_graded} vs {v_flat}"
+        );
     }
 
     #[test]

@@ -84,8 +84,14 @@ impl AccuracyCurve {
                 return Err(CurveError::DuplicateEnob(w[0].0));
             }
         }
-        assert!(reference_n_mult > 0, "AccuracyCurve: reference n_mult must be positive");
-        Ok(AccuracyCurve { reference_n_mult, points })
+        assert!(
+            reference_n_mult > 0,
+            "AccuracyCurve: reference n_mult must be positive"
+        );
+        Ok(AccuracyCurve {
+            reference_n_mult,
+            points,
+        })
     }
 
     /// The `N_mult` the samples were measured at.
@@ -163,7 +169,10 @@ impl AccuracyCurve {
 ///
 /// Panics if either fan-in is zero.
 pub fn equivalent_enob(enob: f64, n_mult: usize, reference_n_mult: usize) -> f64 {
-    assert!(n_mult > 0 && reference_n_mult > 0, "equivalent_enob: fan-ins must be positive");
+    assert!(
+        n_mult > 0 && reference_n_mult > 0,
+        "equivalent_enob: fan-ins must be positive"
+    );
     enob - 0.5 * (n_mult as f64 / reference_n_mult as f64).log2()
 }
 
@@ -199,7 +208,10 @@ impl TradeoffGrid {
     ///
     /// Panics if either axis is empty.
     pub fn evaluate(curve: &AccuracyCurve, enobs: &[f64], n_mults: &[usize]) -> Self {
-        assert!(!enobs.is_empty() && !n_mults.is_empty(), "TradeoffGrid: empty axis");
+        assert!(
+            !enobs.is_empty() && !n_mults.is_empty(),
+            "TradeoffGrid: empty axis"
+        );
         let mut cells = Vec::with_capacity(enobs.len() * n_mults.len());
         for &enob in enobs {
             for &n_mult in n_mults {
@@ -211,7 +223,11 @@ impl TradeoffGrid {
                 });
             }
         }
-        TradeoffGrid { enobs: enobs.to_vec(), n_mults: n_mults.to_vec(), cells }
+        TradeoffGrid {
+            enobs: enobs.to_vec(),
+            n_mults: n_mults.to_vec(),
+            cells,
+        }
     }
 
     /// The ENOB axis.
@@ -246,7 +262,11 @@ impl TradeoffGrid {
         self.cells
             .iter()
             .filter(|c| c.loss < max_loss)
-            .min_by(|a, b| a.mac_energy_fj.partial_cmp(&b.mac_energy_fj).expect("finite energy"))
+            .min_by(|a, b| {
+                a.mac_energy_fj
+                    .partial_cmp(&b.mac_energy_fj)
+                    .expect("finite energy")
+            })
             .copied()
     }
 
@@ -283,8 +303,17 @@ mod tests {
     use super::*;
 
     fn toy_curve() -> AccuracyCurve {
-        AccuracyCurve::new(8, vec![(9.0, 0.12), (10.0, 0.06), (11.0, 0.02), (12.0, 0.004), (13.0, 0.0)])
-            .unwrap()
+        AccuracyCurve::new(
+            8,
+            vec![
+                (9.0, 0.12),
+                (10.0, 0.06),
+                (11.0, 0.02),
+                (12.0, 0.004),
+                (13.0, 0.0),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -323,7 +352,11 @@ mod tests {
         let grid = TradeoffGrid::evaluate(&c, &enobs, &n_mults);
         // The 6.02 dB/bit constant in Eq. 3 rounds 20·log10(2) = 6.0206…,
         // so the ×4-per-bit identity holds to ~1e-4 relative.
-        assert!(grid.level_curve_deviation() < 1e-3, "{}", grid.level_curve_deviation());
+        assert!(
+            grid.level_curve_deviation() < 1e-3,
+            "{}",
+            grid.level_curve_deviation()
+        );
     }
 
     #[test]
@@ -332,8 +365,12 @@ mod tests {
         let enobs: Vec<f64> = (0..17).map(|i| 9.0 + 0.25 * i as f64).collect();
         let n_mults = vec![2usize, 4, 8, 16, 32, 64, 128];
         let grid = TradeoffGrid::evaluate(&c, &enobs, &n_mults);
-        let e_04 = grid.min_energy_for_loss(0.004).expect("some design meets 0.4%");
-        let e_1 = grid.min_energy_for_loss(0.01).expect("some design meets 1%");
+        let e_04 = grid
+            .min_energy_for_loss(0.004)
+            .expect("some design meets 0.4%");
+        let e_1 = grid
+            .min_energy_for_loss(0.01)
+            .expect("some design meets 1%");
         assert!(
             e_04.mac_energy_fj >= e_1.mac_energy_fj,
             "tighter accuracy must cost at least as much energy"
@@ -351,7 +388,10 @@ mod tests {
 
     #[test]
     fn curve_validation() {
-        assert_eq!(AccuracyCurve::new(8, vec![(9.0, 0.1)]).unwrap_err(), CurveError::TooFewPoints);
+        assert_eq!(
+            AccuracyCurve::new(8, vec![(9.0, 0.1)]).unwrap_err(),
+            CurveError::TooFewPoints
+        );
         assert_eq!(
             AccuracyCurve::new(8, vec![(9.0, 0.1), (9.0, 0.2)]).unwrap_err(),
             CurveError::DuplicateEnob(9.0)

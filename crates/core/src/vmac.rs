@@ -48,16 +48,33 @@ impl Vmac {
     /// Panics if `bw` or `bx` is outside `1..=32`, `n_mult == 0`, or
     /// `enob` is not a positive finite number.
     pub fn new(bw: u32, bx: u32, n_mult: usize, enob: f64) -> Self {
-        assert!((1..=32).contains(&bw), "Vmac: bw must be in 1..=32, got {bw}");
-        assert!((1..=32).contains(&bx), "Vmac: bx must be in 1..=32, got {bx}");
+        assert!(
+            (1..=32).contains(&bw),
+            "Vmac: bw must be in 1..=32, got {bw}"
+        );
+        assert!(
+            (1..=32).contains(&bx),
+            "Vmac: bx must be in 1..=32, got {bx}"
+        );
         assert!(n_mult > 0, "Vmac: n_mult must be positive");
-        assert!(enob.is_finite() && enob > 0.0, "Vmac: enob must be positive and finite, got {enob}");
-        Vmac { bw, bx, n_mult, enob }
+        assert!(
+            enob.is_finite() && enob > 0.0,
+            "Vmac: enob must be positive and finite, got {enob}"
+        );
+        Vmac {
+            bw,
+            bx,
+            n_mult,
+            enob,
+        }
     }
 
     /// Returns a copy with a different `ENOB` (convenient in sweeps).
     pub fn with_enob(mut self, enob: f64) -> Self {
-        assert!(enob.is_finite() && enob > 0.0, "Vmac: enob must be positive and finite, got {enob}");
+        assert!(
+            enob.is_finite() && enob > 0.0,
+            "Vmac: enob must be positive and finite, got {enob}"
+        );
         self.enob = enob;
         self
     }
@@ -176,7 +193,10 @@ impl PrecisionBudget {
     ///
     /// Panics if `bw` or `bx` is zero or `n_mult == 0`.
     pub fn new(bw: u32, bx: u32, n_mult: usize, enob: f64) -> Self {
-        assert!(bw >= 1 && bx >= 1, "PrecisionBudget: operand widths must be positive");
+        assert!(
+            bw >= 1 && bx >= 1,
+            "PrecisionBudget: operand widths must be positive"
+        );
         assert!(n_mult > 0, "PrecisionBudget: n_mult must be positive");
         PrecisionBudget {
             product_magnitude_bits: bw + bx - 2,

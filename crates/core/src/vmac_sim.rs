@@ -77,10 +77,16 @@ impl VmacSimulator {
     pub fn new(vmac: Vmac, behavior: AdcBehavior) -> Self {
         match behavior {
             AdcBehavior::RefScaled { alpha } => {
-                assert!(alpha > 0.0 && alpha <= 1.0, "RefScaled: alpha must be in (0, 1], got {alpha}");
+                assert!(
+                    alpha > 0.0 && alpha <= 1.0,
+                    "RefScaled: alpha must be in (0, 1], got {alpha}"
+                );
             }
             AdcBehavior::DeltaSigma { final_extra_bits } => {
-                assert!(final_extra_bits >= 0.0, "DeltaSigma: extra bits must be non-negative");
+                assert!(
+                    final_extra_bits >= 0.0,
+                    "DeltaSigma: extra bits must be non-negative"
+                );
             }
             _ => {}
         }
@@ -128,7 +134,11 @@ impl VmacSimulator {
         let mut total = 0.0f64;
         let mut feedback = 0.0f64; // ΔΣ error memory
         for (k, (wc, xc)) in w.chunks(n_mult).zip(x.chunks(n_mult)).enumerate() {
-            let s: f64 = wc.iter().zip(xc).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            let s: f64 = wc
+                .iter()
+                .zip(xc)
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
             let q = match self.behavior {
                 AdcBehavior::Ideal => s,
                 AdcBehavior::Quantizing => Self::convert(s, self.vmac.enob, fs),
@@ -157,7 +167,11 @@ impl VmacSimulator {
     ///
     /// Panics if the slices have different lengths or are empty.
     pub fn dot_error(&self, w: &[f32], x: &[f32]) -> f64 {
-        let ideal: f64 = w.iter().zip(x).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let ideal: f64 = w
+            .iter()
+            .zip(x)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
         self.dot(w, x) - ideal
     }
 
@@ -171,7 +185,10 @@ impl VmacSimulator {
     ///
     /// Panics if `n_tot == 0` or `trials == 0`.
     pub fn empirical_rms_error(&self, n_tot: usize, trials: usize, seed: u64) -> f64 {
-        assert!(n_tot > 0 && trials > 0, "empirical_rms_error: zero-sized experiment");
+        assert!(
+            n_tot > 0 && trials > 0,
+            "empirical_rms_error: zero-sized experiment"
+        );
         use rand::Rng;
         let mut rng = ams_tensor::rng::seeded(seed);
         let mut acc = 0.0f64;
@@ -198,7 +215,10 @@ impl VmacSimulator {
     ///
     /// Panics if `n_tot == 0` or `trials == 0`.
     pub fn clip_fraction(&self, n_tot: usize, trials: usize, seed: u64) -> f64 {
-        assert!(n_tot > 0 && trials > 0, "clip_fraction: zero-sized experiment");
+        assert!(
+            n_tot > 0 && trials > 0,
+            "clip_fraction: zero-sized experiment"
+        );
         use rand::Rng;
         let alpha = match self.behavior {
             AdcBehavior::RefScaled { alpha } => alpha,
@@ -213,7 +233,11 @@ impl VmacSimulator {
             let w: Vec<f32> = (0..n_tot).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
             let x: Vec<f32> = (0..n_tot).map(|_| rng.gen::<f32>()).collect();
             for (wc, xc) in w.chunks(n_mult).zip(x.chunks(n_mult)) {
-                let s: f64 = wc.iter().zip(xc).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+                let s: f64 = wc
+                    .iter()
+                    .zip(xc)
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum();
                 total += 1;
                 if s.abs() > fs {
                     clipped += 1;
@@ -233,7 +257,11 @@ mod tests {
         let sim = VmacSimulator::new(Vmac::new(8, 8, 4, 10.0), AdcBehavior::Ideal);
         let w = [0.1f32, -0.2, 0.3, 0.4, 0.5];
         let x = [1.0f32, 0.5, 0.25, 0.0, 0.8];
-        let ideal: f64 = w.iter().zip(&x).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let ideal: f64 = w
+            .iter()
+            .zip(&x)
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
         assert!((sim.dot(&w, &x) - ideal).abs() < 1e-12);
     }
 
@@ -269,14 +297,22 @@ mod tests {
         let rms = sim.empirical_rms_error(n_tot, 400, 11);
         let predicted = vmac.total_error_sigma(n_tot);
         let ratio = rms / predicted;
-        assert!((0.85..1.15).contains(&ratio), "rms {rms} vs predicted {predicted} (ratio {ratio})");
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "rms {rms} vs predicted {predicted} (ratio {ratio})"
+        );
     }
 
     #[test]
     fn delta_sigma_beats_plain_quantization() {
         let vmac = Vmac::new(8, 8, 8, 9.0);
         let plain = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
-        let ds = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: 2.0 });
+        let ds = VmacSimulator::new(
+            vmac,
+            AdcBehavior::DeltaSigma {
+                final_extra_bits: 2.0,
+            },
+        );
         let n_tot = 512; // 64 conversions per output
         let rms_plain = plain.empirical_rms_error(n_tot, 300, 13);
         let rms_ds = ds.empirical_rms_error(n_tot, 300, 13);
@@ -292,7 +328,12 @@ mod tests {
         // With exact-arithmetic feedback, total error telescopes to the
         // last conversion's error, which is ≤ half its (finer) step.
         let vmac = Vmac::new(8, 8, 4, 8.0);
-        let sim = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: 4.0 });
+        let sim = VmacSimulator::new(
+            vmac,
+            AdcBehavior::DeltaSigma {
+                final_extra_bits: 4.0,
+            },
+        );
         let fs = 4.0;
         let final_step = 2.0 * fs / 2f64.powf(12.0);
         use rand::Rng;
@@ -301,7 +342,11 @@ mod tests {
             let w: Vec<f32> = (0..64).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
             let x: Vec<f32> = (0..64).map(|_| rng.gen::<f32>()).collect();
             let e = sim.dot_error(&w, &x).abs();
-            assert!(e <= final_step / 2.0 + 1e-9, "error {e} vs final half-step {}", final_step / 2.0);
+            assert!(
+                e <= final_step / 2.0 + 1e-9,
+                "error {e} vs final half-step {}",
+                final_step / 2.0
+            );
         }
     }
 

@@ -2,7 +2,9 @@
 //! unit tests: partitioning degeneracy, ΔΣ bounds, survey structure and
 //! the design-space algebra.
 
-use ams_core::energy::{adc_energy_pj, mac_energy_pj, schreier_fom_db, synthesize_survey, SCHREIER_FOM_DB};
+use ams_core::energy::{
+    adc_energy_pj, mac_energy_pj, schreier_fom_db, synthesize_survey, SCHREIER_FOM_DB,
+};
 use ams_core::partition::PartitionedVmac;
 use ams_core::tradeoff::{equivalent_enob, AccuracyCurve, TradeoffGrid};
 use ams_core::vmac::Vmac;
@@ -127,10 +129,22 @@ fn paper_headline_numbers_from_reference_curve() {
     let enobs: Vec<f64> = (0..21).map(|i| 9.0 + 0.25 * i as f64).collect();
     let n_mults: Vec<usize> = (1..=9).map(|i| 1usize << i).collect();
     let grid = TradeoffGrid::evaluate(&curve, &enobs, &n_mults);
-    let e04 = grid.min_energy_for_loss(0.004).expect("0.4% reachable").mac_energy_fj;
-    let e1 = grid.min_energy_for_loss(0.01).expect("1% reachable").mac_energy_fj;
-    assert!((e04 - 313.0).abs() < 20.0, "<0.4% loss: {e04} fJ/MAC (paper ~313)");
-    assert!((e1 - 78.0).abs() < 12.0, "<1% loss: {e1} fJ/MAC (paper ~78)");
+    let e04 = grid
+        .min_energy_for_loss(0.004)
+        .expect("0.4% reachable")
+        .mac_energy_fj;
+    let e1 = grid
+        .min_energy_for_loss(0.01)
+        .expect("1% reachable")
+        .mac_energy_fj;
+    assert!(
+        (e04 - 313.0).abs() < 20.0,
+        "<0.4% loss: {e04} fJ/MAC (paper ~313)"
+    );
+    assert!(
+        (e1 - 78.0).abs() < 12.0,
+        "<1% loss: {e1} fJ/MAC (paper ~78)"
+    );
     // And the one-to-one property: tighter accuracy strictly costs more.
     assert!(e04 > e1);
 }

@@ -42,7 +42,12 @@ impl<'a> Batcher<'a> {
         assert!(batch_size > 0, "Batcher: zero batch size");
         let mut order: Vec<usize> = (0..dataset.len()).collect();
         order.shuffle(rng);
-        Batcher { dataset, order, batch_size, pos: 0 }
+        Batcher {
+            dataset,
+            order,
+            batch_size,
+            pos: 0,
+        }
     }
 
     /// Creates a batcher that iterates in dataset order (evaluation).
@@ -52,7 +57,12 @@ impl<'a> Batcher<'a> {
     /// Panics if `batch_size == 0`.
     pub fn sequential(dataset: &'a Dataset, batch_size: usize) -> Self {
         assert!(batch_size > 0, "Batcher: zero batch size");
-        Batcher { dataset, order: (0..dataset.len()).collect(), batch_size, pos: 0 }
+        Batcher {
+            dataset,
+            order: (0..dataset.len()).collect(),
+            batch_size,
+            pos: 0,
+        }
     }
 
     /// Number of batches this iterator will yield in total.

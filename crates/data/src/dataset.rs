@@ -35,7 +35,12 @@ impl Dataset {
     /// batch dimension.
     pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
         let (n, _, _, _) = images.dims4();
-        assert_eq!(n, labels.len(), "Dataset: {n} images but {} labels", labels.len());
+        assert_eq!(
+            n,
+            labels.len(),
+            "Dataset: {n} images but {} labels",
+            labels.len()
+        );
         Dataset { images, labels }
     }
 
@@ -77,7 +82,10 @@ impl Dataset {
         let dst = out.data_mut();
         let mut labels = Vec::with_capacity(indices.len());
         for (bi, &idx) in indices.iter().enumerate() {
-            assert!(idx < n, "Dataset::select: index {idx} out of bounds for {n} examples");
+            assert!(
+                idx < n,
+                "Dataset::select: index {idx} out of bounds for {n} examples"
+            );
             dst[bi * example..(bi + 1) * example]
                 .copy_from_slice(&src[idx * example..(idx + 1) * example]);
             labels.push(self.labels[idx]);
@@ -93,7 +101,10 @@ impl Dataset {
     ///
     /// Panics if `fraction` is not within `(0, 1]`.
     pub fn subsample<R: Rng + ?Sized>(&self, fraction: f64, rng: &mut R) -> Dataset {
-        assert!(fraction > 0.0 && fraction <= 1.0, "subsample: fraction must be in (0, 1]");
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "subsample: fraction must be in (0, 1]"
+        );
         let take = ((self.len() as f64 * fraction).ceil() as usize).clamp(1, self.len());
         let mut indices: Vec<usize> = (0..self.len()).collect();
         indices.shuffle(rng);
@@ -118,7 +129,10 @@ impl Dataset {
                 }
             }
         }
-        Dataset { images, labels: self.labels.clone() }
+        Dataset {
+            images,
+            labels: self.labels.clone(),
+        }
     }
 }
 
@@ -128,8 +142,7 @@ mod tests {
     use ams_tensor::rng;
 
     fn toy() -> Dataset {
-        let images =
-            Tensor::from_vec(&[3, 1, 1, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        let images = Tensor::from_vec(&[3, 1, 1, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         Dataset::new(images, vec![0, 1, 2])
     }
 

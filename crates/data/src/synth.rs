@@ -92,12 +92,30 @@ impl SynthConfig {
     ///
     /// Panics if any count is zero or `noise` is negative.
     pub fn generate(self) -> SynthImageNet {
-        assert!(self.classes > 0 && self.image_size > 0 && self.channels > 0, "SynthConfig: zero-sized config");
-        assert!(self.train_per_class > 0 && self.val_per_class > 0, "SynthConfig: empty split");
+        assert!(
+            self.classes > 0 && self.image_size > 0 && self.channels > 0,
+            "SynthConfig: zero-sized config"
+        );
+        assert!(
+            self.train_per_class > 0 && self.val_per_class > 0,
+            "SynthConfig: empty split"
+        );
         assert!(self.noise >= 0.0, "SynthConfig: negative noise");
-        let train = generate_split(&self, self.train_per_class, self.seed.wrapping_mul(2).wrapping_add(1));
-        let val = generate_split(&self, self.val_per_class, self.seed.wrapping_mul(2).wrapping_add(2));
-        SynthImageNet { config: self, train, val }
+        let train = generate_split(
+            &self,
+            self.train_per_class,
+            self.seed.wrapping_mul(2).wrapping_add(1),
+        );
+        let val = generate_split(
+            &self,
+            self.val_per_class,
+            self.seed.wrapping_mul(2).wrapping_add(2),
+        );
+        SynthImageNet {
+            config: self,
+            train,
+            val,
+        }
     }
 }
 
@@ -145,7 +163,11 @@ fn class_proto(class: usize, classes: usize, channels: usize) -> ClassProto {
     // (Table 1's 6b/4b drop).
     // Small class counts get a 2-rung ladder with a wider gap so test-
     // scale datasets stay learnable by a tiny network.
-    let levels: &[f32] = if classes >= 8 { &[0.10, 0.13, 0.165, 0.205] } else { &[0.12, 0.21] };
+    let levels: &[f32] = if classes >= 8 {
+        &[0.10, 0.13, 0.165, 0.205]
+    } else {
+        &[0.12, 0.21]
+    };
     let n_orient = classes.div_ceil(levels.len()).max(1);
     let base = class % n_orient;
     let level = class / n_orient;
@@ -158,7 +180,12 @@ fn class_proto(class: usize, classes: usize, channels: usize) -> ClassProto {
         // so color never separates an amplitude ladder.
         *c = 0.65 + 0.35 * ((base * (ch + 1)) as f32 * 2.399).sin();
     }
-    ClassProto { theta, freq, amp, color }
+    ClassProto {
+        theta,
+        freq,
+        amp,
+        color,
+    }
 }
 
 fn generate_split(cfg: &SynthConfig, per_class: usize, seed: u64) -> Dataset {
@@ -242,7 +269,11 @@ mod tests {
         // absolute deviation from mid-gray. The lowest and highest rungs
         // of the ladder must be clearly apart — a cheap learnability
         // proxy for the fine cue the experiments quantize away.
-        let d = SynthConfig { train_per_class: 32, ..SynthConfig::tiny() }.generate();
+        let d = SynthConfig {
+            train_per_class: 32,
+            ..SynthConfig::tiny()
+        }
+        .generate();
         let (n, _, _, _) = d.train.images().dims4();
         let px = d.train.images().len() / n;
         let classes = d.config().classes;

@@ -2,11 +2,11 @@
 //! sigma error recycling, ADC reference scaling, multiplication
 //! partitioning, and the last-layer training-injection rule.
 
-use ams_exp::{Experiments, Scale};
+use ams_exp::{Experiments, Report, Scale};
 
 fn main() {
-    let (scale, results) = Scale::from_args();
-    let exp = Experiments::new(scale, &results);
+    let (scale, results, ctx) = Scale::from_args();
+    let exp = Experiments::new(scale, &results).with_ctx(ctx);
     let ab = exp.ablations();
     ab.report(exp.results_dir(), &exp.scale().name);
 }

@@ -1,11 +1,11 @@
 //! Regenerates the paper's Figure 4 (loss vs ENOB re: the 8b quantized
 //! network; eval-only vs retrained-with-error).
 
-use ams_exp::{Experiments, Scale};
+use ams_exp::{Experiments, Report, Scale};
 
 fn main() {
-    let (scale, results) = Scale::from_args();
-    let exp = Experiments::new(scale, &results);
+    let (scale, results, ctx) = Scale::from_args();
+    let exp = Experiments::new(scale, &results).with_ctx(ctx);
     let f4 = exp.fig4();
     f4.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper shape: loss falls with ENOB; retraining recovers up to ~half the loss at");

@@ -1,11 +1,11 @@
 //! Regenerates the paper's Figure 5 (loss vs ENOB re: the 6b quantized
 //! network; AMS error at evaluation only).
 
-use ams_exp::{Experiments, Scale};
+use ams_exp::{Experiments, Report, Scale};
 
 fn main() {
-    let (scale, results) = Scale::from_args();
-    let exp = Experiments::new(scale, &results);
+    let (scale, results, ctx) = Scale::from_args();
+    let exp = Experiments::new(scale, &results).with_ctx(ctx);
     let f5 = exp.fig5();
     f5.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper shape: monotone decrease; <1% loss beyond a cutoff ENOB, within one sample");

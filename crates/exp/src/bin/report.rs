@@ -8,11 +8,11 @@
 
 use std::fmt::Write as _;
 
-use ams_exp::{Experiments, Scale};
+use ams_exp::{Experiments, Report, Scale};
 
 fn main() {
-    let (scale, results) = Scale::from_args();
-    let exp = Experiments::new(scale, &results);
+    let (scale, results, ctx) = Scale::from_args();
+    let exp = Experiments::new(scale, &results).with_ctx(ctx);
     let dir = exp.results_dir().to_path_buf();
     let scale_name = exp.scale().name.clone();
 
@@ -30,13 +30,21 @@ fn main() {
     let _ = writeln!(md, "| Quantization | Top-1 | ± |");
     let _ = writeln!(md, "|---|---|---|");
     for row in &t1.rows {
-        let _ = writeln!(md, "| {} | {:.4} | {:.1e} |", row.label, row.accuracy.mean, row.accuracy.std);
+        let _ = writeln!(
+            md,
+            "| {} | {:.4} | {:.1e} |",
+            row.label, row.accuracy.mean, row.accuracy.std
+        );
     }
 
     // Figures 4 & 5.
     let f4 = exp.fig4();
     f4.report(&dir, &scale_name);
-    let _ = writeln!(md, "\n## Figure 4 — loss vs ENOB (re: 8b, baseline {:.4})\n", f4.baseline.mean);
+    let _ = writeln!(
+        md,
+        "\n## Figure 4 — loss vs ENOB (re: 8b, baseline {:.4})\n",
+        f4.baseline.mean
+    );
     let _ = writeln!(md, "| ENOB | eval-only | retrained |");
     let _ = writeln!(md, "|---|---|---|");
     for row in &f4.rows {
@@ -48,7 +56,11 @@ fn main() {
     }
     let f5 = exp.fig5();
     f5.report(&dir, &scale_name);
-    let _ = writeln!(md, "\n## Figure 5 — loss vs ENOB (re: 6b, baseline {:.4})\n", f5.baseline.mean);
+    let _ = writeln!(
+        md,
+        "\n## Figure 5 — loss vs ENOB (re: 6b, baseline {:.4})\n",
+        f5.baseline.mean
+    );
     let _ = writeln!(md, "| ENOB | eval-only |");
     let _ = writeln!(md, "|---|---|");
     for (enob, loss) in &f5.rows {
@@ -58,11 +70,19 @@ fn main() {
     // Table 2.
     let t2 = exp.table2();
     t2.report(&dir, &scale_name);
-    let _ = writeln!(md, "\n## Table 2 — selective freezing (ENOB {:.1})\n", t2.enob);
+    let _ = writeln!(
+        md,
+        "\n## Table 2 — selective freezing (ENOB {:.1})\n",
+        t2.enob
+    );
     let _ = writeln!(md, "| Frozen | Loss re: 8b | ± |");
     let _ = writeln!(md, "|---|---|---|");
     for row in &t2.rows {
-        let _ = writeln!(md, "| {} | {:+.4} | {:.1e} |", row.policy, row.loss.mean, row.loss.std);
+        let _ = writeln!(
+            md,
+            "| {} | {:+.4} | {:.1e} |",
+            row.policy, row.loss.mean, row.loss.std
+        );
     }
     let _ = writeln!(
         md,
@@ -75,7 +95,11 @@ fn main() {
     f6.report(&dir, &scale_name);
     let _ = writeln!(md, "\n## Figure 6 — activation means\n");
     if let Some(layer) = &f6.representative_layer {
-        let idx = f6.layer_names.iter().position(|n| n == layer).expect("layer listed");
+        let idx = f6
+            .layer_names
+            .iter()
+            .position(|n| n == layer)
+            .expect("layer listed");
         let _ = writeln!(md, "Representative layer `{layer}`:\n");
         let _ = writeln!(md, "| variant | mean |");
         let _ = writeln!(md, "|---|---|");
@@ -103,7 +127,9 @@ fn main() {
             md,
             "* measured grid: < {:.1}% loss ⇒ {}",
             target * 100.0,
-            energy.map_or("no design qualifies".to_string(), |fj| format!("≥ ~{fj:.0} fJ/MAC"))
+            energy.map_or("no design qualifies".to_string(), |fj| format!(
+                "≥ ~{fj:.0} fJ/MAC"
+            ))
         );
     }
     for (target, energy) in &f8.paper_min_energy {
@@ -111,7 +137,9 @@ fn main() {
             md,
             "* paper-curve validation: < {:.1}% loss ⇒ {}",
             target * 100.0,
-            energy.map_or("no design qualifies".to_string(), |fj| format!("≥ ~{fj:.0} fJ/MAC"))
+            energy.map_or("no design qualifies".to_string(), |fj| format!(
+                "≥ ~{fj:.0} fJ/MAC"
+            ))
         );
     }
 

@@ -1,11 +1,11 @@
 //! Regenerates the paper's Table 1 (quantization baselines) on the
 //! SynthImageNet + ResNet-mini substrate.
 
-use ams_exp::{Experiments, Scale};
+use ams_exp::{Experiments, Report, Scale};
 
 fn main() {
-    let (scale, results) = Scale::from_args();
-    let exp = Experiments::new(scale, &results);
+    let (scale, results, ctx) = Scale::from_args();
+    let exp = Experiments::new(scale, &results).with_ctx(ctx);
     let t1 = exp.table1();
     t1.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper (ResNet-50/ImageNet): FP32 0.778, 8b/8b 0.781, 6b/6b 0.757, 6b/4b 0.606.");

@@ -41,7 +41,7 @@ mod runner;
 mod scale;
 mod train;
 
-pub use report::{print_table, write_csv, Stat};
+pub use report::{print_table, write_csv, Report, Stat};
 pub use runner::{
     AblationReport, Experiments, Fig4Result, Fig4Row, Fig5Result, Fig6Result, Fig6Row, Fig7Result,
     Fig8Result, Table1Result, Table1Row, Table2Result, Table2Row,

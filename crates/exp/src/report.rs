@@ -51,6 +51,61 @@ impl std::fmt::Display for Stat {
     }
 }
 
+/// A printable, CSV-exportable experiment result.
+///
+/// Every figure/table result type implements this by describing its main
+/// table (title, headers, rows) and CSV file stem; the provided
+/// [`Report::report`] drives the shared print-then-write sequence that
+/// every experiment binary calls. Results with side output override
+/// [`Report::print_extra`] (summary lines after the table) and
+/// [`Report::write_extra_csvs`] (additional files); results whose CSV
+/// schema differs from the printed table override [`Report::csv_headers`]
+/// / [`Report::csv_rows`].
+pub trait Report {
+    /// Title printed above the main table.
+    fn title(&self) -> String;
+    /// Column headers of the main table.
+    fn headers(&self) -> Vec<String>;
+    /// Formatted rows of the main table.
+    fn rows(&self) -> Vec<Vec<String>>;
+    /// File stem of the main CSV — written as `<stem>_<scale>.csv`.
+    fn csv_stem(&self) -> &'static str;
+
+    /// CSV column headers; defaults to the printed headers.
+    fn csv_headers(&self) -> Vec<String> {
+        self.headers()
+    }
+
+    /// CSV rows; defaults to the printed rows.
+    fn csv_rows(&self) -> Vec<Vec<String>> {
+        self.rows()
+    }
+
+    /// Extra summary lines printed after the main table.
+    fn print_extra(&self) {}
+
+    /// Additional CSV files beyond the main one.
+    fn write_extra_csvs(&self, _dir: &Path, _scale_name: &str) {}
+
+    /// Prints the main table and any extras, then writes the CSVs into
+    /// `dir`. I/O failures are ignored — reporting is best-effort and the
+    /// printed output always happens.
+    fn report(&self, dir: &Path, scale_name: &str) {
+        let headers = self.headers();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        print_table(&self.title(), &header_refs, &self.rows());
+        self.print_extra();
+        let csv_headers = self.csv_headers();
+        let csv_header_refs: Vec<&str> = csv_headers.iter().map(String::as_str).collect();
+        let _ = write_csv(
+            dir.join(format!("{}_{scale_name}.csv", self.csv_stem())),
+            &csv_header_refs,
+            &self.csv_rows(),
+        );
+        self.write_extra_csvs(dir, scale_name);
+    }
+}
+
 /// Prints an aligned text table with a title, in the style of the paper's
 /// tables.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
@@ -65,13 +120,19 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
     println!("\n{title}");
     println!("{}", "=".repeat(total.max(title.len())));
-    let header_line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
     println!("{}", header_line.join(" | "));
     println!("{}", "-".repeat(total.max(title.len())));
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
         println!("{}", line.join(" | "));
     }
 }
@@ -93,7 +154,13 @@ pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], rows: &[Vec<String>])
         // Quote cells containing commas.
         let cells: Vec<String> = row
             .iter()
-            .map(|c| if c.contains(',') { format!("\"{c}\"") } else { c.clone() })
+            .map(|c| {
+                if c.contains(',') {
+                    format!("\"{c}\"")
+                } else {
+                    c.clone()
+                }
+            })
             .collect();
         out.push_str(&cells.join(","));
         out.push('\n');
@@ -116,11 +183,42 @@ mod tests {
 
     #[test]
     fn loss_relative_subtracts_and_propagates() {
-        let base = Stat { mean: 0.78, std: 0.003 };
-        let cfg = Stat { mean: 0.74, std: 0.004 };
+        let base = Stat {
+            mean: 0.78,
+            std: 0.003,
+        };
+        let cfg = Stat {
+            mean: 0.74,
+            std: 0.004,
+        };
         let loss = cfg.loss_relative_to(base);
         assert!((loss.mean - 0.04).abs() < 1e-12);
         assert!((loss.std - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_trait_defaults_write_main_csv() {
+        struct Demo;
+        impl Report for Demo {
+            fn title(&self) -> String {
+                "demo".into()
+            }
+            fn headers(&self) -> Vec<String> {
+                vec!["a".into(), "b".into()]
+            }
+            fn rows(&self) -> Vec<Vec<String>> {
+                vec![vec!["1".into(), "2".into()]]
+            }
+            fn csv_stem(&self) -> &'static str {
+                "demo"
+            }
+        }
+        let dir = std::env::temp_dir().join("ams_exp_report_trait_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        Demo.report(&dir, "t");
+        let text = std::fs::read_to_string(dir.join("demo_t.csv")).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

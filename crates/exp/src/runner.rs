@@ -16,9 +16,10 @@ use ams_data::SynthImageNet;
 use ams_models::{FreezePolicy, HardwareConfig, ResNetMini};
 use ams_nn::Checkpoint;
 use ams_quant::QuantConfig;
+use ams_tensor::ExecCtx;
 use serde::{Deserialize, Serialize};
 
-use crate::report::{print_table, write_csv, Stat};
+use crate::report::{print_table, write_csv, Report, Stat};
 use crate::scale::Scale;
 use crate::train::{eval_passes, train_scheduled, train_with_eval};
 
@@ -45,13 +46,32 @@ pub struct Experiments {
     scale: Scale,
     dir: PathBuf,
     data: SynthImageNet,
+    ctx: ExecCtx,
 }
 
 impl Experiments {
     /// Creates the suite, generating the dataset for the given scale.
     pub fn new(scale: Scale, results_dir: impl AsRef<Path>) -> Self {
         let data = scale.synth.generate();
-        Experiments { scale, dir: results_dir.as_ref().to_path_buf(), data }
+        Experiments {
+            scale,
+            dir: results_dir.as_ref().to_path_buf(),
+            data,
+            ctx: ExecCtx::serial(),
+        }
+    }
+
+    /// Replaces the execution context (e.g. [`ExecCtx::auto`] to use every
+    /// core). Results are bit-identical for any thread count; only
+    /// wall-clock time changes.
+    pub fn with_ctx(mut self, ctx: ExecCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// The execution context threaded through training and evaluation.
+    pub fn ctx(&self) -> &ExecCtx {
+        &self.ctx
     }
 
     /// The active scale preset.
@@ -75,12 +95,17 @@ impl Experiments {
 
     /// Runs `build` unless both checkpoint and metadata for `key` are
     /// cached on disk; persists fresh results.
-    fn cached(&self, key: &str, build: impl FnOnce() -> (Checkpoint, TrainedMeta)) -> (Checkpoint, Stat) {
+    fn cached(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> (Checkpoint, TrainedMeta),
+    ) -> (Checkpoint, Stat) {
         let ckpt_path = self.path(&format!("{key}.ckpt"), "json");
         let meta_path = self.path(&format!("{key}.meta"), "json");
-        if let (Ok(ckpt), Ok(meta_text)) =
-            (Checkpoint::load_json(&ckpt_path), std::fs::read_to_string(&meta_path))
-        {
+        if let (Ok(ckpt), Ok(meta_text)) = (
+            Checkpoint::load_json(&ckpt_path),
+            std::fs::read_to_string(&meta_path),
+        ) {
             if let Ok(meta) = serde_json::from_str::<TrainedMeta>(&meta_text) {
                 return (ckpt, meta.accuracy);
             }
@@ -103,6 +128,7 @@ impl Experiments {
             let epochs = self.scale.fp32_epochs;
             let decay = [epochs * 3 / 5, epochs * 17 / 20];
             let out = train_scheduled(
+                &self.ctx,
                 &mut net,
                 &self.data.train,
                 &self.data.val,
@@ -113,6 +139,7 @@ impl Experiments {
                 &decay,
             );
             let stat = eval_passes(
+                &self.ctx,
                 &mut net,
                 &self.data.val,
                 self.scale.eval_passes,
@@ -120,7 +147,13 @@ impl Experiments {
                 false,
                 self.scale.seed ^ 0xEEEE,
             );
-            (out.best_checkpoint, TrainedMeta { accuracy: stat, best_epoch: out.best_epoch })
+            (
+                out.best_checkpoint,
+                TrainedMeta {
+                    accuracy: stat,
+                    best_epoch: out.best_epoch,
+                },
+            )
         })
     }
 
@@ -130,11 +163,15 @@ impl Experiments {
         let key = format!("quant_w{}a{}", quant.bw, quant.bx);
         let (fp32_ckpt, _) = self.fp32_baseline();
         self.cached(&key, || {
-            eprintln!("[{}] retraining quantized baseline {quant} ...", self.scale.name);
+            eprintln!(
+                "[{}] retraining quantized baseline {quant} ...",
+                self.scale.name
+            );
             let hw = HardwareConfig::quantized(quant);
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
             let out = train_with_eval(
+                &self.ctx,
                 &mut net,
                 &self.data.train,
                 &self.data.val,
@@ -144,6 +181,7 @@ impl Experiments {
                 self.scale.seed ^ 0x1111,
             );
             let stat = eval_passes(
+                &self.ctx,
                 &mut net,
                 &self.data.val,
                 self.scale.eval_passes,
@@ -151,7 +189,13 @@ impl Experiments {
                 false,
                 self.scale.seed ^ 0x2222,
             );
-            (out.best_checkpoint, TrainedMeta { accuracy: stat, best_epoch: out.best_epoch })
+            (
+                out.best_checkpoint,
+                TrainedMeta {
+                    accuracy: stat,
+                    best_epoch: out.best_epoch,
+                },
+            )
         })
     }
 
@@ -165,6 +209,7 @@ impl Experiments {
         let mut net = ResNetMini::new(&self.scale.arch, &hw);
         q_ckpt.load_into(&mut net).expect("architectures match");
         eval_passes(
+            &self.ctx,
             &mut net,
             &self.data.val,
             self.scale.eval_passes,
@@ -181,12 +226,16 @@ impl Experiments {
         let key = format!("ams_w{}a{}_e{}", quant.bw, quant.bx, format_enob(enob));
         let (fp32_ckpt, _) = self.fp32_baseline();
         self.cached(&key, || {
-            eprintln!("[{}] retraining with AMS error at ENOB {enob} ...", self.scale.name);
+            eprintln!(
+                "[{}] retraining with AMS error at ENOB {enob} ...",
+                self.scale.name
+            );
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
             let hw = HardwareConfig::ams(quant, vmac);
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
             let out = train_with_eval(
+                &self.ctx,
                 &mut net,
                 &self.data.train,
                 &self.data.val,
@@ -196,6 +245,7 @@ impl Experiments {
                 self.scale.seed ^ 0x3333,
             );
             let stat = eval_passes(
+                &self.ctx,
                 &mut net,
                 &self.data.val,
                 self.scale.eval_passes,
@@ -203,7 +253,13 @@ impl Experiments {
                 true,
                 self.scale.seed ^ 0x4444 ^ (enob * 1000.0) as u64,
             );
-            (out.best_checkpoint, TrainedMeta { accuracy: stat, best_epoch: out.best_epoch })
+            (
+                out.best_checkpoint,
+                TrainedMeta {
+                    accuracy: stat,
+                    best_epoch: out.best_epoch,
+                },
+            )
         })
     }
 
@@ -215,7 +271,10 @@ impl Experiments {
     pub fn table1(&self) -> Table1Result {
         let (_, fp32) = self.fp32_baseline();
         let rows = vec![
-            Table1Row { label: "FP32".to_string(), accuracy: fp32 },
+            Table1Row {
+                label: "FP32".to_string(),
+                accuracy: fp32,
+            },
             Table1Row {
                 label: "BW = 8, BX = 8".to_string(),
                 accuracy: self.quantized_baseline(QuantConfig::w8a8()).1,
@@ -256,13 +315,19 @@ impl Experiments {
     /// quantized network, eval-only vs retrained-with-error.
     pub fn fig4(&self) -> Fig4Result {
         let quant = QuantConfig::w8a8();
+        // Warm the shared checkpoints once so the concurrent sweep points
+        // below only ever read them from the cache.
         let (_, baseline) = self.quantized_baseline(quant);
-        let mut rows = Vec::new();
-        for &enob in &self.scale.enob_grid {
+        let _ = self.fp32_baseline();
+        let rows = self.ctx.parallel_map(&self.scale.enob_grid, |&enob| {
             let eval_only = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
             let retrained = self.ams_retrained(quant, enob).1.loss_relative_to(baseline);
-            rows.push(Fig4Row { enob, eval_only, retrained });
-        }
+            Fig4Row {
+                enob,
+                eval_only,
+                retrained,
+            }
+        });
         Fig4Result { baseline, rows }
     }
 
@@ -271,11 +336,12 @@ impl Experiments {
     pub fn fig5(&self) -> Fig5Result {
         let quant = QuantConfig::w6a6();
         let (_, baseline) = self.quantized_baseline(quant);
-        let mut rows = Vec::new();
-        for &enob in &self.scale.enob_grid_6b {
-            let eval_only = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
-            rows.push((enob, eval_only));
-        }
+        let rows = self.ctx.parallel_map(&self.scale.enob_grid_6b, |&enob| {
+            (
+                enob,
+                self.ams_eval_only(quant, enob).loss_relative_to(baseline),
+            )
+        });
         Fig5Result { baseline, rows }
     }
 
@@ -290,17 +356,22 @@ impl Experiments {
         let (_, baseline) = self.quantized_baseline(quant);
         let (fp32_ckpt, _) = self.fp32_baseline();
         let enob = self.scale.table2_enob;
-        let mut rows = Vec::new();
-        for policy in FreezePolicy::ALL {
+        // Every freezing variant retrains independently from the shared
+        // FP32 checkpoint warmed above — run them concurrently.
+        let rows = self.ctx.parallel_map(&FreezePolicy::ALL, |&policy| {
             let key = format!("table2_{policy}").replace(' ', "_").to_lowercase();
             let (_, stat) = self.cached(&key, || {
-                eprintln!("[{}] table2: retraining with frozen {policy} ...", self.scale.name);
+                eprintln!(
+                    "[{}] table2: retraining with frozen {policy} ...",
+                    self.scale.name
+                );
                 let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
                 let hw = HardwareConfig::ams(quant, vmac);
                 let mut net = ResNetMini::new(&self.scale.arch, &hw);
                 fp32_ckpt.load_into(&mut net).expect("architectures match");
                 net.apply_freeze(policy);
                 let out = train_with_eval(
+                    &self.ctx,
                     &mut net,
                     &self.data.train,
                     &self.data.val,
@@ -310,6 +381,7 @@ impl Experiments {
                     self.scale.seed ^ 0x5555,
                 );
                 let stat = eval_passes(
+                    &self.ctx,
                     &mut net,
                     &self.data.val,
                     self.scale.eval_passes,
@@ -317,14 +389,27 @@ impl Experiments {
                     true,
                     self.scale.seed ^ 0x6666,
                 );
-                (out.best_checkpoint, TrainedMeta { accuracy: stat, best_epoch: out.best_epoch })
+                (
+                    out.best_checkpoint,
+                    TrainedMeta {
+                        accuracy: stat,
+                        best_epoch: out.best_epoch,
+                    },
+                )
             });
-            rows.push(Table2Row { policy, loss: stat.loss_relative_to(baseline) });
-        }
+            Table2Row {
+                policy,
+                loss: stat.loss_relative_to(baseline),
+            }
+        });
         // Reference: no retraining at all (eval-only) bounds the damage
         // retraining is recovering from.
         let eval_only_loss = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
-        Table2Result { enob, rows, eval_only_loss }
+        Table2Result {
+            enob,
+            rows,
+            eval_only_loss,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -341,7 +426,12 @@ impl Experiments {
         let (fp_ckpt, _) = self.fp32_baseline();
         variants.push(("FP32".to_string(), HardwareConfig::fp32(), fp_ckpt, None));
         let (q_ckpt, _) = self.quantized_baseline(quant);
-        variants.push(("Quantized".to_string(), HardwareConfig::quantized(quant), q_ckpt, None));
+        variants.push((
+            "Quantized".to_string(),
+            HardwareConfig::quantized(quant),
+            q_ckpt,
+            None,
+        ));
         for &enob in &self.scale.fig6_enobs {
             let (ckpt, _) = self.ams_retrained(quant, enob);
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
@@ -360,7 +450,8 @@ impl Experiments {
             ckpt.load_into(&mut net).expect("architectures match");
             net.set_probes(true);
             // One pass over the validation set accumulates the means.
-            let _ = crate::train::eval_accuracy(&mut net, &self.data.val, self.scale.batch);
+            let _ =
+                crate::train::eval_accuracy(&self.ctx, &mut net, &self.data.val, self.scale.batch);
             let means = net.probe_means();
             if layer_names.is_empty() {
                 layer_names = means.iter().map(|(n, _)| n.clone()).collect();
@@ -381,7 +472,11 @@ impl Experiments {
 
         // The paper's headline: in most conv layers the AMS-retrained
         // network pushes |mean| beyond the quantized network's.
-        let quant_row = rows.iter().find(|r| r.label == "Quantized").expect("variant exists").clone();
+        let quant_row = rows
+            .iter()
+            .find(|r| r.label == "Quantized")
+            .expect("variant exists")
+            .clone();
         let mut pushed = Vec::new();
         for row in rows.iter().filter(|r| r.enob.is_some()) {
             let count = row
@@ -410,12 +505,18 @@ impl Experiments {
                 monotone_push_layers.push(name.clone());
             }
             let push = series.last().copied().unwrap_or(0.0) - quant_abs;
-            if best_layer.as_ref().map_or(true, |(_, p)| push > *p) {
+            if best_layer.as_ref().is_none_or(|(_, p)| push > *p) {
                 best_layer = Some((name.clone(), push));
             }
         }
         let representative_layer = best_layer.map(|(n, _)| n);
-        Fig6Result { layer_names, rows, pushed_away_counts: pushed, monotone_push_layers, representative_layer }
+        Fig6Result {
+            layer_names,
+            rows,
+            pushed_away_counts: pushed,
+            monotone_push_layers,
+            representative_layer,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -435,8 +536,17 @@ impl Experiments {
             fom_line.push((enob, schreier_energy_pj(enob, SCHREIER_FOM_DB)));
             enob += 0.5;
         }
-        let violations = points.iter().filter(|p| p.energy_pj < adc_energy_pj(p.enob) * 0.999).count();
-        Fig7Result { points, hull, model_line, fom_line, violations }
+        let violations = points
+            .iter()
+            .filter(|p| p.energy_pj < adc_energy_pj(p.enob) * 0.999)
+            .count();
+        Fig7Result {
+            points,
+            hull,
+            model_line,
+            fom_line,
+            violations,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -448,8 +558,11 @@ impl Experiments {
     /// retrained curve exactly as the paper maps its `N_mult = 8` results.
     pub fn fig8(&self) -> Fig8Result {
         let fig4 = self.fig4();
-        let points: Vec<(f64, f64)> =
-            fig4.rows.iter().map(|r| (r.enob, r.retrained.mean.max(0.0))).collect();
+        let points: Vec<(f64, f64)> = fig4
+            .rows
+            .iter()
+            .map(|r| (r.enob, r.retrained.mean.max(0.0)))
+            .collect();
         let curve = AccuracyCurve::new(8, points).expect("fig4 grid has ≥2 distinct ENOBs");
         let grid = TradeoffGrid::evaluate(&curve, &self.scale.enob_grid, &self.scale.fig8_n_mults);
         let targets = [0.004, 0.01, 0.02];
@@ -464,13 +577,25 @@ impl Experiments {
         // headline fJ/MAC numbers must come back out.
         let paper_curve = AccuracyCurve::paper_resnet50_reference();
         let paper_enobs: Vec<f64> = (0..21).map(|i| 9.0 + 0.25 * i as f64).collect();
-        let paper_grid = TradeoffGrid::evaluate(&paper_curve, &paper_enobs, &self.scale.fig8_n_mults);
+        let paper_grid =
+            TradeoffGrid::evaluate(&paper_curve, &paper_enobs, &self.scale.fig8_n_mults);
         let paper_min_energy: Vec<(f64, Option<f64>)> = targets
             .iter()
-            .map(|&t| (t, paper_grid.min_energy_for_loss(t).map(|p| p.mac_energy_fj)))
+            .map(|&t| {
+                (
+                    t,
+                    paper_grid.min_energy_for_loss(t).map(|p| p.mac_energy_fj),
+                )
+            })
             .collect();
 
-        Fig8Result { curve, grid, min_energy, level_curve_deviation: deviation, paper_min_energy }
+        Fig8Result {
+            curve,
+            grid,
+            min_energy,
+            level_curve_deviation: deviation,
+            paper_min_energy,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -493,26 +618,41 @@ impl Experiments {
 
         // (b) ΔΣ error recycling.
         let vmac = Vmac::new(8, 8, 8, 8.0);
-        let plain = VmacSimulator::new(vmac, AdcBehavior::Quantizing)
-            .empirical_rms_error(512, 200, self.scale.seed);
-        let ds = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: 2.0 })
-            .empirical_rms_error(512, 200, self.scale.seed);
+        let plain = VmacSimulator::new(vmac, AdcBehavior::Quantizing).empirical_rms_error(
+            512,
+            200,
+            self.scale.seed,
+        );
+        let ds = VmacSimulator::new(
+            vmac,
+            AdcBehavior::DeltaSigma {
+                final_extra_bits: 2.0,
+            },
+        )
+        .empirical_rms_error(512, 200, self.scale.seed);
 
-        // (c) Reference scaling sweep.
-        let mut refscale = Vec::new();
-        for &alpha in &[1.0f64, 0.5, 0.25, 0.1, 0.05] {
-            let sim = VmacSimulator::new(vmac, AdcBehavior::RefScaled { alpha });
-            refscale.push((
-                alpha,
-                sim.empirical_rms_error(256, 200, self.scale.seed),
-                sim.clip_fraction(256, 50, self.scale.seed),
-            ));
-        }
+        // (c) Reference scaling sweep — independent simulations, run
+        // concurrently.
+        let refscale = self
+            .ctx
+            .parallel_map(&[1.0f64, 0.5, 0.25, 0.1, 0.05], |&alpha| {
+                let sim = VmacSimulator::new(vmac, AdcBehavior::RefScaled { alpha });
+                (
+                    alpha,
+                    sim.empirical_rms_error(256, 200, self.scale.seed),
+                    sim.clip_fraction(256, 50, self.scale.seed),
+                )
+            });
 
         // (d) Multiplication partitioning (9-bit operands split cleanly).
         let base = Vmac::new(9, 9, 8, 14.0);
         let mut partition = Vec::new();
-        for &(nw, nx, slice_enob) in &[(1u32, 1u32, 14.0f64), (2, 2, 12.0), (2, 2, 10.0), (4, 4, 8.0)] {
+        for &(nw, nx, slice_enob) in &[
+            (1u32, 1u32, 14.0f64),
+            (2, 2, 12.0),
+            (2, 2, 10.0),
+            (4, 4, 8.0),
+        ] {
             let p = PartitionedVmac::new(base, nw, nx, slice_enob).expect("clean splits");
             partition.push((
                 nw,
@@ -531,13 +671,17 @@ impl Experiments {
         let (fp32_ckpt, _) = self.fp32_baseline();
         let (_, normal) = self.ams_retrained(quant, enob);
         let (_, with_last) = self.cached("ablation_lastlayer", || {
-            eprintln!("[{}] ablation: retraining WITH last-layer injection ...", self.scale.name);
+            eprintln!(
+                "[{}] ablation: retraining WITH last-layer injection ...",
+                self.scale.name
+            );
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
             let mut hw = HardwareConfig::ams(quant, vmac);
             hw.inject_last_layer_train = true;
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
             let out = train_with_eval(
+                &self.ctx,
                 &mut net,
                 &self.data.train,
                 &self.data.val,
@@ -547,6 +691,7 @@ impl Experiments {
                 self.scale.seed ^ 0x7777,
             );
             let stat = eval_passes(
+                &self.ctx,
                 &mut net,
                 &self.data.val,
                 self.scale.eval_passes,
@@ -554,38 +699,53 @@ impl Experiments {
                 true,
                 self.scale.seed ^ 0x8888,
             );
-            (out.best_checkpoint, TrainedMeta { accuracy: stat, best_epoch: out.best_epoch })
+            (
+                out.best_checkpoint,
+                TrainedMeta {
+                    accuracy: stat,
+                    best_epoch: out.best_epoch,
+                },
+            )
         });
 
         // (f) Network-level per-VMAC evaluation (paper §4's fine-grained
         // mode, eval only) against the lumped Gaussian, at a severe and a
         // moderate noise level.
         let (q_ckpt, _) = self.quantized_baseline(quant);
-        let mut per_vmac_network = Vec::new();
-        for level in [enob, enob + 1.5] {
+        let per_vmac_network = self.ctx.parallel_map(&[enob, enob + 1.5], |&level| {
             let vmac_net = Vmac::new(quant.bw, quant.bx, 8, level);
             let lumped_stat = self.ams_eval_only(quant, level);
             let hw_pv = HardwareConfig::ams_eval_only(quant, vmac_net).with_per_vmac_eval();
             let mut pv_net = ResNetMini::new(&self.scale.arch, &hw_pv);
             q_ckpt.load_into(&mut pv_net).expect("architectures match");
-            let acc =
-                f64::from(crate::train::eval_accuracy(&mut pv_net, &self.data.val, self.scale.batch));
-            per_vmac_network.push((level, lumped_stat, acc));
-        }
+            let acc = f64::from(crate::train::eval_accuracy(
+                &self.ctx,
+                &mut pv_net,
+                &self.data.val,
+                self.scale.batch,
+            ));
+            (level, lumped_stat, acc)
+        });
 
-        // (g) Static device mismatch sweep on the quantized network.
-        let mut mismatch = Vec::new();
-        for &sigma in &[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.40] {
-            let mut hw = HardwareConfig::quantized(quant);
-            if sigma > 0.0 {
-                hw = hw.with_mismatch(MismatchModel::new(sigma, self.scale.seed));
-            }
-            let mut net = ResNetMini::new(&self.scale.arch, &hw);
-            q_ckpt.load_into(&mut net).expect("architectures match");
-            let acc =
-                f64::from(crate::train::eval_accuracy(&mut net, &self.data.val, self.scale.batch));
-            mismatch.push((sigma, acc));
-        }
+        // (g) Static device mismatch sweep on the quantized network —
+        // every sigma evaluates an independent network, concurrently.
+        let mismatch = self
+            .ctx
+            .parallel_map(&[0.0f64, 0.02, 0.05, 0.10, 0.20, 0.40], |&sigma| {
+                let mut hw = HardwareConfig::quantized(quant);
+                if sigma > 0.0 {
+                    hw = hw.with_mismatch(MismatchModel::new(sigma, self.scale.seed));
+                }
+                let mut net = ResNetMini::new(&self.scale.arch, &hw);
+                q_ckpt.load_into(&mut net).expect("architectures match");
+                let acc = f64::from(crate::train::eval_accuracy(
+                    &self.ctx,
+                    &mut net,
+                    &self.data.val,
+                    self.scale.batch,
+                ));
+                (sigma, acc)
+            });
 
         AblationReport {
             lumped_vs_sim,
@@ -627,26 +787,38 @@ pub struct Table1Result {
     pub rows: Vec<Table1Row>,
 }
 
-impl Table1Result {
-    /// Prints the table and writes `table1_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let rows: Vec<Vec<String>> = self
-            .rows
+impl Report for Table1Result {
+    fn title(&self) -> String {
+        "Table 1: top-1 accuracy per quantization (retrained with DoReFa, no AMS error)".to_string()
+    }
+
+    fn headers(&self) -> Vec<String> {
+        ["Quantization", "Top-1 Accuracy", "Samp. Std. Dev."]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.rows
             .iter()
             .map(|r| {
-                vec![r.label.clone(), format!("{:.4}", r.accuracy.mean), format!("{:.2e}", r.accuracy.std)]
+                vec![
+                    r.label.clone(),
+                    format!("{:.4}", r.accuracy.mean),
+                    format!("{:.2e}", r.accuracy.std),
+                ]
             })
-            .collect();
-        print_table(
-            "Table 1: top-1 accuracy per quantization (retrained with DoReFa, no AMS error)",
-            &["Quantization", "Top-1 Accuracy", "Samp. Std. Dev."],
-            &rows,
-        );
-        let _ = write_csv(
-            dir.join(format!("table1_{scale_name}.csv")),
-            &["quantization", "top1_accuracy", "sample_std"],
-            &rows,
-        );
+            .collect()
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "table1"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        ["quantization", "top1_accuracy", "sample_std"]
+            .map(String::from)
+            .to_vec()
     }
 }
 
@@ -670,11 +842,22 @@ pub struct Fig4Result {
     pub rows: Vec<Fig4Row>,
 }
 
-impl Fig4Result {
-    /// Prints the series and writes `fig4_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let rows: Vec<Vec<String>> = self
-            .rows
+impl Report for Fig4Result {
+    fn title(&self) -> String {
+        format!(
+            "Figure 4: top-1 accuracy loss vs ENOB (Nmult = 8) re: 8b quantized (baseline {:.4})",
+            self.baseline.mean
+        )
+    }
+
+    fn headers(&self) -> Vec<String> {
+        ["ENOB", "Loss (eval only)", "±", "Loss (retrained)", "±"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.rows
             .iter()
             .map(|r| {
                 vec![
@@ -685,20 +868,23 @@ impl Fig4Result {
                     format!("{:.2e}", r.retrained.std),
                 ]
             })
-            .collect();
-        print_table(
-            &format!(
-                "Figure 4: top-1 accuracy loss vs ENOB (Nmult = 8) re: 8b quantized (baseline {:.4})",
-                self.baseline.mean
-            ),
-            &["ENOB", "Loss (eval only)", "±", "Loss (retrained)", "±"],
-            &rows,
-        );
-        let _ = write_csv(
-            dir.join(format!("fig4_{scale_name}.csv")),
-            &["enob", "loss_eval_only", "std_eval_only", "loss_retrained", "std_retrained"],
-            &rows,
-        );
+            .collect()
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "fig4"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        [
+            "enob",
+            "loss_eval_only",
+            "std_eval_only",
+            "loss_retrained",
+            "std_retrained",
+        ]
+        .map(String::from)
+        .to_vec()
     }
 }
 
@@ -711,27 +897,37 @@ pub struct Fig5Result {
     pub rows: Vec<(f64, Stat)>,
 }
 
-impl Fig5Result {
-    /// Prints the series and writes `fig5_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let rows: Vec<Vec<String>> = self
-            .rows
+impl Report for Fig5Result {
+    fn title(&self) -> String {
+        format!(
+            "Figure 5: top-1 accuracy loss vs ENOB (Nmult = 8) re: 6b quantized (baseline {:.4}), eval only",
+            self.baseline.mean
+        )
+    }
+
+    fn headers(&self) -> Vec<String> {
+        ["ENOB", "Loss (eval only)", "±"].map(String::from).to_vec()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.rows
             .iter()
-            .map(|(e, s)| vec![format!("{e:.1}"), format!("{:+.4}", s.mean), format!("{:.2e}", s.std)])
-            .collect();
-        print_table(
-            &format!(
-                "Figure 5: top-1 accuracy loss vs ENOB (Nmult = 8) re: 6b quantized (baseline {:.4}), eval only",
-                self.baseline.mean
-            ),
-            &["ENOB", "Loss (eval only)", "±"],
-            &rows,
-        );
-        let _ = write_csv(
-            dir.join(format!("fig5_{scale_name}.csv")),
-            &["enob", "loss_eval_only", "std"],
-            &rows,
-        );
+            .map(|(e, s)| {
+                vec![
+                    format!("{e:.1}"),
+                    format!("{:+.4}", s.mean),
+                    format!("{:.2e}", s.std),
+                ]
+            })
+            .collect()
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        ["enob", "loss_eval_only", "std"].map(String::from).to_vec()
     }
 }
 
@@ -755,29 +951,51 @@ pub struct Table2Result {
     pub eval_only_loss: Stat,
 }
 
-impl Table2Result {
-    /// Prints the table and writes `table2_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let rows: Vec<Vec<String>> = self
-            .rows
+impl Report for Table2Result {
+    fn title(&self) -> String {
+        format!(
+            "Table 2: selective freezing during AMS retraining (ENOB = {:.1}, Nmult = 8)",
+            self.enob
+        )
+    }
+
+    fn headers(&self) -> Vec<String> {
+        [
+            "Frozen Layers",
+            "Top-1 Accuracy Loss re: 8b",
+            "Samp. Std. Dev.",
+        ]
+        .map(String::from)
+        .to_vec()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.rows
             .iter()
             .map(|r| {
-                vec![r.policy.to_string(), format!("{:+.4}", r.loss.mean), format!("{:.2e}", r.loss.std)]
+                vec![
+                    r.policy.to_string(),
+                    format!("{:+.4}", r.loss.mean),
+                    format!("{:.2e}", r.loss.std),
+                ]
             })
-            .collect();
-        print_table(
-            &format!("Table 2: selective freezing during AMS retraining (ENOB = {:.1}, Nmult = 8)", self.enob),
-            &["Frozen Layers", "Top-1 Accuracy Loss re: 8b", "Samp. Std. Dev."],
-            &rows,
-        );
+            .collect()
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "table2"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        ["frozen", "loss_re_8b", "sample_std"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn print_extra(&self) {
         println!(
             "reference (no retraining, eval-only): loss {:+.4} ± {:.1e}",
             self.eval_only_loss.mean, self.eval_only_loss.std
-        );
-        let _ = write_csv(
-            dir.join(format!("table2_{scale_name}.csv")),
-            &["frozen", "loss_re_8b", "sample_std"],
-            &rows,
         );
     }
 }
@@ -815,22 +1033,38 @@ pub struct Fig6Result {
     pub representative_layer: Option<String>,
 }
 
-impl Fig6Result {
-    /// Prints per-layer means and the pushed-away summary; writes
-    /// `fig6_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let mut rows = Vec::new();
-        for (li, name) in self.layer_names.iter().enumerate() {
-            let mut row = vec![name.clone()];
-            for variant in &self.rows {
-                row.push(format!("{:+.4}", variant.means[li]));
-            }
-            rows.push(row);
-        }
-        let headers: Vec<&str> = std::iter::once("layer")
-            .chain(self.rows.iter().map(|r| r.label.as_str()))
-            .collect();
-        print_table("Figure 6: mean conv-output activation across the validation set", &headers, &rows);
+impl Report for Fig6Result {
+    fn title(&self) -> String {
+        "Figure 6: mean conv-output activation across the validation set".to_string()
+    }
+
+    fn headers(&self) -> Vec<String> {
+        std::iter::once("layer".to_string())
+            .chain(self.rows.iter().map(|r| r.label.clone()))
+            .collect()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.layer_names
+            .iter()
+            .enumerate()
+            .map(|(li, name)| {
+                std::iter::once(name.clone())
+                    .chain(
+                        self.rows
+                            .iter()
+                            .map(|variant| format!("{:+.4}", variant.means[li])),
+                    )
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn print_extra(&self) {
         for (label, n, total) in &self.pushed_away_counts {
             println!("{label}: activation means pushed away from zero (|mean| > quantized) in {n} of {total} conv layers");
         }
@@ -845,7 +1079,6 @@ impl Fig6Result {
         if let Some(layer) = &self.representative_layer {
             println!("representative layer (largest push at highest noise): {layer}");
         }
-        let _ = write_csv(dir.join(format!("fig6_{scale_name}.csv")), &headers, &rows);
     }
 }
 
@@ -864,25 +1097,45 @@ pub struct Fig7Result {
     pub violations: usize,
 }
 
-impl Fig7Result {
-    /// Prints the hull vs the model and writes both CSVs.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let rows: Vec<Vec<String>> = self
-            .hull
+impl Report for Fig7Result {
+    fn title(&self) -> String {
+        format!(
+            "Figure 7: ADC survey lower hull vs Eq. 3 model ({} synthetic points, {} below bound)",
+            self.points.len(),
+            self.violations
+        )
+    }
+
+    fn headers(&self) -> Vec<String> {
+        ["ENOB (bin)", "Survey min P/fsnyq [pJ]", "Model bound [pJ]"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.hull
             .iter()
             .map(|(e, p)| {
-                vec![format!("{e:.2}"), format!("{p:.4}"), format!("{:.4}", adc_energy_pj(*e))]
+                vec![
+                    format!("{e:.2}"),
+                    format!("{p:.4}"),
+                    format!("{:.4}", adc_energy_pj(*e)),
+                ]
             })
-            .collect();
-        print_table(
-            &format!(
-                "Figure 7: ADC survey lower hull vs Eq. 3 model ({} synthetic points, {} below bound)",
-                self.points.len(),
-                self.violations
-            ),
-            &["ENOB (bin)", "Survey min P/fsnyq [pJ]", "Model bound [pJ]"],
-            &rows,
-        );
+            .collect()
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "fig7_hull"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        ["enob_bin", "survey_min_pj", "model_pj"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn write_extra_csvs(&self, dir: &Path, scale_name: &str) {
         let point_rows: Vec<Vec<String>> = self
             .points
             .iter()
@@ -900,11 +1153,6 @@ impl Fig7Result {
             dir.join(format!("fig7_points_{scale_name}.csv")),
             &["year", "venue", "enob", "energy_pj", "fom_db"],
             &point_rows,
-        );
-        let _ = write_csv(
-            dir.join(format!("fig7_hull_{scale_name}.csv")),
-            &["enob_bin", "survey_min_pj", "model_pj"],
-            &rows,
         );
     }
 }
@@ -927,10 +1175,18 @@ pub struct Fig8Result {
     pub paper_min_energy: Vec<(f64, Option<f64>)>,
 }
 
-impl Fig8Result {
-    /// Prints the loss grid with energy level curves and writes
-    /// `fig8_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
+impl Report for Fig8Result {
+    fn title(&self) -> String {
+        "Figure 8: accuracy loss / energy per MAC over (ENOB, Nmult)".to_string()
+    }
+
+    fn headers(&self) -> Vec<String> {
+        std::iter::once("ENOB".to_string())
+            .chain(self.grid.n_mults().iter().map(|n| format!("Nmult={n}")))
+            .collect()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
         let mut rows = Vec::new();
         for (ei, &enob) in self.grid.enobs().iter().enumerate() {
             let mut row = vec![format!("{enob:.1}")];
@@ -940,26 +1196,54 @@ impl Fig8Result {
             }
             rows.push(row);
         }
-        let n_mult_headers: Vec<String> =
-            self.grid.n_mults().iter().map(|n| format!("Nmult={n}")).collect();
-        let headers: Vec<&str> = std::iter::once("ENOB")
-            .chain(n_mult_headers.iter().map(|s| s.as_str()))
-            .collect();
-        print_table("Figure 8: accuracy loss / energy per MAC over (ENOB, Nmult)", &headers, &rows);
+        rows
+    }
+
+    fn csv_stem(&self) -> &'static str {
+        "fig8"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        ["enob", "n_mult", "loss", "mac_energy_fj"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn csv_rows(&self) -> Vec<Vec<String>> {
+        self.grid
+            .cells()
+            .iter()
+            .map(|c| {
+                vec![
+                    format!("{:.2}", c.enob),
+                    c.n_mult.to_string(),
+                    format!("{:.6}", c.loss),
+                    format!("{:.3}", c.mac_energy_fj),
+                ]
+            })
+            .collect()
+    }
+
+    fn print_extra(&self) {
         for (target, energy) in &self.min_energy {
             match energy {
                 Some(fj) => println!(
                     "< {:.1}% accuracy loss requires at least ~{fj:.0} fJ/MAC",
                     target * 100.0
                 ),
-                None => println!("< {:.1}% accuracy loss: no design point on this grid qualifies", target * 100.0),
+                None => println!(
+                    "< {:.1}% accuracy loss: no design point on this grid qualifies",
+                    target * 100.0
+                ),
             }
         }
         println!(
             "level curves parallel in thermal region: max relative energy deviation {:.2e}",
             self.level_curve_deviation
         );
-        println!("\nvalidation with the paper's digitized ResNet-50 curve through the same machinery:");
+        println!(
+            "\nvalidation with the paper's digitized ResNet-50 curve through the same machinery:"
+        );
         for (target, energy) in &self.paper_min_energy {
             match energy {
                 Some(fj) => println!(
@@ -974,24 +1258,6 @@ impl Fig8Result {
                 None => println!("  < {:.1}% loss: no qualifying design", target * 100.0),
             }
         }
-        let csv_rows: Vec<Vec<String>> = self
-            .grid
-            .cells()
-            .iter()
-            .map(|c| {
-                vec![
-                    format!("{:.2}", c.enob),
-                    c.n_mult.to_string(),
-                    format!("{:.6}", c.loss),
-                    format!("{:.3}", c.mac_energy_fj),
-                ]
-            })
-            .collect();
-        let _ = write_csv(
-            dir.join(format!("fig8_{scale_name}.csv")),
-            &["enob", "n_mult", "loss", "mac_energy_fj"],
-            &csv_rows,
-        );
     }
 }
 
@@ -1019,22 +1285,50 @@ pub struct AblationReport {
     pub mismatch: Vec<(f64, f64)>,
 }
 
-impl AblationReport {
-    /// Prints every ablation table and writes `ablations_<scale>.csv`.
-    pub fn report(&self, dir: &Path, scale_name: &str) {
-        let rows: Vec<Vec<String>> = self
-            .lumped_vs_sim
+impl Report for AblationReport {
+    fn title(&self) -> String {
+        "Ablation A: lumped Gaussian model (Eq. 2) vs per-VMAC quantizing simulation".to_string()
+    }
+
+    fn headers(&self) -> Vec<String> {
+        ["ENOB", "N_tot", "Model sigma", "Empirical RMS", "Ratio"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn rows(&self) -> Vec<Vec<String>> {
+        self.lumped_vs_sim
             .iter()
             .map(|(e, n, m, s)| {
-                vec![format!("{e:.1}"), n.to_string(), format!("{m:.5}"), format!("{s:.5}"), format!("{:.3}", s / m)]
+                vec![
+                    format!("{e:.1}"),
+                    n.to_string(),
+                    format!("{m:.5}"),
+                    format!("{s:.5}"),
+                    format!("{:.3}", s / m),
+                ]
             })
-            .collect();
-        print_table(
-            "Ablation A: lumped Gaussian model (Eq. 2) vs per-VMAC quantizing simulation",
-            &["ENOB", "N_tot", "Model sigma", "Empirical RMS", "Ratio"],
-            &rows,
-        );
+            .collect()
+    }
 
+    fn csv_stem(&self) -> &'static str {
+        "ablations_lumped"
+    }
+
+    fn csv_headers(&self) -> Vec<String> {
+        ["enob", "n_tot", "model_sigma", "empirical_rms"]
+            .map(String::from)
+            .to_vec()
+    }
+
+    fn csv_rows(&self) -> Vec<Vec<String>> {
+        self.lumped_vs_sim
+            .iter()
+            .map(|(e, n, m, s)| vec![format!("{e}"), n.to_string(), m.to_string(), s.to_string()])
+            .collect()
+    }
+
+    fn print_extra(&self) {
         println!(
             "\nAblation B: delta-sigma error recycling at ENOB 8, N_tot 512: plain RMS {:.5} -> recycled RMS {:.5} ({:.1}x reduction)",
             self.delta_sigma.0,
@@ -1046,7 +1340,11 @@ impl AblationReport {
             .refscale
             .iter()
             .map(|(a, rms, clip)| {
-                vec![format!("{a:.2}"), format!("{rms:.5}"), format!("{:.3}%", clip * 100.0)]
+                vec![
+                    format!("{a:.2}"),
+                    format!("{rms:.5}"),
+                    format!("{:.3}%", clip * 100.0),
+                ]
             })
             .collect();
         print_table(
@@ -1097,17 +1395,6 @@ impl AblationReport {
             &["device sigma", "top-1 accuracy"],
             &rows,
         );
-
-        let csv: Vec<Vec<String>> = self
-            .lumped_vs_sim
-            .iter()
-            .map(|(e, n, m, s)| vec![format!("{e}"), n.to_string(), m.to_string(), s.to_string()])
-            .collect();
-        let _ = write_csv(
-            dir.join(format!("ablations_lumped_{scale_name}.csv")),
-            &["enob", "n_tot", "model_sigma", "empirical_rms"],
-            &csv,
-        );
     }
 }
 
@@ -1127,7 +1414,10 @@ mod tests {
         let exp = Experiments::new(Scale::test(), &dir);
         let f7 = exp.fig7();
         assert_eq!(f7.points.len(), Scale::test().survey_points);
-        assert_eq!(f7.violations, 0, "synthetic survey must respect the Eq. 3 bound");
+        assert_eq!(
+            f7.violations, 0,
+            "synthetic survey must respect the Eq. 3 bound"
+        );
         assert!(!f7.hull.is_empty());
         let _ = std::fs::remove_dir_all(dir);
     }

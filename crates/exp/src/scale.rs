@@ -2,6 +2,7 @@
 
 use ams_data::SynthConfig;
 use ams_models::ResNetMiniConfig;
+use ams_tensor::ExecCtx;
 use serde::{Deserialize, Serialize};
 
 /// Everything that sizes an experiment run: dataset, architecture,
@@ -130,16 +131,20 @@ impl Scale {
         }
     }
 
-    /// Parses `--scale <name>` and `--results <dir>` from process
-    /// arguments, defaulting to `quick` and `results`.
+    /// Parses `--scale <name>`, `--results <dir>` and `--threads <n>` from
+    /// process arguments, defaulting to `quick`, `results` and all
+    /// available cores. `--threads 1` forces a fully serial run; any
+    /// thread count produces bit-identical results.
     ///
     /// # Panics
     ///
-    /// Panics with a usage message on an unknown scale or a dangling flag.
-    pub fn from_args() -> (Self, String) {
+    /// Panics with a usage message on an unknown scale, a dangling flag,
+    /// or a non-positive thread count.
+    pub fn from_args() -> (Self, String, ExecCtx) {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut scale = Scale::quick();
         let mut results = "results".to_string();
+        let mut ctx = ExecCtx::auto();
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -156,10 +161,21 @@ impl Scale {
                         .clone();
                     i += 2;
                 }
-                other => panic!("unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR]"),
+                "--threads" => {
+                    let n: usize = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--threads needs a value"))
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--threads needs a positive integer: {e}"));
+                    ctx = ExecCtx::with_threads(n);
+                    i += 2;
+                }
+                other => panic!(
+                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N]"
+                ),
             }
         }
-        (scale, results)
+        (scale, results, ctx)
     }
 }
 
@@ -187,7 +203,10 @@ mod tests {
             assert!(!s.enob_grid.is_empty());
             assert!(s.enob_grid.windows(2).all(|w| w[0] < w[1]), "{}", s.name);
             assert!(s.enob_grid_6b.windows(2).all(|w| w[0] < w[1]));
-            assert!(s.fig8_n_mults.contains(&8), "grid must include the reference N_mult");
+            assert!(
+                s.fig8_n_mults.contains(&8),
+                "grid must include the reference N_mult"
+            );
         }
     }
 }

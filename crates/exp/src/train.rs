@@ -3,7 +3,7 @@
 use ams_data::{Batcher, Dataset};
 use ams_models::ResNetMini;
 use ams_nn::{accuracy, softmax_cross_entropy, Checkpoint, Layer, Mode, Sgd};
-use ams_tensor::rng;
+use ams_tensor::{rng, ExecCtx};
 
 use crate::report::Stat;
 
@@ -35,7 +35,9 @@ pub struct TrainOutcome {
 /// # Panics
 ///
 /// Panics if `epochs == 0` or either dataset is empty.
+#[allow(clippy::too_many_arguments)]
 pub fn train_with_eval(
+    ctx: &ExecCtx,
     net: &mut ResNetMini,
     train: &Dataset,
     val: &Dataset,
@@ -44,7 +46,7 @@ pub fn train_with_eval(
     batch: usize,
     seed: u64,
 ) -> TrainOutcome {
-    train_scheduled(net, train, val, epochs, lr, batch, seed, &[])
+    train_scheduled(ctx, net, train, val, epochs, lr, batch, seed, &[])
 }
 
 /// [`train_with_eval`] with step learning-rate decay: the learning rate is
@@ -59,6 +61,7 @@ pub fn train_with_eval(
 /// Panics if `epochs == 0` or either dataset is empty.
 #[allow(clippy::too_many_arguments)]
 pub fn train_scheduled(
+    ctx: &ExecCtx,
     net: &mut ResNetMini,
     train: &Dataset,
     val: &Dataset,
@@ -69,7 +72,10 @@ pub fn train_scheduled(
     decay_at: &[usize],
 ) -> TrainOutcome {
     assert!(epochs > 0, "train_with_eval: zero epochs");
-    assert!(!train.is_empty() && !val.is_empty(), "train_with_eval: empty dataset");
+    assert!(
+        !train.is_empty() && !val.is_empty(),
+        "train_with_eval: empty dataset"
+    );
     let mut opt = Sgd::with_momentum(lr, 0.9).weight_decay(5e-4);
     let mut shuffle_rng = rng::seeded(seed);
     let mut best = TrainOutcome {
@@ -86,14 +92,14 @@ pub fn train_scheduled(
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for (images, labels) in Batcher::new(&augmented, batch, &mut shuffle_rng) {
-            let logits = net.forward(&images, Mode::Train);
+            let logits = net.forward(ctx, &images, Mode::Train);
             let (loss, grad) = softmax_cross_entropy(&logits, &labels);
-            net.backward(&grad);
+            net.backward(ctx, &grad);
             opt.step(net);
             loss_sum += f64::from(loss);
             batches += 1;
         }
-        let val_acc = f64::from(eval_accuracy(net, val, batch));
+        let val_acc = f64::from(eval_accuracy(ctx, net, val, batch));
         best.history.push((loss_sum / batches as f64, val_acc));
         if val_acc > best.best_val_acc {
             best.best_val_acc = val_acc;
@@ -102,7 +108,9 @@ pub fn train_scheduled(
         }
     }
     // Leave the network at its best epoch, as the paper reports it.
-    best.best_checkpoint.load_into(net).expect("own snapshot always loads");
+    best.best_checkpoint
+        .load_into(net)
+        .expect("own snapshot always loads");
     best
 }
 
@@ -111,12 +119,12 @@ pub fn train_scheduled(
 /// # Panics
 ///
 /// Panics if the dataset is empty.
-pub fn eval_accuracy(net: &mut ResNetMini, data: &Dataset, batch: usize) -> f32 {
+pub fn eval_accuracy(ctx: &ExecCtx, net: &mut ResNetMini, data: &Dataset, batch: usize) -> f32 {
     assert!(!data.is_empty(), "eval_accuracy: empty dataset");
     let mut correct_weighted = 0.0f64;
     let mut total = 0usize;
     for (images, labels) in Batcher::sequential(data, batch) {
-        let logits = net.forward(&images, Mode::Eval);
+        let logits = net.forward(ctx, &images, Mode::Eval);
         correct_weighted += f64::from(accuracy(&logits, &labels)) * labels.len() as f64;
         total += labels.len();
     }
@@ -138,6 +146,7 @@ pub fn eval_accuracy(net: &mut ResNetMini, data: &Dataset, batch: usize) -> f32 
 ///
 /// Panics if `passes == 0` or the dataset is empty.
 pub fn eval_passes(
+    ctx: &ExecCtx,
     net: &mut ResNetMini,
     val: &Dataset,
     passes: usize,
@@ -149,12 +158,16 @@ pub fn eval_passes(
     let mut samples = Vec::with_capacity(passes);
     for pass in 0..passes {
         let acc = if stochastic_eval {
-            net.reseed_noise(base_seed.wrapping_add(pass as u64).wrapping_mul(0x9E37_79B9));
-            eval_accuracy(net, val, batch)
+            net.reseed_noise(
+                base_seed
+                    .wrapping_add(pass as u64)
+                    .wrapping_mul(0x9E37_79B9),
+            );
+            eval_accuracy(ctx, net, val, batch)
         } else {
             let mut r = rng::seeded(base_seed.wrapping_add(pass as u64));
             let sub = val.subsample(0.8, &mut r);
-            eval_accuracy(net, &sub, batch)
+            eval_accuracy(ctx, net, &sub, batch)
         };
         samples.push(f64::from(acc));
     }
@@ -171,7 +184,16 @@ mod tests {
     fn training_learns_above_chance() {
         let data = SynthConfig::tiny().generate();
         let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &HardwareConfig::fp32());
-        let out = train_with_eval(&mut net, &data.train, &data.val, 6, 0.08, 16, 0);
+        let out = train_with_eval(
+            &ExecCtx::serial(),
+            &mut net,
+            &data.train,
+            &data.val,
+            6,
+            0.08,
+            16,
+            0,
+        );
         let chance = 1.0 / data.config().classes as f64;
         assert!(
             out.best_val_acc > chance + 0.15,
@@ -186,8 +208,8 @@ mod tests {
     fn eval_passes_deterministic_vs_stochastic() {
         let data = SynthConfig::tiny().generate();
         let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &HardwareConfig::fp32());
-        let s1 = eval_passes(&mut net, &data.val, 3, 16, false, 7);
-        let s2 = eval_passes(&mut net, &data.val, 3, 16, false, 7);
+        let s1 = eval_passes(&ExecCtx::serial(), &mut net, &data.val, 3, 16, false, 7);
+        let s2 = eval_passes(&ExecCtx::serial(), &mut net, &data.val, 3, 16, false, 7);
         assert_eq!(s1, s2, "same seeds, same subsamples, same stat");
     }
 }

@@ -1,7 +1,7 @@
 //! The residual basic block.
 
 use ams_nn::{BatchNorm2d, ClippedRelu, Layer, Mode, Param};
-use ams_tensor::Tensor;
+use ams_tensor::{ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::config::{HardwareConfig, InputKind};
@@ -21,11 +21,11 @@ use crate::qconv::QConv2d;
 /// ```
 /// use ams_models::{BasicBlock, HardwareConfig};
 /// use ams_nn::{Layer, Mode};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let mut blk = BasicBlock::new("s2.b0", 8, 16, 2, &HardwareConfig::fp32(), 3, &mut r);
-/// let y = blk.forward(&Tensor::zeros(&[1, 8, 8, 8]), Mode::Eval);
+/// let y = blk.forward(&ExecCtx::serial(), &Tensor::zeros(&[1, 8, 8, 8]), Mode::Eval);
 /// assert_eq!(y.dims(), &[1, 16, 4, 4]);
 /// ```
 #[derive(Debug)]
@@ -143,36 +143,36 @@ impl BasicBlock {
 }
 
 impl Layer for BasicBlock {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut main = self.conv1.forward(input, mode);
-        main = self.bn1.forward(&main, mode);
-        main = self.act1.forward(&main, mode);
-        main = self.conv2.forward(&main, mode);
-        main = self.bn2.forward(&main, mode);
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let mut main = self.conv1.forward(ctx, input, mode);
+        main = self.bn1.forward(ctx, &main, mode);
+        main = self.act1.forward(ctx, &main, mode);
+        main = self.conv2.forward(ctx, &main, mode);
+        main = self.bn2.forward(ctx, &main, mode);
         let skip = match &mut self.down {
             Some((conv, bn)) => {
-                let s = conv.forward(input, mode);
-                bn.forward(&s, mode)
+                let s = conv.forward(ctx, input, mode);
+                bn.forward(ctx, &s, mode)
             }
             None => input.clone(),
         };
         main.add_assign(&skip);
-        self.act2.forward(&main, mode)
+        self.act2.forward(ctx, &main, mode)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let g = self.act2.backward(grad_output);
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let g = self.act2.backward(ctx, grad_output);
         // Main path.
-        let mut gm = self.bn2.backward(&g);
-        gm = self.conv2.backward(&gm);
-        gm = self.act1.backward(&gm);
-        gm = self.bn1.backward(&gm);
-        gm = self.conv1.backward(&gm);
+        let mut gm = self.bn2.backward(ctx, &g);
+        gm = self.conv2.backward(ctx, &gm);
+        gm = self.act1.backward(ctx, &gm);
+        gm = self.bn1.backward(ctx, &gm);
+        gm = self.conv1.backward(ctx, &gm);
         // Skip path.
         let gs = match &mut self.down {
             Some((conv, bn)) => {
-                let gd = bn.backward(&g);
-                conv.backward(&gd)
+                let gd = bn.backward(ctx, &g);
+                conv.backward(ctx, &gd)
             }
             None => g,
         };
@@ -217,12 +217,20 @@ mod tests {
         let hw = HardwareConfig::fp32();
         let mut idb = BasicBlock::new("b", 8, 8, 1, &hw, 0, &mut r);
         assert!(!idb.has_projection());
-        let y = idb.forward(&Tensor::zeros(&[2, 8, 6, 6]), Mode::Eval);
+        let y = idb.forward(
+            &ExecCtx::serial(),
+            &Tensor::zeros(&[2, 8, 6, 6]),
+            Mode::Eval,
+        );
         assert_eq!(y.dims(), &[2, 8, 6, 6]);
 
         let mut pb = BasicBlock::new("b2", 8, 16, 2, &hw, 3, &mut r);
         assert!(pb.has_projection());
-        let y = pb.forward(&Tensor::zeros(&[2, 8, 6, 6]), Mode::Eval);
+        let y = pb.forward(
+            &ExecCtx::serial(),
+            &Tensor::zeros(&[2, 8, 6, 6]),
+            Mode::Eval,
+        );
         assert_eq!(y.dims(), &[2, 16, 3, 3]);
     }
 
@@ -233,7 +241,7 @@ mod tests {
         let mut blk = BasicBlock::new("b", 4, 4, 1, &hw, 0, &mut r);
         let mut x = Tensor::zeros(&[2, 4, 5, 5]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y = blk.forward(&x, Mode::Eval);
+        let y = blk.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert!(y.min() >= 0.0 && y.max() <= 1.0);
     }
 
@@ -244,8 +252,8 @@ mod tests {
         let mut blk = BasicBlock::new("b", 4, 8, 2, &hw, 0, &mut r);
         let mut x = Tensor::zeros(&[1, 4, 6, 6]);
         rng::fill_uniform(&mut x, 0.2, 0.8, &mut r);
-        let y = blk.forward(&x, Mode::Train);
-        let dx = blk.backward(&Tensor::ones(y.dims()));
+        let y = blk.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = blk.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
         assert_eq!(dx.dims(), x.dims());
         assert!(dx.max_abs() > 0.0);
         // All three convolutions received gradient.
@@ -268,15 +276,15 @@ mod tests {
             let mut r2 = rng::seeded(3);
             rng::fill_uniform(&mut Tensor::zeros(&[2, 2, 4, 4]), 0.0, 1.0, &mut r2); // burn the same init draws
             let mut blk = BasicBlock::new("b", 2, 2, 1, &hw, 0, &mut r2);
-            let y = blk.forward(x_, Mode::Train);
+            let y = blk.forward(&ExecCtx::serial(), x_, Mode::Train);
             0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
         };
 
         let mut r2 = rng::seeded(3);
         rng::fill_uniform(&mut Tensor::zeros(&[2, 2, 4, 4]), 0.0, 1.0, &mut r2);
         let mut blk = BasicBlock::new("b", 2, 2, 1, &hw, 0, &mut r2);
-        let y = blk.forward(&x, Mode::Train);
-        let dx = blk.backward(&y);
+        let y = blk.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = blk.backward(&ExecCtx::serial(), &y);
 
         let eps = 1e-2;
         let mut checked = 0;

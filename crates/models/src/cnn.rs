@@ -7,7 +7,7 @@
 //! can compare residual vs plain topologies under identical hardware.
 
 use ams_nn::{BatchNorm2d, ClippedRelu, Flatten, Layer, MaxPool2d, Mode, Param, Sequential};
-use ams_tensor::{rng, Tensor};
+use ams_tensor::{rng, ExecCtx, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{HardwareConfig, InputKind};
@@ -21,11 +21,11 @@ use crate::qlinear::QLinear;
 /// ```
 /// use ams_models::{HardwareConfig, PlainCnn, PlainCnnConfig};
 /// use ams_nn::{Layer, Mode};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let arch = PlainCnnConfig { image_size: 16, ..PlainCnnConfig::default() };
 /// let mut net = PlainCnn::new(&arch, &HardwareConfig::fp32());
-/// let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
+/// let y = net.forward(&ExecCtx::serial(), &Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
 /// assert_eq!(y.dims(), &[2, arch.classes]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,7 +46,13 @@ pub struct PlainCnnConfig {
 impl Default for PlainCnnConfig {
     /// Two blocks of 8 and 16 channels on 16×16 inputs, 16 classes.
     fn default() -> Self {
-        PlainCnnConfig { in_channels: 3, classes: 16, image_size: 16, widths: vec![8, 16], init_seed: 42 }
+        PlainCnnConfig {
+            in_channels: 3,
+            classes: 16,
+            image_size: 16,
+            widths: vec![8, 16],
+            init_seed: 42,
+        }
     }
 }
 
@@ -60,7 +66,11 @@ impl PlainCnnConfig {
     pub fn final_spatial(&self) -> usize {
         let mut s = self.image_size;
         for _ in &self.widths {
-            assert!(s >= 2, "PlainCnnConfig: image too small for {} pools", self.widths.len());
+            assert!(
+                s >= 2,
+                "PlainCnnConfig: image too small for {} pools",
+                self.widths.len()
+            );
             s /= 2;
         }
         s.max(1)
@@ -88,7 +98,11 @@ impl PlainCnn {
         let mut net = Sequential::new("plain_cnn");
         let mut c_in = arch.in_channels;
         for (bi, &width) in arch.widths.iter().enumerate() {
-            let input_kind = if bi == 0 { InputKind::SignedRescaled } else { InputKind::Unit };
+            let input_kind = if bi == 0 {
+                InputKind::SignedRescaled
+            } else {
+                InputKind::Unit
+            };
             net.push(QConv2d::new(
                 format!("b{bi}.conv"),
                 c_in,
@@ -108,8 +122,19 @@ impl PlainCnn {
         }
         net.push(Flatten::new("flatten"));
         let fc_in = c_in * final_spatial * final_spatial;
-        net.push(QLinear::new("fc", fc_in, arch.classes, hw, true, 1000, &mut init));
-        PlainCnn { net, config: arch.clone() }
+        net.push(QLinear::new(
+            "fc",
+            fc_in,
+            arch.classes,
+            hw,
+            true,
+            1000,
+            &mut init,
+        ));
+        PlainCnn {
+            net,
+            config: arch.clone(),
+        }
     }
 
     /// The architecture this network was built from.
@@ -119,12 +144,12 @@ impl PlainCnn {
 }
 
 impl Layer for PlainCnn {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        self.net.forward(input, mode)
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        self.net.forward(ctx, input, mode)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        self.net.backward(grad_output)
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        self.net.backward(ctx, grad_output)
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -148,9 +173,18 @@ mod tests {
 
     #[test]
     fn shapes_and_param_names() {
-        let arch = PlainCnnConfig { image_size: 8, widths: vec![4, 8], classes: 4, ..Default::default() };
+        let arch = PlainCnnConfig {
+            image_size: 8,
+            widths: vec![4, 8],
+            classes: 4,
+            ..Default::default()
+        };
         let mut net = PlainCnn::new(&arch, &HardwareConfig::fp32());
-        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+        let y = net.forward(
+            &ExecCtx::serial(),
+            &Tensor::zeros(&[2, 3, 8, 8]),
+            Mode::Eval,
+        );
         assert_eq!(y.dims(), &[2, 4]);
         let mut names = Vec::new();
         net.for_each_param(&mut |p| names.push(p.name().to_string()));
@@ -161,35 +195,55 @@ mod tests {
 
     #[test]
     fn trains_a_step_under_ams_hardware() {
-        let arch = PlainCnnConfig { image_size: 8, widths: vec![4], classes: 4, ..Default::default() };
+        let arch = PlainCnnConfig {
+            image_size: 8,
+            widths: vec![4],
+            classes: 4,
+            ..Default::default()
+        };
         let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 7.0));
         let mut net = PlainCnn::new(&arch, &hw);
         let mut r = rng::seeded(1);
         let mut x = Tensor::zeros(&[4, 3, 8, 8]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y = net.forward(&x, Mode::Train);
+        let y = net.forward(&ExecCtx::serial(), &x, Mode::Train);
         let (loss, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1, 2, 3]);
         assert!(loss.is_finite());
-        net.backward(&grad);
+        net.backward(&ExecCtx::serial(), &grad);
         ams_nn::Sgd::new(0.01).step(&mut net);
     }
 
     #[test]
     fn checkpoint_round_trip() {
         use ams_nn::Checkpoint;
-        let arch = PlainCnnConfig { image_size: 8, widths: vec![4], classes: 4, ..Default::default() };
+        let arch = PlainCnnConfig {
+            image_size: 8,
+            widths: vec![4],
+            classes: 4,
+            ..Default::default()
+        };
         let mut a = PlainCnn::new(&arch, &HardwareConfig::fp32());
         let ckpt = Checkpoint::from_layer(&mut a);
-        let arch_b = PlainCnnConfig { init_seed: 43, ..arch };
+        let arch_b = PlainCnnConfig {
+            init_seed: 43,
+            ..arch
+        };
         let mut b = PlainCnn::new(&arch_b, &HardwareConfig::fp32());
         ckpt.load_into(&mut b).expect("same structure");
         let x = Tensor::full(&[1, 3, 8, 8], 0.3);
-        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+        assert_eq!(
+            a.forward(&ExecCtx::serial(), &x, Mode::Eval),
+            b.forward(&ExecCtx::serial(), &x, Mode::Eval)
+        );
     }
 
     #[test]
     fn rejects_undersized_images() {
-        let arch = PlainCnnConfig { image_size: 2, widths: vec![4, 8, 16], ..Default::default() };
+        let arch = PlainCnnConfig {
+            image_size: 2,
+            widths: vec![4, 8, 16],
+            ..Default::default()
+        };
         let result = std::panic::catch_unwind(|| arch.final_spatial());
         assert!(result.is_err());
     }

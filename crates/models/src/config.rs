@@ -100,7 +100,10 @@ impl HardwareConfig {
 
     /// Ideal digital hardware at reduced precision (Table 1 rows).
     pub fn quantized(quant: QuantConfig) -> Self {
-        HardwareConfig { quant, ..Self::fp32() }
+        HardwareConfig {
+            quant,
+            ..Self::fp32()
+        }
     }
 
     /// AMS hardware: quantization plus error injection in both training
@@ -118,7 +121,10 @@ impl HardwareConfig {
     /// AMS hardware with error injected at evaluation time only (the
     /// "AMS error in eval only" series of Figs. 4–5).
     pub fn ams_eval_only(quant: QuantConfig, vmac: Vmac) -> Self {
-        HardwareConfig { inject_train: false, ..Self::ams(quant, vmac) }
+        HardwareConfig {
+            inject_train: false,
+            ..Self::ams(quant, vmac)
+        }
     }
 
     /// Returns a copy with a different noise seed (each of the five

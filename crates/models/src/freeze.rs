@@ -128,6 +128,9 @@ mod tests {
     #[test]
     fn display_matches_table2_labels() {
         let labels: Vec<String> = FreezePolicy::ALL.iter().map(|p| p.to_string()).collect();
-        assert_eq!(labels, vec!["None", "Conv", "BN", "FC", "BN and FC", "Conv and FC (ext)"]);
+        assert_eq!(
+            labels,
+            vec!["None", "Conv", "BN", "FC", "BN and FC", "Conv and FC (ext)"]
+        );
     }
 }

@@ -23,12 +23,12 @@
 //! ```
 //! use ams_models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
 //! use ams_nn::{Layer, Mode};
-//! use ams_tensor::Tensor;
+//! use ams_tensor::{ExecCtx, Tensor};
 //!
 //! let arch = ResNetMiniConfig::tiny();
 //! let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
 //! let x = Tensor::zeros(&[2, 3, 8, 8]);
-//! let logits = net.forward(&x, Mode::Eval);
+//! let logits = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
 //! assert_eq!(logits.dims(), &[2, arch.classes]);
 //! ```
 

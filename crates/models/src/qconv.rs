@@ -5,7 +5,7 @@ use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{conv2d_backward, conv2d_forward, ConvCache};
 use ams_nn::{Layer, Mode, Param};
 use ams_quant::{quantize_activations, quantize_signed, WeightQuantizer};
-use ams_tensor::{im2col, mat_to_nchw, rng, ConvGeom, Tensor};
+use ams_tensor::{im2col_in, mat_to_nchw, noise_stream_seed, rng, ConvGeom, ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::config::{ErrorMode, HardwareConfig, InputKind};
@@ -25,12 +25,12 @@ use crate::config::{ErrorMode, HardwareConfig, InputKind};
 /// ```
 /// use ams_models::{HardwareConfig, InputKind, QConv2d};
 /// use ams_nn::{Layer, Mode};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let hw = HardwareConfig::fp32();
 /// let mut conv = QConv2d::new("stem", 3, 8, 3, 1, 1, &hw, InputKind::SignedRescaled, 0, &mut r);
-/// let y = conv.forward(&Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval);
+/// let y = conv.forward(&ExecCtx::serial(), &Tensor::zeros(&[1, 3, 8, 8]), Mode::Eval);
 /// assert_eq!(y.dims(), &[1, 8, 8, 8]);
 /// ```
 #[derive(Debug)]
@@ -79,7 +79,10 @@ impl QConv2d {
         layer_index: u64,
         init_rng: &mut R,
     ) -> Self {
-        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "QConv2d: zero-sized configuration");
+        assert!(
+            c_in > 0 && c_out > 0 && k > 0 && stride > 0,
+            "QConv2d: zero-sized configuration"
+        );
         let name = name.into();
         let mut w = Tensor::zeros(&[c_out, c_in, k, k]);
         rng::fill_kaiming(&mut w, c_in * k * k, init_rng);
@@ -120,12 +123,15 @@ impl QConv2d {
     /// The σ of the AMS error this layer injects per output element
     /// (`None` when no VMAC is configured).
     pub fn error_sigma(&self) -> Option<f32> {
-        self.hw.vmac.map(|v| v.total_error_sigma(self.n_tot()) as f32)
+        self.hw
+            .vmac
+            .map(|v| v.total_error_sigma(self.n_tot()) as f32)
     }
 
     /// Reseeds the AMS noise stream (fresh noise per validation pass).
     pub fn reseed_noise(&mut self, pass_seed: u64, layer_index: u64) {
-        self.injector.reseed(noise_stream_seed(pass_seed, layer_index));
+        self.injector
+            .reseed(noise_stream_seed(pass_seed, layer_index));
     }
 
     /// Enables or disables output-mean probing (paper Fig. 6); enabling
@@ -152,22 +158,22 @@ impl QConv2d {
     /// reduction into `N_mult`-sized analog partial sums, and quantize
     /// each partial sum on the ADC grid (mid-rise, full-scale
     /// `±N_mult`), accumulating the digital codes.
-    fn forward_per_vmac(&self, xq: &Tensor, wmat: &Tensor) -> Tensor {
+    fn forward_per_vmac(&self, ctx: &ExecCtx, xq: &Tensor, wmat: &Tensor) -> Tensor {
         let vmac = self.hw.vmac.expect("per-VMAC mode requires a VMAC");
         let (n, c_in, h, w) = xq.dims4();
         let geom = ConvGeom::new(n, c_in, h, w, self.k, self.k, self.stride, self.pad);
-        let cols = im2col(xq, &geom);
+        let cols = im2col_in(ctx, xq, &geom);
         let (rows, ncols) = (geom.rows(), geom.cols());
         let n_mult = vmac.n_mult;
         let fs = n_mult as f64;
         let wd = wmat.data();
         let cd = cols.data();
         let mut ymat = Tensor::zeros(&[self.c_out, ncols]);
-        let yd = ymat.data_mut();
-        let mut acc = vec![0.0f64; ncols];
-        for co in 0..self.c_out {
+        // Each output channel's row is independent, so the chunked-ADC
+        // simulation parallelizes over `c_out` (one chunk per channel).
+        ctx.for_each_chunk(ymat.data_mut(), ncols, rows * ncols, |co, yrow| {
             let wrow = &wd[co * rows..(co + 1) * rows];
-            let yrow = &mut yd[co * ncols..(co + 1) * ncols];
+            let mut acc = vec![0.0f64; ncols];
             let mut chunk_start = 0;
             while chunk_start < rows {
                 let chunk_end = (chunk_start + n_mult).min(rows);
@@ -189,7 +195,7 @@ impl QConv2d {
                 }
                 chunk_start = chunk_end;
             }
-        }
+        });
         mat_to_nchw(&ymat, &geom, self.c_out)
     }
 
@@ -205,17 +211,8 @@ impl QConv2d {
     }
 }
 
-/// Derives a per-layer seed from the network seed (SplitMix64-style mix so
-/// consecutive layer indices give uncorrelated streams).
-pub(crate) fn noise_stream_seed(network_seed: u64, layer_index: u64) -> u64 {
-    let mut z = network_seed ^ layer_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 impl Layer for QConv2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let xq = self.quantize_input(input);
         let qw = self.wq.quantize(&self.weight.value);
         let realized = match &self.hw.mismatch {
@@ -228,9 +225,19 @@ impl Layer for QConv2d {
         // evaluation only (training keeps the fast lumped model).
         let per_vmac = injecting && !mode.is_train() && self.hw.error_mode == ErrorMode::PerVmac;
         let (mut y, cache) = if per_vmac {
-            (self.forward_per_vmac(&xq, &wmat), None)
+            (self.forward_per_vmac(ctx, &xq, &wmat), None)
         } else {
-            conv2d_forward(&xq, &wmat, None, self.k, self.k, self.stride, self.pad, mode.is_train())
+            conv2d_forward(
+                ctx,
+                &xq,
+                &wmat,
+                None,
+                self.k,
+                self.k,
+                self.stride,
+                self.pad,
+                mode.is_train(),
+            )
         };
         if injecting && !per_vmac {
             let sigma = self.error_sigma().expect("injects() implies a VMAC");
@@ -243,14 +250,20 @@ impl Layer for QConv2d {
         let batch = y.dims()[0].max(1);
         self.last_macs_per_image = Some(y.len() / batch * self.n_tot());
         self.cache = cache;
-        self.ste_scale = mode.is_train().then(|| qw.ste_scale);
+        self.ste_scale = mode.is_train().then_some(qw.ste_scale);
         y
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("QConv2d::backward without a Train-mode forward");
-        let (dxq, dwmat, _) = conv2d_backward(cache, grad_output);
-        let ste = self.ste_scale.as_ref().expect("STE scale cached in Train forward");
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("QConv2d::backward without a Train-mode forward");
+        let (dxq, dwmat, _) = conv2d_backward(ctx, cache, grad_output);
+        let ste = self
+            .ste_scale
+            .as_ref()
+            .expect("STE scale cached in Train forward");
         let dw = dwmat
             .reshape(&[self.c_out, self.c_in, self.k, self.k])
             .expect("weight grad shape")
@@ -293,9 +306,9 @@ mod tests {
         let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
         // Plain conv with the same weights.
         let x = input();
-        let y = qc.forward(&x, Mode::Eval);
+        let y = qc.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let wmat = qc.weight().value.reshaped(&[4, 27]);
-        let (want, _) = conv2d_forward(&x, &wmat, None, 3, 3, 1, 1, false);
+        let (want, _) = conv2d_forward(&ExecCtx::serial(), &x, &wmat, None, 3, 3, 1, 1, false);
         assert_eq!(y, want);
     }
 
@@ -304,7 +317,7 @@ mod tests {
         let mut r = rng::seeded(1);
         let hw = HardwareConfig::quantized(QuantConfig::w6a4());
         let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
-        let y1 = qc.forward(&input(), Mode::Eval);
+        let y1 = qc.forward(&ExecCtx::serial(), &input(), Mode::Eval);
         // The effective weights are bounded by 1 so |y| ≤ N_tot.
         assert!(y1.max_abs() <= qc.n_tot() as f32);
     }
@@ -319,8 +332,8 @@ mod tests {
         let mut r2 = rng::seeded(2); // identical init
         let mut b = QConv2d::new("c", 3, 8, 3, 1, 1, &noisy, InputKind::Unit, 0, &mut r2);
         let x = input();
-        let clean = a.forward(&x, Mode::Eval);
-        let dirty = b.forward(&x, Mode::Eval);
+        let clean = a.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let dirty = b.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let diff = dirty.sub(&clean);
         let sigma = b.error_sigma().unwrap();
         let measured =
@@ -338,12 +351,12 @@ mod tests {
         let hw = HardwareConfig::ams_eval_only(QuantConfig::w8a8(), vmac);
         let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
         let x = input();
-        let y_train = qc.forward(&x, Mode::Train);
+        let y_train = qc.forward(&ExecCtx::serial(), &x, Mode::Train);
         // Re-forward in train mode: deterministic (no injection).
-        let y_train2 = qc.forward(&x, Mode::Train);
+        let y_train2 = qc.forward(&ExecCtx::serial(), &x, Mode::Train);
         assert_eq!(y_train, y_train2);
         // Eval injects: differs from the train output.
-        let y_eval = qc.forward(&x, Mode::Eval);
+        let y_eval = qc.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert_ne!(y_train, y_eval);
     }
 
@@ -353,10 +366,13 @@ mod tests {
         let hw = HardwareConfig::quantized(QuantConfig::w8a8());
         let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
         let x = input();
-        let y = qc.forward(&x, Mode::Train);
-        let dx = qc.backward(&Tensor::ones(y.dims()));
+        let y = qc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = qc.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
         assert_eq!(dx.dims(), x.dims());
-        assert!(qc.weight().grad.max_abs() > 0.0, "gradient must reach the shadow weight");
+        assert!(
+            qc.weight().grad.max_abs() > 0.0,
+            "gradient must reach the shadow weight"
+        );
     }
 
     #[test]
@@ -365,12 +381,23 @@ mod tests {
         let hw = HardwareConfig::fp32();
         let mut unit = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
         let mut r2 = rng::seeded(6);
-        let mut signed = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::SignedRescaled, 0, &mut r2);
+        let mut signed = QConv2d::new(
+            "c",
+            3,
+            4,
+            3,
+            1,
+            1,
+            &hw,
+            InputKind::SignedRescaled,
+            0,
+            &mut r2,
+        );
         let x = input();
-        let dy = Tensor::ones(unit.forward(&x, Mode::Train).dims());
-        let dx_unit = unit.backward(&dy);
-        signed.forward(&x, Mode::Train);
-        let dx_signed = signed.backward(&dy);
+        let dy = Tensor::ones(unit.forward(&ExecCtx::serial(), &x, Mode::Train).dims());
+        let dx_unit = unit.backward(&ExecCtx::serial(), &dy);
+        signed.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx_signed = signed.backward(&ExecCtx::serial(), &dy);
         for (u, s) in dx_unit.data().iter().zip(dx_signed.data()) {
             assert!((2.0 * u - s).abs() < 1e-5);
         }
@@ -383,7 +410,7 @@ mod tests {
         let mut qc = QConv2d::new("c", 3, 4, 3, 1, 1, &hw, InputKind::Unit, 0, &mut r);
         qc.set_probe(true);
         let x = input();
-        let y = qc.forward(&x, Mode::Eval);
+        let y = qc.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let got = qc.probe_mean().unwrap();
         assert!((got - y.mean()).abs() < 1e-6);
         qc.set_probe(false);

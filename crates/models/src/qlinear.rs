@@ -5,11 +5,10 @@ use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{linear_backward, linear_forward, LinearCache};
 use ams_nn::{Layer, Mode, Param};
 use ams_quant::{quantize_activations, WeightQuantizer};
-use ams_tensor::{rng, Tensor};
+use ams_tensor::{noise_stream_seed, rng, ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::config::{ErrorMode, HardwareConfig};
-use crate::qconv::noise_stream_seed;
 
 /// A fully-connected layer with DoReFa weight/activation quantization and
 /// AMS error injection — the classifier head of the paper's networks.
@@ -27,11 +26,11 @@ use crate::qconv::noise_stream_seed;
 /// ```
 /// use ams_models::{HardwareConfig, QLinear};
 /// use ams_nn::{Layer, Mode};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, noise_stream_seed, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let mut fc = QLinear::new("fc", 16, 10, &HardwareConfig::fp32(), true, 9, &mut r);
-/// let y = fc.forward(&Tensor::zeros(&[4, 16]), Mode::Eval);
+/// let y = fc.forward(&ExecCtx::serial(), &Tensor::zeros(&[4, 16]), Mode::Eval);
 /// assert_eq!(y.dims(), &[4, 10]);
 /// ```
 #[derive(Debug)]
@@ -69,7 +68,10 @@ impl QLinear {
         layer_index: u64,
         init_rng: &mut R,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "QLinear: zero-sized configuration");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "QLinear: zero-sized configuration"
+        );
         let name = name.into();
         let mut w = Tensor::zeros(&[out_features, in_features]);
         rng::fill_xavier(&mut w, in_features, out_features, init_rng);
@@ -107,7 +109,9 @@ impl QLinear {
 
     /// The σ of the AMS error this layer injects per output element.
     pub fn error_sigma(&self) -> Option<f32> {
-        self.hw.vmac.map(|v| v.total_error_sigma(self.n_tot()) as f32)
+        self.hw
+            .vmac
+            .map(|v| v.total_error_sigma(self.n_tot()) as f32)
     }
 
     /// MAC operations per image (`out_features · in_features`).
@@ -117,7 +121,8 @@ impl QLinear {
 
     /// Reseeds the AMS noise stream.
     pub fn reseed_noise(&mut self, pass_seed: u64, layer_index: u64) {
-        self.injector.reseed(noise_stream_seed(pass_seed, layer_index));
+        self.injector
+            .reseed(noise_stream_seed(pass_seed, layer_index));
     }
 
     /// The §4 fine-grained path for the classifier: chunk the reduction
@@ -155,7 +160,7 @@ impl QLinear {
 }
 
 impl Layer for QLinear {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let xq = quantize_activations(input, self.bx);
         let qw = self.wq.quantize(&self.weight.value);
         let realized = match &self.hw.mismatch {
@@ -167,21 +172,33 @@ impl Layer for QLinear {
         let (mut y, cache) = if per_vmac {
             (self.forward_per_vmac(&xq, &realized), None)
         } else {
-            linear_forward(&xq, &realized, Some(self.bias.value.data()), mode.is_train())
+            linear_forward(
+                ctx,
+                &xq,
+                &realized,
+                Some(self.bias.value.data()),
+                mode.is_train(),
+            )
         };
         if injecting && !per_vmac {
             let sigma = self.error_sigma().expect("injects() implies a VMAC");
             self.injector.inject_sigma(&mut y, sigma);
         }
         self.cache = cache;
-        self.ste_scale = mode.is_train().then(|| qw.ste_scale);
+        self.ste_scale = mode.is_train().then_some(qw.ste_scale);
         y
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("QLinear::backward without a Train-mode forward");
-        let (dx, dw, db) = linear_backward(cache, grad_output);
-        let ste = self.ste_scale.as_ref().expect("STE scale cached in Train forward");
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("QLinear::backward without a Train-mode forward");
+        let (dx, dw, db) = linear_backward(ctx, cache, grad_output);
+        let ste = self
+            .ste_scale
+            .as_ref()
+            .expect("STE scale cached in Train forward");
         self.weight.grad.add_assign(&dw.mul(ste));
         for (g, d) in self.bias.grad.data_mut().iter_mut().zip(&db) {
             *g += d;
@@ -211,10 +228,10 @@ mod tests {
         let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 8.0));
         let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
         let x = Tensor::ones(&[2, 8]);
-        let t1 = fc.forward(&x, Mode::Train);
-        let t2 = fc.forward(&x, Mode::Train);
+        let t1 = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let t2 = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
         assert_eq!(t1, t2, "no injection during training on the last layer");
-        let e1 = fc.forward(&x, Mode::Eval);
+        let e1 = fc.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert_ne!(t1, e1, "eval must inject");
     }
 
@@ -225,9 +242,12 @@ mod tests {
         hw.inject_last_layer_train = true;
         let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
         let x = Tensor::ones(&[2, 8]);
-        let t1 = fc.forward(&x, Mode::Train);
-        let t2 = fc.forward(&x, Mode::Train);
-        assert_ne!(t1, t2, "ablation mode injects fresh noise each training pass");
+        let t1 = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let t2 = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        assert_ne!(
+            t1, t2,
+            "ablation mode injects fresh noise each training pass"
+        );
     }
 
     #[test]
@@ -237,8 +257,8 @@ mod tests {
         let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
         let mut x = Tensor::zeros(&[3, 8]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y = fc.forward(&x, Mode::Train);
-        fc.backward(&Tensor::ones(y.dims()));
+        let y = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        fc.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
         assert!(fc.weight().grad.max_abs() > 0.0);
     }
 
@@ -249,8 +269,14 @@ mod tests {
         let mut fc = QLinear::new("fc", 6, 2, &hw, false, 0, &mut r);
         let mut x = Tensor::zeros(&[2, 6]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y = fc.forward(&x, Mode::Eval);
-        let (want, _) = linear_forward(&x, &fc.weight().value, Some(fc.bias.value.data()), false);
+        let y = fc.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let (want, _) = linear_forward(
+            &ExecCtx::serial(),
+            &x,
+            &fc.weight().value,
+            Some(fc.bias.value.data()),
+            false,
+        );
         assert_eq!(y, want);
     }
 }

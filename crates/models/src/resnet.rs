@@ -1,7 +1,7 @@
 //! The ResNet-mini network (ResNet-50 stand-in; see DESIGN.md).
 
 use ams_nn::{BatchNorm2d, ClippedRelu, GlobalAvgPool, Layer, Mode, Param};
-use ams_tensor::{rng, Tensor};
+use ams_tensor::{rng, ExecCtx, Tensor};
 use serde::{Deserialize, Serialize};
 
 use crate::block::BasicBlock;
@@ -164,7 +164,15 @@ impl ResNetMini {
             stages.push(blocks);
         }
         let fc_in = arch.stage_widths[2];
-        let fc = QLinear::new("fc", fc_in, arch.classes, hw, true, FC_NOISE_INDEX, &mut init);
+        let fc = QLinear::new(
+            "fc",
+            fc_in,
+            arch.classes,
+            hw,
+            true,
+            FC_NOISE_INDEX,
+            &mut init,
+        );
         ResNetMini {
             name: "resnet_mini".to_string(),
             stem,
@@ -253,9 +261,9 @@ impl ResNetMini {
     /// # Panics
     ///
     /// Panics if `image_size` is too small for the network's strides.
-    pub fn energy_report(&mut self, image_size: usize) -> EnergyReport {
+    pub fn energy_report(&mut self, ctx: &ExecCtx, image_size: usize) -> EnergyReport {
         let dummy = Tensor::zeros(&[1, self.config.in_channels, image_size, image_size]);
-        let _ = self.forward(&dummy, Mode::Eval);
+        let _ = self.forward(ctx, &dummy, Mode::Eval);
         let vmac = self.hw.vmac;
         let mut layers = Vec::new();
         self.for_each_qconv(&mut |c| {
@@ -263,7 +271,12 @@ impl ResNetMini {
             let energy_pj = vmac
                 .map(|v| crate::surgery::layer_energy_pj(macs, v.enob, v.n_mult))
                 .unwrap_or(0.0);
-            layers.push(LayerEnergy { name: c.name().to_string(), macs, n_tot: c.n_tot(), energy_pj });
+            layers.push(LayerEnergy {
+                name: c.name().to_string(),
+                macs,
+                n_tot: c.n_tot(),
+                energy_pj,
+            });
         });
         let fc_macs = self.fc.macs_per_image();
         layers.push(LayerEnergy {
@@ -284,37 +297,41 @@ impl ResNetMini {
         self.for_each_qconv(&mut |c| {
             out.push((c.name().to_string(), c.n_tot(), c.error_sigma()));
         });
-        out.push((self.fc.name().to_string(), self.fc.n_tot(), self.fc.error_sigma()));
+        out.push((
+            self.fc.name().to_string(),
+            self.fc.n_tot(),
+            self.fc.error_sigma(),
+        ));
         out
     }
 }
 
 impl Layer for ResNetMini {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let mut x = self.stem.forward(input, mode);
-        x = self.bn0.forward(&x, mode);
-        x = self.act0.forward(&x, mode);
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = self.stem.forward(ctx, input, mode);
+        x = self.bn0.forward(ctx, &x, mode);
+        x = self.act0.forward(ctx, &x, mode);
         for stage in &mut self.stages {
             for block in stage {
-                x = block.forward(&x, mode);
+                x = block.forward(ctx, &x, mode);
             }
         }
-        let pooled = self.gap.forward(&x, mode);
+        let pooled = self.gap.forward(ctx, &x, mode);
         debug_assert_eq!(pooled.dims()[1], self.fc_in);
-        self.fc.forward(&pooled, mode)
+        self.fc.forward(ctx, &pooled, mode)
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mut g = self.fc.backward(grad_output);
-        g = self.gap.backward(&g);
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let mut g = self.fc.backward(ctx, grad_output);
+        g = self.gap.backward(ctx, &g);
         for stage in self.stages.iter_mut().rev() {
             for block in stage.iter_mut().rev() {
-                g = block.backward(&g);
+                g = block.backward(ctx, &g);
             }
         }
-        g = self.act0.backward(&g);
-        g = self.bn0.backward(&g);
-        self.stem.backward(&g)
+        g = self.act0.backward(ctx, &g);
+        g = self.bn0.backward(ctx, &g);
+        self.stem.backward(ctx, &g)
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -355,7 +372,11 @@ mod tests {
     fn forward_shapes() {
         let arch = ResNetMiniConfig::tiny();
         let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
-        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+        let y = net.forward(
+            &ExecCtx::serial(),
+            &Tensor::zeros(&[2, 3, 8, 8]),
+            Mode::Eval,
+        );
         assert_eq!(y.dims(), &[2, 4]);
     }
 
@@ -365,15 +386,24 @@ mod tests {
         let mut a = ResNetMini::new(&arch, &HardwareConfig::fp32());
         let mut b = ResNetMini::new(&arch, &HardwareConfig::fp32());
         let x = Tensor::full(&[1, 3, 8, 8], 0.3);
-        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+        assert_eq!(
+            a.forward(&ExecCtx::serial(), &x, Mode::Eval),
+            b.forward(&ExecCtx::serial(), &x, Mode::Eval)
+        );
     }
 
     #[test]
     fn checkpoint_transfers_between_hardware_configs() {
-        let arch = ResNetMiniConfig { init_seed: 1, ..ResNetMiniConfig::tiny() };
+        let arch = ResNetMiniConfig {
+            init_seed: 1,
+            ..ResNetMiniConfig::tiny()
+        };
         let mut fp = ResNetMini::new(&arch, &HardwareConfig::fp32());
         let ckpt = Checkpoint::from_layer(&mut fp);
-        let arch2 = ResNetMiniConfig { init_seed: 2, ..arch };
+        let arch2 = ResNetMiniConfig {
+            init_seed: 2,
+            ..arch
+        };
         let hw = HardwareConfig::quantized(QuantConfig::w8a8());
         let mut q = ResNetMini::new(&arch2, &hw);
         ckpt.load_into(&mut q).expect("names and shapes must match");
@@ -382,8 +412,8 @@ mod tests {
         let mut r = rng::seeded(31);
         let mut x = Tensor::zeros(&[1, 3, 8, 8]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y_fp = fp.forward(&x, Mode::Eval);
-        let y_q = q.forward(&x, Mode::Eval);
+        let y_fp = fp.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let y_q = q.forward(&ExecCtx::serial(), &x, Mode::Eval);
         // Not identical (quantization), but strongly correlated.
         let corr: f32 = y_fp.data().iter().zip(y_q.data()).map(|(a, b)| a * b).sum();
         assert!(corr != 0.0);
@@ -396,9 +426,9 @@ mod tests {
         let mut r = rng::seeded(9);
         let mut x = Tensor::zeros(&[4, 3, 8, 8]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y = net.forward(&x, Mode::Train);
+        let y = net.forward(&ExecCtx::serial(), &x, Mode::Train);
         let (_, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1, 2, 3]);
-        net.backward(&grad);
+        net.backward(&ExecCtx::serial(), &grad);
         let mut zero_grads = Vec::new();
         net.for_each_param(&mut |p| {
             if p.grad.max_abs() == 0.0 {
@@ -419,13 +449,13 @@ mod tests {
         let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 8.0));
         let mut net = ResNetMini::new(&arch, &hw);
         let x = Tensor::full(&[1, 3, 8, 8], 0.4);
-        let y1 = net.forward(&x, Mode::Eval);
-        let y2 = net.forward(&x, Mode::Eval);
+        let y1 = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let y2 = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert_ne!(y1, y2, "fresh noise every pass");
         net.reseed_noise(777);
-        let a = net.forward(&x, Mode::Eval);
+        let a = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
         net.reseed_noise(777);
-        let b = net.forward(&x, Mode::Eval);
+        let b = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert_eq!(a, b, "reseeding reproduces a pass exactly");
     }
 
@@ -435,7 +465,7 @@ mod tests {
         let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
         net.set_probes(true);
         let x = Tensor::full(&[1, 3, 8, 8], 0.6);
-        net.forward(&x, Mode::Eval);
+        net.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let means = net.probe_means();
         assert_eq!(means.len(), arch.conv_layer_count());
         assert!(means.iter().any(|(n, _)| n == "stem"));

@@ -28,7 +28,12 @@ use serde::{Deserialize, Serialize};
 /// batch-norm's channel count.
 pub fn fold_bn_into_conv(weight: &Tensor, bn: &BatchNorm2d) -> (Tensor, Vec<f32>) {
     let (c_out, _, _, _) = weight.dims4();
-    assert_eq!(c_out, bn.channels(), "fold: conv C_out {c_out} != BN channels {}", bn.channels());
+    assert_eq!(
+        c_out,
+        bn.channels(),
+        "fold: conv C_out {c_out} != BN channels {}",
+        bn.channels()
+    );
     let per_out = weight.len() / c_out;
     let gamma = bn.gamma().data();
     let beta = bn.beta().data();
@@ -101,7 +106,7 @@ pub(crate) fn layer_energy_pj(macs: usize, enob: f64, n_mult: usize) -> f64 {
 mod tests {
     use super::*;
     use ams_nn::{Conv2d, Layer, Mode};
-    use ams_tensor::rng;
+    use ams_tensor::{rng, ExecCtx};
 
     #[test]
     fn folded_conv_matches_conv_then_bn() {
@@ -112,12 +117,16 @@ mod tests {
         for _ in 0..20 {
             let mut x = Tensor::zeros(&[4, 3, 6, 6]);
             rng::fill_normal(&mut x, 0.3, 0.8, &mut r);
-            let y = conv.forward(&x, Mode::Train);
-            bn.forward(&y, Mode::Train);
+            let y = conv.forward(&ExecCtx::serial(), &x, Mode::Train);
+            bn.forward(&ExecCtx::serial(), &y, Mode::Train);
         }
         // Perturb gamma/beta away from identity.
         bn.for_each_param(&mut |p| {
-            let sign = if p.name().ends_with("gamma") { 1.0 } else { -0.5 };
+            let sign = if p.name().ends_with("gamma") {
+                1.0
+            } else {
+                -0.5
+            };
             for (i, v) in p.value.data_mut().iter_mut().enumerate() {
                 *v += 0.1 * (i as f32 + 1.0) * sign;
             }
@@ -125,11 +134,25 @@ mod tests {
 
         let mut x = Tensor::zeros(&[2, 3, 6, 6]);
         rng::fill_normal(&mut x, 0.0, 1.0, &mut r);
-        let reference = bn.forward(&conv.forward(&x, Mode::Eval), Mode::Eval);
+        let reference = bn.forward(
+            &ExecCtx::serial(),
+            &conv.forward(&ExecCtx::serial(), &x, Mode::Eval),
+            Mode::Eval,
+        );
 
         let (folded_w, folded_b) = fold_bn_into_conv(&conv.weight().value, &bn);
         let wmat = folded_w.reshaped(&[4, 27]);
-        let (folded_y, _) = ams_nn::functional::conv2d_forward(&x, &wmat, Some(&folded_b), 3, 3, 1, 1, false);
+        let (folded_y, _) = ams_nn::functional::conv2d_forward(
+            &ExecCtx::serial(),
+            &x,
+            &wmat,
+            Some(&folded_b),
+            3,
+            3,
+            1,
+            1,
+            false,
+        );
 
         for (a, b) in reference.data().iter().zip(folded_y.data()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
@@ -140,8 +163,18 @@ mod tests {
     fn energy_report_aggregation() {
         let report = EnergyReport {
             layers: vec![
-                LayerEnergy { name: "a".into(), macs: 1000, n_tot: 27, energy_pj: 2.0 },
-                LayerEnergy { name: "b".into(), macs: 3000, n_tot: 72, energy_pj: 6.0 },
+                LayerEnergy {
+                    name: "a".into(),
+                    macs: 1000,
+                    n_tot: 27,
+                    energy_pj: 2.0,
+                },
+                LayerEnergy {
+                    name: "b".into(),
+                    macs: 3000,
+                    n_tot: 72,
+                    energy_pj: 6.0,
+                },
             ],
         };
         assert_eq!(report.total_macs(), 4000);

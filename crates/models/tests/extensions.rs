@@ -7,7 +7,7 @@ use ams_core::vmac::Vmac;
 use ams_models::{ErrorMode, HardwareConfig, ResNetMini, ResNetMiniConfig};
 use ams_nn::{Layer, Mode};
 use ams_quant::QuantConfig;
-use ams_tensor::{rng, Tensor};
+use ams_tensor::{rng, ExecCtx, Tensor};
 
 fn random_input(seed: u64) -> Tensor {
     let mut x = Tensor::zeros(&[2, 3, 8, 8]);
@@ -27,16 +27,19 @@ fn per_vmac_eval_is_deterministic_and_close_to_lumped_scale() {
     let x = random_input(1);
     // Chunked quantization is deterministic: repeated eval passes agree
     // exactly (unlike the stochastic lumped mode).
-    let y1 = net.forward(&x, Mode::Eval);
-    let y2 = net.forward(&x, Mode::Eval);
+    let y1 = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
+    let y2 = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
     assert_eq!(y1, y2);
 
     // And it differs from the error-free network by roughly the modeled
     // amount: nonzero, but far smaller than the signal.
     let mut clean = ResNetMini::new(&arch, &HardwareConfig::quantized(quant));
-    let yc = clean.forward(&x, Mode::Eval);
+    let yc = clean.forward(&ExecCtx::serial(), &x, Mode::Eval);
     let diff = y1.sub(&yc);
-    assert!(diff.max_abs() > 0.0, "per-VMAC quantization must perturb the output");
+    assert!(
+        diff.max_abs() > 0.0,
+        "per-VMAC quantization must perturb the output"
+    );
     assert!(
         diff.max_abs() < yc.max_abs().max(1.0) * 2.0,
         "perturbation should not dwarf the signal"
@@ -52,9 +55,9 @@ fn per_vmac_training_falls_back_to_lumped() {
     let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac).with_per_vmac_eval();
     let mut net = ResNetMini::new(&arch, &hw);
     let x = random_input(2);
-    let y = net.forward(&x, Mode::Train);
+    let y = net.forward(&ExecCtx::serial(), &x, Mode::Train);
     let (_, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1]);
-    let dx = net.backward(&grad);
+    let dx = net.backward(&ExecCtx::serial(), &grad);
     assert_eq!(dx.dims(), x.dims());
 }
 
@@ -67,15 +70,15 @@ fn mismatch_is_static_across_passes_but_differs_across_chips() {
     let mut net_a = ResNetMini::new(&arch, &chip_a);
     let mut net_b = ResNetMini::new(&arch, &chip_b);
     let x = random_input(3);
-    let a1 = net_a.forward(&x, Mode::Eval);
-    let a2 = net_a.forward(&x, Mode::Eval);
+    let a1 = net_a.forward(&ExecCtx::serial(), &x, Mode::Eval);
+    let a2 = net_a.forward(&ExecCtx::serial(), &x, Mode::Eval);
     assert_eq!(a1, a2, "mismatch is a static device draw, not noise");
-    let b = net_b.forward(&x, Mode::Eval);
+    let b = net_b.forward(&ExecCtx::serial(), &x, Mode::Eval);
     assert_ne!(a1, b, "different chips realize different devices");
 
     // And mismatch actually perturbs relative to the ideal network.
     let mut ideal = ResNetMini::new(&arch, &HardwareConfig::quantized(quant));
-    let yi = ideal.forward(&x, Mode::Eval);
+    let yi = ideal.forward(&ExecCtx::serial(), &x, Mode::Eval);
     assert_ne!(a1, yi);
 }
 
@@ -85,7 +88,7 @@ fn energy_report_covers_every_layer_and_prices_by_eq4() {
     let vmac = Vmac::new(8, 8, 8, 12.0);
     let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
     let mut net = ResNetMini::new(&arch, &hw);
-    let report = net.energy_report(8);
+    let report = net.energy_report(&ExecCtx::serial(), 8);
     assert_eq!(report.layers.len(), arch.conv_layer_count() + 1);
     assert!(report.total_macs() > 0);
     // Under a uniform VMAC, fJ/MAC is exactly the Eq. 4 value.
@@ -94,12 +97,16 @@ fn energy_report_covers_every_layer_and_prices_by_eq4() {
     assert!((fj - expected).abs() < 1e-6, "{fj} vs {expected}");
     // The stem (8x8 output) dominates less than the widest stage: sanity
     // that MAC counts follow geometry.
-    let stem = report.layers.iter().find(|l| l.name == "stem").expect("stem present");
+    let stem = report
+        .layers
+        .iter()
+        .find(|l| l.name == "stem")
+        .expect("stem present");
     assert_eq!(stem.macs, 8 * 8 * arch.stem_channels * stem.n_tot);
 
     // Without a VMAC, energy is zero but MACs persist.
     let mut fp = ResNetMini::new(&arch, &HardwareConfig::fp32());
-    let fp_report = fp.energy_report(8);
+    let fp_report = fp.energy_report(&ExecCtx::serial(), 8);
     assert_eq!(fp_report.total_macs(), report.total_macs());
     assert_eq!(fp_report.total_pj(), 0.0);
 }
@@ -114,9 +121,9 @@ fn train_tiny() -> (ams_data::SynthImageNet, ams_nn::Checkpoint) {
     for _ in 0..6 {
         let shuffled = data.train.random_flip(&mut r);
         for (images, labels) in ams_data::Batcher::new(&shuffled, 16, &mut r) {
-            let logits = net.forward(&images, Mode::Train);
+            let logits = net.forward(&ExecCtx::serial(), &images, Mode::Train);
             let (_, grad) = ams_nn::softmax_cross_entropy(&logits, &labels);
-            net.backward(&grad);
+            net.backward(&ExecCtx::serial(), &grad);
             opt.step(&mut net);
         }
     }
@@ -139,7 +146,7 @@ fn mismatch_degrades_accuracy_monotonically_in_sigma() {
         ckpt.load_into(&mut net).expect("same architecture");
         let mut correct = 0usize;
         for (images, labels) in ams_data::Batcher::sequential(&data.val, 16) {
-            let logits = net.forward(&images, Mode::Eval);
+            let logits = net.forward(&ExecCtx::serial(), &images, Mode::Eval);
             let preds = logits.argmax_rows();
             correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
         }

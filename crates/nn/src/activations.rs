@@ -1,6 +1,6 @@
 //! Elementwise activation layers.
 
-use ams_tensor::Tensor;
+use ams_tensor::{ExecCtx, Tensor};
 
 use crate::layer::{Layer, Mode};
 
@@ -10,11 +10,11 @@ use crate::layer::{Layer, Mode};
 ///
 /// ```
 /// use ams_nn::{Layer, Mode, Relu};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let mut relu = Relu::new("relu");
 /// let x = Tensor::from_vec(&[3], vec![-1.0, 0.0, 2.0]).unwrap();
-/// assert_eq!(relu.forward(&x, Mode::Eval).data(), &[0.0, 0.0, 2.0]);
+/// assert_eq!(relu.forward(&ExecCtx::serial(), &x, Mode::Eval).data(), &[0.0, 0.0, 2.0]);
 /// ```
 #[derive(Debug)]
 pub struct Relu {
@@ -25,21 +25,31 @@ pub struct Relu {
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Relu { name: name.into(), mask: None }
+        Relu {
+            name: name.into(),
+            mask: None,
+        }
     }
 }
 
 impl Layer for Relu {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         if mode.is_train() {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
         }
         input.map(|x| x.max(0.0))
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("Relu::backward without a Train-mode forward");
-        assert_eq!(mask.len(), grad_output.len(), "Relu::backward: shape changed since forward");
+    fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Relu::backward without a Train-mode forward");
+        assert_eq!(
+            mask.len(),
+            grad_output.len(),
+            "Relu::backward: shape changed since forward"
+        );
         let data = grad_output
             .data()
             .iter()
@@ -65,11 +75,11 @@ impl Layer for Relu {
 ///
 /// ```
 /// use ams_nn::{ClippedRelu, Layer, Mode};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let mut act = ClippedRelu::new("relu1");
 /// let x = Tensor::from_vec(&[3], vec![-0.5, 0.5, 1.5]).unwrap();
-/// assert_eq!(act.forward(&x, Mode::Eval).data(), &[0.0, 0.5, 1.0]);
+/// assert_eq!(act.forward(&ExecCtx::serial(), &x, Mode::Eval).data(), &[0.0, 0.5, 1.0]);
 /// ```
 #[derive(Debug)]
 pub struct ClippedRelu {
@@ -80,21 +90,31 @@ pub struct ClippedRelu {
 impl ClippedRelu {
     /// Creates a clipped-ReLU (ReLU-1) layer.
     pub fn new(name: impl Into<String>) -> Self {
-        ClippedRelu { name: name.into(), mask: None }
+        ClippedRelu {
+            name: name.into(),
+            mask: None,
+        }
     }
 }
 
 impl Layer for ClippedRelu {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         if mode.is_train() {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0 && x < 1.0).collect());
         }
         input.map(|x| x.clamp(0.0, 1.0))
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("ClippedRelu::backward without a Train-mode forward");
-        assert_eq!(mask.len(), grad_output.len(), "ClippedRelu::backward: shape changed since forward");
+    fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("ClippedRelu::backward without a Train-mode forward");
+        assert_eq!(
+            mask.len(),
+            grad_output.len(),
+            "ClippedRelu::backward: shape changed since forward"
+        );
         let data = grad_output
             .data()
             .iter()
@@ -117,8 +137,8 @@ mod tests {
     fn relu_gradient_masks_negatives() {
         let mut relu = Relu::new("r");
         let x = Tensor::from_vec(&[4], vec![-2.0, -0.1, 0.1, 3.0]).unwrap();
-        relu.forward(&x, Mode::Train);
-        let dx = relu.backward(&Tensor::ones(&[4]));
+        relu.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = relu.backward(&ExecCtx::serial(), &Tensor::ones(&[4]));
         assert_eq!(dx.data(), &[0.0, 0.0, 1.0, 1.0]);
     }
 
@@ -126,8 +146,8 @@ mod tests {
     fn clipped_relu_gradient_masks_both_sides() {
         let mut act = ClippedRelu::new("r1");
         let x = Tensor::from_vec(&[5], vec![-0.5, 0.25, 0.75, 1.0, 2.0]).unwrap();
-        act.forward(&x, Mode::Train);
-        let dx = act.backward(&Tensor::ones(&[5]));
+        act.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = act.backward(&ExecCtx::serial(), &Tensor::ones(&[5]));
         assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0, 0.0]);
     }
 
@@ -135,7 +155,7 @@ mod tests {
     fn clipped_output_is_bounded() {
         let mut act = ClippedRelu::new("r1");
         let x = Tensor::from_vec(&[3], vec![-10.0, 0.3, 42.0]).unwrap();
-        let y = act.forward(&x, Mode::Eval);
+        let y = act.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert!(y.min() >= 0.0 && y.max() <= 1.0);
     }
 }

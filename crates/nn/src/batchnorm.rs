@@ -6,7 +6,7 @@
 //! therefore supports per-parameter freezing and exposes its running
 //! statistics as checkpointable state.
 
-use ams_tensor::Tensor;
+use ams_tensor::{ExecCtx, Tensor};
 
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
@@ -20,11 +20,11 @@ use crate::param::Param;
 ///
 /// ```
 /// use ams_nn::{BatchNorm2d, Layer, Mode};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let mut bn = BatchNorm2d::new("bn", 4);
 /// let x = Tensor::ones(&[2, 4, 3, 3]);
-/// let y = bn.forward(&x, Mode::Train);
+/// let y = bn.forward(&ExecCtx::serial(), &x, Mode::Train);
 /// // A constant input normalizes to (near) zero.
 /// assert!(y.max_abs() < 1e-3);
 /// ```
@@ -150,38 +150,50 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let (_, c, _, _) = input.dims4();
-        assert_eq!(c, self.channels, "BatchNorm2d: expected {} channels, got {c}", self.channels);
+        assert_eq!(
+            c, self.channels,
+            "BatchNorm2d: expected {} channels, got {c}",
+            self.channels
+        );
         let (means, vars) = if mode.is_train() {
             let m = input.channel_means();
             let v = input.channel_vars(&m);
             // Update running statistics.
-            for ci in 0..c {
-                let rm = &mut self.running_mean.data_mut()[ci];
-                *rm = (1.0 - self.momentum) * *rm + self.momentum * m[ci];
+            for (rm, mi) in self.running_mean.data_mut().iter_mut().zip(&m) {
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mi;
             }
-            for ci in 0..c {
-                let rv = &mut self.running_var.data_mut()[ci];
-                *rv = (1.0 - self.momentum) * *rv + self.momentum * v[ci];
+            for (rv, vi) in self.running_var.data_mut().iter_mut().zip(&v) {
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * vi;
             }
             (m, v)
         } else {
-            (self.running_mean.data().to_vec(), self.running_var.data().to_vec())
+            (
+                self.running_mean.data().to_vec(),
+                self.running_var.data().to_vec(),
+            )
         };
         let inv_std: Vec<f32> = vars.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let x_hat = self.normalize(input, &means, &inv_std);
         let y = self.affine(&x_hat);
         if mode.is_train() {
-            self.cache = Some(BnCache { x_hat, inv_std, mode });
+            self.cache = Some(BnCache {
+                x_hat,
+                inv_std,
+                mode,
+            });
         } else {
             self.cache = None;
         }
         y
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("BatchNorm2d::backward without a Train-mode forward");
+    fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm2d::backward without a Train-mode forward");
         debug_assert!(cache.mode.is_train());
         let (n, c, h, w) = grad_output.dims4();
         let plane = h * w;
@@ -262,12 +274,16 @@ mod tests {
         let mut x = Tensor::zeros(&[8, 3, 4, 4]);
         rng::fill_normal(&mut x, 5.0, 2.0, &mut r);
         let mut bn = BatchNorm2d::new("bn", 3);
-        let y = bn.forward(&x, Mode::Train);
+        let y = bn.forward(&ExecCtx::serial(), &x, Mode::Train);
         let means = y.channel_means();
         let vars = y.channel_vars(&means);
         for ci in 0..3 {
             assert!(means[ci].abs() < 1e-4, "channel {ci} mean {}", means[ci]);
-            assert!((vars[ci] - 1.0).abs() < 1e-2, "channel {ci} var {}", vars[ci]);
+            assert!(
+                (vars[ci] - 1.0).abs() < 1e-2,
+                "channel {ci} var {}",
+                vars[ci]
+            );
         }
     }
 
@@ -278,7 +294,7 @@ mod tests {
         for _ in 0..200 {
             let mut x = Tensor::zeros(&[16, 2, 2, 2]);
             rng::fill_normal(&mut x, 3.0, 1.0, &mut r);
-            bn.forward(&x, Mode::Train);
+            bn.forward(&ExecCtx::serial(), &x, Mode::Train);
         }
         for ci in 0..2 {
             assert!((bn.running_mean().data()[ci] - 3.0).abs() < 0.2);
@@ -291,7 +307,7 @@ mod tests {
         let mut bn = BatchNorm2d::new("bn", 1);
         // With default stats (mean 0, var 1), eval is ~identity.
         let x = Tensor::from_vec(&[1, 1, 1, 2], vec![0.5, -0.5]).unwrap();
-        let y = bn.forward(&x, Mode::Eval);
+        let y = bn.forward(&ExecCtx::serial(), &x, Mode::Eval);
         for (a, b) in x.data().iter().zip(y.data()) {
             assert!((a - b).abs() < 1e-4);
         }
@@ -308,15 +324,15 @@ mod tests {
             // Non-trivial affine so gamma/beta gradients matter.
             bn.gamma.value.data_mut().copy_from_slice(&[1.5, 0.7]);
             bn.beta.value.data_mut().copy_from_slice(&[0.2, -0.3]);
-            let y = bn.forward(x_, Mode::Train);
+            let y = bn.forward(&ExecCtx::serial(), x_, Mode::Train);
             0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
         };
 
         let mut bn = BatchNorm2d::new("bn", 2);
         bn.gamma.value.data_mut().copy_from_slice(&[1.5, 0.7]);
         bn.beta.value.data_mut().copy_from_slice(&[0.2, -0.3]);
-        let y = bn.forward(&x, Mode::Train);
-        let dx = bn.backward(&y); // dL/dy = y for L = ½‖y‖²
+        let y = bn.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = bn.backward(&ExecCtx::serial(), &y); // dL/dy = y for L = ½‖y‖²
 
         let eps = 1e-2;
         for i in [0usize, 17, 50] {
@@ -326,7 +342,10 @@ mod tests {
             xm.data_mut()[i] -= eps;
             let num = (loss_of(&xp) - loss_of(&xm)) / (2.0 * eps);
             let ana = dx.data()[i];
-            assert!((num - ana).abs() < 5e-2 * (1.0 + ana.abs()), "dx[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
+                "dx[{i}]: {num} vs {ana}"
+            );
         }
     }
 
@@ -344,6 +363,9 @@ mod tests {
         let mut bn = BatchNorm2d::new("bn", 2);
         let mut names = Vec::new();
         bn.for_each_state(&mut |n, _| names.push(n.to_string()));
-        assert_eq!(names, vec!["bn.gamma", "bn.beta", "bn.running_mean", "bn.running_var"]);
+        assert_eq!(
+            names,
+            vec!["bn.gamma", "bn.beta", "bn.running_mean", "bn.running_var"]
+        );
     }
 }

@@ -23,7 +23,7 @@ use crate::layer::Layer;
 ///
 /// ```
 /// use ams_nn::{Checkpoint, Layer, Linear, Mode};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let mut a = Linear::new("fc", 4, 2, &mut r);
@@ -32,7 +32,7 @@ use crate::layer::Layer;
 /// let mut b = Linear::new("fc", 4, 2, &mut r); // different init
 /// ckpt.load_into(&mut b).unwrap();
 /// let x = Tensor::ones(&[1, 4]);
-/// assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+/// assert_eq!(a.forward(&ExecCtx::serial(), &x, Mode::Eval).data(), b.forward(&ExecCtx::serial(), &x, Mode::Eval).data());
 /// ```
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Checkpoint {
@@ -64,8 +64,15 @@ impl fmt::Display for LoadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LoadError::Missing { name } => write!(f, "checkpoint is missing entry {name:?}"),
-            LoadError::ShapeMismatch { name, expected, got } => {
-                write!(f, "checkpoint entry {name:?} has shape {got:?}, model expects {expected:?}")
+            LoadError::ShapeMismatch {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "checkpoint entry {name:?} has shape {got:?}, model expects {expected:?}"
+                )
             }
             LoadError::Io(msg) => write!(f, "checkpoint i/o failure: {msg}"),
         }
@@ -126,7 +133,11 @@ impl Checkpoint {
                 return;
             }
             match self.entries.get(name) {
-                None => result = Err(LoadError::Missing { name: name.to_string() }),
+                None => {
+                    result = Err(LoadError::Missing {
+                        name: name.to_string(),
+                    })
+                }
                 Some(src) if src.dims() != t.dims() => {
                     result = Err(LoadError::ShapeMismatch {
                         name: name.to_string(),
@@ -165,7 +176,7 @@ impl Checkpoint {
 mod tests {
     use super::*;
     use crate::{BatchNorm2d, Mode, Sequential};
-    use ams_tensor::rng;
+    use ams_tensor::{rng, ExecCtx};
 
     #[test]
     fn round_trip_through_json() {
@@ -191,14 +202,16 @@ mod tests {
     }
     impl BatchNorm2dAdapter {
         fn new() -> Self {
-            BatchNorm2dAdapter { bn: BatchNorm2d::new("bn", 2) }
+            BatchNorm2dAdapter {
+                bn: BatchNorm2d::new("bn", 2),
+            }
         }
     }
     impl Layer for BatchNorm2dAdapter {
-        fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+        fn forward(&mut self, _ctx: &ExecCtx, x: &Tensor, _m: Mode) -> Tensor {
             x.clone()
         }
-        fn backward(&mut self, g: &Tensor) -> Tensor {
+        fn backward(&mut self, _ctx: &ExecCtx, g: &Tensor) -> Tensor {
             g.clone()
         }
         fn for_each_param(&mut self, f: &mut dyn FnMut(&mut crate::Param)) {

@@ -1,6 +1,6 @@
 //! Layer containers.
 
-use ams_tensor::Tensor;
+use ams_tensor::{ExecCtx, Tensor};
 
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
@@ -11,10 +11,10 @@ use crate::param::Param;
 ///
 /// ```
 /// use ams_nn::{Flatten, Layer, Mode};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let mut flat = Flatten::new("flatten");
-/// let y = flat.forward(&Tensor::zeros(&[2, 3, 4, 4]), Mode::Eval);
+/// let y = flat.forward(&ExecCtx::serial(), &Tensor::zeros(&[2, 3, 4, 4]), Mode::Eval);
 /// assert_eq!(y.dims(), &[2, 48]);
 /// ```
 #[derive(Debug)]
@@ -26,12 +26,15 @@ pub struct Flatten {
 impl Flatten {
     /// Creates a flattening layer.
     pub fn new(name: impl Into<String>) -> Self {
-        Flatten { name: name.into(), input_dims: None }
+        Flatten {
+            name: name.into(),
+            input_dims: None,
+        }
     }
 }
 
 impl Layer for Flatten {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let n = input.dims()[0];
         let rest: usize = input.dims()[1..].iter().product();
         if mode.is_train() {
@@ -40,8 +43,11 @@ impl Layer for Flatten {
         input.reshaped(&[n, rest])
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self.input_dims.as_ref().expect("Flatten::backward without a Train-mode forward");
+    fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("Flatten::backward without a Train-mode forward");
         grad_output.reshaped(dims)
     }
 
@@ -58,14 +64,14 @@ impl Layer for Flatten {
 ///
 /// ```
 /// use ams_nn::{ClippedRelu, Layer, Linear, Mode, Sequential};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let mut net = Sequential::new("mlp");
 /// net.push(Linear::new("fc1", 8, 8, &mut r));
 /// net.push(ClippedRelu::new("act"));
 /// net.push(Linear::new("fc2", 8, 2, &mut r));
-/// let y = net.forward(&Tensor::zeros(&[1, 8]), Mode::Eval);
+/// let y = net.forward(&ExecCtx::serial(), &Tensor::zeros(&[1, 8]), Mode::Eval);
 /// assert_eq!(y.dims(), &[1, 2]);
 /// ```
 #[derive(Default)]
@@ -78,7 +84,14 @@ impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sequential")
             .field("name", &self.name)
-            .field("layers", &self.layers.iter().map(|l| l.name().to_string()).collect::<Vec<_>>())
+            .field(
+                "layers",
+                &self
+                    .layers
+                    .iter()
+                    .map(|l| l.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -86,7 +99,10 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Creates an empty chain.
     pub fn new(name: impl Into<String>) -> Self {
-        Sequential { name: name.into(), layers: Vec::new() }
+        Sequential {
+            name: name.into(),
+            layers: Vec::new(),
+        }
     }
 
     /// Appends a layer to the end of the chain.
@@ -121,18 +137,18 @@ impl Sequential {
 }
 
 impl Layer for Sequential {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward(&x, mode);
+            x = layer.forward(ctx, &x, mode);
         }
         x
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+            g = layer.backward(ctx, &g);
         }
         g
     }
@@ -170,9 +186,9 @@ mod tests {
         assert_eq!(net.len(), 3);
 
         let x = Tensor::ones(&[3, 4]);
-        let y = net.forward(&x, Mode::Train);
+        let y = net.forward(&ExecCtx::serial(), &x, Mode::Train);
         assert_eq!(y.dims(), &[3, 2]);
-        let dx = net.backward(&Tensor::ones(&[3, 2]));
+        let dx = net.backward(&ExecCtx::serial(), &Tensor::ones(&[3, 2]));
         assert_eq!(dx.dims(), &[3, 4]);
 
         let mut count = 0;
@@ -184,9 +200,9 @@ mod tests {
     fn flatten_round_trip() {
         let mut flat = Flatten::new("f");
         let x = Tensor::from_vec(&[2, 1, 2, 2], (0..8).map(|i| i as f32).collect()).unwrap();
-        let y = flat.forward(&x, Mode::Train);
+        let y = flat.forward(&ExecCtx::serial(), &x, Mode::Train);
         assert_eq!(y.dims(), &[2, 4]);
-        let back = flat.backward(&y);
+        let back = flat.backward(&ExecCtx::serial(), &y);
         assert_eq!(back, x);
     }
 }

@@ -1,6 +1,6 @@
 //! Plain (full-precision) 2-D convolution layer.
 
-use ams_tensor::{rng, Tensor};
+use ams_tensor::{rng, ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::functional::{conv2d_backward, conv2d_forward, ConvCache};
@@ -16,12 +16,12 @@ use crate::param::Param;
 ///
 /// ```
 /// use ams_nn::{Conv2d, Layer, Mode};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(1);
 /// let mut conv = Conv2d::new("stem", 3, 8, 3, 1, 1, true, &mut r);
 /// let x = Tensor::zeros(&[2, 3, 16, 16]);
-/// let y = conv.forward(&x, Mode::Eval);
+/// let y = conv.forward(&ExecCtx::serial(), &x, Mode::Eval);
 /// assert_eq!(y.dims(), &[2, 8, 16, 16]);
 /// ```
 #[derive(Debug)]
@@ -54,13 +54,27 @@ impl Conv2d {
         bias: bool,
         rng: &mut R,
     ) -> Self {
-        assert!(c_in > 0 && c_out > 0 && k > 0 && stride > 0, "Conv2d: zero-sized configuration");
+        assert!(
+            c_in > 0 && c_out > 0 && k > 0 && stride > 0,
+            "Conv2d: zero-sized configuration"
+        );
         let name = name.into();
         let mut w = Tensor::zeros(&[c_out, c_in, k, k]);
         rng::fill_kaiming(&mut w, c_in * k * k, rng);
         let weight = Param::new(format!("{name}.weight"), w);
-        let bias = bias.then(|| Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[c_out])));
-        Conv2d { name, c_in, c_out, k, stride, pad, weight, bias, cache: None }
+        let bias =
+            bias.then(|| Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[c_out])));
+        Conv2d {
+            name,
+            c_in,
+            c_out,
+            k,
+            stride,
+            pad,
+            weight,
+            bias,
+            cache: None,
+        }
     }
 
     /// Output channel count.
@@ -87,19 +101,36 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let wmat = self.weight.value.reshaped(&[self.c_out, self.c_in * self.k * self.k]);
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let wmat = self
+            .weight
+            .value
+            .reshaped(&[self.c_out, self.c_in * self.k * self.k]);
         let bias = self.bias.as_ref().map(|b| b.value.data());
-        let (y, cache) =
-            conv2d_forward(input, &wmat, bias, self.k, self.k, self.stride, self.pad, mode.is_train());
+        let (y, cache) = conv2d_forward(
+            ctx,
+            input,
+            &wmat,
+            bias,
+            self.k,
+            self.k,
+            self.stride,
+            self.pad,
+            mode.is_train(),
+        );
         self.cache = cache;
         y
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("Conv2d::backward without a Train-mode forward");
-        let (dx, dw, db) = conv2d_backward(cache, grad_output);
-        let dw = dw.reshape(&[self.c_out, self.c_in, self.k, self.k]).expect("weight grad shape");
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Conv2d::backward without a Train-mode forward");
+        let (dx, dw, db) = conv2d_backward(ctx, cache, grad_output);
+        let dw = dw
+            .reshape(&[self.c_out, self.c_in, self.k, self.k])
+            .expect("weight grad shape");
         self.weight.grad.add_assign(&dw);
         if let Some(b) = &mut self.bias {
             for (g, d) in b.grad.data_mut().iter_mut().zip(&db) {
@@ -130,7 +161,7 @@ mod tests {
         let mut r = rng::seeded(0);
         let mut conv = Conv2d::new("c", 3, 6, 3, 2, 1, false, &mut r);
         let x = Tensor::zeros(&[4, 3, 8, 8]);
-        let y = conv.forward(&x, Mode::Eval);
+        let y = conv.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert_eq!(y.dims(), &[4, 6, 4, 4]);
         assert_eq!(conv.n_tot(), 27);
     }
@@ -140,14 +171,14 @@ mod tests {
         let mut r = rng::seeded(1);
         let mut conv = Conv2d::new("c", 1, 2, 3, 1, 1, true, &mut r);
         let x = Tensor::ones(&[1, 1, 4, 4]);
-        let y = conv.forward(&x, Mode::Train);
+        let y = conv.forward(&ExecCtx::serial(), &x, Mode::Train);
         let dy = Tensor::ones(y.dims());
-        let dx = conv.backward(&dy);
+        let dx = conv.backward(&ExecCtx::serial(), &dy);
         assert_eq!(dx.dims(), x.dims());
         let g1 = conv.weight().grad.clone();
         // Backward again: gradients accumulate (doubling).
-        conv.forward(&x, Mode::Train);
-        conv.backward(&dy);
+        conv.forward(&ExecCtx::serial(), &x, Mode::Train);
+        conv.backward(&ExecCtx::serial(), &dy);
         let g2 = conv.weight().grad.clone();
         for (a, b) in g1.data().iter().zip(g2.data()) {
             assert!((2.0 * a - b).abs() < 1e-4);
@@ -160,8 +191,8 @@ mod tests {
         let mut r = rng::seeded(2);
         let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, false, &mut r);
         let x = Tensor::zeros(&[1, 1, 4, 4]);
-        let y = conv.forward(&x, Mode::Eval);
-        conv.backward(&y);
+        let y = conv.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        conv.backward(&ExecCtx::serial(), &y);
     }
 
     #[test]
@@ -169,8 +200,8 @@ mod tests {
         let mut r = rng::seeded(3);
         let mut conv = Conv2d::new("c", 1, 1, 3, 1, 1, false, &mut r);
         let x = Tensor::ones(&[1, 1, 4, 4]);
-        let y = conv.forward(&x, Mode::Train);
-        conv.backward(&y.zeros_like().map(|_| 1.0));
+        let y = conv.forward(&ExecCtx::serial(), &x, Mode::Train);
+        conv.backward(&ExecCtx::serial(), &y.zeros_like().map(|_| 1.0));
         conv.zero_grads();
         assert_eq!(conv.weight().grad.max_abs(), 0.0);
     }

@@ -8,7 +8,10 @@
 //! with respect to the weight that was actually used, and the caller routes
 //! them to the shadow full-precision parameter.
 
-use ams_tensor::{col2im, im2col, mat_to_nchw, matmul, matmul_a_bt, matmul_at_b, nchw_to_mat, ConvGeom, Tensor};
+use ams_tensor::{
+    col2im, im2col_in, mat_to_nchw, matmul_a_bt_in, matmul_at_b_in, matmul_in, nchw_to_mat,
+    ConvGeom, ExecCtx, Tensor,
+};
 
 /// Cache produced by [`conv2d_forward`], consumed by [`conv2d_backward`].
 #[derive(Debug, Clone)]
@@ -34,7 +37,9 @@ pub struct ConvCache {
 ///
 /// Panics on any shape disagreement between `input`, `weight_mat` and the
 /// geometry.
+#[allow(clippy::too_many_arguments)]
 pub fn conv2d_forward(
+    ctx: &ExecCtx,
     input: &Tensor,
     weight_mat: &Tensor,
     bias: Option<&[f32]>,
@@ -46,7 +51,11 @@ pub fn conv2d_forward(
 ) -> (Tensor, Option<ConvCache>) {
     let (n, c_in, h, w) = input.dims4();
     let geom = ConvGeom::new(n, c_in, h, w, kh, kw, stride, pad);
-    assert_eq!(weight_mat.rank(), 2, "conv2d_forward: weight matrix must be 2-D");
+    assert_eq!(
+        weight_mat.rank(),
+        2,
+        "conv2d_forward: weight matrix must be 2-D"
+    );
     let c_out = weight_mat.dims()[0];
     assert_eq!(
         weight_mat.dims()[1],
@@ -55,8 +64,8 @@ pub fn conv2d_forward(
         weight_mat.dims()[1],
         geom.rows()
     );
-    let cols = im2col(input, &geom);
-    let mut ymat = matmul(weight_mat, &cols);
+    let cols = im2col_in(ctx, input, &geom);
+    let mut ymat = matmul_in(ctx, weight_mat, &cols);
     if let Some(b) = bias {
         assert_eq!(b.len(), c_out, "conv2d_forward: bias length != C_out");
         let ncols = geom.cols();
@@ -68,7 +77,11 @@ pub fn conv2d_forward(
         }
     }
     let y = mat_to_nchw(&ymat, &geom, c_out);
-    let cache = want_cache.then(|| ConvCache { cols, geom, weight_mat: weight_mat.clone() });
+    let cache = want_cache.then(|| ConvCache {
+        cols,
+        geom,
+        weight_mat: weight_mat.clone(),
+    });
     (y, cache)
 }
 
@@ -81,10 +94,14 @@ pub fn conv2d_forward(
 /// # Panics
 ///
 /// Panics if `grad_output` disagrees with the cached geometry.
-pub fn conv2d_backward(cache: &ConvCache, grad_output: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+pub fn conv2d_backward(
+    ctx: &ExecCtx,
+    cache: &ConvCache,
+    grad_output: &Tensor,
+) -> (Tensor, Tensor, Vec<f32>) {
     let dymat = nchw_to_mat(grad_output, &cache.geom);
-    let dweight = matmul_a_bt(&dymat, &cache.cols);
-    let dcols = matmul_at_b(&cache.weight_mat, &dymat);
+    let dweight = matmul_a_bt_in(ctx, &dymat, &cache.cols);
+    let dcols = matmul_at_b_in(ctx, &cache.weight_mat, &dymat);
     let dinput = col2im(&dcols, &cache.geom);
     let ncols = cache.geom.cols();
     let c_out = dymat.dims()[0];
@@ -113,6 +130,7 @@ pub struct LinearCache {
 ///
 /// Panics on shape disagreement.
 pub fn linear_forward(
+    ctx: &ExecCtx,
     input: &Tensor,
     weight: &Tensor,
     bias: Option<&[f32]>,
@@ -127,7 +145,7 @@ pub fn linear_forward(
         input.dims()[1],
         weight.dims()[1]
     );
-    let mut y = matmul_a_bt(input, weight);
+    let mut y = matmul_a_bt_in(ctx, input, weight);
     if let Some(b) = bias {
         let out = weight.dims()[0];
         assert_eq!(b.len(), out, "linear_forward: bias length != out_features");
@@ -139,7 +157,10 @@ pub fn linear_forward(
             }
         }
     }
-    let cache = want_cache.then(|| LinearCache { input: input.clone(), weight: weight.clone() });
+    let cache = want_cache.then(|| LinearCache {
+        input: input.clone(),
+        weight: weight.clone(),
+    });
     (y, cache)
 }
 
@@ -150,10 +171,14 @@ pub fn linear_forward(
 /// # Panics
 ///
 /// Panics if `grad_output` disagrees with the cached shapes.
-pub fn linear_backward(cache: &LinearCache, grad_output: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
+pub fn linear_backward(
+    ctx: &ExecCtx,
+    cache: &LinearCache,
+    grad_output: &Tensor,
+) -> (Tensor, Tensor, Vec<f32>) {
     // y = x Wᵀ  ⇒  dx = dy W ; dW = dyᵀ x ; db = column sums of dy.
-    let dinput = matmul(grad_output, &cache.weight);
-    let dweight = matmul_at_b(grad_output, &cache.input);
+    let dinput = matmul_in(ctx, grad_output, &cache.weight);
+    let dweight = matmul_at_b_in(ctx, grad_output, &cache.input);
     let (n, out) = (grad_output.dims()[0], grad_output.dims()[1]);
     let mut dbias = vec![0.0f32; out];
     for r in 0..n {
@@ -169,11 +194,13 @@ mod tests {
     use super::*;
     use ams_tensor::rng;
 
+    static CTX: ExecCtx = ExecCtx::serial();
+
     #[test]
     fn linear_forward_matches_manual() {
         let x = Tensor::from_vec(&[1, 2], vec![2.0, 3.0]).unwrap();
         let w = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.5, 0.5]).unwrap();
-        let (y, _) = linear_forward(&x, &w, Some(&[0.1, -0.1]), false);
+        let (y, _) = linear_forward(&CTX, &x, &w, Some(&[0.1, -0.1]), false);
         assert_eq!(y.dims(), &[1, 2]);
         assert!((y.data()[0] - 2.1).abs() < 1e-6);
         assert!((y.data()[1] - 2.4).abs() < 1e-6);
@@ -190,11 +217,11 @@ mod tests {
 
         // Loss = sum(y²)/2 so dL/dy = y.
         let loss = |w_: &Tensor, x_: &Tensor| -> f32 {
-            let (y, _) = linear_forward(x_, w_, Some(&b), false);
+            let (y, _) = linear_forward(&CTX, x_, w_, Some(&b), false);
             0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
         };
-        let (y, cache) = linear_forward(&x, &w, Some(&b), true);
-        let (dx, dw, _db) = linear_backward(cache.as_ref().unwrap(), &y);
+        let (y, cache) = linear_forward(&CTX, &x, &w, Some(&b), true);
+        let (dx, dw, _db) = linear_backward(&CTX, cache.as_ref().unwrap(), &y);
 
         let eps = 1e-3;
         for i in [0usize, 3, 7] {
@@ -204,7 +231,10 @@ mod tests {
             wm.data_mut()[i] -= eps;
             let num = (loss(&wp, &x) - loss(&wm, &x)) / (2.0 * eps);
             let ana = dw.data()[i];
-            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dw[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dw[{i}]: {num} vs {ana}"
+            );
         }
         for i in [0usize, 5, 11] {
             let mut xp = x.clone();
@@ -213,7 +243,10 @@ mod tests {
             xm.data_mut()[i] -= eps;
             let num = (loss(&w, &xp) - loss(&w, &xm)) / (2.0 * eps);
             let ana = dx.data()[i];
-            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()), "dx[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "dx[{i}]: {num} vs {ana}"
+            );
         }
     }
 
@@ -227,11 +260,11 @@ mod tests {
         let bias = vec![0.1f32, -0.1, 0.05];
 
         let loss = |w_: &Tensor, x_: &Tensor| -> f32 {
-            let (y, _) = conv2d_forward(x_, w_, Some(&bias), 3, 3, 2, 1, false);
+            let (y, _) = conv2d_forward(&CTX, x_, w_, Some(&bias), 3, 3, 2, 1, false);
             0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
         };
-        let (y, cache) = conv2d_forward(&x, &wmat, Some(&bias), 3, 3, 2, 1, true);
-        let (dx, dw, db) = conv2d_backward(cache.as_ref().unwrap(), &y);
+        let (y, cache) = conv2d_forward(&CTX, &x, &wmat, Some(&bias), 3, 3, 2, 1, true);
+        let (dx, dw, db) = conv2d_backward(&CTX, cache.as_ref().unwrap(), &y);
 
         let eps = 1e-2;
         for i in [0usize, 10, 40] {
@@ -241,7 +274,10 @@ mod tests {
             wm.data_mut()[i] -= eps;
             let num = (loss(&wp, &x) - loss(&wm, &x)) / (2.0 * eps);
             let ana = dw.data()[i];
-            assert!((num - ana).abs() < 5e-2 * (1.0 + ana.abs()), "dw[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
+                "dw[{i}]: {num} vs {ana}"
+            );
         }
         for i in [0usize, 33, 77] {
             let mut xp = x.clone();
@@ -250,7 +286,10 @@ mod tests {
             xm.data_mut()[i] -= eps;
             let num = (loss(&wmat, &xp) - loss(&wmat, &xm)) / (2.0 * eps);
             let ana = dx.data()[i];
-            assert!((num - ana).abs() < 5e-2 * (1.0 + ana.abs()), "dx[{i}]: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
+                "dx[{i}]: {num} vs {ana}"
+            );
         }
         // Bias gradient equals the sum of dy per channel; sanity only.
         assert_eq!(db.len(), 3);
@@ -260,7 +299,7 @@ mod tests {
     fn conv_bias_shifts_every_output() {
         let x = Tensor::zeros(&[1, 1, 3, 3]);
         let w = Tensor::zeros(&[2, 9]);
-        let (y, _) = conv2d_forward(&x, &w, Some(&[1.5, -2.0]), 3, 3, 1, 1, false);
+        let (y, _) = conv2d_forward(&CTX, &x, &w, Some(&[1.5, -2.0]), 3, 3, 1, 1, false);
         let (_, c, oh, ow) = y.dims4();
         assert_eq!((c, oh, ow), (2, 3, 3));
         assert!(y.data()[..9].iter().all(|&v| v == 1.5));

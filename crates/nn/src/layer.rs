@@ -1,6 +1,6 @@
 //! The layer contract.
 
-use ams_tensor::Tensor;
+use ams_tensor::{ExecCtx, Tensor};
 
 use crate::param::Param;
 
@@ -35,11 +35,16 @@ impl Mode {
 /// The contract mirrors classic layer-based frameworks and is deliberately
 /// minimal so the quantized/AMS layers in `ams-models` can implement it
 /// directly.
+///
+/// Both passes take an [`ExecCtx`]: layers never own threads (or thread
+/// configuration) themselves — the caller decides, once, how parallel the
+/// whole stack runs, and results are bit-identical for any thread count.
+/// Use `&ExecCtx::serial()` when no context is at hand (tests, examples).
 pub trait Layer {
     /// Computes the layer output for `input`.
     ///
     /// In [`Mode::Train`], caches intermediate state for [`Layer::backward`].
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor;
 
     /// Propagates `grad_output` (gradient of the loss with respect to this
     /// layer's output) to the input, accumulating parameter gradients.
@@ -48,7 +53,7 @@ pub trait Layer {
     ///
     /// Implementations may panic if called without a preceding
     /// [`Mode::Train`] forward pass.
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor;
 
     /// Visits every trainable parameter (mutably), in a stable order.
     ///

@@ -29,15 +29,15 @@
 //!
 //! ```
 //! use ams_nn::{Layer, Linear, Mode, Sgd, softmax_cross_entropy};
-//! use ams_tensor::{rng, Tensor};
+//! use ams_tensor::{rng, ExecCtx, Tensor};
 //!
 //! let mut rng = rng::seeded(0);
 //! let mut layer = Linear::new("fc", 4, 3, &mut rng);
 //! let x = Tensor::ones(&[2, 4]);
-//! let logits = layer.forward(&x, Mode::Train);
+//! let logits = layer.forward(&ExecCtx::serial(), &x, Mode::Train);
 //! let (loss, dlogits) = softmax_cross_entropy(&logits, &[0, 2]);
 //! assert!(loss > 0.0);
-//! layer.backward(&dlogits);
+//! layer.backward(&ExecCtx::serial(), &dlogits);
 //! Sgd::new(0.1).step(&mut layer);
 //! ```
 
@@ -58,6 +58,7 @@ mod param;
 mod pool;
 
 pub use activations::{ClippedRelu, Relu};
+pub use ams_tensor::{ExecCtx, Parallelism};
 pub use batchnorm::BatchNorm2d;
 pub use checkpoint::{Checkpoint, LoadError};
 pub use container::{Flatten, Sequential};

@@ -1,6 +1,6 @@
 //! Plain (full-precision) fully-connected layer.
 
-use ams_tensor::{rng, Tensor};
+use ams_tensor::{rng, ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::functional::{linear_backward, linear_forward, LinearCache};
@@ -13,11 +13,11 @@ use crate::param::Param;
 ///
 /// ```
 /// use ams_nn::{Layer, Linear, Mode};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let mut fc = Linear::new("fc", 16, 10, &mut r);
-/// let y = fc.forward(&Tensor::zeros(&[4, 16]), Mode::Eval);
+/// let y = fc.forward(&ExecCtx::serial(), &Tensor::zeros(&[4, 16]), Mode::Eval);
 /// assert_eq!(y.dims(), &[4, 10]);
 /// ```
 #[derive(Debug)]
@@ -43,13 +43,23 @@ impl Linear {
         out_features: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(in_features > 0 && out_features > 0, "Linear: zero-sized configuration");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "Linear: zero-sized configuration"
+        );
         let name = name.into();
         let mut w = Tensor::zeros(&[out_features, in_features]);
         rng::fill_xavier(&mut w, in_features, out_features, rng);
         let weight = Param::new(format!("{name}.weight"), w);
         let bias = Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[out_features]));
-        Linear { name, in_features, out_features, weight, bias, cache: None }
+        Linear {
+            name,
+            in_features,
+            out_features,
+            weight,
+            bias,
+            cache: None,
+        }
     }
 
     /// Input feature count (`N_tot` for the AMS error model on this layer).
@@ -69,16 +79,24 @@ impl Linear {
 }
 
 impl Layer for Linear {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let (y, cache) =
-            linear_forward(input, &self.weight.value, Some(self.bias.value.data()), mode.is_train());
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let (y, cache) = linear_forward(
+            ctx,
+            input,
+            &self.weight.value,
+            Some(self.bias.value.data()),
+            mode.is_train(),
+        );
         self.cache = cache;
         y
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("Linear::backward without a Train-mode forward");
-        let (dx, dw, db) = linear_backward(cache, grad_output);
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("Linear::backward without a Train-mode forward");
+        let (dx, dw, db) = linear_backward(ctx, cache, grad_output);
         self.weight.grad.add_assign(&dw);
         for (g, d) in self.bias.grad.data_mut().iter_mut().zip(&db) {
             *g += d;
@@ -104,7 +122,7 @@ mod tests {
     fn shapes_and_params() {
         let mut r = rng::seeded(0);
         let mut fc = Linear::new("fc", 8, 3, &mut r);
-        let y = fc.forward(&Tensor::ones(&[2, 8]), Mode::Train);
+        let y = fc.forward(&ExecCtx::serial(), &Tensor::ones(&[2, 8]), Mode::Train);
         assert_eq!(y.dims(), &[2, 3]);
         let mut names = Vec::new();
         fc.for_each_param(&mut |p| names.push(p.name().to_string()));
@@ -116,8 +134,8 @@ mod tests {
         let mut r = rng::seeded(1);
         let mut fc = Linear::new("fc", 5, 2, &mut r);
         let x = Tensor::ones(&[3, 5]);
-        let y = fc.forward(&x, Mode::Train);
-        let dx = fc.backward(&Tensor::ones(y.dims()));
+        let y = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = fc.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
         assert_eq!(dx.dims(), &[3, 5]);
         assert_eq!(fc.weight().grad.dims(), &[2, 5]);
     }

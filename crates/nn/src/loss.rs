@@ -27,16 +27,28 @@ use ams_tensor::Tensor;
 /// assert_eq!(grad.dims(), &[1, 3]);
 /// ```
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
-    assert_eq!(logits.rank(), 2, "softmax_cross_entropy: logits must be 2-D");
+    assert_eq!(
+        logits.rank(),
+        2,
+        "softmax_cross_entropy: logits must be 2-D"
+    );
     let (n, k) = (logits.dims()[0], logits.dims()[1]);
-    assert_eq!(labels.len(), n, "softmax_cross_entropy: {n} rows but {} labels", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "softmax_cross_entropy: {n} rows but {} labels",
+        labels.len()
+    );
     let mut grad = Tensor::zeros(&[n, k]);
     let gd = grad.data_mut();
     let ld = logits.data();
     let mut loss = 0.0f64;
     for r in 0..n {
         let label = labels[r];
-        assert!(label < k, "softmax_cross_entropy: label {label} out of range for {k} classes");
+        assert!(
+            label < k,
+            "softmax_cross_entropy: label {label} out of range for {k} classes"
+        );
         let row = &ld[r * k..(r + 1) * k];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0f32;
@@ -116,7 +128,11 @@ mod tests {
             let (fp, _) = softmax_cross_entropy(&lp, &labels);
             let (fm, _) = softmax_cross_entropy(&lm, &labels);
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - grad.data()[i]).abs() < 1e-3, "grad[{i}]: {num} vs {}", grad.data()[i]);
+            assert!(
+                (num - grad.data()[i]).abs() < 1e-3,
+                "grad[{i}]: {num} vs {}",
+                grad.data()[i]
+            );
         }
     }
 

@@ -19,7 +19,7 @@ use crate::layer::Layer;
 ///
 /// ```
 /// use ams_nn::{Layer, Linear, Mode, Sgd, softmax_cross_entropy};
-/// use ams_tensor::{rng, Tensor};
+/// use ams_tensor::{rng, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(0);
 /// let mut net = Linear::new("fc", 4, 2, &mut r);
@@ -28,9 +28,9 @@ use crate::layer::Layer;
 /// let labels = vec![0usize; 8];
 /// let mut last = f32::INFINITY;
 /// for _ in 0..20 {
-///     let logits = net.forward(&x, Mode::Train);
+///     let logits = net.forward(&ExecCtx::serial(), &x, Mode::Train);
 ///     let (loss, grad) = softmax_cross_entropy(&logits, &labels);
-///     net.backward(&grad);
+///     net.backward(&ExecCtx::serial(), &grad);
 ///     opt.step(&mut net);
 ///     last = loss;
 /// }
@@ -50,12 +50,20 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD with the given learning rate (no momentum, no decay).
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+        }
     }
 
     /// Returns a copy with the given weight decay.
@@ -89,7 +97,7 @@ impl Sgd {
 mod tests {
     use super::*;
     use crate::{Linear, Mode};
-    use ams_tensor::{rng, Tensor};
+    use ams_tensor::{rng, ExecCtx, Tensor};
 
     #[test]
     fn frozen_params_do_not_move() {
@@ -102,8 +110,8 @@ mod tests {
             v
         };
         let x = Tensor::ones(&[2, 3]);
-        let y = fc.forward(&x, Mode::Train);
-        fc.backward(&Tensor::ones(y.dims()));
+        let y = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        fc.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
         Sgd::new(1.0).step(&mut fc);
         let after: Vec<f32> = {
             let mut v = Vec::new();
@@ -134,10 +142,10 @@ mod tests {
             p: Param,
         }
         impl crate::Layer for One {
-            fn forward(&mut self, x: &Tensor, _m: Mode) -> Tensor {
+            fn forward(&mut self, _ctx: &ExecCtx, x: &Tensor, _m: Mode) -> Tensor {
                 x.clone()
             }
-            fn backward(&mut self, g: &Tensor) -> Tensor {
+            fn backward(&mut self, _ctx: &ExecCtx, g: &Tensor) -> Tensor {
                 self.p.grad.data_mut()[0] += 1.0;
                 g.clone()
             }
@@ -148,14 +156,16 @@ mod tests {
                 "one"
             }
         }
-        let mut m = One { p: Param::new("w", Tensor::zeros(&[1])) };
+        let mut m = One {
+            p: Param::new("w", Tensor::zeros(&[1])),
+        };
         let opt = Sgd::with_momentum(1.0, 0.9);
         let x = Tensor::zeros(&[1]);
         let mut steps = Vec::new();
         let mut prev = 0.0f32;
         for _ in 0..4 {
-            m.forward(&x, Mode::Train);
-            m.backward(&x);
+            m.forward(&ExecCtx::serial(), &x, Mode::Train);
+            m.backward(&ExecCtx::serial(), &x);
             opt.step(&mut m);
             let w = m.p.value.data()[0];
             steps.push(prev - w);

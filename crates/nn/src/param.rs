@@ -40,7 +40,14 @@ impl Param {
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = value.zeros_like();
         let velocity = value.zeros_like();
-        Param { name: name.into(), value, grad, velocity, frozen: false, decay: true }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            velocity,
+            frozen: false,
+            decay: true,
+        }
     }
 
     /// Creates a parameter with weight decay disabled (biases, batch-norm

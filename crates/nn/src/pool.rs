@@ -1,6 +1,6 @@
 //! Spatial pooling layers.
 
-use ams_tensor::Tensor;
+use ams_tensor::{ExecCtx, Tensor};
 
 use crate::layer::{Layer, Mode};
 
@@ -10,11 +10,11 @@ use crate::layer::{Layer, Mode};
 ///
 /// ```
 /// use ams_nn::{Layer, MaxPool2d, Mode};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let mut pool = MaxPool2d::new("pool", 2);
 /// let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
-/// let y = pool.forward(&x, Mode::Eval);
+/// let y = pool.forward(&ExecCtx::serial(), &x, Mode::Eval);
 /// assert_eq!(y.data(), &[5.0]);
 /// ```
 #[derive(Debug)]
@@ -34,15 +34,23 @@ impl MaxPool2d {
     /// Panics if `k == 0`.
     pub fn new(name: impl Into<String>, k: usize) -> Self {
         assert!(k > 0, "MaxPool2d: zero window");
-        MaxPool2d { name: name.into(), k, argmax: None, input_dims: None }
+        MaxPool2d {
+            name: name.into(),
+            k,
+            argmax: None,
+            input_dims: None,
+        }
     }
 }
 
 impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let (n, c, h, w) = input.dims4();
         let k = self.k;
-        assert!(h >= k && w >= k, "MaxPool2d: window {k} larger than input {h}x{w}");
+        assert!(
+            h >= k && w >= k,
+            "MaxPool2d: window {k} larger than input {h}x{w}"
+        );
         let (oh, ow) = (h / k, w / k);
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
         let mut argmax = Vec::with_capacity(n * c * oh * ow);
@@ -79,10 +87,20 @@ impl Layer for MaxPool2d {
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("MaxPool2d::backward without a Train-mode forward");
-        let dims = self.input_dims.as_ref().expect("MaxPool2d::backward without a Train-mode forward");
-        assert_eq!(argmax.len(), grad_output.len(), "MaxPool2d::backward: shape changed since forward");
+    fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("MaxPool2d::backward without a Train-mode forward");
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("MaxPool2d::backward without a Train-mode forward");
+        assert_eq!(
+            argmax.len(),
+            grad_output.len(),
+            "MaxPool2d::backward: shape changed since forward"
+        );
         let mut dx = Tensor::zeros(dims);
         let dxd = dx.data_mut();
         for (&idx, &g) in argmax.iter().zip(grad_output.data()) {
@@ -105,11 +123,11 @@ impl Layer for MaxPool2d {
 ///
 /// ```
 /// use ams_nn::{GlobalAvgPool, Layer, Mode};
-/// use ams_tensor::Tensor;
+/// use ams_tensor::{ExecCtx, Tensor};
 ///
 /// let mut gap = GlobalAvgPool::new("gap");
 /// let x = Tensor::from_vec(&[1, 2, 1, 2], vec![1.0, 3.0, 10.0, 20.0]).unwrap();
-/// assert_eq!(gap.forward(&x, Mode::Eval).data(), &[2.0, 15.0]);
+/// assert_eq!(gap.forward(&ExecCtx::serial(), &x, Mode::Eval).data(), &[2.0, 15.0]);
 /// ```
 #[derive(Debug)]
 pub struct GlobalAvgPool {
@@ -120,12 +138,15 @@ pub struct GlobalAvgPool {
 impl GlobalAvgPool {
     /// Creates a global-average-pooling layer.
     pub fn new(name: impl Into<String>) -> Self {
-        GlobalAvgPool { name: name.into(), input_dims: None }
+        GlobalAvgPool {
+            name: name.into(),
+            input_dims: None,
+        }
     }
 }
 
 impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
         let (n, c, h, w) = input.dims4();
         let plane = (h * w) as f32;
         let mut out = Tensor::zeros(&[n, c]);
@@ -143,10 +164,17 @@ impl Layer for GlobalAvgPool {
         out
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self.input_dims.as_ref().expect("GlobalAvgPool::backward without a Train-mode forward");
+    fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("GlobalAvgPool::backward without a Train-mode forward");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        assert_eq!(grad_output.dims(), &[n, c], "GlobalAvgPool::backward: shape changed since forward");
+        assert_eq!(
+            grad_output.dims(),
+            &[n, c],
+            "GlobalAvgPool::backward: shape changed since forward"
+        );
         let plane = (h * w) as f32;
         let mut dx = Tensor::zeros(dims);
         let dxd = dx.data_mut();
@@ -175,15 +203,22 @@ mod tests {
     fn maxpool_routes_gradient_to_argmax() {
         let mut pool = MaxPool2d::new("p", 2);
         let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]).unwrap();
-        pool.forward(&x, Mode::Train);
-        let dx = pool.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]).unwrap());
+        pool.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = pool.backward(
+            &ExecCtx::serial(),
+            &Tensor::from_vec(&[1, 1, 1, 1], vec![7.0]).unwrap(),
+        );
         assert_eq!(dx.data(), &[0.0, 7.0, 0.0, 0.0]);
     }
 
     #[test]
     fn maxpool_shape() {
         let mut pool = MaxPool2d::new("p", 2);
-        let y = pool.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+        let y = pool.forward(
+            &ExecCtx::serial(),
+            &Tensor::zeros(&[2, 3, 8, 8]),
+            Mode::Eval,
+        );
         assert_eq!(y.dims(), &[2, 3, 4, 4]);
     }
 
@@ -191,8 +226,11 @@ mod tests {
     fn gap_backward_spreads_uniformly() {
         let mut gap = GlobalAvgPool::new("g");
         let x = Tensor::zeros(&[1, 1, 2, 2]);
-        gap.forward(&x, Mode::Train);
-        let dx = gap.backward(&Tensor::from_vec(&[1, 1], vec![4.0]).unwrap());
+        gap.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let dx = gap.backward(
+            &ExecCtx::serial(),
+            &Tensor::from_vec(&[1, 1], vec![4.0]).unwrap(),
+        );
         assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
 }

@@ -30,8 +30,14 @@ impl QuantConfig {
     ///
     /// Panics if either width is zero or exceeds 32.
     pub fn new(bw: u32, bx: u32) -> Self {
-        assert!((1..=32).contains(&bw), "QuantConfig: bw must be in 1..=32, got {bw}");
-        assert!((1..=32).contains(&bx), "QuantConfig: bx must be in 1..=32, got {bx}");
+        assert!(
+            (1..=32).contains(&bw),
+            "QuantConfig: bw must be in 1..=32, got {bw}"
+        );
+        assert!(
+            (1..=32).contains(&bx),
+            "QuantConfig: bx must be in 1..=32, got {bx}"
+        );
         QuantConfig { bw, bx }
     }
 

@@ -77,7 +77,10 @@ impl WeightQuantizer {
     ///
     /// Panics if `bits` is zero or exceeds 32.
     pub fn with_scheme(bits: u32, scheme: WeightScheme) -> Self {
-        assert!((1..=32).contains(&bits), "WeightQuantizer: bits must be in 1..=32, got {bits}");
+        assert!(
+            (1..=32).contains(&bits),
+            "WeightQuantizer: bits must be in 1..=32, got {bits}"
+        );
         WeightQuantizer { bits, scheme }
     }
 
@@ -99,13 +102,17 @@ impl WeightQuantizer {
     /// Quantizes a weight tensor, returning values and STE scales.
     pub fn quantize(&self, w: &Tensor) -> QuantizedWeights {
         if self.is_identity() {
-            return QuantizedWeights { values: w.clone(), ste_scale: Tensor::ones(w.dims()) };
+            return QuantizedWeights {
+                values: w.clone(),
+                ste_scale: Tensor::ones(w.dims()),
+            };
         }
         match self.scheme {
             WeightScheme::Tanh => {
                 let t = w.map(f32::tanh);
                 let max_t = t.max_abs().max(f32::MIN_POSITIVE);
-                let values = t.map(|ti| 2.0 * quantize_unit(ti / (2.0 * max_t) + 0.5, self.bits) - 1.0);
+                let values =
+                    t.map(|ti| 2.0 * quantize_unit(ti / (2.0 * max_t) + 0.5, self.bits) - 1.0);
                 // ∂/∂w of 2·(tanh(w)/(2T) + ½) − 1 = (1 − tanh²(w)) / T,
                 // treating T = max|tanh| as a constant (Distiller does too).
                 let ste_scale = w.map(|wi| {
@@ -115,8 +122,9 @@ impl WeightQuantizer {
                 QuantizedWeights { values, ste_scale }
             }
             WeightScheme::Clamp => {
-                let values =
-                    w.map(|wi| 2.0 * quantize_unit((wi.clamp(-1.0, 1.0) + 1.0) / 2.0, self.bits) - 1.0);
+                let values = w.map(|wi| {
+                    2.0 * quantize_unit((wi.clamp(-1.0, 1.0) + 1.0) / 2.0, self.bits) - 1.0
+                });
                 let ste_scale = w.map(|wi| if (-1.0..=1.0).contains(&wi) { 1.0 } else { 0.0 });
                 QuantizedWeights { values, ste_scale }
             }
@@ -146,7 +154,10 @@ impl WeightQuantizer {
 /// assert!((q.data()[1] - 2.0 / 3.0).abs() < 1e-6);
 /// ```
 pub fn quantize_activations(a: &Tensor, bits: u32) -> Tensor {
-    assert!((1..=32).contains(&bits), "quantize_activations: bits must be in 1..=32, got {bits}");
+    assert!(
+        (1..=32).contains(&bits),
+        "quantize_activations: bits must be in 1..=32, got {bits}"
+    );
     if bits == 32 {
         return a.clone();
     }
@@ -179,7 +190,10 @@ pub fn quantize_signed(x: &Tensor, bits: u32) -> Tensor {
     if bits == 32 {
         return x.clone();
     }
-    assert!(bits >= 2, "quantize_signed: need at least 2 bits (sign + magnitude), got {bits}");
+    assert!(
+        bits >= 2,
+        "quantize_signed: need at least 2 bits (sign + magnitude), got {bits}"
+    );
     let mag_bits = bits - 1;
     x.map(|v| v.signum() * quantize_unit(v.abs(), mag_bits))
 }
@@ -211,7 +225,10 @@ mod tests {
         let out = q.quantize(&w);
         let s = out.ste_scale.data();
         assert!(s.iter().all(|&v| v > 0.0));
-        assert!(s[0] > s[1] && s[1] > s[2], "tanh derivative must decay: {s:?}");
+        assert!(
+            s[0] > s[1] && s[1] > s[2],
+            "tanh derivative must decay: {s:?}"
+        );
     }
 
     #[test]
@@ -254,7 +271,8 @@ mod tests {
 
     #[test]
     fn more_bits_means_less_error() {
-        let w = Tensor::from_vec(&[101], (0..101).map(|i| (i as f32 - 50.0) / 40.0).collect()).unwrap();
+        let w =
+            Tensor::from_vec(&[101], (0..101).map(|i| (i as f32 - 50.0) / 40.0).collect()).unwrap();
         let err = |bits: u32| -> f32 {
             let out = WeightQuantizer::new(bits).quantize(&w);
             let tanh_ref = WeightQuantizer::new(24).quantize(&w);

@@ -45,6 +45,8 @@ mod signmag;
 mod uniform;
 
 pub use config::QuantConfig;
-pub use dorefa::{quantize_activations, quantize_signed, QuantizedWeights, WeightQuantizer, WeightScheme};
+pub use dorefa::{
+    quantize_activations, quantize_signed, QuantizedWeights, WeightQuantizer, WeightScheme,
+};
 pub use signmag::SignMagnitude;
 pub use uniform::{quantization_levels, quantize_unit};

@@ -38,11 +38,18 @@ impl SignMagnitude {
     ///
     /// Panics if `bits` is not in `2..=24`.
     pub fn encode(x: f32, bits: u32) -> Self {
-        assert!((2..=24).contains(&bits), "SignMagnitude: bits must be in 2..=24, got {bits}");
+        assert!(
+            (2..=24).contains(&bits),
+            "SignMagnitude: bits must be in 2..=24, got {bits}"
+        );
         let max_code = (1u32 << (bits - 1)) - 1;
         let clamped = x.clamp(-1.0, 1.0);
         let code = (clamped.abs() * max_code as f32).round() as u32;
-        SignMagnitude { negative: clamped < 0.0 && code > 0, code, bits }
+        SignMagnitude {
+            negative: clamped < 0.0 && code > 0,
+            code,
+            bits,
+        }
     }
 
     /// Decodes back to the represented `f32` value.
@@ -78,7 +85,11 @@ impl SignMagnitude {
     pub fn multiply(&self, other: &SignMagnitude) -> SignMagnitude {
         let bits = self.bits + other.bits - 1;
         let code = self.code * other.code;
-        SignMagnitude { negative: (self.negative ^ other.negative) && code > 0, code, bits }
+        SignMagnitude {
+            negative: (self.negative ^ other.negative) && code > 0,
+            code,
+            bits,
+        }
     }
 }
 

@@ -16,7 +16,10 @@
 /// assert_eq!(ams_quant::quantization_levels(8), 255.0);
 /// ```
 pub fn quantization_levels(bits: u32) -> f32 {
-    assert!(bits >= 1 && bits <= 24, "quantization_levels: bits must be in 1..=24, got {bits}");
+    assert!(
+        (1..=24).contains(&bits),
+        "quantization_levels: bits must be in 1..=24, got {bits}"
+    );
     ((1u32 << bits) - 1) as f32
 }
 

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::exec::ExecCtx;
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution: input size, kernel, stride and padding.
@@ -74,7 +75,18 @@ impl ConvGeom {
         );
         let oh = (h + 2 * pad - kh) / stride + 1;
         let ow = (w + 2 * pad - kw) / stride + 1;
-        ConvGeom { n, c_in, h, w, kh, kw, stride, pad, oh, ow }
+        ConvGeom {
+            n,
+            c_in,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+            oh,
+            ow,
+        }
     }
 
     /// Number of multiplications needed per output activation
@@ -97,12 +109,27 @@ impl ConvGeom {
 /// Lowers an `(N, C, H, W)` input to the `(C·K_h·K_w, N·OH·OW)` column
 /// matrix of a convolution with the given geometry.
 ///
-/// Out-of-bounds taps (padding) contribute zeros.
+/// Serial wrapper over [`im2col_in`]. Out-of-bounds taps (padding)
+/// contribute zeros.
 ///
 /// # Panics
 ///
 /// Panics if `input` is not 4-D or disagrees with `geom`.
 pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Tensor {
+    im2col_in(&ExecCtx::serial(), input, geom)
+}
+
+/// [`im2col`] splitting the `(ci, ki, kj)` tap rows of the column matrix
+/// across the context's workers.
+///
+/// Each row of the output is written by exactly one worker running the
+/// same gather loop as the serial version, so results are bit-identical
+/// for any thread count.
+///
+/// # Panics
+///
+/// Panics if `input` is not 4-D or disagrees with `geom`.
+pub fn im2col_in(ctx: &ExecCtx, input: &Tensor, geom: &ConvGeom) -> Tensor {
     let (n, c, h, w) = input.dims4();
     assert_eq!(
         (n, c, h, w),
@@ -112,35 +139,34 @@ pub fn im2col(input: &Tensor, geom: &ConvGeom) -> Tensor {
     let cols_n = geom.cols();
     let rows_n = geom.rows();
     let mut cols = Tensor::zeros(&[rows_n, cols_n]);
+    if rows_n == 0 || cols_n == 0 {
+        return cols;
+    }
     let src = input.data();
-    let dst = cols.data_mut();
     let (kh, kw, stride, pad, oh, ow) = (geom.kh, geom.kw, geom.stride, geom.pad, geom.oh, geom.ow);
-    for ci in 0..c {
-        for ki in 0..kh {
-            for kj in 0..kw {
-                let row = (ci * kh + ki) * kw + kj;
-                let drow = &mut dst[row * cols_n..(row + 1) * cols_n];
-                for ni in 0..n {
-                    let src_plane = &src[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
-                    for ohi in 0..oh {
-                        let ih = (ohi * stride + ki) as isize - pad as isize;
-                        let dbase = (ni * oh + ohi) * ow;
-                        if ih < 0 || ih >= h as isize {
-                            continue; // whole output row reads padding for this tap
-                        }
-                        let ih = ih as usize;
-                        for owi in 0..ow {
-                            let iw = (owi * stride + kj) as isize - pad as isize;
-                            if iw < 0 || iw >= w as isize {
-                                continue;
-                            }
-                            drow[dbase + owi] = src_plane[ih * w + iw as usize];
-                        }
+    ctx.for_each_chunk(cols.data_mut(), cols_n, cols_n, |row, drow| {
+        let ci = row / (kh * kw);
+        let ki = row / kw % kh;
+        let kj = row % kw;
+        for ni in 0..n {
+            let src_plane = &src[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+            for ohi in 0..oh {
+                let ih = (ohi * stride + ki) as isize - pad as isize;
+                let dbase = (ni * oh + ohi) * ow;
+                if ih < 0 || ih >= h as isize {
+                    continue; // whole output row reads padding for this tap
+                }
+                let ih = ih as usize;
+                for owi in 0..ow {
+                    let iw = (owi * stride + kj) as isize - pad as isize;
+                    if iw < 0 || iw >= w as isize {
+                        continue;
                     }
+                    drow[dbase + owi] = src_plane[ih * w + iw as usize];
                 }
             }
         }
-    }
+    });
     cols
 }
 
@@ -292,12 +318,16 @@ mod tests {
     fn conv_via_im2col_matches_direct() {
         use crate::matmul::matmul;
         let g = ConvGeom::new(1, 2, 4, 4, 3, 3, 1, 1);
-        let input =
-            Tensor::from_vec(&[1, 2, 4, 4], (0..32).map(|i| (i as f32 * 0.37).sin()).collect())
-                .unwrap();
-        let weight =
-            Tensor::from_vec(&[3, 2, 3, 3], (0..54).map(|i| (i as f32 * 0.11).cos()).collect())
-                .unwrap();
+        let input = Tensor::from_vec(
+            &[1, 2, 4, 4],
+            (0..32).map(|i| (i as f32 * 0.37).sin()).collect(),
+        )
+        .unwrap();
+        let weight = Tensor::from_vec(
+            &[3, 2, 3, 3],
+            (0..54).map(|i| (i as f32 * 0.11).cos()).collect(),
+        )
+        .unwrap();
         let cols = im2col(&input, &g);
         let wmat = weight.reshaped(&[3, 18]);
         let ymat = matmul(&wmat, &cols);
@@ -313,7 +343,7 @@ mod tests {
                             for kj in 0..3usize {
                                 let ih = ohi as isize + ki as isize - 1;
                                 let iw = owi as isize + kj as isize - 1;
-                                if ih < 0 || ih >= 4 || iw < 0 || iw >= 4 {
+                                if !(0..4).contains(&ih) || !(0..4).contains(&iw) {
                                     continue;
                                 }
                                 acc += weight.at(&[co, ci, ki, kj])
@@ -322,7 +352,10 @@ mod tests {
                         }
                     }
                     let got = y.at(&[0, co, ohi, owi]);
-                    assert!((got - acc).abs() < 1e-4, "mismatch at {co},{ohi},{owi}: {got} vs {acc}");
+                    assert!(
+                        (got - acc).abs() < 1e-4,
+                        "mismatch at {co},{ohi},{owi}: {got} vs {acc}"
+                    );
                 }
             }
         }
@@ -343,9 +376,41 @@ mod tests {
         for v in y.data_mut() {
             *v = r.gen::<f32>() - 0.5;
         }
-        let lhs: f32 = im2col(&x, &g).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.data().iter().zip(col2im(&y, &g).data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3, "adjointness violated: {lhs} vs {rhs}");
+        let lhs: f32 = im2col(&x, &g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &g).data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3,
+            "adjointness violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn parallel_im2col_bit_identical_to_serial() {
+        use crate::exec::Parallelism;
+        use crate::rng;
+        let g = ConvGeom::new(3, 4, 9, 7, 3, 2, 2, 1);
+        let mut x = Tensor::zeros(&[3, 4, 9, 7]);
+        let mut r = rng::seeded(9);
+        rng::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        let want = im2col_in(&ExecCtx::serial(), &x, &g);
+        for threads in [2, 5, 8] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            assert_eq!(im2col_in(&ctx, &x, &g), want, "threads = {threads}");
+            assert!(ctx.parallel_dispatch_count() > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! Execution context: worker threads, parallel dispatch, and RNG-stream
+//! allocation.
+//!
+//! [`ExecCtx`] is threaded through every compute layer of the workspace —
+//! kernels ([`crate::matmul_in`], [`crate::im2col_in`]), network layers
+//! (`ams-nn`), models (`ams-models`) and the experiment runner
+//! (`ams-exp`) — so that one value decides, in one place, how much
+//! parallelism the whole stack uses.
+//!
+//! # Determinism guarantee
+//!
+//! Every parallel primitive here partitions work so that each output
+//! element is computed by **exactly one** closure invocation running the
+//! identical sequential code, and results are placed by index. No
+//! floating-point reduction ever crosses a partition boundary, so results
+//! are bit-identical for any thread count (1, 2, 8, ...). Randomness
+//! never flows through the pool either: noise streams are allocated by
+//! [`noise_stream_seed`] from `(seed, layer_index)` counters, not from
+//! whichever thread happens to run a task.
+//!
+//! # Scheduling model
+//!
+//! Worker threads are scoped (`std::thread::scope`) per dispatch: there
+//! is no long-lived pool, no `unsafe`, and nothing to shut down. An op
+//! runs serially unless its estimated scalar work exceeds
+//! [`Parallelism::min_work`] — small tensors are cheaper to compute than
+//! to hand to threads.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How much parallelism the stack may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum worker threads per dispatch; `1` means fully serial.
+    pub threads: usize,
+    /// Minimum estimated scalar operations before an op goes parallel;
+    /// below this, dispatch overhead exceeds the win.
+    pub min_work: usize,
+}
+
+/// Default parallelism threshold: roughly the work of a 64×64×16 matmul.
+pub const DEFAULT_MIN_WORK: usize = 1 << 16;
+
+impl Parallelism {
+    /// Fully serial execution (also what [`ExecCtx::serial`] uses).
+    pub const fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            min_work: usize::MAX,
+        }
+    }
+
+    /// `threads` workers with the default work threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "Parallelism: thread count must be at least 1");
+        Parallelism {
+            threads,
+            min_work: DEFAULT_MIN_WORK,
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Parallelism::with_threads(threads)
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
+/// The execution context threaded through kernels, layers, models and
+/// experiments.
+///
+/// Cheap to borrow everywhere (`&ExecCtx`); create once near `main` and
+/// pass down. [`ExecCtx::serial`] is a `const fn`, so tests and examples
+/// can use `&ExecCtx::serial()` inline.
+#[derive(Debug)]
+pub struct ExecCtx {
+    par: Parallelism,
+    /// Dispatches that actually ran on the pool (observability/tests).
+    parallel_dispatches: AtomicUsize,
+}
+
+impl Clone for ExecCtx {
+    fn clone(&self) -> Self {
+        ExecCtx::new(self.par)
+    }
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        ExecCtx::auto()
+    }
+}
+
+impl ExecCtx {
+    /// A context with explicit parallelism settings.
+    pub const fn new(par: Parallelism) -> Self {
+        ExecCtx {
+            par,
+            parallel_dispatches: AtomicUsize::new(0),
+        }
+    }
+
+    /// The always-serial context: every op runs inline on the caller's
+    /// thread. Bit-identical to any parallel context by construction.
+    pub const fn serial() -> Self {
+        ExecCtx::new(Parallelism::serial())
+    }
+
+    /// A context using every available hardware thread.
+    pub fn auto() -> Self {
+        ExecCtx::new(Parallelism::auto())
+    }
+
+    /// A context with exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecCtx::new(Parallelism::with_threads(threads))
+    }
+
+    /// The configured parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// Maximum worker threads per dispatch.
+    pub fn threads(&self) -> usize {
+        self.par.threads
+    }
+
+    /// Whether an op with `work` estimated scalar operations should be
+    /// dispatched to the pool.
+    pub fn should_parallelize(&self, work: usize) -> bool {
+        self.par.threads > 1 && work >= self.par.min_work
+    }
+
+    /// How many dispatches actually ran multi-threaded so far.
+    pub fn parallel_dispatch_count(&self) -> usize {
+        self.parallel_dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(chunk_index, chunk)` over `out` split into consecutive
+    /// `chunk_len` pieces, in parallel when worthwhile.
+    ///
+    /// Each chunk is processed by exactly one invocation, so as long as
+    /// `f` is deterministic per chunk (it must not mutate shared state),
+    /// the result is bit-identical to the serial loop for any thread
+    /// count. `work_per_chunk` is the estimated scalar operations per
+    /// chunk, used for the serial/parallel decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` is not a multiple of `chunk_len` (for
+    /// non-empty `out`).
+    pub fn for_each_chunk<F>(&self, out: &mut [f32], chunk_len: usize, work_per_chunk: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        if out.is_empty() {
+            return;
+        }
+        assert_eq!(
+            out.len() % chunk_len,
+            0,
+            "for_each_chunk: output length {} is not a multiple of chunk length {chunk_len}",
+            out.len()
+        );
+        let n_chunks = out.len() / chunk_len;
+        let workers = self.par.threads.min(n_chunks);
+        if workers <= 1 || !self.should_parallelize(n_chunks.saturating_mul(work_per_chunk)) {
+            for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
+                f(idx, chunk);
+            }
+            return;
+        }
+        self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
+        // Contiguous near-equal partition: worker t takes chunk range
+        // [t*q + min(t, r), ...) where q = n/workers, r = n % workers.
+        let q = n_chunks / workers;
+        let r = n_chunks % workers;
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            let mut start = 0usize;
+            for t in 0..workers {
+                let count = q + usize::from(t < r);
+                let (mine, tail) = rest.split_at_mut(count * chunk_len);
+                rest = tail;
+                let fr = &f;
+                scope.spawn(move || {
+                    for (off, chunk) in mine.chunks_mut(chunk_len).enumerate() {
+                        fr(start + off, chunk);
+                    }
+                });
+                start += count;
+            }
+        });
+    }
+
+    /// Maps `f` over `items` on the pool, returning results in input
+    /// order.
+    ///
+    /// Items are claimed from an atomic queue (good load balance for
+    /// uneven work like experiment sweep arms) but each result is placed
+    /// at its item's index, so output order — and, provided `f` is
+    /// deterministic per item, output *content* — is independent of
+    /// thread count and scheduling.
+    pub fn parallel_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.par.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    *slots[i].lock() = Some(f(item));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every slot filled by exactly one worker")
+            })
+            .collect()
+    }
+}
+
+/// Derives a decorrelated per-layer RNG stream seed from a network-level
+/// seed and a layer counter (SplitMix64-style finalizer).
+///
+/// This is the workspace's single RNG-stream allocation point: layers
+/// never invent their own mixing, so streams stay decorrelated across
+/// layers and reproducible across runs and thread counts. Moved here from
+/// `ams-models` so kernels, layers and experiments share one scheme.
+pub fn noise_stream_seed(network_seed: u64, layer_index: u64) -> u64 {
+    let mut z = network_seed ^ layer_index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_ctx_is_const_and_inline() {
+        // `serial` is a const fn, so a context can live in a static.
+        static CTX: ExecCtx = ExecCtx::serial();
+        assert_eq!(CTX.threads(), 1);
+        assert!(!CTX.should_parallelize(usize::MAX));
+    }
+
+    #[test]
+    fn for_each_chunk_matches_serial_for_any_thread_count() {
+        let chunk = 16usize;
+        let n = 64usize;
+        let kernel = |idx: usize, out: &mut [f32]| {
+            for (j, v) in out.iter_mut().enumerate() {
+                *v = ((idx * 31 + j) as f32).sin();
+            }
+        };
+        let mut want = vec![0.0f32; n * chunk];
+        ExecCtx::serial().for_each_chunk(&mut want, chunk, usize::MAX, kernel);
+        for threads in [2, 3, 8, 64, 77] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            let mut got = vec![0.0f32; n * chunk];
+            ctx.for_each_chunk(&mut got, chunk, usize::MAX, kernel);
+            assert_eq!(got, want, "threads = {threads}");
+            assert_eq!(ctx.parallel_dispatch_count(), 1);
+        }
+    }
+
+    #[test]
+    fn small_work_stays_serial() {
+        let ctx = ExecCtx::with_threads(8);
+        let mut out = vec![0.0f32; 8];
+        ctx.for_each_chunk(&mut out, 1, 1, |i, c| c[0] = i as f32);
+        assert_eq!(ctx.parallel_dispatch_count(), 0);
+        assert_eq!(out, (0..8).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..40).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 7, 40] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            let got = ctx.parallel_map(&items, |x| x * x);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stream_seeds_decorrelate() {
+        assert_ne!(noise_stream_seed(1, 0), noise_stream_seed(1, 1));
+        assert_ne!(noise_stream_seed(1, 0), noise_stream_seed(2, 0));
+        assert_eq!(noise_stream_seed(7, 3), noise_stream_seed(7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_ragged_chunks() {
+        ExecCtx::serial().for_each_chunk(&mut [0.0; 5], 2, 1, |_, _| {});
+    }
+}

@@ -12,7 +12,11 @@
 //! * [`im2col`] / [`col2im`] — lowering of NCHW convolutions to matrix
 //!   products and the adjoint scatter used for gradients;
 //! * [`rng`] — seeded random sources, a Box–Muller Gaussian, and the weight
-//!   initializers (Kaiming / Xavier) used by the network layers.
+//!   initializers (Kaiming / Xavier) used by the network layers;
+//! * [`exec`] — the [`ExecCtx`] execution context threaded through the
+//!   whole stack: a scoped worker pool with deterministic (bit-identical
+//!   for any thread count) parallel dispatch, and the counter-derived
+//!   RNG-stream allocator [`noise_stream_seed`].
 //!
 //! # Example
 //!
@@ -39,13 +43,15 @@
 #![warn(missing_docs)]
 
 mod conv;
+pub mod exec;
 mod matmul;
 mod ops;
 pub mod rng;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, mat_to_nchw, nchw_to_mat, ConvGeom};
-pub use matmul::{matmul, matmul_a_bt, matmul_at_b};
+pub use conv::{col2im, im2col, im2col_in, mat_to_nchw, nchw_to_mat, ConvGeom};
+pub use exec::{noise_stream_seed, ExecCtx, Parallelism};
+pub use matmul::{matmul, matmul_a_bt, matmul_a_bt_in, matmul_at_b, matmul_at_b_in, matmul_in};
 pub use shape::{ShapeExt, TensorError};
 pub use tensor::Tensor;

@@ -5,15 +5,40 @@
 //! ([`matmul_a_bt`]) and its input gradient is `Wᵀ · dY` ([`matmul_at_b`]).
 //! All kernels use an i-k-j loop order so the innermost loop streams over
 //! contiguous rows, which the compiler auto-vectorizes.
+//!
+//! Each kernel has two forms: the `*_in` form takes an [`ExecCtx`] and
+//! splits output rows across its workers, and the plain form is a serial
+//! wrapper (`matmul(a, b)` ≡ `matmul_in(&ExecCtx::serial(), a, b)`).
+//! Every output element is accumulated by exactly one worker in the same
+//! k-ascending order as the serial loop, so results are bit-identical for
+//! any thread count.
+//!
+//! The dense inner loop carries no per-element zero test — a branch there
+//! defeats auto-vectorization. Instead [`matmul_in`] measures the lhs
+//! density once per call and only switches to a row-skipping kernel when
+//! the lhs is mostly zeros (e.g. aggressively quantized weights); the
+//! gate depends only on the data, never on the thread count.
 
+use crate::exec::ExecCtx;
 use crate::tensor::Tensor;
 
+/// Zero fraction of the lhs above which [`matmul_in`] uses the
+/// zero-skipping kernel instead of the dense vectorizable one.
+const SPARSE_GATE: f32 = 0.5;
+
 fn dims2(name: &str, t: &Tensor) -> (usize, usize) {
-    assert_eq!(t.rank(), 2, "{name}: expected a 2-D tensor, got rank {}", t.rank());
+    assert_eq!(
+        t.rank(),
+        2,
+        "{name}: expected a 2-D tensor, got rank {}",
+        t.rank()
+    );
     (t.dims()[0], t.dims()[1])
 }
 
 /// `C = A · B` for 2-D tensors `A: (m, k)` and `B: (k, n)`.
+///
+/// Serial wrapper over [`matmul_in`].
 ///
 /// # Panics
 ///
@@ -31,85 +56,149 @@ fn dims2(name: &str, t: &Tensor) -> (usize, usize) {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_in(&ExecCtx::serial(), a, b)
+}
+
+/// `C = A · B`, splitting rows of `C` across the context's workers.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the inner dimensions disagree.
+pub fn matmul_in(ctx: &ExecCtx, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2("matmul lhs", a);
     let (kb, n) = dims2("matmul rhs", b);
     assert_eq!(ka, kb, "matmul: inner dimensions disagree ({ka} vs {kb})");
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
     let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
-        let crow = &mut cd[i * n..(i + 1) * n];
-        for k in 0..ka {
-            let aik = ad[i * ka + k];
-            if aik == 0.0 {
-                continue;
+    let sparse_lhs = is_mostly_zero(ad);
+    ctx.for_each_chunk(c.data_mut(), n, ka * n, |i, crow| {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        if sparse_lhs {
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &bd[k * n..(k + 1) * n];
+                for (cj, &bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
             }
-            let brow = &bd[k * n..(k + 1) * n];
-            for (cj, &bj) in crow.iter_mut().zip(brow) {
-                *cj += aik * bj;
+        } else {
+            for (k, &aik) in arow.iter().enumerate() {
+                let brow = &bd[k * n..(k + 1) * n];
+                for (cj, &bj) in crow.iter_mut().zip(brow) {
+                    *cj += aik * bj;
+                }
             }
         }
-    }
+    });
     c
 }
 
+/// Whether at least [`SPARSE_GATE`] of `data` is exactly zero.
+fn is_mostly_zero(data: &[f32]) -> bool {
+    if data.is_empty() {
+        return false;
+    }
+    let zeros = data.iter().filter(|v| **v == 0.0).count();
+    (zeros as f32) >= SPARSE_GATE * data.len() as f32
+}
+
 /// `C = Aᵀ · B` for `A: (k, m)` and `B: (k, n)`, without materializing `Aᵀ`.
+///
+/// Serial wrapper over [`matmul_at_b_in`].
 ///
 /// # Panics
 ///
 /// Panics if either input is not 2-D or the leading dimensions disagree.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_at_b_in(&ExecCtx::serial(), a, b)
+}
+
+/// `C = Aᵀ · B`, splitting rows of `C` (columns of `A`) across the
+/// context's workers.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the leading dimensions disagree.
+pub fn matmul_at_b_in(ctx: &ExecCtx, a: &Tensor, b: &Tensor) -> Tensor {
     let (ka, m) = dims2("matmul_at_b lhs", a);
     let (kb, n) = dims2("matmul_at_b rhs", b);
-    assert_eq!(ka, kb, "matmul_at_b: leading dimensions disagree ({ka} vs {kb})");
+    assert_eq!(
+        ka, kb,
+        "matmul_at_b: leading dimensions disagree ({ka} vs {kb})"
+    );
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
     let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for k in 0..ka {
-        let arow = &ad[k * m..(k + 1) * m];
-        let brow = &bd[k * n..(k + 1) * n];
-        for (i, &aki) in arow.iter().enumerate() {
+    ctx.for_each_chunk(c.data_mut(), n, ka * n, |i, crow| {
+        // Column i of A is strided, but the j loop streams contiguously
+        // over rows of B and C, which is what vectorizes.
+        for k in 0..ka {
+            let aki = ad[k * m + i];
             if aki == 0.0 {
                 continue;
             }
-            let crow = &mut cd[i * n..(i + 1) * n];
+            let brow = &bd[k * n..(k + 1) * n];
             for (cj, &bj) in crow.iter_mut().zip(brow) {
                 *cj += aki * bj;
             }
         }
-    }
+    });
     c
 }
 
 /// `C = A · Bᵀ` for `A: (m, k)` and `B: (n, k)`, without materializing `Bᵀ`.
 ///
+/// Serial wrapper over [`matmul_a_bt_in`].
+///
 /// # Panics
 ///
 /// Panics if either input is not 2-D or the trailing dimensions disagree.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_a_bt_in(&ExecCtx::serial(), a, b)
+}
+
+/// `C = A · Bᵀ`, splitting rows of `C` across the context's workers.
+///
+/// # Panics
+///
+/// Panics if either input is not 2-D or the trailing dimensions disagree.
+pub fn matmul_a_bt_in(ctx: &ExecCtx, a: &Tensor, b: &Tensor) -> Tensor {
     let (m, ka) = dims2("matmul_a_bt lhs", a);
     let (n, kb) = dims2("matmul_a_bt rhs", b);
-    assert_eq!(ka, kb, "matmul_a_bt: trailing dimensions disagree ({ka} vs {kb})");
+    assert_eq!(
+        ka, kb,
+        "matmul_a_bt: trailing dimensions disagree ({ka} vs {kb})"
+    );
     let mut c = Tensor::zeros(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
     let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
-    for i in 0..m {
+    ctx.for_each_chunk(c.data_mut(), n, ka * n, |i, crow| {
         let arow = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
+        for (j, cj) in crow.iter_mut().enumerate() {
             let brow = &bd[j * kb..(j + 1) * kb];
             let mut acc = 0.0f32;
             for (&x, &y) in arow.iter().zip(brow) {
                 acc += x * y;
             }
-            cd[i * n + j] = acc;
+            *cj = acc;
         }
-    }
+    });
     c
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::Parallelism;
 
     fn t(dims: &[usize], v: Vec<f32>) -> Tensor {
         Tensor::from_vec(dims, v).unwrap()
@@ -173,5 +262,66 @@ mod tests {
         let b = Tensor::zeros(&[3, 2]);
         let c = matmul(&a, &b);
         assert_eq!(c.dims(), &[0, 2]);
+    }
+
+    fn random(dims: &[usize], seed: u64) -> Tensor {
+        use crate::rng;
+        let mut t = Tensor::zeros(dims);
+        let mut r = rng::seeded(seed);
+        rng::fill_uniform(&mut t, -1.0, 1.0, &mut r);
+        t
+    }
+
+    #[test]
+    fn parallel_kernels_bit_identical_to_serial() {
+        let a = random(&[33, 17], 1);
+        let b = random(&[17, 29], 2);
+        let at = random(&[17, 33], 3);
+        let bt = random(&[29, 17], 4);
+        let serial = ExecCtx::serial();
+        for threads in [2, 3, 8] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            assert_eq!(matmul_in(&serial, &a, &b), matmul_in(&ctx, &a, &b));
+            assert_eq!(
+                matmul_at_b_in(&serial, &at, &b),
+                matmul_at_b_in(&ctx, &at, &b)
+            );
+            assert_eq!(
+                matmul_a_bt_in(&serial, &a, &bt),
+                matmul_a_bt_in(&ctx, &a, &bt)
+            );
+            assert!(ctx.parallel_dispatch_count() >= 3, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn sparse_gate_matches_reference_result() {
+        // A mostly-zero lhs takes the skipping kernel; it must agree with
+        // a naive reference product (and a dense lhs must too).
+        for sparse in [true, false] {
+            let mut a = random(&[12, 24], 5);
+            if sparse {
+                for (i, v) in a.data_mut().iter_mut().enumerate() {
+                    if i % 4 != 0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            assert_eq!(is_mostly_zero(a.data()), sparse);
+            let b = random(&[24, 9], 6);
+            let got = matmul(&a, &b);
+            for i in 0..12 {
+                for j in 0..9 {
+                    let mut want = 0.0f32;
+                    for k in 0..24 {
+                        want += a.at(&[i, k]) * b.at(&[k, j]);
+                    }
+                    assert!((got.at(&[i, j]) - want).abs() < 1e-5);
+                }
+            }
+        }
     }
 }

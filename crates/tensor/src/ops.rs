@@ -111,7 +111,10 @@ impl Tensor {
     /// Panics if the tensor is empty.
     pub fn max(&self) -> f32 {
         assert!(!self.is_empty(), "max of empty tensor");
-        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element.
@@ -196,10 +199,10 @@ impl Tensor {
         let count = (n * plane) as f32;
         let mut means = vec![0.0f32; c];
         for ni in 0..n {
-            for ci in 0..c {
+            for (ci, mean) in means.iter_mut().enumerate() {
                 let base = (ni * c + ci) * plane;
                 let s: f32 = self.data()[base..base + plane].iter().sum();
-                means[ci] += s;
+                *mean += s;
             }
         }
         for m in &mut means {
@@ -216,7 +219,11 @@ impl Tensor {
     /// Panics if the tensor is not 4-D or `means.len() != C`.
     pub fn channel_vars(&self, means: &[f32]) -> Vec<f32> {
         let (n, c, h, w) = self.dims4();
-        assert_eq!(means.len(), c, "channel_vars: means length != channel count");
+        assert_eq!(
+            means.len(),
+            c,
+            "channel_vars: means length != channel count"
+        );
         let plane = h * w;
         let count = (n * plane) as f32;
         let mut vars = vec![0.0f32; c];
@@ -243,7 +250,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 4-D.
     pub fn dims4(&self) -> (usize, usize, usize, usize) {
-        assert_eq!(self.rank(), 4, "expected a 4-D NCHW tensor, got rank {}", self.rank());
+        assert_eq!(
+            self.rank(),
+            4,
+            "expected a 4-D NCHW tensor, got rank {}",
+            self.rank()
+        );
         let d = self.dims();
         (d[0], d[1], d[2], d[3])
     }

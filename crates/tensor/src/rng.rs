@@ -122,6 +122,9 @@ mod tests {
         fill_kaiming(&mut t, 128, &mut rng);
         let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
         let expected = 2.0 / 128.0;
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs {expected}"
+        );
     }
 }

@@ -28,7 +28,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, got } => {
-                write!(f, "length mismatch: shape requires {expected} elements, got {got}")
+                write!(
+                    f,
+                    "length mismatch: shape requires {expected} elements, got {got}"
+                )
             }
             TensorError::InvalidShape { dims, reason } => {
                 write!(f, "invalid shape {dims:?}: {reason}")
@@ -83,7 +86,10 @@ mod tests {
 
     #[test]
     fn error_display_is_lowercase_and_concise() {
-        let e = TensorError::LengthMismatch { expected: 6, got: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            got: 5,
+        };
         let msg = e.to_string();
         assert!(msg.starts_with("length mismatch"));
         assert!(!msg.ends_with('.'));

@@ -45,12 +45,18 @@ impl Tensor {
 
     /// Creates a tensor of the given dimensions filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
-        Tensor { dims: dims.to_vec(), data: vec![value; dims.numel()] }
+        Tensor {
+            dims: dims.to_vec(),
+            data: vec![value; dims.numel()],
+        }
     }
 
     /// Creates a 0-dimensional-like tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { dims: vec![1], data: vec![value] }
+        Tensor {
+            dims: vec![1],
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor from a flat `Vec` in row-major order.
@@ -62,9 +68,15 @@ impl Tensor {
     pub fn from_vec(dims: &[usize], data: Vec<f32>) -> Result<Self, TensorError> {
         let expected = dims.numel();
         if data.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, got: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                got: data.len(),
+            });
         }
-        Ok(Tensor { dims: dims.to_vec(), data })
+        Ok(Tensor {
+            dims: dims.to_vec(),
+            data,
+        })
     }
 
     /// Creates a tensor with the same dimensions as `self`, filled with zeros.
@@ -113,7 +125,13 @@ impl Tensor {
     ///
     /// Panics if `idx.len() != self.rank()` or any index is out of bounds.
     pub fn offset(&self, idx: &[usize]) -> usize {
-        assert_eq!(idx.len(), self.dims.len(), "index rank {} != tensor rank {}", idx.len(), self.dims.len());
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank {} != tensor rank {}",
+            idx.len(),
+            self.dims.len()
+        );
         let mut off = 0;
         for (i, (&ix, &d)) in idx.iter().zip(&self.dims).enumerate() {
             assert!(ix < d, "index {ix} out of bounds for dim {i} of size {d}");
@@ -149,9 +167,15 @@ impl Tensor {
     pub fn reshape(self, dims: &[usize]) -> Result<Self, TensorError> {
         let expected = dims.numel();
         if self.data.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, got: self.data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                got: self.data.len(),
+            });
         }
-        Ok(Tensor { dims: dims.to_vec(), data: self.data })
+        Ok(Tensor {
+            dims: dims.to_vec(),
+            data: self.data,
+        })
     }
 
     /// Like [`Tensor::reshape`] but borrowing: clones only the dimension
@@ -161,14 +185,19 @@ impl Tensor {
     ///
     /// Panics if the element counts differ.
     pub fn reshaped(&self, dims: &[usize]) -> Self {
-        self.clone().reshape(dims).expect("reshaped: element count mismatch")
+        self.clone()
+            .reshape(dims)
+            .expect("reshaped: element count mismatch")
     }
 }
 
 impl Default for Tensor {
     /// An empty 1-D tensor (zero elements).
     fn default() -> Self {
-        Tensor { dims: vec![0], data: Vec::new() }
+        Tensor {
+            dims: vec![0],
+            data: Vec::new(),
+        }
     }
 }
 
@@ -189,7 +218,13 @@ mod tests {
     #[test]
     fn from_vec_validates_length() {
         let err = Tensor::from_vec(&[2, 2], vec![1.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, got: 3 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests of the tensor substrate.
 
-use ams_tensor::{col2im, im2col, matmul, matmul_a_bt, matmul_at_b, ConvGeom, ShapeExt, Tensor};
+use ams_tensor::{
+    col2im, im2col, im2col_in, matmul, matmul_a_bt, matmul_a_bt_in, matmul_at_b, matmul_at_b_in,
+    matmul_in, ConvGeom, ExecCtx, Parallelism, ShapeExt, Tensor,
+};
 use proptest::prelude::*;
 
 fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
@@ -97,6 +100,58 @@ proptest! {
         let rhs: f64 = x.data().iter().zip(col2im(&y, &geom).data())
             .map(|(a, b)| f64::from(*a) * f64::from(*b)).sum();
         prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Parallel matmul kernels are bit-identical to the serial ones for
+    /// arbitrary shapes and thread counts — the determinism contract of
+    /// [`ExecCtx`] (each output row is accumulated by exactly one worker
+    /// in serial k-order, so not even rounding may differ).
+    #[test]
+    fn parallel_matmul_bit_identical(
+        m in 1usize..12,
+        k in 1usize..12,
+        n in 1usize..12,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        use ams_tensor::rng;
+        let mut r = rng::seeded(seed);
+        let mut a = Tensor::zeros(&[m, k]);
+        rng::fill_uniform(&mut a, -2.0, 2.0, &mut r);
+        let mut b = Tensor::zeros(&[k, n]);
+        rng::fill_uniform(&mut b, -2.0, 2.0, &mut r);
+        let serial = ExecCtx::serial();
+        // min_work: 0 forces worker dispatch even for tiny shapes.
+        let par = ExecCtx::new(Parallelism { threads, min_work: 0 });
+        prop_assert_eq!(matmul_in(&serial, &a, &b), matmul_in(&par, &a, &b));
+
+        let mut at = Tensor::zeros(&[k, m]);
+        rng::fill_uniform(&mut at, -2.0, 2.0, &mut r);
+        prop_assert_eq!(matmul_at_b_in(&serial, &at, &b), matmul_at_b_in(&par, &at, &b));
+
+        let mut bt = Tensor::zeros(&[n, k]);
+        rng::fill_uniform(&mut bt, -2.0, 2.0, &mut r);
+        prop_assert_eq!(matmul_a_bt_in(&serial, &a, &bt), matmul_a_bt_in(&par, &a, &bt));
+    }
+
+    /// Parallel im2col lowers to exactly the serial patch matrix.
+    #[test]
+    fn parallel_im2col_bit_identical(
+        n in 1usize..4,
+        c in 1usize..4,
+        hw in 4usize..8,
+        k in 1usize..4,
+        threads in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(hw >= k);
+        let geom = ConvGeom::new(n, c, hw, hw, k, k, 1, k / 2);
+        use ams_tensor::rng;
+        let mut r = rng::seeded(seed);
+        let mut x = Tensor::zeros(&[n, c, hw, hw]);
+        rng::fill_uniform(&mut x, -1.0, 1.0, &mut r);
+        let par = ExecCtx::new(Parallelism { threads, min_work: 0 });
+        prop_assert_eq!(im2col_in(&ExecCtx::serial(), &x, &geom), im2col_in(&par, &x, &geom));
     }
 
     /// Reshape round-trips preserve data exactly.

@@ -48,7 +48,10 @@ fn main() {
                 p.n_mult,
                 p.mac_energy_fj
             ),
-            None => println!("< {:.1}% loss: nothing on this grid qualifies", target * 100.0),
+            None => println!(
+                "< {:.1}% loss: nothing on this grid qualifies",
+                target * 100.0
+            ),
         }
     }
 

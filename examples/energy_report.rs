@@ -10,19 +10,26 @@ use ams_repro::core::composite::CompositeError;
 use ams_repro::core::vmac::Vmac;
 use ams_repro::models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
 use ams_repro::quant::QuantConfig;
+use ams_repro::tensor::ExecCtx;
 
 fn main() {
     let arch = ResNetMiniConfig::quick();
     let image_size = 16;
 
-    println!("network: ResNet-mini ({} conv layers + fc), {image_size}x{image_size} input\n", arch.conv_layer_count());
-    println!("{:<14} {:>10} {:>7} {:>12}", "layer", "MACs", "N_tot", "energy [pJ]");
+    println!(
+        "network: ResNet-mini ({} conv layers + fc), {image_size}x{image_size} input\n",
+        arch.conv_layer_count()
+    );
+    println!(
+        "{:<14} {:>10} {:>7} {:>12}",
+        "layer", "MACs", "N_tot", "energy [pJ]"
+    );
 
     // Price the network at the paper's headline design point.
     let vmac = Vmac::new(8, 8, 8, 12.0);
     let hw = HardwareConfig::ams(QuantConfig::w8a8(), vmac);
     let mut net = ResNetMini::new(&arch, &hw);
-    let report = net.energy_report(image_size);
+    let report = net.energy_report(&ExecCtx::serial(), image_size);
     for layer in &report.layers {
         println!(
             "{:<14} {:>10} {:>7} {:>12.2}",
@@ -38,10 +45,16 @@ fn main() {
 
     // How does the price move across the design space?
     println!("\nsweep (same network):");
-    for (enob, n_mult) in [(10.0, 8usize), (11.0, 16), (12.0, 8), (12.0, 64), (14.0, 64)] {
+    for (enob, n_mult) in [
+        (10.0, 8usize),
+        (11.0, 16),
+        (12.0, 8),
+        (12.0, 64),
+        (14.0, 64),
+    ] {
         let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, n_mult, enob));
         let mut net = ResNetMini::new(&arch, &hw);
-        let r = net.energy_report(image_size);
+        let r = net.energy_report(&ExecCtx::serial(), image_size);
         println!(
             "  ENOB {enob:>4.1}, N_mult {n_mult:>3}: {:>8.1} pJ/inference ({:>6.0} fJ/MAC)",
             r.total_pj(),

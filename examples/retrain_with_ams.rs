@@ -16,8 +16,11 @@ use ams_repro::exp::{eval_passes, train_scheduled, train_with_eval};
 use ams_repro::models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
 use ams_repro::nn::{Checkpoint, Layer};
 use ams_repro::quant::QuantConfig;
+use ams_repro::tensor::ExecCtx;
 
 fn main() {
+    // Use every core; results are bit-identical to a serial run.
+    let ctx = ExecCtx::auto();
     // A small-but-nontrivial instance so the example finishes in ~a minute.
     let data = SynthConfig {
         classes: 8,
@@ -26,14 +29,30 @@ fn main() {
         ..SynthConfig::quick()
     }
     .generate();
-    let arch = ResNetMiniConfig { classes: 8, ..ResNetMiniConfig::quick() };
+    let arch = ResNetMiniConfig {
+        classes: 8,
+        ..ResNetMiniConfig::quick()
+    };
     let (batch, passes) = (32, 3);
 
     // 1. Pretrain the FP32 baseline.
     println!("pretraining FP32 baseline ...");
     let mut fp32 = ResNetMini::new(&arch, &HardwareConfig::fp32());
-    let out = train_scheduled(&mut fp32, &data.train, &data.val, 16, 0.05, batch, 0, &[10, 14]);
-    println!("  FP32 best val accuracy: {:.4} (epoch {})", out.best_val_acc, out.best_epoch);
+    let out = train_scheduled(
+        &ctx,
+        &mut fp32,
+        &data.train,
+        &data.val,
+        16,
+        0.05,
+        batch,
+        0,
+        &[10, 14],
+    );
+    println!(
+        "  FP32 best val accuracy: {:.4} (epoch {})",
+        out.best_val_acc, out.best_epoch
+    );
     let fp32_ckpt = Checkpoint::from_layer(&mut fp32);
 
     // A noisy VMAC: low ENOB so the error clearly hurts.
@@ -43,24 +62,44 @@ fn main() {
 
     // 2a. Eval-only: drop the FP32 weights into AMS hardware untouched.
     let mut eval_only = ResNetMini::new(&arch, &HardwareConfig::ams_eval_only(quant, vmac));
-    fp32_ckpt.load_into(&mut eval_only).expect("same architecture");
-    let acc_eval_only = eval_passes(&mut eval_only, &data.val, passes, batch, true, 100);
+    fp32_ckpt
+        .load_into(&mut eval_only)
+        .expect("same architecture");
+    let acc_eval_only = eval_passes(&ctx, &mut eval_only, &data.val, passes, batch, true, 100);
     println!("  eval-only accuracy under AMS error:  {acc_eval_only}");
 
     // 2b. Retrain with the error in the loop (last layer excluded during
     //     training, per the paper's Section 2 rule).
     println!("retraining with AMS error in the loop ...");
     let mut retrained = ResNetMini::new(&arch, &HardwareConfig::ams(quant, vmac));
-    fp32_ckpt.load_into(&mut retrained).expect("same architecture");
-    let out = train_with_eval(&mut retrained, &data.train, &data.val, 5, 0.01, batch, 1);
-    let acc_retrained = eval_passes(&mut retrained, &data.val, passes, batch, true, 200);
-    println!("  retrained accuracy under AMS error:  {acc_retrained} (best epoch {})", out.best_epoch);
+    fp32_ckpt
+        .load_into(&mut retrained)
+        .expect("same architecture");
+    let out = train_with_eval(
+        &ctx,
+        &mut retrained,
+        &data.train,
+        &data.val,
+        5,
+        0.01,
+        batch,
+        1,
+    );
+    let acc_retrained = eval_passes(&ctx, &mut retrained, &data.val, passes, batch, true, 200);
+    println!(
+        "  retrained accuracy under AMS error:  {acc_retrained} (best epoch {})",
+        out.best_epoch
+    );
 
     let recovered = acc_retrained.mean - acc_eval_only.mean;
     println!(
         "\nretraining recovered {:+.4} top-1 ({})",
         recovered,
-        if recovered > 0.0 { "accuracy recovery, as in the paper's Fig. 4" } else { "no recovery at this ENOB" }
+        if recovered > 0.0 {
+            "accuracy recovery, as in the paper's Fig. 4"
+        } else {
+            "no recovery at this ENOB"
+        }
     );
 
     // Where did the recovery come from? Inspect the batch-norm shifts the

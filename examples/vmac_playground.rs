@@ -19,18 +19,29 @@ fn main() {
     let vmac = Vmac::new(8, 8, 8, 8.0);
     let n_tot = 512;
     let trials = 300;
-    println!("cell {vmac}, N_tot = {n_tot} ({} conversions/output)\n", vmac.conversions_per_output(n_tot));
+    println!(
+        "cell {vmac}, N_tot = {n_tot} ({} conversions/output)\n",
+        vmac.conversions_per_output(n_tot)
+    );
 
     // 1. Does the lumped Gaussian model (Eq. 2) match reality?
     let quantizing = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
     let empirical = quantizing.empirical_rms_error(n_tot, trials, 1);
     let model = vmac.total_error_sigma(n_tot);
-    println!("lumped model check: predicted sigma {model:.5}, measured RMS {empirical:.5} (ratio {:.3})", empirical / model);
+    println!(
+        "lumped model check: predicted sigma {model:.5}, measured RMS {empirical:.5} (ratio {:.3})",
+        empirical / model
+    );
 
     // 2. Delta-sigma error recycling: only the final (higher-resolution)
     //    conversion's error survives.
     for extra in [0.0, 1.0, 2.0, 4.0] {
-        let ds = VmacSimulator::new(vmac, AdcBehavior::DeltaSigma { final_extra_bits: extra });
+        let ds = VmacSimulator::new(
+            vmac,
+            AdcBehavior::DeltaSigma {
+                final_extra_bits: extra,
+            },
+        );
         let rms = ds.empirical_rms_error(n_tot, trials, 2);
         println!(
             "delta-sigma (+{extra} final bits): RMS {rms:.6} ({:.0}x better than plain)",
@@ -57,8 +68,14 @@ fn main() {
         "unpartitioned 14b reference: {:.1} fJ/MAC",
         ams_repro::core::energy::mac_energy_fj(14.0, 8)
     );
-    for (nw, nx, slice_enob) in [(1u32, 1u32, 14.0f64), (2, 2, 12.0), (2, 2, 11.0), (4, 4, 9.0)] {
-        let p = PartitionedVmac::new(base, nw, nx, slice_enob).expect("clean 8-bit-magnitude splits");
+    for (nw, nx, slice_enob) in [
+        (1u32, 1u32, 14.0f64),
+        (2, 2, 12.0),
+        (2, 2, 11.0),
+        (4, 4, 9.0),
+    ] {
+        let p =
+            PartitionedVmac::new(base, nw, nx, slice_enob).expect("clean 8-bit-magnitude splits");
         println!(
             "split {nw}x{nx} @ {slice_enob:>4.1}b slices: equivalent ENOB {:.2}, {:.1} fJ/MAC, saves energy: {}",
             p.equivalent_enob(n_tot),

@@ -8,15 +8,36 @@ use ams_repro::exp::{eval_accuracy, eval_passes, train_scheduled, train_with_eva
 use ams_repro::models::{FreezePolicy, HardwareConfig, ResNetMini, ResNetMiniConfig};
 use ams_repro::nn::{Checkpoint, Layer};
 use ams_repro::quant::QuantConfig;
+use ams_repro::tensor::ExecCtx;
 
-fn pretrained() -> (ams_repro::data::SynthImageNet, ResNetMiniConfig, Checkpoint, f32) {
+fn pretrained() -> (
+    ams_repro::data::SynthImageNet,
+    ResNetMiniConfig,
+    Checkpoint,
+    f32,
+) {
     // More data and epochs than SynthConfig::tiny's defaults: these tests
     // need a solidly-trained starting point, not a speed record.
-    let data = SynthConfig { train_per_class: 48, val_per_class: 16, ..SynthConfig::tiny() }.generate();
+    let data = SynthConfig {
+        train_per_class: 48,
+        val_per_class: 16,
+        ..SynthConfig::tiny()
+    }
+    .generate();
     let arch = ResNetMiniConfig::tiny();
     let mut net = ResNetMini::new(&arch, &HardwareConfig::fp32());
-    let _out = train_scheduled(&mut net, &data.train, &data.val, 12, 0.08, 16, 0, &[8, 11]);
-    let acc = eval_accuracy(&mut net, &data.val, 16);
+    let _out = train_scheduled(
+        &ExecCtx::serial(),
+        &mut net,
+        &data.train,
+        &data.val,
+        12,
+        0.08,
+        16,
+        0,
+        &[8, 11],
+    );
+    let acc = eval_accuracy(&ExecCtx::serial(), &mut net, &data.val, 16);
     (data, arch, Checkpoint::from_layer(&mut net), acc)
 }
 
@@ -24,7 +45,10 @@ fn pretrained() -> (ams_repro::data::SynthImageNet, ResNetMiniConfig, Checkpoint
 fn paper_workflow_pretrain_surgery_retrain() {
     let (data, arch, fp32_ckpt, fp32_acc) = pretrained();
     let chance = 1.0 / arch.classes as f32;
-    assert!(fp32_acc > chance + 0.3, "FP32 pretraining failed: {fp32_acc}");
+    assert!(
+        fp32_acc > chance + 0.3,
+        "FP32 pretraining failed: {fp32_acc}"
+    );
 
     // Surgery: drop the FP32 weights into quantized hardware. DoReFa's
     // tanh/max-normalized weight transform rescales every layer, so
@@ -34,7 +58,7 @@ fn paper_workflow_pretrain_surgery_retrain() {
     let quant = QuantConfig::w8a8();
     let mut qnet = ResNetMini::new(&arch, &HardwareConfig::quantized(quant));
     fp32_ckpt.load_into(&mut qnet).expect("same architecture");
-    let q_acc = eval_accuracy(&mut qnet, &data.val, 16);
+    let q_acc = eval_accuracy(&ExecCtx::serial(), &mut qnet, &data.val, 16);
     assert!(
         q_acc > chance + 0.3,
         "8b surgery should keep the network functional: {q_acc} vs chance {chance}"
@@ -44,7 +68,7 @@ fn paper_workflow_pretrain_surgery_retrain() {
     let noisy_vmac = Vmac::new(8, 8, 8, 2.0);
     let mut noisy = ResNetMini::new(&arch, &HardwareConfig::ams_eval_only(quant, noisy_vmac));
     fp32_ckpt.load_into(&mut noisy).expect("same architecture");
-    let noisy_acc = eval_passes(&mut noisy, &data.val, 3, 16, true, 9);
+    let noisy_acc = eval_passes(&ExecCtx::serial(), &mut noisy, &data.val, 3, 16, true, 9);
     assert!(
         noisy_acc.mean < f64::from(fp32_acc) - 0.2,
         "ENOB 2 should clearly degrade accuracy: {} vs {fp32_acc}",
@@ -55,7 +79,7 @@ fn paper_workflow_pretrain_surgery_retrain() {
     let mild_vmac = Vmac::new(8, 8, 8, 6.0);
     let mut mild = ResNetMini::new(&arch, &HardwareConfig::ams_eval_only(quant, mild_vmac));
     fp32_ckpt.load_into(&mut mild).expect("same architecture");
-    let mild_acc = eval_passes(&mut mild, &data.val, 3, 16, true, 9);
+    let mild_acc = eval_passes(&ExecCtx::serial(), &mut mild, &data.val, 3, 16, true, 9);
     assert!(
         mild_acc.mean > noisy_acc.mean,
         "monotone degradation: ENOB 6 ({}) must beat ENOB 2 ({})",
@@ -66,8 +90,19 @@ fn paper_workflow_pretrain_surgery_retrain() {
     // Retraining with the error in the loop must keep the network
     // trainable (the last layer is excluded during training, per §2).
     let mut retrained = ResNetMini::new(&arch, &HardwareConfig::ams(quant, mild_vmac));
-    fp32_ckpt.load_into(&mut retrained).expect("same architecture");
-    let out = train_with_eval(&mut retrained, &data.train, &data.val, 2, 0.01, 16, 3);
+    fp32_ckpt
+        .load_into(&mut retrained)
+        .expect("same architecture");
+    let out = train_with_eval(
+        &ExecCtx::serial(),
+        &mut retrained,
+        &data.train,
+        &data.val,
+        2,
+        0.01,
+        16,
+        3,
+    );
     assert!(
         out.best_val_acc > f64::from(chance) + 0.2,
         "retraining with AMS error lost the network: {}",
@@ -87,7 +122,16 @@ fn freezing_policies_affect_only_their_groups() {
     // Snapshot, train one step, verify frozen groups did not move.
     let before = Checkpoint::from_layer(&mut net);
     let data = SynthConfig::tiny().generate();
-    train_with_eval(&mut net, &data.train, &data.val, 1, 0.05, 16, 0);
+    train_with_eval(
+        &ExecCtx::serial(),
+        &mut net,
+        &data.train,
+        &data.val,
+        1,
+        0.05,
+        16,
+        0,
+    );
     let mut moved_frozen = Vec::new();
     let mut moved_free = 0usize;
     net.for_each_param(&mut |p| {
@@ -100,7 +144,10 @@ fn freezing_policies_affect_only_their_groups() {
             moved_free += 1;
         }
     });
-    assert!(moved_frozen.is_empty(), "frozen parameters moved: {moved_frozen:?}");
+    assert!(
+        moved_frozen.is_empty(),
+        "frozen parameters moved: {moved_frozen:?}"
+    );
     assert!(moved_free > 0, "unfrozen parameters should train");
 }
 
@@ -118,17 +165,60 @@ fn checkpoint_json_round_trip_through_disk() {
     let mut r = ams_repro::tensor::rng::seeded(1);
     ams_repro::tensor::rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
     use ams_repro::nn::Mode;
-    assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    assert_eq!(
+        a.forward(&ExecCtx::serial(), &x, Mode::Eval),
+        b.forward(&ExecCtx::serial(), &x, Mode::Eval)
+    );
     let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn noisy_eval_identical_for_any_thread_count() {
+    // The AMS noise streams are seeded per layer, never per worker, so a
+    // stochastic evaluation must report the exact same statistics whether
+    // it runs serially or on a pool — the determinism contract that makes
+    // `--threads` a pure wall-clock knob.
+    let (data, arch, ckpt, _) = pretrained();
+    let vmac = Vmac::new(8, 8, 8, 5.0);
+    let eval_at = |threads: usize| {
+        let ctx = if threads == 1 {
+            ExecCtx::serial()
+        } else {
+            ExecCtx::with_threads(threads)
+        };
+        let mut net = ResNetMini::new(
+            &arch,
+            &HardwareConfig::ams_eval_only(QuantConfig::w8a8(), vmac),
+        );
+        ckpt.load_into(&mut net).expect("same architecture");
+        eval_passes(&ctx, &mut net, &data.val, 3, 16, true, 41)
+    };
+    let serial = eval_at(1);
+    for threads in [2usize, 8] {
+        let stat = eval_at(threads);
+        assert_eq!(
+            serial.mean.to_bits(),
+            stat.mean.to_bits(),
+            "{threads} threads"
+        );
+        assert_eq!(
+            serial.std.to_bits(),
+            stat.std.to_bits(),
+            "{threads} threads"
+        );
+    }
 }
 
 #[test]
 fn stochastic_eval_reports_nonzero_variance() {
     let (data, arch, ckpt, _) = pretrained();
     let vmac = Vmac::new(8, 8, 8, 5.0);
-    let mut net = ResNetMini::new(&arch, &HardwareConfig::ams_eval_only(QuantConfig::w8a8(), vmac));
+    let mut net = ResNetMini::new(
+        &arch,
+        &HardwareConfig::ams_eval_only(QuantConfig::w8a8(), vmac),
+    );
     ckpt.load_into(&mut net).expect("same architecture");
-    let stat = eval_passes(&mut net, &data.val, 4, 16, true, 77);
+    let stat = eval_passes(&ExecCtx::serial(), &mut net, &data.val, 4, 16, true, 77);
     assert!(stat.std > 0.0, "independent noisy passes must differ");
     assert!(stat.mean > 0.0 && stat.mean <= 1.0);
 }

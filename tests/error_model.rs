@@ -10,7 +10,7 @@ use ams_repro::core::vmac_sim::{AdcBehavior, VmacSimulator};
 use ams_repro::models::{HardwareConfig, InputKind, QConv2d};
 use ams_repro::nn::{Layer, Mode};
 use ams_repro::quant::QuantConfig;
-use ams_repro::tensor::{rng, Tensor};
+use ams_repro::tensor::{rng, ExecCtx, Tensor};
 use proptest::prelude::*;
 
 #[test]
@@ -22,19 +22,41 @@ fn qconv_noise_matches_model_sigma() {
         let quant = QuantConfig::w8a8();
         let mut r1 = rng::seeded(11);
         let mut quiet = QConv2d::new(
-            "c", c_in, 8, 3, 1, 1, &HardwareConfig::quantized(quant), InputKind::Unit, 0, &mut r1,
+            "c",
+            c_in,
+            8,
+            3,
+            1,
+            1,
+            &HardwareConfig::quantized(quant),
+            InputKind::Unit,
+            0,
+            &mut r1,
         );
         let mut r2 = rng::seeded(11);
         let mut noisy = QConv2d::new(
-            "c", c_in, 8, 3, 1, 1, &HardwareConfig::ams(quant, vmac), InputKind::Unit, 0, &mut r2,
+            "c",
+            c_in,
+            8,
+            3,
+            1,
+            1,
+            &HardwareConfig::ams(quant, vmac),
+            InputKind::Unit,
+            0,
+            &mut r2,
         );
         let mut x = Tensor::zeros(&[8, c_in, 10, 10]);
         let mut rx = rng::seeded(23);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut rx);
-        let clean = quiet.forward(&x, Mode::Eval);
-        let dirty = noisy.forward(&x, Mode::Eval);
+        let clean = quiet.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let dirty = noisy.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let diff = dirty.sub(&clean);
-        let measured = (diff.data().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>()
+        let measured = (diff
+            .data()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
             / diff.len() as f64)
             .sqrt();
         let model = vmac.total_error_sigma(c_in * 9);
@@ -55,7 +77,10 @@ fn per_vmac_simulation_validates_lumped_model() {
         let rms = sim.empirical_rms_error(n_tot, 300, 5);
         let model = vmac.total_error_sigma(n_tot);
         let ratio = rms / model;
-        assert!((0.8..1.2).contains(&ratio), "({enob},{n_mult},{n_tot}): ratio {ratio}");
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "({enob},{n_mult},{n_tot}): ratio {ratio}"
+        );
     }
 }
 

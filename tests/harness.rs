@@ -21,7 +21,11 @@ fn fig7_is_deterministic_and_respects_bound() {
     // center, but the cheapest point may sit anywhere inside the bin and
     // the model quadruples per bit in the thermal region — so compare
     // against the model at the bin's *lower edge* (conservative).
-    let half_width = if a.hull.len() >= 2 { (a.hull[1].0 - a.hull[0].0) / 2.0 } else { 0.0 };
+    let half_width = if a.hull.len() >= 2 {
+        (a.hull[1].0 - a.hull[0].0) / 2.0
+    } else {
+        0.0
+    };
     for &(center, min_pj) in &a.hull {
         let edge = center - half_width;
         assert!(
@@ -43,7 +47,10 @@ fn checkpoint_cache_is_reused() {
     let (_, second) = exp.fp32_baseline();
     let warm = t1.elapsed();
     assert_eq!(first, second, "cached stat must match");
-    assert!(warm < cold / 2, "cache hit ({warm:?}) should be much faster than training ({cold:?})");
+    assert!(
+        warm < cold / 2,
+        "cache hit ({warm:?}) should be much faster than training ({cold:?})"
+    );
     // A second suite over the same directory also hits the cache.
     let exp2 = Experiments::new(Scale::test(), &dir);
     let (_, third) = exp2.fp32_baseline();
@@ -87,7 +94,14 @@ fn stat_protocol_matches_paper_reporting() {
     let s = Stat::from_samples(&[0.78, 0.78, 0.78, 0.78, 0.78]);
     assert_eq!(s.mean, 0.78);
     assert_eq!(s.std, 0.0);
-    let loss = Stat { mean: 0.74, std: 0.003 }.loss_relative_to(Stat { mean: 0.78, std: 0.004 });
+    let loss = Stat {
+        mean: 0.74,
+        std: 0.003,
+    }
+    .loss_relative_to(Stat {
+        mean: 0.78,
+        std: 0.004,
+    });
     assert!((loss.mean - 0.04).abs() < 1e-12);
     assert!(loss.std >= 0.004);
 }

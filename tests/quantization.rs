@@ -8,7 +8,7 @@ use ams_repro::quant::{
     quantization_levels, quantize_activations, quantize_signed, QuantConfig, SignMagnitude,
     WeightQuantizer, WeightScheme,
 };
-use ams_repro::tensor::{rng, Tensor};
+use ams_repro::tensor::{rng, ExecCtx, Tensor};
 use proptest::prelude::*;
 
 proptest! {
@@ -64,11 +64,10 @@ fn qconv_output_bounded_by_ntot() {
     let mut r = rng::seeded(3);
     let hw = HardwareConfig::quantized(QuantConfig::w6a4());
     for &(c_in, k) in &[(3usize, 3usize), (8, 1), (4, 5)] {
-        let mut conv =
-            QConv2d::new("c", c_in, 6, k, 1, k / 2, &hw, InputKind::Unit, 0, &mut r);
+        let mut conv = QConv2d::new("c", c_in, 6, k, 1, k / 2, &hw, InputKind::Unit, 0, &mut r);
         let mut x = Tensor::zeros(&[2, c_in, 8, 8]);
         rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
-        let y = conv.forward(&x, Mode::Eval);
+        let y = conv.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert!(
             y.max_abs() <= conv.n_tot() as f32 + 1e-4,
             "output {} exceeds N_tot {}",
@@ -103,7 +102,10 @@ fn product_precision_matches_fig2() {
         }
     }
     let magnitude_bits = QuantConfig::new(bw, bx).product_magnitude_bits();
-    assert!(max_product < (1 << magnitude_bits), "products must fit in Fig. 2's budget");
+    assert!(
+        max_product < (1 << magnitude_bits),
+        "products must fit in Fig. 2's budget"
+    );
     assert!(
         max_product >= (1 << (magnitude_bits - 1)),
         "the budget is tight (uses its top bit)"

@@ -1,0 +1,276 @@
+//! Minimal, dependency-free stand-in for the subset of `criterion` this
+//! workspace uses (see `vendor/README.md`).
+//!
+//! Same API shape — [`Criterion::benchmark_group`], `bench_with_input`,
+//! [`Throughput`], [`criterion_group!`]/[`criterion_main!`], [`black_box`]
+//! — but a far simpler measurement loop: each benchmark warms up briefly,
+//! then runs timed batches until a wall-clock budget is spent, and prints
+//! the per-iteration mean and min to stdout. No statistics, plots, or
+//! saved baselines; comparisons are made by reading the printed table
+//! before and after a change.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much work one iteration performs, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Names one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id that is just the parameter's `Display` form.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Wall-clock budget for the measurement phase.
+    budget: Duration,
+    /// (mean, min) per-iteration time, filled by [`Bencher::iter`].
+    measured: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring batches until
+    /// the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: grow until one batch takes >= 1 ms.
+        let mut batch = 1u64;
+        let batch_time = loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break dt;
+            }
+            batch *= 2;
+        };
+        let _ = batch_time;
+        let deadline = Instant::now() + self.budget;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut min = Duration::MAX;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            total += dt;
+            iters += batch;
+            min = min.min(dt / batch as u32);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.measured = Some((total / iters.max(1) as u32, min));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, measured: Option<(Duration, Duration)>, throughput: Option<Throughput>) {
+    let Some((mean, min)) = measured else {
+        println!("{name:<40} (no measurement: closure never called iter)");
+        return;
+    };
+    let mut line = format!(
+        "{name:<40} mean {:>12}  min {:>12}",
+        fmt_duration(mean),
+        fmt_duration(min)
+    );
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let rate = count as f64 / mean.as_secs_f64();
+        line.push_str(&format!("  {:.3e} {unit}", rate));
+    }
+    println!("{line}");
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_BUDGET_MS shortens runs in CI without code changes.
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.budget,
+            measured: None,
+        };
+        f(&mut b);
+        report(name, b.measured, None);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this harness sizes batches by
+    /// wall-clock budget instead of sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the work-per-iteration used to derive rates.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs a benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            measured: None,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.measured,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.criterion.budget,
+            measured: None,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.measured,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (a no-op here; groups are purely namespacing).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (`--bench`, filters); this
+            // minimal harness runs everything and ignores them.
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("spin");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    criterion_group!(smoke, spin);
+
+    #[test]
+    fn harness_measures_something() {
+        std::env::set_var("CRITERION_BUDGET_MS", "10");
+        let mut c = Criterion::default();
+        smoke(&mut c);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("matmul", 64).id, "matmul/64");
+    }
+}

@@ -1,0 +1,410 @@
+//! Minimal, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses (see `vendor/README.md` for why vendoring is needed).
+//!
+//! Provided: the [`proptest!`] macro (with optional
+//! `#![proptest_config(...)]`), range and `collection::vec` strategies,
+//! `prop_map`, and the `prop_assert!`/`prop_assert_eq!`/`prop_assume!`
+//! macros. Inputs are drawn from a deterministic RNG seeded by the test's
+//! module path and name, so failures reproduce run to run.
+//!
+//! Deliberately omitted relative to upstream: shrinking (a failing case
+//! reports the raw inputs via the assertion message), persistence files,
+//! and `fork`. Rejection via `prop_assume!` skips the case without
+//! counting it, with a global cap to catch over-restrictive filters.
+
+/// Strategies: how to generate values of a type.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Samples values for one `proptest!` input.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Post-processes samples with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform draw from `[0, span)` without modulo bias (Lemire).
+    pub(crate) fn below(rng: &mut StdRng, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        loop {
+            let v = rng.next_u64();
+            let hi = ((u128::from(v) * u128::from(span)) >> 64) as u64;
+            if v.wrapping_mul(span) >= span.wrapping_neg() % span {
+                return hi;
+            }
+        }
+    }
+
+    fn unit_f64(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.abs_diff(self.start) as u64;
+                    self.start.wrapping_add(below(rng, span) as $t)
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi.abs_diff(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = f64::from(self.start);
+                    let hi = f64::from(self.end);
+                    (lo + unit_f64(rng) * (hi - lo)) as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::{below, Strategy};
+    use rand::rngs::StdRng;
+
+    /// An inclusive length range for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64;
+            let len = self.size.min
+                + if span == 0 {
+                    0
+                } else {
+                    below(rng, span + 1) as usize
+                };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `Vec`s of `element` samples with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-case execution: configuration and outcome types.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the test fails.
+        Fail(String),
+        /// `prop_assume!` filtered the inputs; draw a fresh case.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failing outcome with `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected (filtered) case.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic per-test RNG: FNV-1a over the test's full name.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests: `#[test]` functions whose arguments are drawn
+/// from strategies (`name in strategy`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < cfg.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= cfg.cases.saturating_mul(64).saturating_add(1024),
+                    "proptest {}: too many rejected cases ({} accepted of {} wanted)",
+                    stringify!($name), accepted, cfg.cases,
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed on case {}: {}",
+                            stringify!($name), accepted, msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Filters the current case: if the condition is false, the inputs are
+/// redrawn and the case does not count toward the total.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::rng_for("bounds");
+        for _ in 0..1000 {
+            let x = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&x));
+            let f = (-4.0f32..4.0).sample(&mut rng);
+            assert!((-4.0..4.0).contains(&f));
+            let n = (-5i32..-1).sample(&mut rng);
+            assert!((-5..-1).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = crate::test_runner::rng_for("vec");
+        for _ in 0..200 {
+            let v = crate::collection::vec(0.0f32..1.0, 2..6).sample(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+            let w = crate::collection::vec(0u32..9, 4..=4).sample(&mut rng);
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = crate::test_runner::rng_for("map");
+        let doubled = (1u32..10).prop_map(|x| x * 2).sample(&mut rng);
+        assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: multiple args, assume, assert forms.
+        #[test]
+        fn macro_round_trip(a in 0u64..100, b in 1usize..8, v in crate::collection::vec(0.0f64..1.0, 1..5)) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 100, "a = {a}");
+            prop_assert_eq!(v.len().min(8), v.len());
+            prop_assert!(b >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::test_runner::rng_for("same");
+        let mut b = crate::test_runner::rng_for("same");
+        let s = 0u64..u64::MAX;
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

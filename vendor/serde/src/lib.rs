@@ -1,0 +1,437 @@
+//! Minimal, dependency-free stand-in for the subset of `serde` this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access (see `vendor/README.md`),
+//! so this facade replaces serde's visitor architecture with a simple
+//! value tree: [`Serialize`] renders a type into a [`Value`],
+//! [`Deserialize`] rebuilds it, and the vendored `serde_json` prints and
+//! parses that tree as JSON. The derive macros (`features = ["derive"]`)
+//! generate these impls for named-field structs and simple enums.
+//!
+//! Integer fidelity: `u64`/`i64` survive round trips exactly (they are
+//! kept out of `f64`), which matters for the workspace's RNG seeds.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON-shaped value tree: the interchange format between [`Serialize`],
+/// [`Deserialize`] and the vendored `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `None`).
+    Null,
+    /// JSON booleans.
+    Bool(bool),
+    /// Non-negative integers (kept exact; not routed through `f64`).
+    U64(u64),
+    /// Negative integers.
+    I64(i64),
+    /// Floating-point numbers.
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Value>),
+    /// Objects, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+/// Serialization into the [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] if the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// The substitute when a map field is absent entirely (only `Option`
+    /// has one: `None`).
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+/// A deserialization error: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Error for a shape mismatch.
+    pub fn expected(what: &str) -> Self {
+        DeError {
+            msg: format!("expected {what}"),
+        }
+    }
+
+    /// Error for an unknown enum variant tag.
+    pub fn unknown_variant(enum_name: &str, tag: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{tag}` of enum {enum_name}"),
+        }
+    }
+
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------
+// Helpers used by derive-generated code
+// ---------------------------------------------------------------------
+
+/// Asserts `v` is a map, returning its entries.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] naming `type_name` otherwise.
+pub fn expect_map<'v>(v: &'v Value, type_name: &str) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Map(entries) => Ok(entries),
+        _ => Err(DeError::expected(&format!("map for {type_name}"))),
+    }
+}
+
+/// Looks up and deserializes field `name`, falling back to
+/// [`Deserialize::missing`] when absent.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if the field is absent with no fallback or its
+/// value has the wrong shape.
+pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => T::missing().ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool")),
+        }
+    }
+}
+
+fn de_u64(v: &Value) -> Result<u64, DeError> {
+    match v {
+        Value::U64(n) => Ok(*n),
+        Value::I64(n) if *n >= 0 => Ok(*n as u64),
+        Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => Ok(*f as u64),
+        _ => Err(DeError::expected("unsigned integer")),
+    }
+}
+
+fn de_i64(v: &Value) -> Result<i64, DeError> {
+    match v {
+        Value::I64(n) => Ok(*n),
+        Value::U64(n) if *n <= i64::MAX as u64 => Ok(*n as i64),
+        Value::F64(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 => {
+            Ok(*f as i64)
+        }
+        _ => Err(DeError::expected("signed integer")),
+    }
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = de_u64(v)?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = de_i64(v)?;
+                <$t>::try_from(n).map_err(|_| DeError::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(DeError::expected("number")),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string")),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array")),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected {N}-element array, got {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(DeError::expected("2-element array")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(DeError::expected("3-element array")),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect(),
+            _ => Err(DeError::expected("object")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        let big: u64 = u64::MAX - 7;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        let neg: i64 = -42;
+        assert_eq!(i64::from_value(&neg.to_value()).unwrap(), neg);
+    }
+
+    #[test]
+    fn option_fields_default_to_none() {
+        let got: Option<u32> = field(&[], "absent").unwrap();
+        assert_eq!(got, None);
+        let err: Result<u32, _> = field(&[], "absent");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn f32_survives_f64_round_trip() {
+        for x in [0.1f32, -3.75, f32::MIN_POSITIVE, 1e30] {
+            assert_eq!(f32::from_value(&x.to_value()).unwrap(), x);
+        }
+    }
+}

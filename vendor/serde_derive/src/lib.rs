@@ -1,0 +1,313 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` facade (see `vendor/README.md`).
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the token stream directly. Supported
+//! shapes — exactly what this workspace derives on:
+//!
+//! * structs with named fields,
+//! * unit structs,
+//! * enums whose variants are unit, single-field tuple, or named-field.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and abort
+//! with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Single-element tuple.
+    Newtype,
+    /// No payload.
+    Unit,
+}
+
+struct Input {
+    name: String,
+    /// `None` for structs; variant list for enums.
+    variants: Option<Vec<(String, Fields)>>,
+    /// Struct fields (empty `Named` list means a unit struct).
+    fields: Fields,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported — `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                variants: None,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                variants: None,
+                fields: Fields::Unit,
+            },
+            _ => panic!("serde_derive (vendored): tuple structs are not supported — `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                variants: Some(parse_variants(g.stream())),
+                fields: Fields::Unit,
+            },
+            _ => panic!("serde_derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `field: Type, ...` returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{field}`, found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                let arity = 1 + g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                if arity != 1 {
+                    panic!(
+                        "serde_derive (vendored): tuple variants with more than one field are not supported — `{variant}`"
+                    );
+                }
+                Fields::Newtype
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((variant, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.variants {
+        None => match &input.fields {
+            Fields::Named(fields) => {
+                let mut entries = String::new();
+                for f in fields {
+                    entries.push_str(&format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    ));
+                }
+                format!("::serde::Value::Map(::std::vec![{entries}])")
+            }
+            Fields::Unit => "::serde::Value::Null".to_string(),
+            Fields::Newtype => unreachable!("tuple structs rejected at parse time"),
+        },
+        Some(variants) => {
+            let mut arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )),
+                    Fields::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(x0))]),"
+                    )),
+                    Fields::Named(fs) => {
+                        let pat: Vec<&str> = fs.iter().map(|s| s.as_str()).collect();
+                        let mut entries = String::new();
+                        for f in fs {
+                            entries.push_str(&format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            pat.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.variants {
+        None => match &input.fields {
+            Fields::Named(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    inits.push_str(&format!("{f}: ::serde::field(m, \"{f}\")?,"));
+                }
+                format!(
+                    "let m = ::serde::expect_map(v, \"{name}\")?;\n ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            }
+            Fields::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+            Fields::Newtype => unreachable!("tuple structs rejected at parse time"),
+        },
+        Some(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),")),
+                    Fields::Newtype => payload_arms.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    Fields::Named(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!("{f}: ::serde::field(pm, \"{f}\")?,"));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{v}\" => {{ let pm = ::serde::expect_map(payload, \"{name}::{v}\")?; ::std::result::Result::Ok({name}::{v} {{ {inits} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                   ::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)) }},\n\
+                   ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                     match tag.as_str() {{ {payload_arms} other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"{name}\", other)) }}\n\
+                   }},\n\
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n}}"
+    )
+}
