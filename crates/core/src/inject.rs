@@ -7,6 +7,7 @@
 //! only**; the backward pass is untouched (the injector is not a layer and
 //! has no gradient).
 
+use ams_tensor::obs::WelfordState;
 use ams_tensor::{rng, Tensor};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -81,6 +82,27 @@ impl GaussianInjector {
         }
     }
 
+    /// Like [`GaussianInjector::inject_sigma`], but additionally
+    /// accumulates the injected error samples into a [`WelfordState`]
+    /// summary for metrics reporting.
+    ///
+    /// Draws the **identical RNG stream** as `inject_sigma` — same calls,
+    /// same order — so switching tracing on or off never perturbs the
+    /// noisy activations themselves, only whether their statistics are
+    /// observed. A non-positive σ is a no-op returning an empty state.
+    pub fn inject_sigma_traced(&mut self, activations: &mut Tensor, sigma: f32) -> WelfordState {
+        let mut stats = WelfordState::new();
+        if sigma <= 0.0 {
+            return stats;
+        }
+        for v in activations.data_mut() {
+            let noise = sigma * rng::standard_normal(&mut self.rng);
+            *v += noise;
+            stats.push(f64::from(noise));
+        }
+        stats
+    }
+
     /// Draws a single `N(0, 1)` sample (exposed for the per-VMAC simulator
     /// which shares this RNG).
     pub fn standard_normal(&mut self) -> f32 {
@@ -133,6 +155,23 @@ mod tests {
         let mut t = Tensor::ones(&[4, 4]);
         inj.inject_sigma(&mut t, 0.0);
         assert_eq!(t, Tensor::ones(&[4, 4]));
+    }
+
+    #[test]
+    fn traced_injection_matches_untraced_stream() {
+        let mut plain = GaussianInjector::new(11);
+        let mut traced = GaussianInjector::new(11);
+        let mut a = Tensor::zeros(&[4, 8, 8]);
+        let mut b = Tensor::zeros(&[4, 8, 8]);
+        plain.inject_sigma(&mut a, 0.5);
+        let stats = traced.inject_sigma_traced(&mut b, 0.5);
+        assert_eq!(a, b, "tracing must not perturb the noise stream");
+        assert_eq!(stats.count, a.len() as u64);
+        assert!(stats.mean.abs() < 0.1);
+        assert!((stats.sample_std() - 0.5).abs() < 0.05);
+        // Zero sigma: no-op, empty summary.
+        let empty = traced.inject_sigma_traced(&mut b, 0.0);
+        assert!(empty.is_empty());
     }
 
     #[test]

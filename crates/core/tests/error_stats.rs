@@ -1,0 +1,161 @@
+//! Statistical validation of the paper's error model against the chunked
+//! VMAC simulator (all at fixed seeds, so every run is deterministic):
+//!
+//! * Eq. 1 — one conversion's empirical error variance matches
+//!   `Vmac::error_variance()` (`LSB²/12`) within a chi-square-derived
+//!   tolerance,
+//! * Eq. 2 — the total error variance scales as `N_tot / N_mult`,
+//! * the lumped-Gaussian assumption — the total error of many chunked
+//!   conversions is approximately Gaussian (bounded skewness and excess
+//!   kurtosis), which is what licenses injecting `N(0, σ²)` in layers.
+
+use ams_core::inject::layer_error_sigma;
+use ams_core::vmac::Vmac;
+use ams_core::vmac_sim::{AdcBehavior, VmacSimulator};
+use rand::Rng;
+
+/// Draws `trials` independent dot-product errors of length `n_tot` from
+/// the quantizing simulator, with DoReFa-range operands (weights in
+/// `[-1, 1]`, activations in `[0, 1]`).
+fn error_samples(vmac: Vmac, n_tot: usize, trials: usize, seed: u64) -> Vec<f64> {
+    let sim = VmacSimulator::new(vmac, AdcBehavior::Quantizing);
+    let mut rng = ams_tensor::rng::seeded(seed);
+    let mut w = vec![0.0f32; n_tot];
+    let mut x = vec![0.0f32; n_tot];
+    (0..trials)
+        .map(|_| {
+            for v in &mut w {
+                *v = rng.gen::<f32>() * 2.0 - 1.0;
+            }
+            for v in &mut x {
+                *v = rng.gen::<f32>();
+            }
+            sim.dot_error(&w, &x)
+        })
+        .collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn central_moment(xs: &[f64], m: f64, k: i32) -> f64 {
+    xs.iter().map(|&x| (x - m).powi(k)).sum::<f64>() / xs.len() as f64
+}
+
+fn sample_variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// The acceptance band for a sample-variance / model-variance ratio.
+///
+/// For `n` samples of a distribution that is roughly Gaussian (or lighter
+/// tailed, like the near-uniform single-conversion error), `(n−1)s²/σ²`
+/// is approximately chi-square with `n−1` degrees of freedom, so
+/// `s²/σ² ∈ 1 ± z·sqrt(2/(n−1))` holds with overwhelming probability for
+/// a generous `z`. We use `z = 5`; at `n = 4000` that is a ±11 % band,
+/// and the test is deterministic (fixed seed) so it either passes forever
+/// or flags a real model change.
+fn variance_ratio_tolerance(n: usize) -> f64 {
+    5.0 * (2.0 / (n as f64 - 1.0)).sqrt()
+}
+
+const TRIALS: usize = 4000;
+
+#[test]
+fn eq1_single_conversion_variance_matches_model() {
+    // N_tot == N_mult: the whole reduction is one analog chunk, one
+    // conversion — the error is exactly the Eq. 1 quantization error.
+    for (enob, n_mult) in [(5.0, 8usize), (6.0, 8), (6.0, 16)] {
+        let vmac = Vmac::new(8, 8, n_mult, enob);
+        let samples = error_samples(vmac, n_mult, TRIALS, 0xE41);
+        let model = vmac.error_variance();
+        let ratio = sample_variance(&samples) / model;
+        let tol = variance_ratio_tolerance(TRIALS);
+        assert!(
+            (ratio - 1.0).abs() < tol,
+            "Eq. 1 variance ratio {ratio:.4} outside 1 ± {tol:.4} (enob {enob}, n_mult {n_mult})"
+        );
+        // Quantization error has no systematic offset at a mid-tread grid.
+        assert!(
+            mean(&samples).abs() < 5.0 * (model / TRIALS as f64).sqrt(),
+            "single-conversion error mean {} is biased",
+            mean(&samples)
+        );
+    }
+}
+
+#[test]
+fn eq2_total_variance_scales_with_conversion_count() {
+    let n_mult = 8usize;
+    let vmac = Vmac::new(8, 8, n_mult, 6.0);
+    let tol = variance_ratio_tolerance(TRIALS);
+    for chunks in [2usize, 8, 32] {
+        let n_tot = chunks * n_mult;
+        let samples = error_samples(vmac, n_tot, TRIALS, 0xE42 + chunks as u64);
+        let model = vmac.total_error_variance(n_tot);
+        // The model itself is exactly (N_tot / N_mult) · Var_VMAC ...
+        assert!(
+            (model / (chunks as f64 * vmac.error_variance()) - 1.0).abs() < 1e-12,
+            "Eq. 2 must be an exact multiple of Eq. 1"
+        );
+        // ... and the chunked simulator's empirical variance matches it.
+        let ratio = sample_variance(&samples) / model;
+        assert!(
+            (ratio - 1.0).abs() < tol,
+            "Eq. 2 variance ratio {ratio:.4} outside 1 ± {tol:.4} at N_tot {n_tot}"
+        );
+    }
+}
+
+#[test]
+fn eq2_sigma_consistency_between_model_and_injector() {
+    // layer_error_sigma (what the layers inject) is the f32 image of
+    // total_error_sigma, which is the square root of total_error_variance.
+    let vmac = Vmac::new(8, 8, 8, 5.5);
+    for n_tot in [8usize, 64, 576] {
+        let sigma = vmac.total_error_sigma(n_tot);
+        assert!((sigma * sigma / vmac.total_error_variance(n_tot) - 1.0).abs() < 1e-12);
+        assert!((f64::from(layer_error_sigma(&vmac, n_tot)) - sigma).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn total_error_is_approximately_gaussian() {
+    // 64 independent near-uniform conversion errors per sample: the CLT
+    // brings skewness to ~0 and excess kurtosis to ~ −1.2/64 ≈ −0.02.
+    // Sampling noise at n = 4000 has std ≈ sqrt(6/n) ≈ 0.04 for skewness
+    // and ≈ sqrt(24/n) ≈ 0.08 for kurtosis, so the bounds below are ~4–5
+    // sampling σ wide — loose enough to be robust, tight enough that a
+    // genuinely non-Gaussian total (e.g. a single uniform, exkurt −1.2)
+    // fails decisively.
+    let n_mult = 8usize;
+    let vmac = Vmac::new(8, 8, n_mult, 6.0);
+    let samples = error_samples(vmac, 64 * n_mult, TRIALS, 0xE43);
+    let m = mean(&samples);
+    let var = central_moment(&samples, m, 2);
+    let skew = central_moment(&samples, m, 3) / var.powf(1.5);
+    let exkurt = central_moment(&samples, m, 4) / (var * var) - 3.0;
+    assert!(skew.abs() < 0.2, "skewness {skew:.4} too far from 0");
+    assert!(
+        exkurt.abs() < 0.35,
+        "excess kurtosis {exkurt:.4} too far from 0"
+    );
+}
+
+#[test]
+fn single_conversion_error_is_not_gaussian() {
+    // Control for the test above: one conversion's error is near-uniform
+    // (excess kurtosis ≈ −1.2), so the Gaussianity bound must *fail* here
+    // — otherwise the bound is vacuous.
+    let vmac = Vmac::new(8, 8, 8, 6.0);
+    let samples = error_samples(vmac, 8, TRIALS, 0xE44);
+    let m = mean(&samples);
+    let var = central_moment(&samples, m, 2);
+    let exkurt = central_moment(&samples, m, 4) / (var * var) - 3.0;
+    assert!(
+        exkurt < -0.8,
+        "single-conversion excess kurtosis {exkurt:.3} should be strongly platykurtic"
+    );
+}

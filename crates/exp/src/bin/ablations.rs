@@ -2,11 +2,12 @@
 //! sigma error recycling, ADC reference scaling, multiplication
 //! partitioning, and the last-layer training-injection rule.
 
-use ams_exp::{Experiments, Report, Scale};
+use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
-    let (scale, results, ctx) = Scale::from_args();
-    let exp = Experiments::new(scale, &results).with_ctx(ctx);
+    let cli = Cli::from_args();
+    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
     let ab = exp.ablations();
     ab.report(exp.results_dir(), &exp.scale().name);
+    cli.write_metrics();
 }

@@ -1,13 +1,14 @@
 //! Regenerates the paper's Figure 5 (loss vs ENOB re: the 6b quantized
 //! network; AMS error at evaluation only).
 
-use ams_exp::{Experiments, Report, Scale};
+use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
-    let (scale, results, ctx) = Scale::from_args();
-    let exp = Experiments::new(scale, &results).with_ctx(ctx);
+    let cli = Cli::from_args();
+    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
     let f5 = exp.fig5();
     f5.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper shape: monotone decrease; <1% loss beyond a cutoff ENOB, within one sample");
     println!("standard deviation of the 6b baseline at the highest ENOBs.");
+    cli.write_metrics();
 }

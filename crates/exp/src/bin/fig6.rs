@@ -2,12 +2,13 @@
 //! retraining with AMS error teaches batch norm to push activation means
 //! away from zero, more so at higher noise.
 
-use ams_exp::{Experiments, Report, Scale};
+use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
-    let (scale, results, ctx) = Scale::from_args();
-    let exp = Experiments::new(scale, &results).with_ctx(ctx);
+    let cli = Cli::from_args();
+    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
     let f6 = exp.fig6();
     f6.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper: means pushed away from zero in 43 of 53 conv layers, more at higher noise.");
+    cli.write_metrics();
 }

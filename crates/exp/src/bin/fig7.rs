@@ -2,13 +2,14 @@
 //! FOM hull) on a synthetic survey — the model (Eq. 3) is exact; the
 //! survey points are synthesized above it (see DESIGN.md).
 
-use ams_exp::{Experiments, Report, Scale};
+use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
-    let (scale, results, ctx) = Scale::from_args();
-    let exp = Experiments::new(scale, &results).with_ctx(ctx);
+    let cli = Cli::from_args();
+    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
     let f7 = exp.fig7();
     f7.report(exp.results_dir(), &exp.scale().name);
     println!("\nModel: E_ADC = 0.3 pJ for ENOB <= 10.5, then 10^(0.1(6.02*ENOB - 68.25)) pJ");
     println!("(the 187 dB Schreier-FOM line; energy quadruples per extra bit).");
+    cli.write_metrics();
 }

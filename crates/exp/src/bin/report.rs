@@ -8,11 +8,11 @@
 
 use std::fmt::Write as _;
 
-use ams_exp::{Experiments, Report, Scale};
+use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
-    let (scale, results, ctx) = Scale::from_args();
-    let exp = Experiments::new(scale, &results).with_ctx(ctx);
+    let cli = Cli::from_args();
+    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
     let dir = exp.results_dir().to_path_buf();
     let scale_name = exp.scale().name.clone();
 
@@ -186,4 +186,5 @@ fn main() {
     } else {
         println!("\nwrote {}", path.display());
     }
+    cli.write_metrics();
 }

@@ -1,0 +1,220 @@
+//! Shared CLI parsing for the experiment binaries, including the
+//! `--metrics <path>` observability flag.
+
+use std::path::{Path, PathBuf};
+
+use ams_tensor::obs::{MetricsReport, CSV_HEADERS};
+use ams_tensor::{ExecCtx, MetricsSink};
+
+use crate::report::write_csv;
+use crate::scale::Scale;
+
+/// Parsed command-line options common to every experiment binary:
+///
+/// ```text
+/// [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH]
+/// ```
+///
+/// `--metrics PATH` attaches a recording [`MetricsSink`] to the execution
+/// context, so the whole stack (kernel dispatches, layer timings, injected
+/// noise statistics, sweep rollups) records into one registry; at the end
+/// of `main` the binary calls [`Cli::write_metrics`] to snapshot it to
+/// `PATH` — JSON by default, CSV when the path ends in `.csv`. Without the
+/// flag the sink is disabled and recording costs nothing.
+///
+/// # Example
+///
+/// ```no_run
+/// use ams_exp::{Cli, Experiments, Report};
+///
+/// let cli = Cli::from_args();
+/// let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+/// let t1 = exp.table1();
+/// t1.report(exp.results_dir(), &exp.scale().name);
+/// cli.write_metrics();
+/// ```
+#[derive(Debug)]
+pub struct Cli {
+    /// The resolved scale preset.
+    pub scale: Scale,
+    /// The results directory (cache + CSV output).
+    pub results: String,
+    /// Where to write the metrics report, if `--metrics` was given.
+    pub metrics_path: Option<PathBuf>,
+    ctx: ExecCtx,
+}
+
+impl Cli {
+    /// Parses process arguments, defaulting to the `quick` scale, the
+    /// `results` directory, all available cores, and no metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown scale, an unknown or
+    /// dangling flag, or a non-positive thread count.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1).collect())
+    }
+
+    fn parse(args: Vec<String>) -> Self {
+        let mut scale = Scale::quick();
+        let mut results = "results".to_string();
+        let mut ctx = ExecCtx::auto();
+        let mut metrics_path: Option<PathBuf> = None;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    let name = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--scale needs a value"));
+                    scale = Scale::by_name(name)
+                        .unwrap_or_else(|n| panic!("unknown scale {n:?}; use quick|full|test"));
+                    i += 2;
+                }
+                "--results" => {
+                    results = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--results needs a value"))
+                        .clone();
+                    i += 2;
+                }
+                "--threads" => {
+                    let n: usize = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--threads needs a value"))
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--threads needs a positive integer: {e}"));
+                    ctx = ExecCtx::with_threads(n);
+                    i += 2;
+                }
+                "--metrics" => {
+                    metrics_path = Some(PathBuf::from(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--metrics needs a value")),
+                    ));
+                    i += 2;
+                }
+                other => panic!(
+                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH]"
+                ),
+            }
+        }
+        if metrics_path.is_some() {
+            ctx = ctx.with_metrics(MetricsSink::recording());
+        }
+        Cli {
+            scale,
+            results,
+            metrics_path,
+            ctx,
+        }
+    }
+
+    /// A clone of the execution context. Clones share the metrics sink,
+    /// so the context handed to [`crate::Experiments::with_ctx`] records
+    /// into the same registry [`Cli::write_metrics`] later snapshots.
+    pub fn ctx(&self) -> ExecCtx {
+        self.ctx.clone()
+    }
+
+    /// The metrics sink (disabled unless `--metrics` was given).
+    pub fn metrics(&self) -> &MetricsSink {
+        self.ctx.metrics()
+    }
+
+    /// Snapshots the metrics registry to [`Cli::metrics_path`]. A no-op
+    /// without `--metrics`. Failures are reported on stderr, not fatal —
+    /// observability must never sink a finished experiment.
+    pub fn write_metrics(&self) {
+        let Some(path) = &self.metrics_path else {
+            return;
+        };
+        let Some(registry) = self.ctx.metrics().registry() else {
+            return;
+        };
+        let report = registry.report();
+        match write_metrics_report(path, &report) {
+            Ok(()) => println!("wrote metrics report to {}", path.display()),
+            Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Writes a metrics report to `path` — CSV (flat kind/name table) when the
+/// extension is `.csv`, JSON otherwise. Parent directories are created.
+///
+/// # Errors
+///
+/// Returns any underlying serialization or I/O error.
+pub fn write_metrics_report(path: &Path, report: &MetricsReport) -> std::io::Result<()> {
+    if path.extension().is_some_and(|e| e == "csv") {
+        return write_csv(path, &CSV_HEADERS, &report.csv_rows());
+    }
+    let text = serde_json::to_string(report)
+        .map_err(|e| std::io::Error::other(format!("metrics serialization failed: {e:?}")))?;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let cli = Cli::parse(args(&[]));
+        assert_eq!(cli.scale.name, "quick");
+        assert_eq!(cli.results, "results");
+        assert!(cli.metrics_path.is_none());
+        assert!(!cli.metrics().enabled());
+    }
+
+    #[test]
+    fn metrics_flag_attaches_recording_sink() {
+        let cli = Cli::parse(args(&["--scale", "test", "--metrics", "/tmp/m.json"]));
+        assert_eq!(cli.scale.name, "test");
+        assert!(cli.metrics().enabled());
+        // The handed-out context shares the registry.
+        let ctx = cli.ctx();
+        ctx.metrics().inc("probe");
+        let report = cli.metrics().registry().unwrap().report();
+        assert_eq!(report.counter("probe").unwrap().value, 1);
+    }
+
+    #[test]
+    fn json_and_csv_reports_round_trip() {
+        let sink = MetricsSink::recording();
+        sink.inc("c");
+        sink.observe("g", 1.5);
+        sink.observe("g", 2.5);
+        let report = sink.registry().unwrap().report();
+        let dir = std::env::temp_dir().join("ams_exp_metrics_io_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let json_path = dir.join("m.json");
+        write_metrics_report(&json_path, &report).unwrap();
+        let text = std::fs::read_to_string(&json_path).unwrap();
+        let parsed: MetricsReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, report);
+
+        let csv_path = dir.join("m.csv");
+        write_metrics_report(&csv_path, &report).unwrap();
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("kind,name,"));
+        assert!(csv.lines().count() >= 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown_flags() {
+        Cli::parse(args(&["--bogus"]));
+    }
+}

@@ -16,10 +16,13 @@
 //! | `fig8` | Fig. 8 — (ENOB, N_mult) grid with energy level curves |
 //! | `ablations` | §4 — per-VMAC sim, ΔΣ recycling, partitioning, … |
 //!
-//! All binaries accept `--scale quick|full|test` (default `quick`) and
-//! `--results <dir>` (default `results/`). Expensive artifacts (trained
-//! checkpoints) are cached in the results directory, so binaries can run
-//! in any order and share work.
+//! All binaries accept `--scale quick|full|test` (default `quick`),
+//! `--results <dir>` (default `results/`), `--threads <n>` and
+//! `--metrics <path>` (write a metrics report — layer timings, injected
+//! noise statistics, sweep rollups — as JSON, or CSV for a `.csv` path;
+//! see EXPERIMENTS.md). Expensive artifacts (trained checkpoints) are
+//! cached in the results directory, so binaries can run in any order and
+//! share work.
 //!
 //! # Example
 //!
@@ -36,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cli;
 mod report;
 mod runner;
 mod scale;
 mod train;
 
+pub use cli::{write_metrics_report, Cli};
 pub use report::{print_table, write_csv, Report, Stat};
 pub use runner::{
     AblationReport, Experiments, Fig4Result, Fig4Row, Fig5Result, Fig6Result, Fig6Row, Fig7Result,

@@ -17,13 +17,13 @@ pub struct Stat {
 }
 
 impl Stat {
-    /// Computes mean and sample standard deviation.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `samples` is empty.
-    pub fn from_samples(samples: &[f64]) -> Self {
-        assert!(!samples.is_empty(), "Stat: no samples");
+    /// Computes mean and sample standard deviation, or `None` for an
+    /// empty sample set (there is no meaningful mean of nothing — callers
+    /// decide whether that is a bug or an expected "no data" case).
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let std = if samples.len() > 1 {
@@ -31,7 +31,7 @@ impl Stat {
         } else {
             0.0
         };
-        Stat { mean, std }
+        Some(Stat { mean, std })
     }
 
     /// The loss of this statistic relative to a baseline mean
@@ -174,11 +174,21 @@ mod tests {
 
     #[test]
     fn stat_matches_hand_computation() {
-        let s = Stat::from_samples(&[1.0, 2.0, 3.0]);
+        let s = Stat::from_samples(&[1.0, 2.0, 3.0]).unwrap();
         assert!((s.mean - 2.0).abs() < 1e-12);
         assert!((s.std - 1.0).abs() < 1e-12);
-        let single = Stat::from_samples(&[5.0]);
+    }
+
+    #[test]
+    fn stat_single_sample_has_zero_std() {
+        let single = Stat::from_samples(&[5.0]).unwrap();
+        assert_eq!(single.mean, 5.0);
         assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn stat_empty_samples_is_none_not_panic() {
+        assert!(Stat::from_samples(&[]).is_none());
     }
 
     #[test]

@@ -69,6 +69,14 @@ impl Experiments {
         self
     }
 
+    /// Attaches a metrics sink to the execution context, so every layer,
+    /// kernel dispatch and sweep arm of this suite records into it (see
+    /// the `--metrics <path>` flag on the experiment binaries).
+    pub fn with_metrics(mut self, sink: ams_tensor::MetricsSink) -> Self {
+        self.ctx = self.ctx.clone().with_metrics(sink);
+        self
+    }
+
     /// The execution context threaded through training and evaluation.
     pub fn ctx(&self) -> &ExecCtx {
         &self.ctx
@@ -269,6 +277,7 @@ impl Experiments {
 
     /// Table 1: top-1 accuracy for the FP32 and quantized baselines.
     pub fn table1(&self) -> Table1Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.table1".to_string());
         let (_, fp32) = self.fp32_baseline();
         let rows = vec![
             Table1Row {
@@ -314,14 +323,23 @@ impl Experiments {
     /// Fig. 4: top-1 accuracy loss vs ENOB (N_mult = 8) relative to the 8b
     /// quantized network, eval-only vs retrained-with-error.
     pub fn fig4(&self) -> Fig4Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.fig4".to_string());
         let quant = QuantConfig::w8a8();
         // Warm the shared checkpoints once so the concurrent sweep points
         // below only ever read them from the cache.
         let (_, baseline) = self.quantized_baseline(quant);
         let _ = self.fp32_baseline();
         let rows = self.ctx.parallel_map(&self.scale.enob_grid, |&enob| {
+            let _t = self
+                .ctx
+                .metrics()
+                .scope(|| format!("sweep.fig4.enob{enob:.1}"));
             let eval_only = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
             let retrained = self.ams_retrained(quant, enob).1.loss_relative_to(baseline);
+            let m = self.ctx.metrics();
+            m.observe("sweep.fig4.loss_eval_only", eval_only.mean);
+            m.observe("sweep.fig4.loss_retrained", retrained.mean);
+            m.inc("sweep.fig4.points");
             Fig4Row {
                 enob,
                 eval_only,
@@ -334,13 +352,20 @@ impl Experiments {
     /// Fig. 5: top-1 accuracy loss vs ENOB (N_mult = 8) relative to the 6b
     /// quantized network, eval-only.
     pub fn fig5(&self) -> Fig5Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.fig5".to_string());
         let quant = QuantConfig::w6a6();
         let (_, baseline) = self.quantized_baseline(quant);
         let rows = self.ctx.parallel_map(&self.scale.enob_grid_6b, |&enob| {
-            (
-                enob,
-                self.ams_eval_only(quant, enob).loss_relative_to(baseline),
-            )
+            let _t = self
+                .ctx
+                .metrics()
+                .scope(|| format!("sweep.fig5.enob{enob:.1}"));
+            let loss = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
+            self.ctx
+                .metrics()
+                .observe("sweep.fig5.loss_eval_only", loss.mean);
+            self.ctx.metrics().inc("sweep.fig5.points");
+            (enob, loss)
         });
         Fig5Result { baseline, rows }
     }
@@ -352,6 +377,7 @@ impl Experiments {
     /// Table 2: AMS retraining with selective freezing at the scale's
     /// fixed ENOB, losses relative to the 8b quantized network.
     pub fn table2(&self) -> Table2Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.table2".to_string());
         let quant = QuantConfig::w8a8();
         let (_, baseline) = self.quantized_baseline(quant);
         let (fp32_ckpt, _) = self.fp32_baseline();
@@ -359,6 +385,10 @@ impl Experiments {
         // Every freezing variant retrains independently from the shared
         // FP32 checkpoint warmed above — run them concurrently.
         let rows = self.ctx.parallel_map(&FreezePolicy::ALL, |&policy| {
+            let _t = self
+                .ctx
+                .metrics()
+                .scope(|| format!("sweep.table2.{policy}").replace(' ', "_"));
             let key = format!("table2_{policy}").replace(' ', "_").to_lowercase();
             let (_, stat) = self.cached(&key, || {
                 eprintln!(
@@ -421,6 +451,7 @@ impl Experiments {
     /// network, the quantized network, and AMS networks at several noise
     /// levels.
     pub fn fig6(&self) -> Fig6Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.fig6".to_string());
         let quant = QuantConfig::w8a8();
         let mut variants: Vec<(String, HardwareConfig, Checkpoint, Option<f64>)> = Vec::new();
         let (fp_ckpt, _) = self.fp32_baseline();
@@ -526,6 +557,7 @@ impl Experiments {
     /// Fig. 7: the (synthetic) ADC survey against the Eq. 3 energy hull
     /// and the 187 dB Schreier-FOM line.
     pub fn fig7(&self) -> Fig7Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.fig7".to_string());
         let points = synthesize_survey(self.scale.survey_points, self.scale.seed);
         let hull = survey_lower_hull(&points, 15);
         let mut model_line = Vec::new();
@@ -557,6 +589,7 @@ impl Experiments {
     /// energy/MAC level curves, derived from the measured Fig. 4
     /// retrained curve exactly as the paper maps its `N_mult = 8` results.
     pub fn fig8(&self) -> Fig8Result {
+        let _t = self.ctx.metrics().scope(|| "experiment.fig8".to_string());
         let fig4 = self.fig4();
         let points: Vec<(f64, f64)> = fig4
             .rows
@@ -606,6 +639,10 @@ impl Experiments {
     /// recycling, reference scaling, multiplication partitioning, and the
     /// last-layer training-injection rule.
     pub fn ablations(&self) -> AblationReport {
+        let _t = self
+            .ctx
+            .metrics()
+            .scope(|| "experiment.ablations".to_string());
         // (a) Lumped Gaussian vs actual chunked quantization.
         let mut lumped_vs_sim = Vec::new();
         for &(enob, n_tot) in &[(7.0f64, 128usize), (8.0, 256), (9.0, 512)] {

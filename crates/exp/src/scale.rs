@@ -2,7 +2,6 @@
 
 use ams_data::SynthConfig;
 use ams_models::ResNetMiniConfig;
-use ams_tensor::ExecCtx;
 use serde::{Deserialize, Serialize};
 
 /// Everything that sizes an experiment run: dataset, architecture,
@@ -129,53 +128,6 @@ impl Scale {
             "test" => Ok(Self::test()),
             other => Err(other.to_string()),
         }
-    }
-
-    /// Parses `--scale <name>`, `--results <dir>` and `--threads <n>` from
-    /// process arguments, defaulting to `quick`, `results` and all
-    /// available cores. `--threads 1` forces a fully serial run; any
-    /// thread count produces bit-identical results.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on an unknown scale, a dangling flag,
-    /// or a non-positive thread count.
-    pub fn from_args() -> (Self, String, ExecCtx) {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut scale = Scale::quick();
-        let mut results = "results".to_string();
-        let mut ctx = ExecCtx::auto();
-        let mut i = 0;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--scale" => {
-                    let name = args.get(i + 1).unwrap_or_else(|| panic!("--scale needs a value"));
-                    scale = Scale::by_name(name)
-                        .unwrap_or_else(|n| panic!("unknown scale {n:?}; use quick|full|test"));
-                    i += 2;
-                }
-                "--results" => {
-                    results = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--results needs a value"))
-                        .clone();
-                    i += 2;
-                }
-                "--threads" => {
-                    let n: usize = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--threads needs a value"))
-                        .parse()
-                        .unwrap_or_else(|e| panic!("--threads needs a positive integer: {e}"));
-                    ctx = ExecCtx::with_threads(n);
-                    i += 2;
-                }
-                other => panic!(
-                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N]"
-                ),
-            }
-        }
-        (scale, results, ctx)
     }
 }
 

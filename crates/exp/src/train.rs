@@ -85,6 +85,7 @@ pub fn train_scheduled(
         history: Vec::with_capacity(epochs),
     };
     for epoch in 1..=epochs {
+        let _epoch_t = ctx.metrics().scope(|| "train.epoch".to_string());
         if decay_at.contains(&epoch) {
             opt.lr *= 0.2;
         }
@@ -100,6 +101,9 @@ pub fn train_scheduled(
             batches += 1;
         }
         let val_acc = f64::from(eval_accuracy(ctx, net, val, batch));
+        ctx.metrics()
+            .observe("train.epoch_loss", loss_sum / batches as f64);
+        ctx.metrics().observe("train.epoch_val_acc", val_acc);
         best.history.push((loss_sum / batches as f64, val_acc));
         if val_acc > best.best_val_acc {
             best.best_val_acc = val_acc;
@@ -121,6 +125,7 @@ pub fn train_scheduled(
 /// Panics if the dataset is empty.
 pub fn eval_accuracy(ctx: &ExecCtx, net: &mut ResNetMini, data: &Dataset, batch: usize) -> f32 {
     assert!(!data.is_empty(), "eval_accuracy: empty dataset");
+    let _t = ctx.metrics().scope(|| "eval.pass".to_string());
     let mut correct_weighted = 0.0f64;
     let mut total = 0usize;
     for (images, labels) in Batcher::sequential(data, batch) {
@@ -171,7 +176,7 @@ pub fn eval_passes(
         };
         samples.push(f64::from(acc));
     }
-    Stat::from_samples(&samples)
+    Stat::from_samples(&samples).expect("passes > 0 yields at least one sample")
 }
 
 #[cfg(test)]

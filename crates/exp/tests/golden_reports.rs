@@ -1,0 +1,61 @@
+//! Golden-file regression tests for the [`Report`] CSV output.
+//!
+//! The table1 and fig4 pipelines are run at the `test` scale on a serial
+//! context (fixed seeds, one deterministic reduction order) and their
+//! main CSVs are compared byte-for-byte against committed goldens in
+//! `tests/golden/`. Any change to training, evaluation, the error model
+//! or the CSV formatting shows up here as a diff.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p ams-exp --test golden_reports
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use ams_exp::{Experiments, Report, Scale};
+use ams_tensor::ExecCtx;
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn table1_and_fig4_csvs_match_goldens() {
+    let work = std::env::temp_dir().join("ams_exp_golden_reports_test");
+    let _ = std::fs::remove_dir_all(&work);
+    let exp = Experiments::new(Scale::test(), work.to_str().unwrap()).with_ctx(ExecCtx::serial());
+
+    // table1 first: it warms the checkpoint cache fig4 reuses.
+    let t1 = exp.table1();
+    let f4 = exp.fig4();
+    t1.report(exp.results_dir(), "test");
+    f4.report(exp.results_dir(), "test");
+
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    for stem in ["table1", "fig4"] {
+        let name = format!("{stem}_test.csv");
+        let produced = std::fs::read_to_string(work.join(&name))
+            .unwrap_or_else(|e| panic!("{stem} did not write {name}: {e}"));
+        let golden_path = golden_dir().join(&name);
+        if update {
+            std::fs::create_dir_all(golden_dir()).unwrap();
+            std::fs::write(&golden_path, &produced).unwrap();
+            eprintln!("updated golden {}", golden_path.display());
+            continue;
+        }
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden {}: {e}; generate it with UPDATE_GOLDEN=1",
+                golden_path.display()
+            )
+        });
+        assert_eq!(
+            produced, golden,
+            "{name} drifted from the committed golden; if the change is \
+             intentional, regenerate with UPDATE_GOLDEN=1 and commit the diff"
+        );
+    }
+    let _ = std::fs::remove_dir_all(work);
+}

@@ -1,0 +1,79 @@
+//! End-to-end smoke test of the observability path: a recording
+//! [`MetricsSink`] threaded through an evaluation pass of ResNet-mini on
+//! AMS hardware must yield per-layer noise gauges whose statistics match
+//! the Eq. 2 model σ, per-layer forward timers, and a JSON report that
+//! parses back identically (what `--metrics <path>.json` writes).
+
+use ams_core::vmac::Vmac;
+use ams_data::SynthConfig;
+use ams_exp::{eval_accuracy, write_metrics_report};
+use ams_models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
+use ams_quant::QuantConfig;
+use ams_tensor::obs::MetricsReport;
+use ams_tensor::{ExecCtx, MetricsSink};
+
+#[test]
+fn metrics_report_has_per_layer_noise_matching_eq2() {
+    let enob = 4.0;
+    let quant = QuantConfig::w8a8();
+    let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
+    let hw = HardwareConfig::ams(quant, vmac);
+    let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &hw);
+
+    let sink = MetricsSink::recording();
+    let ctx = ExecCtx::serial().with_metrics(sink.clone());
+    let data = SynthConfig::tiny().generate();
+    eval_accuracy(&ctx, &mut net, &data.val, 16);
+
+    let report = sink.registry().expect("recording sink").report();
+
+    // Every injecting layer records a `noise.<layer>.enob<e>` gauge whose
+    // sample variance matches the Eq. 2 model (same chi-square-derived
+    // band as crates/core/tests/error_stats.rs, scaled to each layer's
+    // sample count; the seed is fixed, so this is deterministic).
+    let budget = net.error_budget();
+    assert!(!budget.is_empty());
+    for (name, _n_tot, sigma) in &budget {
+        let sigma = f64::from(sigma.expect("AMS hardware sets σ on every layer"));
+        let key = format!("noise.{name}.enob{enob:.1}");
+        let g = report
+            .gauge(&key)
+            .unwrap_or_else(|| panic!("missing noise gauge {key}"));
+        assert!(g.count > 16, "{key} recorded only {} samples", g.count);
+        let ratio = (g.std * g.std) / (sigma * sigma);
+        let tol = 5.0 * (2.0 / (g.count as f64 - 1.0)).sqrt();
+        assert!(
+            (ratio - 1.0).abs() < tol,
+            "{key}: variance ratio {ratio:.4} outside 1 ± {tol:.4} (std {}, model σ {sigma})",
+            g.std
+        );
+        assert!(
+            g.mean.abs() < 5.0 * sigma / (g.count as f64).sqrt(),
+            "{key}: injected noise mean {} is biased",
+            g.mean
+        );
+    }
+
+    // Forward timers exist for every instrumented layer, activation
+    // gauges for every convolution, and the eval pass itself is timed.
+    for (name, _, _) in &budget {
+        let timer = format!("layer.{name}.forward");
+        assert!(report.timer(&timer).is_some(), "missing timer {timer}");
+        if name != "fc" {
+            let act = format!("act.{name}");
+            assert!(report.gauge(&act).is_some(), "missing gauge {act}");
+        }
+    }
+    assert!(report.timer("eval.pass").is_some());
+    assert!(report.counter("exec.for_each_chunk.serial").is_some());
+
+    // The JSON report (the `--metrics` output format) round-trips.
+    let dir = std::env::temp_dir().join("ams_exp_metrics_smoke_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("metrics.json");
+    write_metrics_report(&path, &report).unwrap();
+    let parsed: MetricsReport =
+        serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(parsed, report);
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -5,6 +5,7 @@ use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{conv2d_backward, conv2d_forward, ConvCache};
 use ams_nn::{Layer, Mode, Param};
 use ams_quant::{quantize_activations, quantize_signed, WeightQuantizer};
+use ams_tensor::obs::WelfordState;
 use ams_tensor::{im2col_in, mat_to_nchw, noise_stream_seed, rng, ConvGeom, ExecCtx, Tensor};
 use rand::Rng;
 
@@ -213,6 +214,9 @@ impl QConv2d {
 
 impl Layer for QConv2d {
     fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.forward", self.name));
         let xq = self.quantize_input(input);
         let qw = self.wq.quantize(&self.weight.value);
         let realized = match &self.hw.mismatch {
@@ -241,7 +245,27 @@ impl Layer for QConv2d {
         };
         if injecting && !per_vmac {
             let sigma = self.error_sigma().expect("injects() implies a VMAC");
-            self.injector.inject_sigma(&mut y, sigma);
+            if ctx.metrics().enabled() {
+                // Traced injection draws the identical RNG stream, so the
+                // noisy activations are bit-identical with metrics on or off.
+                let stats = self.injector.inject_sigma_traced(&mut y, sigma);
+                let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
+                // Key by ENOB: sweeps (Fig. 4/5) drive the same layer at
+                // several ENOBs, and each has a different Eq. 2 variance.
+                ctx.metrics()
+                    .merge_observations(&format!("noise.{}.enob{enob:.1}", self.name), &stats);
+            } else {
+                self.injector.inject_sigma(&mut y, sigma);
+            }
+        }
+        if ctx.metrics().enabled() {
+            // Activation-mean drift at the conv output (paper Fig. 6).
+            let mut acts = WelfordState::new();
+            for &v in y.data() {
+                acts.push(f64::from(v));
+            }
+            ctx.metrics()
+                .merge_observations(&format!("act.{}", self.name), &acts);
         }
         if self.probe_enabled {
             self.probe_sum += f64::from(y.sum());
@@ -255,6 +279,9 @@ impl Layer for QConv2d {
     }
 
     fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.backward", self.name));
         let cache = self
             .cache
             .as_ref()

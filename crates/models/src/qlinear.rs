@@ -161,6 +161,9 @@ impl QLinear {
 
 impl Layer for QLinear {
     fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.forward", self.name));
         let xq = quantize_activations(input, self.bx);
         let qw = self.wq.quantize(&self.weight.value);
         let realized = match &self.hw.mismatch {
@@ -182,7 +185,14 @@ impl Layer for QLinear {
         };
         if injecting && !per_vmac {
             let sigma = self.error_sigma().expect("injects() implies a VMAC");
-            self.injector.inject_sigma(&mut y, sigma);
+            if ctx.metrics().enabled() {
+                let stats = self.injector.inject_sigma_traced(&mut y, sigma);
+                let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
+                ctx.metrics()
+                    .merge_observations(&format!("noise.{}.enob{enob:.1}", self.name), &stats);
+            } else {
+                self.injector.inject_sigma(&mut y, sigma);
+            }
         }
         self.cache = cache;
         self.ste_scale = mode.is_train().then_some(qw.ste_scale);
@@ -190,6 +200,9 @@ impl Layer for QLinear {
     }
 
     fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.backward", self.name));
         let cache = self
             .cache
             .as_ref()

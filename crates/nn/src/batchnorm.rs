@@ -151,6 +151,9 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, _ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let _t = _ctx
+            .metrics()
+            .scope(|| format!("layer.{}.forward", self.name));
         let (_, c, _, _) = input.dims4();
         assert_eq!(
             c, self.channels,
@@ -190,6 +193,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, _ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let _t = _ctx
+            .metrics()
+            .scope(|| format!("layer.{}.backward", self.name));
         let cache = self
             .cache
             .as_ref()

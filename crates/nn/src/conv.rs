@@ -102,6 +102,9 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.forward", self.name));
         let wmat = self
             .weight
             .value
@@ -123,6 +126,9 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.backward", self.name));
         let cache = self
             .cache
             .as_ref()

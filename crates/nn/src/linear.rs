@@ -80,6 +80,9 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.forward", self.name));
         let (y, cache) = linear_forward(
             ctx,
             input,
@@ -92,6 +95,9 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let _t = ctx
+            .metrics()
+            .scope(|| format!("layer.{}.backward", self.name));
         let cache = self
             .cache
             .as_ref()

@@ -1,0 +1,87 @@
+//! Property tests: Welford mean/variance merging is order- and
+//! partition-invariant (up to floating-point rounding), so per-thread
+//! metric shards merge into the same statistic regardless of how the
+//! dispatcher split the work.
+
+use ams_obs::WelfordState;
+use proptest::prelude::*;
+
+/// Relative tolerance for comparing two accumulation orders. Welford
+/// updates and Chan merges are not bit-identical under reassociation, but
+/// agree to a handful of ulps for well-scaled data.
+const RTOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= RTOL * (1.0 + a.abs().max(b.abs()))
+}
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pushing the same observations in a different order yields the same
+    /// mean/variance/min/max.
+    #[test]
+    fn push_order_invariant(xs in samples(), rot in 0usize..200) {
+        let forward = WelfordState::from_samples(&xs);
+        let mut rotated = xs.clone();
+        rotated.rotate_left(rot % xs.len());
+        rotated.reverse();
+        let backward = WelfordState::from_samples(&rotated);
+        prop_assert_eq!(forward.count, backward.count);
+        prop_assert!(close(forward.mean, backward.mean), "mean {} vs {}", forward.mean, backward.mean);
+        prop_assert!(close(forward.sample_variance(), backward.sample_variance()),
+            "var {} vs {}", forward.sample_variance(), backward.sample_variance());
+        prop_assert_eq!(forward.min, backward.min);
+        prop_assert_eq!(forward.max, backward.max);
+    }
+
+    /// Splitting the stream at an arbitrary point, accumulating each shard
+    /// independently, and merging matches the single-pass accumulation —
+    /// the per-thread sharding a parallel dispatch produces.
+    #[test]
+    fn merge_partition_invariant(xs in samples(), split in 0usize..200) {
+        let single_pass = WelfordState::from_samples(&xs);
+        let cut = split % (xs.len() + 1);
+        let mut left = WelfordState::from_samples(&xs[..cut]);
+        let right = WelfordState::from_samples(&xs[cut..]);
+        left.merge(&right);
+        prop_assert_eq!(single_pass.count, left.count);
+        prop_assert!(close(single_pass.mean, left.mean), "mean {} vs {}", single_pass.mean, left.mean);
+        prop_assert!(close(single_pass.sample_variance(), left.sample_variance()),
+            "var {} vs {}", single_pass.sample_variance(), left.sample_variance());
+        prop_assert_eq!(single_pass.min, left.min);
+        prop_assert_eq!(single_pass.max, left.max);
+    }
+
+    /// Merging many shards is associative: folding left-to-right equals
+    /// merging a pre-merged right half (tree reduction vs linear fold).
+    #[test]
+    fn merge_associative(xs in samples(), a in 0usize..200, b in 0usize..200) {
+        let (i, j) = {
+            let i = a % (xs.len() + 1);
+            let j = i + b % (xs.len() - i + 1);
+            (i, j)
+        };
+        let (s1, s2, s3) = (
+            WelfordState::from_samples(&xs[..i]),
+            WelfordState::from_samples(&xs[i..j]),
+            WelfordState::from_samples(&xs[j..]),
+        );
+        // (s1 + s2) + s3
+        let mut left = s1;
+        left.merge(&s2);
+        left.merge(&s3);
+        // s1 + (s2 + s3)
+        let mut right_tail = s2;
+        right_tail.merge(&s3);
+        let mut right = s1;
+        right.merge(&right_tail);
+        prop_assert_eq!(left.count, right.count);
+        prop_assert!(close(left.mean, right.mean));
+        prop_assert!(close(left.sample_variance(), right.sample_variance()));
+    }
+}

@@ -26,6 +26,7 @@
 //! [`Parallelism::min_work`] — small tensors are cheaper to compute than
 //! to hand to threads.
 
+use ams_obs::MetricsSink;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -90,11 +91,15 @@ pub struct ExecCtx {
     par: Parallelism,
     /// Dispatches that actually ran on the pool (observability/tests).
     parallel_dispatches: AtomicUsize,
+    /// Metrics sink; disabled (free) unless attached via [`ExecCtx::with_metrics`].
+    metrics: MetricsSink,
 }
 
 impl Clone for ExecCtx {
     fn clone(&self) -> Self {
-        ExecCtx::new(self.par)
+        // Dispatch statistics are per-instance, but the metrics sink travels
+        // with the context so clones record into the same registry.
+        ExecCtx::new(self.par).with_metrics(self.metrics.clone())
     }
 }
 
@@ -110,7 +115,22 @@ impl ExecCtx {
         ExecCtx {
             par,
             parallel_dispatches: AtomicUsize::new(0),
+            metrics: MetricsSink::disabled(),
         }
+    }
+
+    /// Attaches a metrics sink; every layer holding this context (or a
+    /// clone of it) records into the sink's registry. The default sink is
+    /// [`MetricsSink::disabled`], which reduces every recording call to a
+    /// branch on a `None`.
+    pub fn with_metrics(mut self, sink: MetricsSink) -> Self {
+        self.metrics = sink;
+        self
+    }
+
+    /// The attached metrics sink (disabled by default).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     /// The always-serial context: every op runs inline on the caller's
@@ -183,12 +203,16 @@ impl ExecCtx {
         let n_chunks = out.len() / chunk_len;
         let workers = self.par.threads.min(n_chunks);
         if workers <= 1 || !self.should_parallelize(n_chunks.saturating_mul(work_per_chunk)) {
+            self.metrics.inc("exec.for_each_chunk.serial");
+            let _t = self.metrics.scope(|| "exec.for_each_chunk".to_string());
             for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
                 f(idx, chunk);
             }
             return;
         }
         self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc("exec.for_each_chunk.parallel");
+        let _t = self.metrics.scope(|| "exec.for_each_chunk".to_string());
         // Contiguous near-equal partition: worker t takes chunk range
         // [t*q + min(t, r), ...) where q = n/workers, r = n % workers.
         let q = n_chunks / workers;
@@ -227,9 +251,13 @@ impl ExecCtx {
     {
         let workers = self.par.threads.min(items.len());
         if workers <= 1 {
+            self.metrics.inc("exec.parallel_map.serial");
+            let _t = self.metrics.scope(|| "exec.parallel_map".to_string());
             return items.iter().map(f).collect();
         }
         self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc("exec.parallel_map.parallel");
+        let _t = self.metrics.scope(|| "exec.parallel_map".to_string());
         let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -321,6 +349,33 @@ mod tests {
             let got = ctx.parallel_map(&items, |x| x * x);
             assert_eq!(got, want, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn metrics_sink_travels_with_clones_and_counts_dispatches() {
+        let sink = MetricsSink::recording();
+        let ctx = ExecCtx::new(Parallelism {
+            threads: 4,
+            min_work: 0,
+        })
+        .with_metrics(sink.clone());
+        let cloned = ctx.clone();
+        let mut out = vec![0.0f32; 64];
+        cloned.for_each_chunk(&mut out, 16, usize::MAX, |i, c| c.fill(i as f32));
+        let report = sink.registry().unwrap().report();
+        assert_eq!(
+            report
+                .counter("exec.for_each_chunk.parallel")
+                .unwrap()
+                .value,
+            1
+        );
+        assert_eq!(report.timer("exec.for_each_chunk").unwrap().count, 1);
+    }
+
+    #[test]
+    fn disabled_metrics_by_default() {
+        assert!(!ExecCtx::serial().metrics().enabled());
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub mod rng;
 mod shape;
 mod tensor;
 
+/// Re-export of the metrics layer so downstream crates can record through
+/// `ExecCtx::metrics()` without a direct `ams-obs` dependency.
+pub use ams_obs as obs;
+pub use ams_obs::MetricsSink;
 pub use conv::{col2im, im2col, im2col_in, mat_to_nchw, nchw_to_mat, ConvGeom};
 pub use exec::{noise_stream_seed, ExecCtx, Parallelism};
 pub use matmul::{matmul, matmul_a_bt, matmul_a_bt_in, matmul_at_b, matmul_at_b_in, matmul_in};

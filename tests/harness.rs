@@ -91,7 +91,7 @@ fn fig8_grid_reference_column_matches_curve() {
 #[test]
 fn stat_protocol_matches_paper_reporting() {
     // Five passes, mean ± sample std — degenerate cases behave.
-    let s = Stat::from_samples(&[0.78, 0.78, 0.78, 0.78, 0.78]);
+    let s = Stat::from_samples(&[0.78, 0.78, 0.78, 0.78, 0.78]).unwrap();
     assert_eq!(s.mean, 0.78);
     assert_eq!(s.std, 0.0);
     let loss = Stat {
