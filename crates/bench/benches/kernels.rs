@@ -7,7 +7,7 @@ use ams_core::vmac::Vmac;
 use ams_nn::functional::{conv2d_backward, conv2d_forward};
 use ams_nn::{BatchNorm2d, Layer, Mode};
 use ams_quant::{quantize_activations, WeightQuantizer};
-use ams_tensor::{im2col, matmul, matmul_in, rng, ConvGeom, ExecCtx, Tensor};
+use ams_tensor::{im2col, matmul, matmul_in, rng, ConvGeom, Density, ExecCtx, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn random(dims: &[usize], seed: u64) -> Tensor {
@@ -91,9 +91,22 @@ fn conv_forward_backward(c: &mut Criterion) {
     let input = random(&[8, 16, 16, 16], 4);
     let wmat = random(&[32, 16 * 9], 5);
     c.bench_function("conv_forward", |b| {
-        b.iter(|| conv2d_forward(&ctx, &input, &wmat, None, 3, 3, 1, 1, false));
+        b.iter(|| {
+            conv2d_forward(
+                &ctx,
+                &input,
+                &wmat,
+                Density::Sample,
+                None,
+                3,
+                3,
+                1,
+                1,
+                false,
+            )
+        });
     });
-    let (y, cache) = conv2d_forward(&ctx, &input, &wmat, None, 3, 3, 1, 1, true);
+    let (y, cache) = conv2d_forward(&ctx, &input, &wmat, Density::Sample, None, 3, 3, 1, 1, true);
     let cache = cache.expect("train-mode cache");
     c.bench_function("conv_backward", |b| {
         b.iter(|| conv2d_backward(&ctx, &cache, &y))

@@ -1,0 +1,314 @@
+//! Wall-clock kernel report: times the hot kernels at three conv-shaped
+//! sizes and writes `BENCH_kernels.json` (schema documented in
+//! EXPERIMENTS.md).
+//!
+//! Unlike the Criterion benches (statistical, minutes-long), this binary
+//! is a fast smoke report: a handful of repeats per kernel, median with
+//! p10/p90 spread, suitable for CI artifacts and quick before/after
+//! comparisons. The headline entry pits the tiled matmul against the
+//! retained naive reference kernel on the conv-shaped
+//! `256 × 1152 × 3136` product so speedups are tracked release to
+//! release.
+//!
+//! Usage: `bench_report [--quick] [--out PATH] [--threads N]`
+
+use std::time::Instant;
+
+use ams_models::{HardwareConfig, InputKind, QConv2d};
+use ams_nn::functional::conv2d_forward;
+use ams_nn::{Layer, Mode};
+use ams_quant::QuantConfig;
+use ams_tensor::{im2col_in, matmul_in, matmul_reference, rng, ConvGeom, Density, ExecCtx, Tensor};
+use serde::Value;
+
+/// Builds a JSON object from string keys (vendored `serde` value tree —
+/// no `json!` macro in the facade).
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn dims_value(dims: &[usize]) -> Value {
+    Value::Seq(dims.iter().map(|&d| Value::U64(d as u64)).collect())
+}
+
+/// Newtype so a hand-built [`Value`] tree can go through
+/// [`serde_json::to_string`] (the facade serializes `impl Serialize`,
+/// and `Value` itself doesn't implement it).
+struct Report(Value);
+
+impl serde::Serialize for Report {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// One conv-shaped workload; the matmul shape is the lowered form
+/// `(c_out) × (c_in·k²) × (n·oh·ow)`.
+struct ConvShape {
+    name: &'static str,
+    n: usize,
+    c_in: usize,
+    c_out: usize,
+    hw: usize,
+    k: usize,
+}
+
+impl ConvShape {
+    fn geom(&self) -> ConvGeom {
+        ConvGeom::new(
+            self.n,
+            self.c_in,
+            self.hw,
+            self.hw,
+            self.k,
+            self.k,
+            1,
+            self.k / 2,
+        )
+    }
+
+    fn matmul_dims(&self) -> (usize, usize, usize) {
+        let g = self.geom();
+        (self.c_out, g.rows(), g.cols())
+    }
+}
+
+const SHAPES: [ConvShape; 3] = [
+    ConvShape {
+        name: "small",
+        n: 1,
+        c_in: 16,
+        c_out: 32,
+        hw: 16,
+        k: 3,
+    },
+    ConvShape {
+        name: "medium",
+        n: 2,
+        c_in: 64,
+        c_out: 64,
+        hw: 28,
+        k: 3,
+    },
+    // Headline: 256 × 1152 × 3136 once lowered.
+    ConvShape {
+        name: "large",
+        n: 4,
+        c_in: 128,
+        c_out: 256,
+        hw: 28,
+        k: 3,
+    },
+];
+
+fn random(dims: &[usize], seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut t, -1.0, 1.0, &mut r);
+    t
+}
+
+/// Times `f` (which must leave the workspace in steady state) `reps`
+/// times after one untimed warm-up, returning millisecond samples.
+fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
+    f(); // warm-up: populates the workspace pool, faults in pages
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+/// Linear-interpolated percentile of an unsorted sample set.
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let pos = p * (s.len() - 1) as f64;
+    let (lo, hi) = (pos.floor() as usize, pos.ceil() as usize);
+    s[lo] + (s[hi] - s[lo]) * (pos - pos.floor())
+}
+
+fn summary(kernel: &str, shape: &ConvShape, dims: &[usize], samples: &[f64]) -> Value {
+    obj(vec![
+        ("kernel", Value::Str(kernel.to_string())),
+        ("shape", Value::Str(shape.name.to_string())),
+        ("dims", dims_value(dims)),
+        ("median_ms", Value::F64(percentile(samples, 0.5))),
+        ("p10_ms", Value::F64(percentile(samples, 0.1))),
+        ("p90_ms", Value::F64(percentile(samples, 0.9))),
+    ])
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_kernels.json");
+    let mut threads = 0usize; // 0 = auto
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--out" => {
+                out = args.get(i + 1).expect("--out needs a path").clone();
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads must be an integer");
+                i += 2;
+            }
+            other => panic!("unknown argument {other:?}; usage: bench_report [--quick] [--out PATH] [--threads N]"),
+        }
+    }
+    let reps = if quick { 3 } else { 9 };
+    let ctx = if threads == 0 {
+        ExecCtx::auto()
+    } else {
+        ExecCtx::with_threads(threads)
+    };
+    let ws = ctx.workspace();
+    let mut results: Vec<Value> = Vec::new();
+
+    for shape in &SHAPES {
+        let (m, kdim, ncols) = shape.matmul_dims();
+        eprintln!(
+            "[{}] matmul {m}x{kdim}x{ncols}, conv n={} c_in={} c_out={} {}x{} k={}",
+            shape.name, shape.n, shape.c_in, shape.c_out, shape.hw, shape.hw, shape.k
+        );
+
+        // -- matmul: tiled (current) and naive reference (pre-PR kernel).
+        let a = random(&[m, kdim], 1);
+        let b = random(&[kdim, ncols], 2);
+        let tiled = time_reps(reps, || {
+            let y = matmul_in(&ctx, &a, &b);
+            ws.recycle(y);
+        });
+        results.push(summary("matmul_tiled", shape, &[m, kdim, ncols], &tiled));
+        let naive = time_reps(reps, || {
+            let y = matmul_reference(&a, &b);
+            drop(y);
+        });
+        results.push(summary("matmul_naive", shape, &[m, kdim, ncols], &naive));
+        if shape.name == "large" {
+            let (tm, nm) = (percentile(&tiled, 0.5), percentile(&naive, 0.5));
+            results.push(obj(vec![
+                ("kernel", Value::Str("headline_speedup".to_string())),
+                ("shape", Value::Str(shape.name.to_string())),
+                ("dims", dims_value(&[m, kdim, ncols])),
+                ("naive_median_ms", Value::F64(nm)),
+                ("tiled_median_ms", Value::F64(tm)),
+                ("speedup", Value::F64(nm / tm)),
+            ]));
+            eprintln!(
+                "  headline: naive {nm:.2} ms, tiled {tm:.2} ms, speedup {:.2}x",
+                nm / tm
+            );
+        }
+
+        // -- im2col lowering.
+        let x = random(&[shape.n, shape.c_in, shape.hw, shape.hw], 3);
+        let geom = shape.geom();
+        let lower = time_reps(reps, || {
+            let cols = im2col_in(&ctx, &x, &geom);
+            ws.recycle(cols);
+        });
+        results.push(summary(
+            "im2col",
+            shape,
+            &[shape.n, shape.c_in, shape.hw, shape.hw],
+            &lower,
+        ));
+
+        // -- full conv forward (im2col + tiled matmul + col-to-NCHW).
+        let wmat = random(&[shape.c_out, geom.rows()], 4);
+        let fwd = time_reps(reps, || {
+            let (y, _) = conv2d_forward(
+                &ctx,
+                &x,
+                &wmat,
+                Density::Sample,
+                None,
+                shape.k,
+                shape.k,
+                1,
+                shape.k / 2,
+                false,
+            );
+            ws.recycle(y);
+        });
+        results.push(summary(
+            "conv2d_forward",
+            shape,
+            &[
+                shape.n,
+                shape.c_in,
+                shape.c_out,
+                shape.hw,
+                shape.hw,
+                shape.k,
+            ],
+            &fwd,
+        ));
+
+        // -- quantized conv eval forward (quantize + conv, steady state).
+        let mut r = rng::seeded(5);
+        let hw_cfg = HardwareConfig::quantized(QuantConfig::w8a8());
+        let mut qc = QConv2d::new(
+            "bench",
+            shape.c_in,
+            shape.c_out,
+            shape.k,
+            1,
+            shape.k / 2,
+            &hw_cfg,
+            InputKind::Unit,
+            0,
+            &mut r,
+        );
+        let x01 = random(&[shape.n, shape.c_in, shape.hw, shape.hw], 6).map(|v| v.abs());
+        let qfwd = time_reps(reps, || {
+            let y = qc.forward(&ctx, &x01, Mode::Eval);
+            ws.recycle(y);
+        });
+        results.push(summary(
+            "qconv_eval",
+            shape,
+            &[
+                shape.n,
+                shape.c_in,
+                shape.c_out,
+                shape.hw,
+                shape.hw,
+                shape.k,
+            ],
+            &qfwd,
+        ));
+    }
+
+    let report = obj(vec![
+        ("schema", Value::Str("ams-bench/kernels/v1".to_string())),
+        ("quick", Value::Bool(quick)),
+        ("repeats", Value::U64(reps as u64)),
+        ("threads", Value::U64(ctx.threads() as u64)),
+        ("results", Value::Seq(results)),
+    ]);
+    std::fs::write(
+        &out,
+        serde_json::to_string(&Report(report)).expect("serialize"),
+    )
+    .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -72,8 +72,12 @@ impl Experiments {
     /// Attaches a metrics sink to the execution context, so every layer,
     /// kernel dispatch and sweep arm of this suite records into it (see
     /// the `--metrics <path>` flag on the experiment binaries).
+    ///
+    /// Swaps the sink in place ([`ExecCtx::set_metrics`]) rather than
+    /// cloning the context, so the workspace arena — and any buffers it
+    /// has already pooled — stays with this suite.
     pub fn with_metrics(mut self, sink: ams_tensor::MetricsSink) -> Self {
-        self.ctx = self.ctx.clone().with_metrics(sink);
+        self.ctx.set_metrics(sink);
         self
     }
 

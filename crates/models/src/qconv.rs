@@ -4,9 +4,9 @@ use ams_core::inject::GaussianInjector;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{conv2d_backward, conv2d_forward, ConvCache};
 use ams_nn::{Layer, Mode, Param};
-use ams_quant::{quantize_activations, quantize_signed, WeightQuantizer};
+use ams_quant::{quantize_activations_in, quantize_signed_in, WeightQuantizer};
 use ams_tensor::obs::WelfordState;
-use ams_tensor::{im2col_in, mat_to_nchw, noise_stream_seed, rng, ConvGeom, ExecCtx, Tensor};
+use ams_tensor::{im2col_in, mat_to_nchw_in, noise_stream_seed, rng, ConvGeom, ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::config::{ErrorMode, HardwareConfig, InputKind};
@@ -161,6 +161,7 @@ impl QConv2d {
     /// `±N_mult`), accumulating the digital codes.
     fn forward_per_vmac(&self, ctx: &ExecCtx, xq: &Tensor, wmat: &Tensor) -> Tensor {
         let vmac = self.hw.vmac.expect("per-VMAC mode requires a VMAC");
+        let ws = ctx.workspace();
         let (n, c_in, h, w) = xq.dims4();
         let geom = ConvGeom::new(n, c_in, h, w, self.k, self.k, self.stride, self.pad);
         let cols = im2col_in(ctx, xq, &geom);
@@ -169,7 +170,7 @@ impl QConv2d {
         let fs = n_mult as f64;
         let wd = wmat.data();
         let cd = cols.data();
-        let mut ymat = Tensor::zeros(&[self.c_out, ncols]);
+        let mut ymat = ws.take_tensor(&[self.c_out, ncols]);
         // Each output channel's row is independent, so the chunked-ADC
         // simulation parallelizes over `c_out` (one chunk per channel).
         ctx.for_each_chunk(ymat.data_mut(), ncols, rows * ncols, |co, yrow| {
@@ -197,16 +198,22 @@ impl QConv2d {
                 chunk_start = chunk_end;
             }
         });
-        mat_to_nchw(&ymat, &geom, self.c_out)
+        let y = mat_to_nchw_in(ctx, &ymat, &geom, self.c_out);
+        ws.recycle(ymat);
+        ws.recycle(cols);
+        y
     }
 
-    fn quantize_input(&self, input: &Tensor) -> Tensor {
+    fn quantize_input(&self, ctx: &ExecCtx, input: &Tensor) -> Tensor {
+        let ws = ctx.workspace();
         match self.input_kind {
-            InputKind::Unit => quantize_activations(input, self.bx),
+            InputKind::Unit => quantize_activations_in(ws, input, self.bx),
             InputKind::SignedRescaled => {
                 // [0, 1] → [-1, 1], then sign-magnitude quantization.
-                let rescaled = input.map(|v| 2.0 * v - 1.0);
-                quantize_signed(&rescaled, self.bx)
+                let rescaled = ws.map_tensor(input, |v| 2.0 * v - 1.0);
+                let q = quantize_signed_in(ws, &rescaled, self.bx);
+                ws.recycle(rescaled);
+                q
             }
         }
     }
@@ -217,13 +224,32 @@ impl Layer for QConv2d {
         let _t = ctx
             .metrics()
             .scope(|| format!("layer.{}.forward", self.name));
-        let xq = self.quantize_input(input);
-        let qw = self.wq.quantize(&self.weight.value);
+        let ws = ctx.workspace();
+        // Retire last forward's pooled tensors before drawing new ones, so
+        // steady-state passes cycle a fixed set of buffers instead of
+        // growing the pool.
+        if let Some(old) = self.cache.take() {
+            ws.recycle(old.cols);
+            ws.recycle(old.weight_mat);
+        }
+        if let Some(old) = self.ste_scale.take() {
+            ws.recycle(old);
+        }
+        let xq = self.quantize_input(ctx, input);
+        let qw = self.wq.quantize_in(ws, &self.weight.value);
+        let density = qw.density;
+        let ste_scale = qw.ste_scale;
         let realized = match &self.hw.mismatch {
-            Some(m) => m.apply(&qw.values, self.layer_index),
+            Some(m) => {
+                let r = m.apply(&qw.values, self.layer_index);
+                ws.recycle(qw.values);
+                r
+            }
             None => qw.values,
         };
-        let wmat = realized.reshaped(&[self.c_out, self.c_in * self.k * self.k]);
+        let wmat = realized
+            .reshape(&[self.c_out, self.c_in * self.k * self.k])
+            .expect("QConv2d: weight matrix shape");
         let injecting = self.hw.injects(mode.is_train(), false);
         // Paper §4's fine-grained mode: chunked per-VMAC ADC quantization,
         // evaluation only (training keeps the fast lumped model).
@@ -235,6 +261,7 @@ impl Layer for QConv2d {
                 ctx,
                 &xq,
                 &wmat,
+                density,
                 None,
                 self.k,
                 self.k,
@@ -243,6 +270,8 @@ impl Layer for QConv2d {
                 mode.is_train(),
             )
         };
+        ws.recycle(xq);
+        ws.recycle(wmat);
         if injecting && !per_vmac {
             let sigma = self.error_sigma().expect("injects() implies a VMAC");
             if ctx.metrics().enabled() {
@@ -274,7 +303,11 @@ impl Layer for QConv2d {
         let batch = y.dims()[0].max(1);
         self.last_macs_per_image = Some(y.len() / batch * self.n_tot());
         self.cache = cache;
-        self.ste_scale = mode.is_train().then_some(qw.ste_scale);
+        if mode.is_train() {
+            self.ste_scale = Some(ste_scale);
+        } else {
+            ws.recycle(ste_scale);
+        }
         y
     }
 
@@ -335,7 +368,18 @@ mod tests {
         let x = input();
         let y = qc.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let wmat = qc.weight().value.reshaped(&[4, 27]);
-        let (want, _) = conv2d_forward(&ExecCtx::serial(), &x, &wmat, None, 3, 3, 1, 1, false);
+        let (want, _) = conv2d_forward(
+            &ExecCtx::serial(),
+            &x,
+            &wmat,
+            ams_tensor::Density::Sample,
+            None,
+            3,
+            3,
+            1,
+            1,
+            false,
+        );
         assert_eq!(y, want);
     }
 

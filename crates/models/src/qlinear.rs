@@ -4,7 +4,7 @@ use ams_core::inject::GaussianInjector;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{linear_backward, linear_forward, LinearCache};
 use ams_nn::{Layer, Mode, Param};
-use ams_quant::{quantize_activations, WeightQuantizer};
+use ams_quant::{quantize_activations_in, WeightQuantizer};
 use ams_tensor::{noise_stream_seed, rng, ExecCtx, Tensor};
 use rand::Rng;
 
@@ -164,10 +164,24 @@ impl Layer for QLinear {
         let _t = ctx
             .metrics()
             .scope(|| format!("layer.{}.forward", self.name));
-        let xq = quantize_activations(input, self.bx);
-        let qw = self.wq.quantize(&self.weight.value);
+        let ws = ctx.workspace();
+        // Retire last forward's pooled tensors before drawing new ones.
+        if let Some(old) = self.cache.take() {
+            ws.recycle(old.input);
+            ws.recycle(old.weight);
+        }
+        if let Some(old) = self.ste_scale.take() {
+            ws.recycle(old);
+        }
+        let xq = quantize_activations_in(ws, input, self.bx);
+        let qw = self.wq.quantize_in(ws, &self.weight.value);
+        let ste_scale = qw.ste_scale;
         let realized = match &self.hw.mismatch {
-            Some(m) => m.apply(&qw.values, self.layer_index),
+            Some(m) => {
+                let r = m.apply(&qw.values, self.layer_index);
+                ws.recycle(qw.values);
+                r
+            }
             None => qw.values,
         };
         let injecting = self.hw.injects(mode.is_train(), self.is_last);
@@ -183,6 +197,8 @@ impl Layer for QLinear {
                 mode.is_train(),
             )
         };
+        ws.recycle(xq);
+        ws.recycle(realized);
         if injecting && !per_vmac {
             let sigma = self.error_sigma().expect("injects() implies a VMAC");
             if ctx.metrics().enabled() {
@@ -195,7 +211,11 @@ impl Layer for QLinear {
             }
         }
         self.cache = cache;
-        self.ste_scale = mode.is_train().then_some(qw.ste_scale);
+        if mode.is_train() {
+            self.ste_scale = Some(ste_scale);
+        } else {
+            ws.recycle(ste_scale);
+        }
         y
     }
 

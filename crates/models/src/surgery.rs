@@ -146,6 +146,7 @@ mod tests {
             &ExecCtx::serial(),
             &x,
             &wmat,
+            ams_tensor::Density::Sample,
             Some(&folded_b),
             3,
             3,

@@ -1,6 +1,6 @@
 //! Plain (full-precision) 2-D convolution layer.
 
-use ams_tensor::{rng, ExecCtx, Tensor};
+use ams_tensor::{rng, Density, ExecCtx, Tensor};
 use rand::Rng;
 
 use crate::functional::{conv2d_backward, conv2d_forward, ConvCache};
@@ -16,7 +16,7 @@ use crate::param::Param;
 ///
 /// ```
 /// use ams_nn::{Conv2d, Layer, Mode};
-/// use ams_tensor::{rng, ExecCtx, Tensor};
+/// use ams_tensor::{rng, Density, ExecCtx, Tensor};
 ///
 /// let mut r = rng::seeded(1);
 /// let mut conv = Conv2d::new("stem", 3, 8, 3, 1, 1, true, &mut r);
@@ -114,6 +114,7 @@ impl Layer for Conv2d {
             ctx,
             input,
             &wmat,
+            Density::Sample,
             bias,
             self.k,
             self.k,

@@ -9,8 +9,8 @@
 //! them to the shadow full-precision parameter.
 
 use ams_tensor::{
-    col2im, im2col_in, mat_to_nchw, matmul_a_bt_in, matmul_at_b_in, matmul_in, nchw_to_mat,
-    ConvGeom, ExecCtx, Tensor,
+    col2im_in, im2col_in, mat_to_nchw_in, matmul_a_bt_in, matmul_at_b_in, matmul_hinted_in,
+    matmul_in, nchw_to_mat_in, ConvGeom, Density, ExecCtx, Tensor,
 };
 
 /// Cache produced by [`conv2d_forward`], consumed by [`conv2d_backward`].
@@ -28,10 +28,16 @@ pub struct ConvCache {
 
 /// Convolution forward pass via im2col.
 ///
-/// `weight_mat` is `(C_out, C_in·K_h·K_w)`; `bias`, when present, is a
-/// length-`C_out` slice added per output channel. Returns the `(N, C_out,
-/// OH, OW)` output and, when `want_cache` is set, the cache for the
-/// backward pass.
+/// `weight_mat` is `(C_out, C_in·K_h·K_w)`; `weight_density` is the
+/// caller's knowledge of its zero fraction (quantized layers measure it
+/// once at quantize time; ad-hoc callers pass [`Density::Sample`]);
+/// `bias`, when present, is a length-`C_out` slice added per output
+/// channel. Returns the `(N, C_out, OH, OW)` output and, when
+/// `want_cache` is set, the cache for the backward pass.
+///
+/// All intermediates (and the output) are drawn from the context's
+/// workspace; the lowered column matrix and product matrix are recycled
+/// back into it, so steady-state eval forwards allocate nothing.
 ///
 /// # Panics
 ///
@@ -42,6 +48,7 @@ pub fn conv2d_forward(
     ctx: &ExecCtx,
     input: &Tensor,
     weight_mat: &Tensor,
+    weight_density: Density,
     bias: Option<&[f32]>,
     kh: usize,
     kw: usize,
@@ -64,8 +71,9 @@ pub fn conv2d_forward(
         weight_mat.dims()[1],
         geom.rows()
     );
+    let ws = ctx.workspace();
     let cols = im2col_in(ctx, input, &geom);
-    let mut ymat = matmul_in(ctx, weight_mat, &cols);
+    let mut ymat = matmul_hinted_in(ctx, weight_mat, &cols, weight_density);
     if let Some(b) = bias {
         assert_eq!(b.len(), c_out, "conv2d_forward: bias length != C_out");
         let ncols = geom.cols();
@@ -76,12 +84,18 @@ pub fn conv2d_forward(
             }
         }
     }
-    let y = mat_to_nchw(&ymat, &geom, c_out);
-    let cache = want_cache.then(|| ConvCache {
-        cols,
-        geom,
-        weight_mat: weight_mat.clone(),
-    });
+    let y = mat_to_nchw_in(ctx, &ymat, &geom, c_out);
+    ws.recycle(ymat);
+    let cache = if want_cache {
+        Some(ConvCache {
+            cols,
+            geom,
+            weight_mat: ws.clone_tensor(weight_mat),
+        })
+    } else {
+        ws.recycle(cols);
+        None
+    };
     (y, cache)
 }
 
@@ -99,16 +113,19 @@ pub fn conv2d_backward(
     cache: &ConvCache,
     grad_output: &Tensor,
 ) -> (Tensor, Tensor, Vec<f32>) {
-    let dymat = nchw_to_mat(grad_output, &cache.geom);
+    let ws = ctx.workspace();
+    let dymat = nchw_to_mat_in(ctx, grad_output, &cache.geom);
     let dweight = matmul_a_bt_in(ctx, &dymat, &cache.cols);
     let dcols = matmul_at_b_in(ctx, &cache.weight_mat, &dymat);
-    let dinput = col2im(&dcols, &cache.geom);
+    let dinput = col2im_in(ctx, &dcols, &cache.geom);
+    ws.recycle(dcols);
     let ncols = cache.geom.cols();
     let c_out = dymat.dims()[0];
     let mut dbias = vec![0.0f32; c_out];
     for (co, db) in dbias.iter_mut().enumerate() {
         *db = dymat.data()[co * ncols..(co + 1) * ncols].iter().sum();
     }
+    ws.recycle(dymat);
     (dinput, dweight, dbias)
 }
 
@@ -158,8 +175,8 @@ pub fn linear_forward(
         }
     }
     let cache = want_cache.then(|| LinearCache {
-        input: input.clone(),
-        weight: weight.clone(),
+        input: ctx.workspace().clone_tensor(input),
+        weight: ctx.workspace().clone_tensor(weight),
     });
     (y, cache)
 }
@@ -260,10 +277,32 @@ mod tests {
         let bias = vec![0.1f32, -0.1, 0.05];
 
         let loss = |w_: &Tensor, x_: &Tensor| -> f32 {
-            let (y, _) = conv2d_forward(&CTX, x_, w_, Some(&bias), 3, 3, 2, 1, false);
+            let (y, _) = conv2d_forward(
+                &CTX,
+                x_,
+                w_,
+                Density::Sample,
+                Some(&bias),
+                3,
+                3,
+                2,
+                1,
+                false,
+            );
             0.5 * y.data().iter().map(|v| v * v).sum::<f32>()
         };
-        let (y, cache) = conv2d_forward(&CTX, &x, &wmat, Some(&bias), 3, 3, 2, 1, true);
+        let (y, cache) = conv2d_forward(
+            &CTX,
+            &x,
+            &wmat,
+            Density::Sample,
+            Some(&bias),
+            3,
+            3,
+            2,
+            1,
+            true,
+        );
         let (dx, dw, db) = conv2d_backward(&CTX, cache.as_ref().unwrap(), &y);
 
         let eps = 1e-2;
@@ -299,7 +338,18 @@ mod tests {
     fn conv_bias_shifts_every_output() {
         let x = Tensor::zeros(&[1, 1, 3, 3]);
         let w = Tensor::zeros(&[2, 9]);
-        let (y, _) = conv2d_forward(&CTX, &x, &w, Some(&[1.5, -2.0]), 3, 3, 1, 1, false);
+        let (y, _) = conv2d_forward(
+            &CTX,
+            &x,
+            &w,
+            Density::Sample,
+            Some(&[1.5, -2.0]),
+            3,
+            3,
+            1,
+            1,
+            false,
+        );
         let (_, c, oh, ow) = y.dims4();
         assert_eq!((c, oh, ow), (2, 3, 3));
         assert!(y.data()[..9].iter().all(|&v| v == 1.5));

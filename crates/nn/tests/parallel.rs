@@ -3,7 +3,7 @@
 //! tests compare with `assert_eq!` — no tolerances.
 
 use ams_nn::functional::{conv2d_backward, conv2d_forward, linear_backward, linear_forward};
-use ams_tensor::{rng, ExecCtx, Parallelism, Tensor};
+use ams_tensor::{rng, Density, ExecCtx, Parallelism, Tensor};
 use proptest::prelude::*;
 
 fn random(dims: &[usize], seed: u64) -> Tensor {
@@ -35,8 +35,8 @@ proptest! {
         let serial = ExecCtx::serial();
         let par = ExecCtx::new(Parallelism { threads, min_work: 0 });
 
-        let (y_s, cache_s) = conv2d_forward(&serial, &x, &wmat, Some(bias.data()), k, k, 1, k / 2, true);
-        let (y_p, cache_p) = conv2d_forward(&par, &x, &wmat, Some(bias.data()), k, k, 1, k / 2, true);
+        let (y_s, cache_s) = conv2d_forward(&serial, &x, &wmat, Density::Sample, Some(bias.data()), k, k, 1, k / 2, true);
+        let (y_p, cache_p) = conv2d_forward(&par, &x, &wmat, Density::Sample, Some(bias.data()), k, k, 1, k / 2, true);
         prop_assert_eq!(&y_s, &y_p);
 
         let grad = random(y_s.dims(), seed + 3);

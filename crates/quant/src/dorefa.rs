@@ -1,7 +1,7 @@
 //! DoReFa weight and activation quantizers with straight-through
 //! estimator (STE) scale factors.
 
-use ams_tensor::Tensor;
+use ams_tensor::{Density, Tensor, Workspace};
 use serde::{Deserialize, Serialize};
 
 use crate::uniform::quantize_unit;
@@ -38,6 +38,11 @@ pub struct QuantizedWeights {
     pub values: Tensor,
     /// Elementwise `∂w_q/∂w` of the smooth part of the transform.
     pub ste_scale: Tensor,
+    /// Zero-density of `values`, measured once here so matmul kernels
+    /// never rescan the weights per call (pass it to
+    /// `ams_tensor::matmul_hinted_in`). Aggressive quantization is the
+    /// one realistic source of mostly-zero matmul operands.
+    pub density: Density,
 }
 
 /// DoReFa weight quantizer for a fixed bit-width and scheme.
@@ -99,35 +104,53 @@ impl WeightQuantizer {
         self.bits == 32
     }
 
-    /// Quantizes a weight tensor, returning values and STE scales.
+    /// Quantizes a weight tensor, returning values, STE scales and the
+    /// measured zero-density of the quantized values.
     pub fn quantize(&self, w: &Tensor) -> QuantizedWeights {
+        self.quantize_in(&Workspace::new(), w)
+    }
+
+    /// [`WeightQuantizer::quantize`] drawing both output tensors from a
+    /// [`Workspace`], so per-forward requantization allocates nothing in
+    /// steady state (the layer recycles the previous pass's tensors).
+    pub fn quantize_in(&self, ws: &Workspace, w: &Tensor) -> QuantizedWeights {
         if self.is_identity() {
+            let values = ws.clone_tensor(w);
             return QuantizedWeights {
-                values: w.clone(),
-                ste_scale: Tensor::ones(w.dims()),
+                density: Density::measure(values.data()),
+                values,
+                ste_scale: ws.map_tensor(w, |_| 1.0),
             };
         }
-        match self.scheme {
+        let (values, ste_scale) = match self.scheme {
             WeightScheme::Tanh => {
-                let t = w.map(f32::tanh);
+                let t = ws.map_tensor(w, f32::tanh);
                 let max_t = t.max_abs().max(f32::MIN_POSITIVE);
-                let values =
-                    t.map(|ti| 2.0 * quantize_unit(ti / (2.0 * max_t) + 0.5, self.bits) - 1.0);
+                let values = ws.map_tensor(&t, |ti| {
+                    2.0 * quantize_unit(ti / (2.0 * max_t) + 0.5, self.bits) - 1.0
+                });
+                ws.recycle(t);
                 // ∂/∂w of 2·(tanh(w)/(2T) + ½) − 1 = (1 − tanh²(w)) / T,
                 // treating T = max|tanh| as a constant (Distiller does too).
-                let ste_scale = w.map(|wi| {
+                let ste_scale = ws.map_tensor(w, |wi| {
                     let th = wi.tanh();
                     (1.0 - th * th) / max_t
                 });
-                QuantizedWeights { values, ste_scale }
+                (values, ste_scale)
             }
             WeightScheme::Clamp => {
-                let values = w.map(|wi| {
+                let values = ws.map_tensor(w, |wi| {
                     2.0 * quantize_unit((wi.clamp(-1.0, 1.0) + 1.0) / 2.0, self.bits) - 1.0
                 });
-                let ste_scale = w.map(|wi| if (-1.0..=1.0).contains(&wi) { 1.0 } else { 0.0 });
-                QuantizedWeights { values, ste_scale }
+                let ste_scale =
+                    ws.map_tensor(w, |wi| if (-1.0..=1.0).contains(&wi) { 1.0 } else { 0.0 });
+                (values, ste_scale)
             }
+        };
+        QuantizedWeights {
+            density: Density::measure(values.data()),
+            values,
+            ste_scale,
         }
     }
 }
@@ -154,14 +177,24 @@ impl WeightQuantizer {
 /// assert!((q.data()[1] - 2.0 / 3.0).abs() < 1e-6);
 /// ```
 pub fn quantize_activations(a: &Tensor, bits: u32) -> Tensor {
+    quantize_activations_in(&Workspace::new(), a, bits)
+}
+
+/// [`quantize_activations`] drawing the output from a [`Workspace`] so
+/// per-forward activation quantization allocates nothing in steady state.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 32.
+pub fn quantize_activations_in(ws: &Workspace, a: &Tensor, bits: u32) -> Tensor {
     assert!(
         (1..=32).contains(&bits),
         "quantize_activations: bits must be in 1..=32, got {bits}"
     );
     if bits == 32 {
-        return a.clone();
+        return ws.clone_tensor(a);
     }
-    a.map(|x| quantize_unit(x, bits))
+    ws.map_tensor(a, |x| quantize_unit(x, bits))
 }
 
 /// Sign-magnitude quantization of values in `[-1, 1]` to `bits`-bit codes
@@ -187,15 +220,27 @@ pub fn quantize_activations(a: &Tensor, bits: u32) -> Tensor {
 /// assert!(q.max_abs() <= 1.0);
 /// ```
 pub fn quantize_signed(x: &Tensor, bits: u32) -> Tensor {
+    quantize_signed_in(&Workspace::new(), x, bits)
+}
+
+/// [`quantize_signed`] drawing the output from a [`Workspace`] so the
+/// first layer's per-forward input quantization allocates nothing in
+/// steady state.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` (a sign bit alone carries no magnitude) unless
+/// `bits == 32`.
+pub fn quantize_signed_in(ws: &Workspace, x: &Tensor, bits: u32) -> Tensor {
     if bits == 32 {
-        return x.clone();
+        return ws.clone_tensor(x);
     }
     assert!(
         bits >= 2,
         "quantize_signed: need at least 2 bits (sign + magnitude), got {bits}"
     );
     let mag_bits = bits - 1;
-    x.map(|v| v.signum() * quantize_unit(v.abs(), mag_bits))
+    ws.map_tensor(x, |v| v.signum() * quantize_unit(v.abs(), mag_bits))
 }
 
 #[cfg(test)]
@@ -267,6 +312,30 @@ mod tests {
         assert!(q.data()[1] <= 0.0);
         assert!(q.data()[2] >= 0.0);
         assert_eq!(q.data()[3], 1.0);
+    }
+
+    #[test]
+    fn density_is_cached_at_quantize_time() {
+        let q = WeightQuantizer::new(32);
+        let sparse = Tensor::from_vec(&[4], vec![0.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(q.quantize(&sparse).density, Density::Sparse);
+        let dense = Tensor::from_vec(&[4], vec![0.5, -0.5, 0.25, 1.0]).unwrap();
+        assert_eq!(q.quantize(&dense).density, Density::Dense);
+    }
+
+    #[test]
+    fn quantize_in_reuses_workspace_buffers() {
+        let ws = Workspace::new();
+        let q = WeightQuantizer::new(8);
+        let w =
+            Tensor::from_vec(&[64], (0..64).map(|i| (i as f32 - 32.0) / 16.0).collect()).unwrap();
+        let out = q.quantize_in(&ws, &w);
+        let fresh = ws.fresh_allocs();
+        ws.recycle(out.values);
+        ws.recycle(out.ste_scale);
+        let out2 = q.quantize_in(&ws, &w);
+        assert_eq!(ws.fresh_allocs(), fresh, "requantization must hit the pool");
+        assert_eq!(out2.values, q.quantize(&w).values);
     }
 
     #[test]

@@ -46,7 +46,8 @@ mod uniform;
 
 pub use config::QuantConfig;
 pub use dorefa::{
-    quantize_activations, quantize_signed, QuantizedWeights, WeightQuantizer, WeightScheme,
+    quantize_activations, quantize_activations_in, quantize_signed, quantize_signed_in,
+    QuantizedWeights, WeightQuantizer, WeightScheme,
 };
 pub use signmag::SignMagnitude;
 pub use uniform::{quantization_levels, quantize_unit};

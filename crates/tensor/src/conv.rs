@@ -55,8 +55,10 @@ impl ConvGeom {
     ///
     /// # Panics
     ///
-    /// Panics if the kernel (minus padding) does not fit in the input or
-    /// `stride == 0`.
+    /// Panics if the kernel (minus padding) does not fit in the input,
+    /// `stride == 0`, or the padded extent `h + 2·pad` / `w + 2·pad`
+    /// overflows `usize` (adversarial inputs must fail loudly, not wrap
+    /// into a bogus geometry).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: usize,
@@ -69,12 +71,23 @@ impl ConvGeom {
         pad: usize,
     ) -> Self {
         assert!(stride > 0, "stride must be positive");
+        let padded = |extent: usize, axis: &str| {
+            pad.checked_mul(2)
+                .and_then(|p2| extent.checked_add(p2))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "ConvGeom: padded {axis} extent overflows usize \
+                         ({axis}={extent}, pad={pad})"
+                    )
+                })
+        };
+        let (ph, pw) = (padded(h, "h"), padded(w, "w"));
         assert!(
-            h + 2 * pad >= kh && w + 2 * pad >= kw,
+            ph >= kh && pw >= kw,
             "kernel {kh}x{kw} does not fit input {h}x{w} with padding {pad}"
         );
-        let oh = (h + 2 * pad - kh) / stride + 1;
-        let ow = (w + 2 * pad - kw) / stride + 1;
+        let oh = (ph - kh) / stride + 1;
+        let ow = (pw - kw) / stride + 1;
         ConvGeom {
             n,
             c_in,
@@ -138,7 +151,8 @@ pub fn im2col_in(ctx: &ExecCtx, input: &Tensor, geom: &ConvGeom) -> Tensor {
     );
     let cols_n = geom.cols();
     let rows_n = geom.rows();
-    let mut cols = Tensor::zeros(&[rows_n, cols_n]);
+    // Pooled and zero-filled: padding taps rely on the zeros.
+    let mut cols = ctx.workspace().take_tensor(&[rows_n, cols_n]);
     if rows_n == 0 || cols_n == 0 {
         return cols;
     }
@@ -173,12 +187,29 @@ pub fn im2col_in(ctx: &ExecCtx, input: &Tensor, geom: &ConvGeom) -> Tensor {
 /// Adjoint of [`im2col`]: scatter-adds a `(C·K_h·K_w, N·OH·OW)` column
 /// matrix back into an `(N, C, H, W)` tensor.
 ///
-/// Used for the input-gradient of a convolution.
+/// Serial wrapper over [`col2im_in`]. Used for the input-gradient of a
+/// convolution.
 ///
 /// # Panics
 ///
 /// Panics if `cols` is not 2-D or disagrees with `geom`.
 pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Tensor {
+    col2im_in(&ExecCtx::serial(), cols, geom)
+}
+
+/// [`col2im`] splitting the `(n, c)` output planes across the context's
+/// workers.
+///
+/// Kernel taps scatter into *overlapping* input pixels, so the tap rows
+/// that parallelize [`im2col_in`] would race here; output planes are
+/// disjoint instead, and within a plane the per-element accumulation
+/// order (`ki`, `kj`, `ohi`, `owi` ascending) is exactly the serial
+/// kernel's, so results are bit-identical for any thread count.
+///
+/// # Panics
+///
+/// Panics if `cols` is not 2-D or disagrees with `geom`.
+pub fn col2im_in(ctx: &ExecCtx, cols: &Tensor, geom: &ConvGeom) -> Tensor {
     assert_eq!(cols.rank(), 2, "col2im: expected a 2-D column matrix");
     assert_eq!(
         cols.dims(),
@@ -186,37 +217,39 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Tensor {
         "col2im: column matrix dims disagree with geometry"
     );
     let (n, c, h, w) = (geom.n, geom.c_in, geom.h, geom.w);
-    let mut out = Tensor::zeros(&[n, c, h, w]);
+    // Pooled and zero-filled: the scatter-add needs a zero base.
+    let mut out = ctx.workspace().take_tensor(&[n, c, h, w]);
+    let plane = h * w;
+    if n * c == 0 || plane == 0 {
+        return out;
+    }
     let src = cols.data();
-    let dst = out.data_mut();
     let cols_n = geom.cols();
     let (kh, kw, stride, pad, oh, ow) = (geom.kh, geom.kw, geom.stride, geom.pad, geom.oh, geom.ow);
-    for ci in 0..c {
+    ctx.for_each_chunk(out.data_mut(), plane, kh * kw * oh * ow, |pi, dplane| {
+        let (ni, ci) = (pi / c, pi % c);
         for ki in 0..kh {
             for kj in 0..kw {
                 let row = (ci * kh + ki) * kw + kj;
                 let srow = &src[row * cols_n..(row + 1) * cols_n];
-                for ni in 0..n {
-                    let plane_base = (ni * c + ci) * h * w;
-                    for ohi in 0..oh {
-                        let ih = (ohi * stride + ki) as isize - pad as isize;
-                        if ih < 0 || ih >= h as isize {
+                for ohi in 0..oh {
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let ih = ih as usize;
+                    let sbase = (ni * oh + ohi) * ow;
+                    for owi in 0..ow {
+                        let iw = (owi * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
                             continue;
                         }
-                        let ih = ih as usize;
-                        let sbase = (ni * oh + ohi) * ow;
-                        for owi in 0..ow {
-                            let iw = (owi * stride + kj) as isize - pad as isize;
-                            if iw < 0 || iw >= w as isize {
-                                continue;
-                            }
-                            dst[plane_base + ih * w + iw as usize] += srow[sbase + owi];
-                        }
+                        dplane[ih * w + iw as usize] += srow[sbase + owi];
                     }
                 }
             }
         }
-    }
+    });
     out
 }
 
@@ -227,6 +260,16 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeom) -> Tensor {
 ///
 /// Panics if the matrix dims disagree with the geometry / `c_out`.
 pub fn mat_to_nchw(mat: &Tensor, geom: &ConvGeom, c_out: usize) -> Tensor {
+    mat_to_nchw_in(&ExecCtx::serial(), mat, geom, c_out)
+}
+
+/// [`mat_to_nchw`] drawing the output buffer from the context's
+/// workspace (the copy itself is memory-bound and stays serial).
+///
+/// # Panics
+///
+/// Panics if the matrix dims disagree with the geometry / `c_out`.
+pub fn mat_to_nchw_in(ctx: &ExecCtx, mat: &Tensor, geom: &ConvGeom, c_out: usize) -> Tensor {
     assert_eq!(
         mat.dims(),
         &[c_out, geom.cols()],
@@ -234,7 +277,7 @@ pub fn mat_to_nchw(mat: &Tensor, geom: &ConvGeom, c_out: usize) -> Tensor {
     );
     let (n, oh, ow) = (geom.n, geom.oh, geom.ow);
     let plane = oh * ow;
-    let mut out = Tensor::zeros(&[n, c_out, oh, ow]);
+    let mut out = ctx.workspace().take_tensor(&[n, c_out, oh, ow]);
     let src = mat.data();
     let dst = out.data_mut();
     for co in 0..c_out {
@@ -254,6 +297,16 @@ pub fn mat_to_nchw(mat: &Tensor, geom: &ConvGeom, c_out: usize) -> Tensor {
 ///
 /// Panics if the tensor is not 4-D or disagrees with the geometry.
 pub fn nchw_to_mat(t: &Tensor, geom: &ConvGeom) -> Tensor {
+    nchw_to_mat_in(&ExecCtx::serial(), t, geom)
+}
+
+/// [`nchw_to_mat`] drawing the output buffer from the context's
+/// workspace (the copy itself is memory-bound and stays serial).
+///
+/// # Panics
+///
+/// Panics if the tensor is not 4-D or disagrees with the geometry.
+pub fn nchw_to_mat_in(ctx: &ExecCtx, t: &Tensor, geom: &ConvGeom) -> Tensor {
     let (n, c, oh, ow) = t.dims4();
     assert_eq!(
         (n, oh, ow),
@@ -261,7 +314,7 @@ pub fn nchw_to_mat(t: &Tensor, geom: &ConvGeom) -> Tensor {
         "nchw_to_mat: tensor dims disagree with geometry"
     );
     let plane = oh * ow;
-    let mut out = Tensor::zeros(&[c, n * plane]);
+    let mut out = ctx.workspace().take_tensor(&[c, n * plane]);
     let src = t.data();
     let dst = out.data_mut();
     for ci in 0..c {
@@ -409,6 +462,42 @@ mod tests {
                 min_work: 0,
             });
             assert_eq!(im2col_in(&ctx, &x, &g), want, "threads = {threads}");
+            assert!(ctx.parallel_dispatch_count() > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn geometry_rejects_pad_overflow() {
+        // h + 2*pad wraps: must panic with a clear message, not compute a
+        // garbage output size.
+        let _ = ConvGeom::new(1, 1, 8, 8, 3, 3, 1, usize::MAX / 2 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn geometry_rejects_extent_overflow() {
+        let _ = ConvGeom::new(1, 1, usize::MAX - 1, 8, 3, 3, 1, 1);
+    }
+
+    #[test]
+    fn parallel_col2im_bit_identical_to_serial() {
+        use crate::exec::Parallelism;
+        use crate::rng;
+        // Overlapping taps (stride < kernel) so the scatter-add actually
+        // accumulates, plus a ragged plane count.
+        let g = ConvGeom::new(3, 5, 9, 7, 3, 3, 1, 1);
+        let mut y = Tensor::zeros(&[g.rows(), g.cols()]);
+        let mut r = rng::seeded(17);
+        rng::fill_uniform(&mut y, -1.0, 1.0, &mut r);
+        let want = col2im_in(&ExecCtx::serial(), &y, &g);
+        for threads in [2, 3, 8] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            let got = col2im_in(&ctx, &y, &g);
+            assert_eq!(got, want, "threads = {threads}");
             assert!(ctx.parallel_dispatch_count() > 0);
         }
     }

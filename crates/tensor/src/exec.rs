@@ -26,6 +26,7 @@
 //! [`Parallelism::min_work`] — small tensors are cheaper to compute than
 //! to hand to threads.
 
+use crate::workspace::Workspace;
 use ams_obs::MetricsSink;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,12 +94,16 @@ pub struct ExecCtx {
     parallel_dispatches: AtomicUsize,
     /// Metrics sink; disabled (free) unless attached via [`ExecCtx::with_metrics`].
     metrics: MetricsSink,
+    /// Reusable-buffer arena so steady-state passes allocate nothing.
+    workspace: Workspace,
 }
 
 impl Clone for ExecCtx {
     fn clone(&self) -> Self {
-        // Dispatch statistics are per-instance, but the metrics sink travels
-        // with the context so clones record into the same registry.
+        // Dispatch statistics and the buffer workspace are per-instance
+        // (a clone starts with a fresh, empty arena so contexts never
+        // contend on a pool lock), but the metrics sink travels with the
+        // context so clones record into the same registry.
         ExecCtx::new(self.par).with_metrics(self.metrics.clone())
     }
 }
@@ -116,6 +121,7 @@ impl ExecCtx {
             par,
             parallel_dispatches: AtomicUsize::new(0),
             metrics: MetricsSink::disabled(),
+            workspace: Workspace::new(),
         }
     }
 
@@ -128,9 +134,22 @@ impl ExecCtx {
         self
     }
 
+    /// Replaces the metrics sink in place, keeping the context's
+    /// workspace (and its warmed buffer pool) intact — unlike
+    /// rebuilding the context via `clone().with_metrics(..)`.
+    pub fn set_metrics(&mut self, sink: MetricsSink) {
+        self.metrics = sink;
+    }
+
     /// The attached metrics sink (disabled by default).
     pub fn metrics(&self) -> &MetricsSink {
         &self.metrics
+    }
+
+    /// The reusable-buffer arena kernels and layers draw scratch and
+    /// output storage from. See [`Workspace`] for the lifetime rules.
+    pub fn workspace(&self) -> &Workspace {
+        &self.workspace
     }
 
     /// The always-serial context: every op runs inline on the caller's
@@ -230,6 +249,64 @@ impl ExecCtx {
                         fr(start + off, chunk);
                     }
                 });
+                start += count;
+            }
+        });
+    }
+
+    /// Runs `f(first_chunk_index, span)` over `out` split into consecutive
+    /// `chunk_len` pieces, handing each worker its whole contiguous run of
+    /// chunks in **one** invocation (the last chunk may be ragged when
+    /// `out.len()` is not a multiple of `chunk_len`).
+    ///
+    /// This is the primitive for kernels that want to reorder loops
+    /// *across* the chunks they own — e.g. the tiled matmul keeps one
+    /// packed rhs panel hot across all of a worker's row bands. The
+    /// determinism contract is therefore stronger than
+    /// [`ExecCtx::for_each_chunk`]'s: `f` must compute each output element
+    /// identically regardless of how chunks are grouped into spans (no
+    /// accumulator may be carried from one chunk to another), so results
+    /// stay bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn for_each_span<F>(&self, out: &mut [f32], chunk_len: usize, work_per_chunk: usize, f: F)
+    where
+        F: Fn(usize, &mut [f32]) + Sync,
+    {
+        if out.is_empty() {
+            return;
+        }
+        assert!(
+            chunk_len > 0,
+            "for_each_span: chunk length must be positive"
+        );
+        let n_chunks = out.len().div_ceil(chunk_len);
+        let workers = self.par.threads.min(n_chunks);
+        if workers <= 1 || !self.should_parallelize(n_chunks.saturating_mul(work_per_chunk)) {
+            self.metrics.inc("exec.for_each_span.serial");
+            let _t = self.metrics.scope(|| "exec.for_each_span".to_string());
+            f(0, out);
+            return;
+        }
+        self.parallel_dispatches.fetch_add(1, Ordering::Relaxed);
+        self.metrics.inc("exec.for_each_span.parallel");
+        let _t = self.metrics.scope(|| "exec.for_each_span".to_string());
+        // Same contiguous near-equal partition as `for_each_chunk`.
+        let q = n_chunks / workers;
+        let r = n_chunks % workers;
+        std::thread::scope(|scope| {
+            let mut rest = out;
+            let mut start = 0usize;
+            for t in 0..workers {
+                let count = q + usize::from(t < r);
+                let take = (count * chunk_len).min(rest.len());
+                let (mine, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let fr = &f;
+                let first = start;
+                scope.spawn(move || fr(first, mine));
                 start += count;
             }
         });
@@ -389,5 +466,55 @@ mod tests {
     #[should_panic(expected = "not a multiple")]
     fn rejects_ragged_chunks() {
         ExecCtx::serial().for_each_chunk(&mut [0.0; 5], 2, 1, |_, _| {});
+    }
+
+    #[test]
+    fn for_each_span_matches_serial_with_ragged_tail() {
+        // 7 chunks of 16 plus a ragged chunk of 5.
+        let total = 7 * 16 + 5;
+        let kernel = |first: usize, span: &mut [f32]| {
+            for (off, chunk) in span.chunks_mut(16).enumerate() {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (((first + off) * 131 + j) as f32).cos();
+                }
+            }
+        };
+        let mut want = vec![0.0f32; total];
+        ExecCtx::serial().for_each_span(&mut want, 16, usize::MAX, kernel);
+        for threads in [2, 3, 5, 8, 64] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            let mut got = vec![0.0f32; total];
+            ctx.for_each_span(&mut got, 16, usize::MAX, kernel);
+            assert_eq!(got, want, "threads = {threads}");
+            assert_eq!(ctx.parallel_dispatch_count(), 1);
+        }
+    }
+
+    #[test]
+    fn workspace_is_per_context() {
+        let ctx = ExecCtx::serial();
+        let t = ctx.workspace().take_tensor(&[8, 8]);
+        ctx.workspace().recycle(t);
+        assert_eq!(ctx.workspace().fresh_allocs(), 1);
+        let cloned = ctx.clone();
+        assert_eq!(
+            cloned.workspace().fresh_allocs(),
+            0,
+            "clones start with an empty workspace"
+        );
+    }
+
+    #[test]
+    fn set_metrics_keeps_the_workspace() {
+        let mut ctx = ExecCtx::serial();
+        let t = ctx.workspace().take_tensor(&[64]);
+        ctx.workspace().recycle(t);
+        ctx.set_metrics(MetricsSink::recording());
+        assert!(ctx.metrics().enabled());
+        let _t = ctx.workspace().take_tensor(&[64]);
+        assert_eq!(ctx.workspace().pool_hits(), 1, "pool survived set_metrics");
     }
 }

@@ -49,13 +49,21 @@ mod ops;
 pub mod rng;
 mod shape;
 mod tensor;
+mod workspace;
 
 /// Re-export of the metrics layer so downstream crates can record through
 /// `ExecCtx::metrics()` without a direct `ams-obs` dependency.
 pub use ams_obs as obs;
 pub use ams_obs::MetricsSink;
-pub use conv::{col2im, im2col, im2col_in, mat_to_nchw, nchw_to_mat, ConvGeom};
+pub use conv::{
+    col2im, col2im_in, im2col, im2col_in, mat_to_nchw, mat_to_nchw_in, nchw_to_mat, nchw_to_mat_in,
+    ConvGeom,
+};
 pub use exec::{noise_stream_seed, ExecCtx, Parallelism};
-pub use matmul::{matmul, matmul_a_bt, matmul_a_bt_in, matmul_at_b, matmul_at_b_in, matmul_in};
+pub use matmul::{
+    matmul, matmul_a_bt, matmul_a_bt_in, matmul_a_bt_reference, matmul_at_b, matmul_at_b_in,
+    matmul_at_b_reference, matmul_hinted_in, matmul_in, matmul_reference, Density,
+};
 pub use shape::{ShapeExt, TensorError};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -1,0 +1,185 @@
+//! Bit-identity of the tiled matmul kernels against the retained naive
+//! reference kernels, across odd shapes, thread counts, and both sides
+//! of the sparse gate.
+//!
+//! The tiled kernels promise *exact* equality with the references: each
+//! output element is one accumulation chain over `k` ascending, so
+//! packing and tiling change where operands are read, never the order
+//! they combine. These tests therefore compare with `assert_eq!` on the
+//! `Tensor`s (f32 bit patterns included via `to_bits`) — no tolerances.
+
+use ams_tensor::rng;
+use ams_tensor::{
+    matmul_a_bt_in, matmul_a_bt_reference, matmul_at_b_in, matmul_at_b_reference, matmul_hinted_in,
+    matmul_reference, Density, ExecCtx, Tensor,
+};
+use proptest::prelude::*;
+
+fn random(dims: &[usize], seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut t, -4.0, 4.0, &mut r);
+    t
+}
+
+/// A mostly-zero tensor (one nonzero per row) to drive the sparse branch.
+fn sparse(rows: usize, cols: usize, seed: u64) -> Tensor {
+    use rand::Rng;
+    let mut r = rng::seeded(seed);
+    let mut data = vec![0.0f32; rows * cols];
+    for row in 0..rows {
+        let c = r.gen_range(0..cols);
+        data[row * cols + c] = (r.gen_range(0..8001) as f32) / 1000.0 - 4.0;
+    }
+    Tensor::from_vec(&[rows, cols], data).expect("length matches")
+}
+
+fn assert_bitwise_eq(got: &Tensor, want: &Tensor) {
+    assert_eq!(got.dims(), want.dims());
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "element {i}: {g} vs {w} (bitwise)"
+        );
+    }
+}
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tiled `C = A·B` is bit-identical to the naive reference at every
+    /// thread count, including ragged shapes that don't divide the
+    /// `MR×NR` tile.
+    #[test]
+    fn tiled_matmul_bit_identical(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random(&[m, k], seed);
+        let b = random(&[k, n], seed.wrapping_add(1));
+        let want = matmul_reference(&a, &b);
+        for threads in THREADS {
+            let ctx = ExecCtx::with_threads(threads);
+            let got = matmul_hinted_in(&ctx, &a, &b, Density::Dense);
+            assert_bitwise_eq(&got, &want);
+        }
+    }
+
+    /// Tiled `C = Aᵀ·B` (the backward-pass kernel, with its lhs
+    /// zero-skip) is bit-identical to the reference at every thread
+    /// count.
+    #[test]
+    fn tiled_at_b_bit_identical(
+        k in 1usize..36,
+        m in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random(&[k, m], seed);
+        let b = random(&[k, n], seed.wrapping_add(1));
+        let want = matmul_at_b_reference(&a, &b);
+        for threads in THREADS {
+            let ctx = ExecCtx::with_threads(threads);
+            let got = matmul_at_b_in(&ctx, &a, &b);
+            assert_bitwise_eq(&got, &want);
+        }
+    }
+
+    /// Tiled `C = A·Bᵀ` is bit-identical to the reference at every
+    /// thread count.
+    #[test]
+    fn tiled_a_bt_bit_identical(
+        m in 1usize..24,
+        k in 1usize..36,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = random(&[m, k], seed);
+        let b = random(&[n, k], seed.wrapping_add(1));
+        let want = matmul_a_bt_reference(&a, &b);
+        for threads in THREADS {
+            let ctx = ExecCtx::with_threads(threads);
+            let got = matmul_a_bt_in(&ctx, &a, &b);
+            assert_bitwise_eq(&got, &want);
+        }
+    }
+
+    /// The sparse (row-skipping) branch agrees bitwise with the dense
+    /// tiled branch *and* the reference: `0.0` lhs entries contribute
+    /// nothing in every kernel, and skipping them preserves each output
+    /// element's accumulation chain.
+    #[test]
+    fn sparse_and_dense_branches_agree(
+        m in 1usize..32,
+        k in 1usize..32,
+        n in 1usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = sparse(m, k, seed);
+        let b = random(&[k, n], seed.wrapping_add(1));
+        let want = matmul_reference(&a, &b);
+        for threads in THREADS {
+            let ctx = ExecCtx::with_threads(threads);
+            // Forced sparse: the row-skipping kernel.
+            let s = matmul_hinted_in(&ctx, &a, &b, Density::Sparse);
+            assert_bitwise_eq(&s, &want);
+            // Forced dense: the tiled kernel on the same operands.
+            let d = matmul_hinted_in(&ctx, &a, &b, Density::Dense);
+            assert_bitwise_eq(&d, &want);
+        }
+    }
+}
+
+/// Shapes chosen to straddle the small-product gate and exercise ragged
+/// tile tails in both dimensions, at a size big enough to split across 8
+/// workers.
+#[test]
+fn tiled_matmul_fixed_shapes_all_threads() {
+    for (m, k, n) in [
+        (1, 1, 1),
+        (4, 8, 8),
+        (33, 17, 29),
+        (65, 40, 67),
+        (7, 128, 31),
+        (130, 65, 130),
+    ] {
+        let mut a = Tensor::zeros(&[m, k]);
+        let mut b = Tensor::zeros(&[k, n]);
+        let mut r = rng::seeded(m as u64 * 1000 + n as u64);
+        rng::fill_uniform(&mut a, -2.0, 2.0, &mut r);
+        rng::fill_uniform(&mut b, -2.0, 2.0, &mut r);
+        let want = matmul_reference(&a, &b);
+        for threads in THREADS {
+            let ctx = ExecCtx::with_threads(threads);
+            assert_bitwise_eq(&matmul_hinted_in(&ctx, &a, &b, Density::Dense), &want);
+            assert_bitwise_eq(&matmul_hinted_in(&ctx, &a, &b, Density::Sample), &want);
+        }
+    }
+}
+
+/// Negative zero on the lhs must NOT be skipped: `x + (-0.0)·b` can flip
+/// the sign of a `+0.0` partial sum, so only exact `+0.0`/`-0.0` == 0.0
+/// comparisons that the reference also performs are allowed. This pins
+/// the skip predicate (`== 0.0` matches both zeros in the reference and
+/// the tiled kernel alike — they must agree, not be IEEE-clever).
+#[test]
+fn signed_zero_agreement_at_b() {
+    let a = Tensor::from_vec(&[3, 2], vec![-0.0, 1.0, 0.0, -2.0, 3.5, -0.0]).unwrap();
+    let b = Tensor::from_vec(
+        &[3, 4],
+        vec![
+            1.0, -1.0, 0.5, -0.0, 2.0, 0.25, -0.5, 0.0, 1.5, -3.0, 0.0, -0.0,
+        ],
+    )
+    .unwrap();
+    let want = matmul_at_b_reference(&a, &b);
+    for threads in THREADS {
+        let ctx = ExecCtx::with_threads(threads);
+        assert_bitwise_eq(&matmul_at_b_in(&ctx, &a, &b), &want);
+    }
+}

@@ -109,6 +109,7 @@ fn main() {
         &ctx,
         &images,
         &wmat,
+        ams_repro::tensor::Density::Sample,
         Some(&folded_b),
         3,
         3,
