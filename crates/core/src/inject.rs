@@ -116,6 +116,18 @@ impl GaussianInjector {
         self.rng = rng::seeded(seed);
     }
 
+    /// Snapshots the injector's stream cursor for a training checkpoint:
+    /// restoring it resumes the noise stream bit-exactly where it left
+    /// off (DESIGN.md §9).
+    pub fn rng_state(&self) -> rng::RngState {
+        rng::RngState::capture(&self.rng)
+    }
+
+    /// Repositions the injector at a previously captured stream cursor.
+    pub fn restore_rng_state(&mut self, state: &rng::RngState) {
+        self.rng = state.restore();
+    }
+
     /// Draws a uniform sample in `[0, 1)` (shared-RNG convenience).
     pub fn uniform(&mut self) -> f32 {
         self.rng.gen()

@@ -5,7 +5,9 @@ use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
     let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume);
     let f4 = exp.fig4();
     f4.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper shape: loss falls with ENOB; retraining recovers up to ~half the loss at");

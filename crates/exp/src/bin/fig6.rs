@@ -6,7 +6,9 @@ use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
     let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume);
     let f6 = exp.fig6();
     f6.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper: means pushed away from zero in 43 of 53 conv layers, more at higher noise.");

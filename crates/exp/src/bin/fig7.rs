@@ -6,7 +6,9 @@ use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
     let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume);
     let f7 = exp.fig7();
     f7.report(exp.results_dir(), &exp.scale().name);
     println!("\nModel: E_ADC = 0.3 pJ for ENOB <= 10.5, then 10^(0.1(6.02*ENOB - 68.25)) pJ");

@@ -12,7 +12,9 @@ use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
     let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume);
     let dir = exp.results_dir().to_path_buf();
     let scale_name = exp.scale().name.clone();
 

@@ -5,7 +5,9 @@ use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
     let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume);
     let t1 = exp.table1();
     t1.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper (ResNet-50/ImageNet): FP32 0.778, 8b/8b 0.781, 6b/6b 0.757, 6b/4b 0.606.");

@@ -6,7 +6,9 @@ use ams_exp::{Cli, Experiments, Report};
 
 fn main() {
     let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results).with_ctx(cli.ctx());
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume);
     let t2 = exp.table2();
     t2.report(exp.results_dir(), &exp.scale().name);
     println!("\nPaper (ENOB 10, ResNet-50): None 0.0353, Conv 0.0341, BN 0.0886, FC 0.0774, BN+FC 0.120.");

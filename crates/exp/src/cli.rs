@@ -12,8 +12,19 @@ use crate::scale::Scale;
 /// Parsed command-line options common to every experiment binary:
 ///
 /// ```text
-/// [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH]
+/// [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume]
 /// ```
+///
+/// `--resume` makes the run honor any sweep journal and train-state files
+/// a previous (killed) run left in the results directory: completed sweep
+/// points are replayed from the journal, a mid-training kill continues
+/// bit-identically from its last epoch checkpoint, and quarantined points
+/// stay skipped (see EXPERIMENTS.md, "Checkpointing & resume"). Without
+/// the flag every sweep starts from a clean journal (trained-checkpoint
+/// caching still applies).
+///
+/// Thread-count resolution: `--threads N` wins; otherwise the
+/// `AMS_THREADS` environment variable; otherwise all available cores.
 ///
 /// `--metrics PATH` attaches a recording [`MetricsSink`] to the execution
 /// context, so the whole stack (kernel dispatches, layer timings, injected
@@ -41,6 +52,8 @@ pub struct Cli {
     pub results: String,
     /// Where to write the metrics report, if `--metrics` was given.
     pub metrics_path: Option<PathBuf>,
+    /// Whether `--resume` was given (honor sweep journals + train state).
+    pub resume: bool,
     ctx: ExecCtx,
 }
 
@@ -59,8 +72,9 @@ impl Cli {
     fn parse(args: Vec<String>) -> Self {
         let mut scale = Scale::quick();
         let mut results = "results".to_string();
-        let mut ctx = ExecCtx::auto();
+        let mut ctx = ExecCtx::from_env();
         let mut metrics_path: Option<PathBuf> = None;
+        let mut resume = false;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -95,8 +109,12 @@ impl Cli {
                     ));
                     i += 2;
                 }
+                "--resume" => {
+                    resume = true;
+                    i += 1;
+                }
                 other => panic!(
-                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH]"
+                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume]"
                 ),
             }
         }
@@ -107,6 +125,7 @@ impl Cli {
             scale,
             results,
             metrics_path,
+            resume,
             ctx,
         }
     }
@@ -156,7 +175,7 @@ pub fn write_metrics_report(path: &Path, report: &MetricsReport) -> std::io::Res
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
-    std::fs::write(path, text)
+    ams_obs::fsio::atomic_write(path, text.as_bytes())
 }
 
 #[cfg(test)]
@@ -210,6 +229,12 @@ mod tests {
         assert!(csv.starts_with("kind,name,"));
         assert!(csv.lines().count() >= 3);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn resume_flag_parses() {
+        assert!(Cli::parse(args(&["--resume"])).resume);
+        assert!(!Cli::parse(args(&[])).resume);
     }
 
     #[test]

@@ -43,6 +43,7 @@ mod cli;
 mod report;
 mod runner;
 mod scale;
+pub mod sweep;
 mod train;
 
 pub use cli::{write_metrics_report, Cli};
@@ -52,4 +53,7 @@ pub use runner::{
     Fig8Result, Table1Result, Table1Row, Table2Result, Table2Row,
 };
 pub use scale::Scale;
-pub use train::{eval_accuracy, eval_passes, train_scheduled, train_with_eval, TrainOutcome};
+pub use train::{
+    eval_accuracy, eval_passes, train_scheduled, train_scheduled_resumable, train_with_eval,
+    TrainOutcome, TrainState,
+};

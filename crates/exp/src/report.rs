@@ -165,7 +165,9 @@ pub fn write_csv(path: impl AsRef<Path>, headers: &[&str], rows: &[Vec<String>])
         out.push_str(&cells.join(","));
         out.push('\n');
     }
-    std::fs::write(path, out)
+    // Atomic so a kill mid-run never leaves a torn CSV for the resume to
+    // diff against.
+    ams_obs::fsio::atomic_write(path, out.as_bytes())
 }
 
 #[cfg(test)]

@@ -21,7 +21,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::report::{print_table, write_csv, Report, Stat};
 use crate::scale::Scale;
-use crate::train::{eval_passes, train_scheduled, train_with_eval};
+use crate::sweep::{RetryPolicy, Sweep};
+use crate::train::{eval_passes, train_scheduled_resumable};
 
 /// Cached metadata of a trained configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +48,7 @@ pub struct Experiments {
     dir: PathBuf,
     data: SynthImageNet,
     ctx: ExecCtx,
+    resume: bool,
 }
 
 impl Experiments {
@@ -58,7 +60,18 @@ impl Experiments {
             dir: results_dir.as_ref().to_path_buf(),
             data,
             ctx: ExecCtx::serial(),
+            resume: false,
         }
+    }
+
+    /// Enables crash-resume: sweeps honor their journals (completed points
+    /// replay, quarantined points stay skipped) and interrupted training
+    /// runs continue bit-identically from their last epoch checkpoint.
+    /// Off by default — a plain run clears any journal it finds so every
+    /// sweep point recomputes (trained-checkpoint caching still applies).
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
     }
 
     /// Replaces the execution context (e.g. [`ExecCtx::auto`] to use every
@@ -105,12 +118,48 @@ impl Experiments {
         self.dir.join(format!("{stem}_{}.{ext}", self.scale.name))
     }
 
+    /// Opens the crash-safe journal for the named sweep, clearing it
+    /// unless this suite was built [`Experiments::with_resume`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the journal's own remediation message) when a resume
+    /// would read a corrupt journal — silently recomputing, or worse
+    /// silently dropping points, is exactly what the CRC is there to
+    /// prevent.
+    fn sweep(&self, name: &str) -> Sweep {
+        let path = self.path(&format!("{name}_journal"), "jsonl");
+        Sweep::new(
+            name,
+            &path,
+            self.resume,
+            RetryPolicy::default(),
+            self.ctx.metrics().clone(),
+        )
+        .unwrap_or_else(|e| panic!("sweep {name}: {e}"))
+    }
+
+    /// The epoch-checkpoint file a (possibly killed) training run for
+    /// `key` persists its [`crate::TrainState`] into. Cleared here when
+    /// resume is off, so a fresh run never silently continues a stale
+    /// trajectory.
+    fn train_state_path(&self, key: &str) -> PathBuf {
+        let path = self.path(&format!("{key}.trainstate"), "json");
+        if !self.resume {
+            let _ = std::fs::remove_file(&path);
+        }
+        path
+    }
+
     /// Runs `build` unless both checkpoint and metadata for `key` are
-    /// cached on disk; persists fresh results.
+    /// cached on disk; persists fresh results (atomically — a kill during
+    /// the save leaves either the old artifacts or the new, never torn
+    /// files). `build` receives the path training should write its
+    /// per-epoch [`crate::TrainState`] to.
     fn cached(
         &self,
         key: &str,
-        build: impl FnOnce() -> (Checkpoint, TrainedMeta),
+        build: impl FnOnce(&Path) -> (Checkpoint, TrainedMeta),
     ) -> (Checkpoint, Stat) {
         let ckpt_path = self.path(&format!("{key}.ckpt"), "json");
         let meta_path = self.path(&format!("{key}.meta"), "json");
@@ -122,11 +171,12 @@ impl Experiments {
                 return (ckpt, meta.accuracy);
             }
         }
-        let (ckpt, meta) = build();
+        let state_path = self.train_state_path(key);
+        let (ckpt, meta) = build(&state_path);
         let _ = std::fs::create_dir_all(&self.dir);
         let _ = ckpt.save_json(&ckpt_path);
         if let Ok(text) = serde_json::to_string(&meta) {
-            let _ = std::fs::write(&meta_path, text);
+            let _ = ams_tensor::obs::fsio::atomic_write(&meta_path, text.as_bytes());
         }
         (ckpt, meta.accuracy)
     }
@@ -134,12 +184,12 @@ impl Experiments {
     /// The FP32 baseline: trained from scratch, reported over
     /// `eval_passes` subsampled validation passes.
     pub fn fp32_baseline(&self) -> (Checkpoint, Stat) {
-        self.cached("fp32", || {
+        self.cached("fp32", |state| {
             eprintln!("[{}] training FP32 baseline ...", self.scale.name);
             let mut net = ResNetMini::new(&self.scale.arch, &HardwareConfig::fp32());
             let epochs = self.scale.fp32_epochs;
             let decay = [epochs * 3 / 5, epochs * 17 / 20];
-            let out = train_scheduled(
+            let out = train_scheduled_resumable(
                 &self.ctx,
                 &mut net,
                 &self.data.train,
@@ -149,6 +199,7 @@ impl Experiments {
                 self.scale.batch,
                 self.scale.seed,
                 &decay,
+                Some(state),
             );
             let stat = eval_passes(
                 &self.ctx,
@@ -174,7 +225,7 @@ impl Experiments {
     pub fn quantized_baseline(&self, quant: QuantConfig) -> (Checkpoint, Stat) {
         let key = format!("quant_w{}a{}", quant.bw, quant.bx);
         let (fp32_ckpt, _) = self.fp32_baseline();
-        self.cached(&key, || {
+        self.cached(&key, |state| {
             eprintln!(
                 "[{}] retraining quantized baseline {quant} ...",
                 self.scale.name
@@ -182,7 +233,7 @@ impl Experiments {
             let hw = HardwareConfig::quantized(quant);
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
-            let out = train_with_eval(
+            let out = train_scheduled_resumable(
                 &self.ctx,
                 &mut net,
                 &self.data.train,
@@ -191,6 +242,8 @@ impl Experiments {
                 self.scale.retrain_lr,
                 self.scale.batch,
                 self.scale.seed ^ 0x1111,
+                &[],
+                Some(state),
             );
             let stat = eval_passes(
                 &self.ctx,
@@ -237,7 +290,7 @@ impl Experiments {
     pub fn ams_retrained(&self, quant: QuantConfig, enob: f64) -> (Checkpoint, Stat) {
         let key = format!("ams_w{}a{}_e{}", quant.bw, quant.bx, format_enob(enob));
         let (fp32_ckpt, _) = self.fp32_baseline();
-        self.cached(&key, || {
+        self.cached(&key, |state| {
             eprintln!(
                 "[{}] retraining with AMS error at ENOB {enob} ...",
                 self.scale.name
@@ -246,7 +299,7 @@ impl Experiments {
             let hw = HardwareConfig::ams(quant, vmac);
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
-            let out = train_with_eval(
+            let out = train_scheduled_resumable(
                 &self.ctx,
                 &mut net,
                 &self.data.train,
@@ -255,6 +308,8 @@ impl Experiments {
                 self.scale.retrain_lr,
                 self.scale.batch,
                 self.scale.seed ^ 0x3333,
+                &[],
+                Some(state),
             );
             let stat = eval_passes(
                 &self.ctx,
@@ -280,43 +335,42 @@ impl Experiments {
     // ------------------------------------------------------------------
 
     /// Table 1: top-1 accuracy for the FP32 and quantized baselines.
+    ///
+    /// Each row is one journaled sweep point: a killed run resumes past
+    /// its completed rows, and a row whose training keeps failing is
+    /// quarantined while the rest of the table still reports.
     pub fn table1(&self) -> Table1Result {
         let _t = self.ctx.metrics().scope(|| "experiment.table1".to_string());
-        let (_, fp32) = self.fp32_baseline();
-        let rows = vec![
-            Table1Row {
-                label: "FP32".to_string(),
-                accuracy: fp32,
-            },
-            Table1Row {
-                label: "BW = 8, BX = 8".to_string(),
-                accuracy: self.quantized_baseline(QuantConfig::w8a8()).1,
-            },
-            Table1Row {
-                label: "BW = 6, BX = 6".to_string(),
-                accuracy: self.quantized_baseline(QuantConfig::w6a6()).1,
-            },
-            Table1Row {
-                label: "BW = 6, BX = 4".to_string(),
-                accuracy: self.quantized_baseline(QuantConfig::w6a4()).1,
-            },
-            // Extended rows: our small substrate (like the small
-            // networks/datasets the paper's introduction cites) tolerates
-            // 4-bit precision after DoReFa retraining, so the degradation
-            // regime sits lower. These calibrate where it bites.
-            Table1Row {
-                label: "BW = 4, BX = 4 (ext)".to_string(),
-                accuracy: self.quantized_baseline(QuantConfig::w4a4()).1,
-            },
-            Table1Row {
-                label: "BW = 3, BX = 3 (ext)".to_string(),
-                accuracy: self.quantized_baseline(QuantConfig::w3a3()).1,
-            },
-            Table1Row {
-                label: "BW = 2, BX = 2 (ext)".to_string(),
-                accuracy: self.quantized_baseline(QuantConfig::w2a2()).1,
-            },
+        let sweep = self.sweep("table1");
+        // The first four rows mirror the paper; the extended rows
+        // calibrate where degradation bites on our small substrate (like
+        // the small networks/datasets the paper's introduction cites,
+        // it tolerates 4-bit precision after DoReFa retraining).
+        let specs: [(&str, Option<QuantConfig>); 7] = [
+            ("FP32", None),
+            ("BW = 8, BX = 8", Some(QuantConfig::w8a8())),
+            ("BW = 6, BX = 6", Some(QuantConfig::w6a6())),
+            ("BW = 6, BX = 4", Some(QuantConfig::w6a4())),
+            ("BW = 4, BX = 4 (ext)", Some(QuantConfig::w4a4())),
+            ("BW = 3, BX = 3 (ext)", Some(QuantConfig::w3a3())),
+            ("BW = 2, BX = 2 (ext)", Some(QuantConfig::w2a2())),
         ];
+        let rows = specs
+            .iter()
+            .filter_map(|&(label, quant)| {
+                let point = match quant {
+                    None => "fp32".to_string(),
+                    Some(q) => format!("w{}a{}", q.bw, q.bx),
+                };
+                sweep.run_point(point, || Table1Row {
+                    label: label.to_string(),
+                    accuracy: match quant {
+                        None => self.fp32_baseline().1,
+                        Some(q) => self.quantized_baseline(q).1,
+                    },
+                })
+            })
+            .collect();
         Table1Result { rows }
     }
 
@@ -333,23 +387,31 @@ impl Experiments {
         // below only ever read them from the cache.
         let (_, baseline) = self.quantized_baseline(quant);
         let _ = self.fp32_baseline();
-        let rows = self.ctx.parallel_map(&self.scale.enob_grid, |&enob| {
-            let _t = self
-                .ctx
-                .metrics()
-                .scope(|| format!("sweep.fig4.enob{enob:.1}"));
-            let eval_only = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
-            let retrained = self.ams_retrained(quant, enob).1.loss_relative_to(baseline);
-            let m = self.ctx.metrics();
-            m.observe("sweep.fig4.loss_eval_only", eval_only.mean);
-            m.observe("sweep.fig4.loss_retrained", retrained.mean);
-            m.inc("sweep.fig4.points");
-            Fig4Row {
-                enob,
-                eval_only,
-                retrained,
-            }
-        });
+        let sweep = self.sweep("fig4");
+        let rows = self
+            .ctx
+            .parallel_map(&self.scale.enob_grid, |&enob| {
+                sweep.run_point(format!("enob{enob:.2}"), || {
+                    let _t = self
+                        .ctx
+                        .metrics()
+                        .scope(|| format!("sweep.fig4.enob{enob:.1}"));
+                    let eval_only = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
+                    let retrained = self.ams_retrained(quant, enob).1.loss_relative_to(baseline);
+                    let m = self.ctx.metrics();
+                    m.observe("sweep.fig4.loss_eval_only", eval_only.mean);
+                    m.observe("sweep.fig4.loss_retrained", retrained.mean);
+                    m.inc("sweep.fig4.points");
+                    Fig4Row {
+                        enob,
+                        eval_only,
+                        retrained,
+                    }
+                })
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         Fig4Result { baseline, rows }
     }
 
@@ -359,18 +421,26 @@ impl Experiments {
         let _t = self.ctx.metrics().scope(|| "experiment.fig5".to_string());
         let quant = QuantConfig::w6a6();
         let (_, baseline) = self.quantized_baseline(quant);
-        let rows = self.ctx.parallel_map(&self.scale.enob_grid_6b, |&enob| {
-            let _t = self
-                .ctx
-                .metrics()
-                .scope(|| format!("sweep.fig5.enob{enob:.1}"));
-            let loss = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
-            self.ctx
-                .metrics()
-                .observe("sweep.fig5.loss_eval_only", loss.mean);
-            self.ctx.metrics().inc("sweep.fig5.points");
-            (enob, loss)
-        });
+        let sweep = self.sweep("fig5");
+        let rows = self
+            .ctx
+            .parallel_map(&self.scale.enob_grid_6b, |&enob| {
+                sweep.run_point(format!("enob{enob:.2}"), || {
+                    let _t = self
+                        .ctx
+                        .metrics()
+                        .scope(|| format!("sweep.fig5.enob{enob:.1}"));
+                    let loss = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
+                    self.ctx
+                        .metrics()
+                        .observe("sweep.fig5.loss_eval_only", loss.mean);
+                    self.ctx.metrics().inc("sweep.fig5.points");
+                    (enob, loss)
+                })
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         Fig5Result { baseline, rows }
     }
 
@@ -388,54 +458,61 @@ impl Experiments {
         let enob = self.scale.table2_enob;
         // Every freezing variant retrains independently from the shared
         // FP32 checkpoint warmed above — run them concurrently.
+        let sweep = self.sweep("table2");
         let rows = self.ctx.parallel_map(&FreezePolicy::ALL, |&policy| {
-            let _t = self
-                .ctx
-                .metrics()
-                .scope(|| format!("sweep.table2.{policy}").replace(' ', "_"));
-            let key = format!("table2_{policy}").replace(' ', "_").to_lowercase();
-            let (_, stat) = self.cached(&key, || {
-                eprintln!(
-                    "[{}] table2: retraining with frozen {policy} ...",
-                    self.scale.name
-                );
-                let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
-                let hw = HardwareConfig::ams(quant, vmac);
-                let mut net = ResNetMini::new(&self.scale.arch, &hw);
-                fp32_ckpt.load_into(&mut net).expect("architectures match");
-                net.apply_freeze(policy);
-                let out = train_with_eval(
-                    &self.ctx,
-                    &mut net,
-                    &self.data.train,
-                    &self.data.val,
-                    self.scale.retrain_epochs,
-                    self.scale.retrain_lr,
-                    self.scale.batch,
-                    self.scale.seed ^ 0x5555,
-                );
-                let stat = eval_passes(
-                    &self.ctx,
-                    &mut net,
-                    &self.data.val,
-                    self.scale.eval_passes,
-                    self.scale.batch,
-                    true,
-                    self.scale.seed ^ 0x6666,
-                );
-                (
-                    out.best_checkpoint,
-                    TrainedMeta {
-                        accuracy: stat,
-                        best_epoch: out.best_epoch,
-                    },
-                )
-            });
-            Table2Row {
-                policy,
-                loss: stat.loss_relative_to(baseline),
-            }
+            let point = format!("{policy}").replace(' ', "_").to_lowercase();
+            sweep.run_point(point, || {
+                let _t = self
+                    .ctx
+                    .metrics()
+                    .scope(|| format!("sweep.table2.{policy}").replace(' ', "_"));
+                let key = format!("table2_{policy}").replace(' ', "_").to_lowercase();
+                let (_, stat) = self.cached(&key, |state| {
+                    eprintln!(
+                        "[{}] table2: retraining with frozen {policy} ...",
+                        self.scale.name
+                    );
+                    let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
+                    let hw = HardwareConfig::ams(quant, vmac);
+                    let mut net = ResNetMini::new(&self.scale.arch, &hw);
+                    fp32_ckpt.load_into(&mut net).expect("architectures match");
+                    net.apply_freeze(policy);
+                    let out = train_scheduled_resumable(
+                        &self.ctx,
+                        &mut net,
+                        &self.data.train,
+                        &self.data.val,
+                        self.scale.retrain_epochs,
+                        self.scale.retrain_lr,
+                        self.scale.batch,
+                        self.scale.seed ^ 0x5555,
+                        &[],
+                        Some(state),
+                    );
+                    let stat = eval_passes(
+                        &self.ctx,
+                        &mut net,
+                        &self.data.val,
+                        self.scale.eval_passes,
+                        self.scale.batch,
+                        true,
+                        self.scale.seed ^ 0x6666,
+                    );
+                    (
+                        out.best_checkpoint,
+                        TrainedMeta {
+                            accuracy: stat,
+                            best_epoch: out.best_epoch,
+                        },
+                    )
+                });
+                Table2Row {
+                    policy,
+                    loss: stat.loss_relative_to(baseline),
+                }
+            })
         });
+        let rows = rows.into_iter().flatten().collect();
         // Reference: no retraining at all (eval-only) bounds the damage
         // retraining is recovering from.
         let eval_only_loss = self.ams_eval_only(quant, enob).loss_relative_to(baseline);
@@ -711,7 +788,7 @@ impl Experiments {
         let enob = self.scale.table2_enob;
         let (fp32_ckpt, _) = self.fp32_baseline();
         let (_, normal) = self.ams_retrained(quant, enob);
-        let (_, with_last) = self.cached("ablation_lastlayer", || {
+        let (_, with_last) = self.cached("ablation_lastlayer", |state| {
             eprintln!(
                 "[{}] ablation: retraining WITH last-layer injection ...",
                 self.scale.name
@@ -721,7 +798,7 @@ impl Experiments {
             hw.inject_last_layer_train = true;
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
-            let out = train_with_eval(
+            let out = train_scheduled_resumable(
                 &self.ctx,
                 &mut net,
                 &self.data.train,
@@ -730,6 +807,8 @@ impl Experiments {
                 self.scale.retrain_lr,
                 self.scale.batch,
                 self.scale.seed ^ 0x7777,
+                &[],
+                Some(state),
             );
             let stat = eval_passes(
                 &self.ctx,
@@ -813,7 +892,7 @@ fn format_enob(enob: f64) -> String {
 // ----------------------------------------------------------------------
 
 /// One Table 1 row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table1Row {
     /// Quantization label as in the paper.
     pub label: String,
@@ -864,7 +943,7 @@ impl Report for Table1Result {
 }
 
 /// One Fig. 4 ENOB point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig4Row {
     /// ENOB of the VMAC conversion.
     pub enob: f64,
@@ -973,7 +1052,7 @@ impl Report for Fig5Result {
 }
 
 /// One Table 2 row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Table2Row {
     /// The freezing policy applied during retraining.
     pub policy: FreezePolicy,

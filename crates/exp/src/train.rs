@@ -1,9 +1,13 @@
 //! The training and evaluation loops.
 
+use std::path::Path;
+use std::time::Instant;
+
 use ams_data::{Batcher, Dataset};
 use ams_models::ResNetMini;
 use ams_nn::{accuracy, softmax_cross_entropy, Checkpoint, Layer, Mode, Sgd};
 use ams_tensor::{rng, ExecCtx};
+use serde::{Deserialize, Serialize};
 
 use crate::report::Stat;
 
@@ -71,6 +75,119 @@ pub fn train_scheduled(
     seed: u64,
     decay_at: &[usize],
 ) -> TrainOutcome {
+    train_scheduled_resumable(
+        ctx, net, train, val, epochs, lr, batch, seed, decay_at, None,
+    )
+}
+
+/// Everything the training loop needs to continue **bit-identically**
+/// from an epoch boundary after the process is killed (DESIGN.md §9):
+/// the live model state, the optimizer's momentum buffers, the current
+/// (post-decay) learning rate, the shuffle/augmentation RNG cursor, every
+/// layer's AMS noise-stream cursor, and the best-epoch bookkeeping.
+///
+/// Gradients are *not* captured: [`Sgd::step`] zeroes them after every
+/// update, so they are identically zero at each epoch boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainState {
+    /// Epochs fully completed (resume continues at `epochs_done + 1`).
+    pub epochs_done: usize,
+    /// Current learning rate, with any step decays already applied.
+    pub lr: f32,
+    /// Live model parameters and buffers at the boundary.
+    pub model: Checkpoint,
+    /// Optimizer momentum buffers, keyed by parameter name.
+    pub velocities: Checkpoint,
+    /// Cursor of the shuffle/augmentation stream.
+    pub shuffle_rng: rng::RngState,
+    /// Per-layer AMS noise-stream cursors, in the model's forward order.
+    pub noise_states: Vec<rng::RngState>,
+    /// Snapshot of the best-validation epoch so far.
+    pub best_checkpoint: Checkpoint,
+    /// Best single-pass validation accuracy so far.
+    pub best_val_acc: f64,
+    /// 1-based index of the best epoch so far (0 = none yet).
+    pub best_epoch: usize,
+    /// `(train_loss, val_acc)` per completed epoch.
+    pub history: Vec<(f64, f64)>,
+}
+
+impl TrainState {
+    /// Loads a state file written by a previous (killed) run.
+    ///
+    /// Returns `None` when the file is absent — a fresh run. A present
+    /// but unreadable file is also treated as fresh, with a warning: the
+    /// file is written atomically, so this only happens when the schema
+    /// changed or the file was tampered with, and recomputing is always
+    /// correct.
+    pub fn load(path: &Path) -> Option<TrainState> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "[train] cannot read state {}: {e}; restarting",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match serde_json::from_str(&text) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!(
+                    "[train] cannot parse state {}: {e}; restarting",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    fn save(&self, path: &Path, ctx: &ExecCtx) {
+        let t0 = Instant::now();
+        let json = serde_json::to_string(self).expect("train state serializes");
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        if let Err(e) = ams_obs::fsio::atomic_write(path, json.as_bytes()) {
+            // Durability is best-effort; training itself is unaffected.
+            eprintln!("[train] cannot write state {}: {e}", path.display());
+        }
+        ctx.metrics()
+            .observe("checkpoint.write_ms", t0.elapsed().as_secs_f64() * 1e3);
+    }
+}
+
+/// [`train_scheduled`] with optional crash-safe epoch checkpointing.
+///
+/// With `state_path` set, a [`TrainState`] is written atomically after
+/// every epoch and deleted on successful completion; if the file already
+/// exists on entry (a previous run was killed), training resumes from it
+/// and the finished run is **bit-identical** to an uninterrupted one —
+/// same best checkpoint, same history, same RNG cursors. Frozen-parameter
+/// flags are *not* persisted; callers that freeze layers (Table 2) apply
+/// the policy to `net` before calling, exactly as on a fresh run.
+///
+/// # Panics
+///
+/// Panics if `epochs == 0`, either dataset is empty, or a resumed state
+/// does not match `net`'s architecture.
+#[allow(clippy::too_many_arguments)]
+pub fn train_scheduled_resumable(
+    ctx: &ExecCtx,
+    net: &mut ResNetMini,
+    train: &Dataset,
+    val: &Dataset,
+    epochs: usize,
+    lr: f32,
+    batch: usize,
+    seed: u64,
+    decay_at: &[usize],
+    state_path: Option<&Path>,
+) -> TrainOutcome {
     assert!(epochs > 0, "train_with_eval: zero epochs");
     assert!(
         !train.is_empty() && !val.is_empty(),
@@ -84,7 +201,36 @@ pub fn train_scheduled(
         best_epoch: 0,
         history: Vec::with_capacity(epochs),
     };
-    for epoch in 1..=epochs {
+    let mut start_epoch = 1usize;
+
+    if let Some(state) = state_path.and_then(TrainState::load) {
+        eprintln!(
+            "[train] resuming at epoch {}/{epochs} from {}",
+            state.epochs_done + 1,
+            state_path.expect("load implies a path").display()
+        );
+        state
+            .model
+            .load_into(net)
+            .expect("state matches architecture");
+        state
+            .velocities
+            .load_velocities_into(net)
+            .expect("state matches architecture");
+        net.restore_noise_states(&state.noise_states);
+        shuffle_rng = state.shuffle_rng.restore();
+        opt.lr = state.lr;
+        best.best_checkpoint = state.best_checkpoint;
+        best.best_val_acc = state.best_val_acc;
+        best.best_epoch = state.best_epoch;
+        best.history = state.history;
+        start_epoch = state.epochs_done + 1;
+        ctx.metrics().inc("train.resumed");
+        ctx.metrics()
+            .add("train.epochs.skipped", state.epochs_done as u64);
+    }
+
+    for epoch in start_epoch..=epochs {
         let _epoch_t = ctx.metrics().scope(|| "train.epoch".to_string());
         if decay_at.contains(&epoch) {
             opt.lr *= 0.2;
@@ -110,11 +256,32 @@ pub fn train_scheduled(
             best.best_epoch = epoch;
             best.best_checkpoint = Checkpoint::from_layer(net);
         }
+        if let Some(path) = state_path {
+            if epoch < epochs {
+                TrainState {
+                    epochs_done: epoch,
+                    lr: opt.lr,
+                    model: Checkpoint::from_layer(net),
+                    velocities: Checkpoint::velocities_from(net),
+                    shuffle_rng: rng::RngState::capture(&shuffle_rng),
+                    noise_states: net.noise_states(),
+                    best_checkpoint: best.best_checkpoint.clone(),
+                    best_val_acc: best.best_val_acc,
+                    best_epoch: best.best_epoch,
+                    history: best.history.clone(),
+                }
+                .save(path, ctx);
+            }
+        }
     }
     // Leave the network at its best epoch, as the paper reports it.
     best.best_checkpoint
         .load_into(net)
         .expect("own snapshot always loads");
+    if let Some(path) = state_path {
+        // The run completed; the state file has served its purpose.
+        let _ = std::fs::remove_file(path);
+    }
     best
 }
 
@@ -207,6 +374,113 @@ mod tests {
         );
         assert_eq!(out.history.len(), 6);
         assert!(out.best_epoch >= 1 && out.best_epoch <= 6);
+    }
+
+    #[test]
+    fn resumed_training_is_bit_identical() {
+        // Train 4 epochs straight vs. "crash" after epoch 2 (simulated by
+        // a fresh net + the on-disk TrainState) and resume. Every output
+        // must match bitwise — the crash-safety contract of DESIGN.md §9.
+        let data = SynthConfig::tiny().generate();
+        let ctx = ExecCtx::serial();
+        let dir = std::env::temp_dir().join(format!("ams_train_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state.json");
+
+        // AMS hardware so the noise streams are live during training/eval.
+        let hw = ams_models::HardwareConfig::ams(
+            ams_quant::QuantConfig::w8a8(),
+            ams_core::vmac::Vmac::new(8, 8, 8, 6.0),
+        );
+        let arch = ResNetMiniConfig::tiny();
+        let decay = [3usize];
+
+        let mut straight = ResNetMini::new(&arch, &hw);
+        let full = train_scheduled(
+            &ctx,
+            &mut straight,
+            &data.train,
+            &data.val,
+            4,
+            0.05,
+            16,
+            9,
+            &decay,
+        );
+
+        // Simulate the kill: run the first 2 epochs by hand (same seed ⇒
+        // same trajectory as the straight run) and persist the TrainState
+        // a mid-run kill would have left behind.
+        let mut prefix = ResNetMini::new(&arch, &hw);
+        let mut rng2 = rng::seeded(9);
+        let mut opt = Sgd::with_momentum(0.05, 0.9).weight_decay(5e-4);
+        let mut hist = Vec::new();
+        let mut best_acc = f64::NEG_INFINITY;
+        let mut best_epoch = 0usize;
+        let mut best_ckpt = Checkpoint::new();
+        for epoch in 1..=2 {
+            if decay.contains(&epoch) {
+                opt.lr *= 0.2;
+            }
+            let augmented = data.train.random_flip(&mut rng2);
+            let mut loss_sum = 0.0;
+            let mut batches = 0usize;
+            for (images, labels) in Batcher::new(&augmented, 16, &mut rng2) {
+                let logits = prefix.forward(&ctx, &images, Mode::Train);
+                let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+                prefix.backward(&ctx, &grad);
+                opt.step(&mut prefix);
+                loss_sum += f64::from(loss);
+                batches += 1;
+            }
+            let val_acc = f64::from(eval_accuracy(&ctx, &mut prefix, &data.val, 16));
+            hist.push((loss_sum / batches as f64, val_acc));
+            if val_acc > best_acc {
+                best_acc = val_acc;
+                best_epoch = epoch;
+                best_ckpt = Checkpoint::from_layer(&mut prefix);
+            }
+        }
+        let st = TrainState {
+            epochs_done: 2,
+            lr: opt.lr,
+            model: Checkpoint::from_layer(&mut prefix),
+            velocities: Checkpoint::velocities_from(&mut prefix),
+            shuffle_rng: rng::RngState::capture(&rng2),
+            noise_states: prefix.noise_states(),
+            best_checkpoint: best_ckpt,
+            best_val_acc: best_acc,
+            best_epoch,
+            history: hist,
+        };
+        let json = serde_json::to_string(&st).unwrap();
+        std::fs::write(&state, json).unwrap();
+
+        // Resume into a *fresh* net — everything must come from the file.
+        let mut resumed = ResNetMini::new(&arch, &hw);
+        let out = train_scheduled_resumable(
+            &ctx,
+            &mut resumed,
+            &data.train,
+            &data.val,
+            4,
+            0.05,
+            16,
+            9,
+            &decay,
+            Some(&state),
+        );
+
+        assert_eq!(out.best_val_acc, full.best_val_acc);
+        assert_eq!(out.best_epoch, full.best_epoch);
+        assert_eq!(out.history, full.history, "history must match bitwise");
+        for ((n1, t1), (n2, t2)) in full.best_checkpoint.iter().zip(out.best_checkpoint.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2, "checkpoint tensor {n1} differs after resume");
+        }
+        assert!(!state.exists(), "state file is cleaned up on completion");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

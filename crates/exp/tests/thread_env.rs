@@ -1,0 +1,53 @@
+//! The `AMS_THREADS` environment contract (CI's thread matrix) and the
+//! parallel ≡ serial guarantee it relies on: pool width changes
+//! wall-clock only, never results.
+
+use ams_core::vmac::Vmac;
+use ams_data::SynthConfig;
+use ams_exp::eval_accuracy;
+use ams_models::{HardwareConfig, ResNetMini, ResNetMiniConfig};
+use ams_quant::QuantConfig;
+use ams_tensor::ExecCtx;
+
+/// All `AMS_THREADS` parses in one test — `set_var` is process-global
+/// and the test harness runs sibling tests concurrently.
+#[test]
+fn from_env_reads_ams_threads() {
+    std::env::set_var("AMS_THREADS", "3");
+    assert_eq!(ExecCtx::from_env().threads(), 3);
+
+    std::env::set_var("AMS_THREADS", " 8 ");
+    assert_eq!(ExecCtx::from_env().threads(), 8, "whitespace is trimmed");
+
+    // Unparseable or non-positive values fall back to auto, never panic.
+    for bad in ["zero", "-2", "0", ""] {
+        std::env::set_var("AMS_THREADS", bad);
+        assert!(ExecCtx::from_env().threads() >= 1, "AMS_THREADS={bad:?}");
+    }
+
+    std::env::remove_var("AMS_THREADS");
+    assert!(ExecCtx::from_env().threads() >= 1);
+}
+
+/// A noisy AMS evaluation — the workload CI's thread matrix sweeps — is
+/// bit-identical at 1 and 8 threads: per-layer RNG streams are keyed by
+/// layer, not by worker, so scheduling cannot reorder draws.
+#[test]
+fn ams_eval_is_bit_identical_across_thread_counts() {
+    let quant = QuantConfig::w8a8();
+    let hw = HardwareConfig::ams(quant, Vmac::new(quant.bw, quant.bx, 8, 5.0));
+    let data = SynthConfig::tiny().generate();
+
+    let run = |threads: usize| {
+        let ctx = ExecCtx::with_threads(threads);
+        let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &hw);
+        eval_accuracy(&ctx, &mut net, &data.val, 16)
+    };
+    let serial = run(1);
+    let threaded = run(8);
+    assert_eq!(
+        serial.to_bits(),
+        threaded.to_bits(),
+        "thread count must not change results ({serial} vs {threaded})"
+    );
+}

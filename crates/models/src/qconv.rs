@@ -135,6 +135,16 @@ impl QConv2d {
             .reseed(noise_stream_seed(pass_seed, layer_index));
     }
 
+    /// The current cursor of this layer's noise stream (checkpoint/resume).
+    pub fn noise_state(&self) -> ams_tensor::rng::RngState {
+        self.injector.rng_state()
+    }
+
+    /// Repositions the noise stream at a captured cursor.
+    pub fn restore_noise_state(&mut self, state: &ams_tensor::rng::RngState) {
+        self.injector.restore_rng_state(state);
+    }
+
     /// Enables or disables output-mean probing (paper Fig. 6); enabling
     /// resets the accumulator.
     pub fn set_probe(&mut self, enabled: bool) {

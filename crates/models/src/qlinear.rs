@@ -125,6 +125,16 @@ impl QLinear {
             .reseed(noise_stream_seed(pass_seed, layer_index));
     }
 
+    /// The current cursor of this layer's noise stream (checkpoint/resume).
+    pub fn noise_state(&self) -> ams_tensor::rng::RngState {
+        self.injector.rng_state()
+    }
+
+    /// Repositions the noise stream at a captured cursor.
+    pub fn restore_noise_state(&mut self, state: &ams_tensor::rng::RngState) {
+        self.injector.restore_rng_state(state);
+    }
+
     /// The §4 fine-grained path for the classifier: chunk the reduction
     /// into `N_mult`-sized analog partial sums and quantize each on the
     /// ADC grid; the bias is added digitally afterwards.

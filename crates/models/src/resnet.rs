@@ -223,6 +223,42 @@ impl ResNetMini {
         self.fc.reseed_noise(pass_seed, FC_NOISE_INDEX);
     }
 
+    /// Snapshots every layer's AMS noise-stream cursor, in forward order
+    /// (convolutions, then the classifier). Together with the model
+    /// weights, the optimizer state and the data-shuffle cursor this is
+    /// what makes a killed-and-resumed retraining run bit-identical to an
+    /// uninterrupted one (DESIGN.md §9).
+    pub fn noise_states(&mut self) -> Vec<ams_tensor::rng::RngState> {
+        let mut out = Vec::new();
+        self.for_each_qconv(&mut |c| out.push(c.noise_state()));
+        out.push(self.fc.noise_state());
+        out
+    }
+
+    /// Repositions every layer's noise stream at the captured cursors
+    /// (the inverse of [`ResNetMini::noise_states`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` was captured from a different architecture
+    /// (wrong layer count) — resuming would silently desynchronize the
+    /// noise streams otherwise.
+    pub fn restore_noise_states(&mut self, states: &[ams_tensor::rng::RngState]) {
+        assert_eq!(
+            states.len(),
+            self.config.conv_layer_count() + 1,
+            "noise-state checkpoint has {} streams, this architecture needs {}",
+            states.len(),
+            self.config.conv_layer_count() + 1,
+        );
+        let mut it = states.iter();
+        self.for_each_qconv(&mut |c| {
+            c.restore_noise_state(it.next().expect("length checked above"));
+        });
+        self.fc
+            .restore_noise_state(it.next().expect("length checked above"));
+    }
+
     /// Enables or disables output-mean probes on every convolution
     /// (paper Fig. 6). Enabling resets the accumulators.
     pub fn set_probes(&mut self, enabled: bool) {

@@ -151,14 +151,65 @@ impl Checkpoint {
         result
     }
 
+    /// Snapshots every parameter's momentum buffer, keyed by parameter
+    /// name.
+    ///
+    /// Momentum is optimizer state, not model state, so it is absent from
+    /// [`Checkpoint::from_layer`]; a resumable training loop must persist
+    /// it separately or the first post-resume update diverges from the
+    /// uninterrupted run (DESIGN.md §9).
+    pub fn velocities_from(layer: &mut dyn Layer) -> Self {
+        let mut entries = BTreeMap::new();
+        layer.for_each_param(&mut |p| {
+            entries.insert(p.name().to_string(), p.velocity.clone());
+        });
+        Checkpoint { entries }
+    }
+
+    /// Restores momentum buffers captured by [`Checkpoint::velocities_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError::Missing`] or [`LoadError::ShapeMismatch`] (the
+    /// model may be partially updated on error), mirroring
+    /// [`Checkpoint::load_into`].
+    pub fn load_velocities_into(&self, layer: &mut dyn Layer) -> Result<(), LoadError> {
+        let mut result = Ok(());
+        layer.for_each_param(&mut |p| {
+            if result.is_err() {
+                return;
+            }
+            match self.entries.get(p.name()) {
+                None => {
+                    result = Err(LoadError::Missing {
+                        name: p.name().to_string(),
+                    })
+                }
+                Some(src) if src.dims() != p.velocity.dims() => {
+                    result = Err(LoadError::ShapeMismatch {
+                        name: p.name().to_string(),
+                        expected: p.velocity.dims().to_vec(),
+                        got: src.dims().to_vec(),
+                    })
+                }
+                Some(src) => p.velocity = src.clone(),
+            }
+        });
+        result
+    }
+
     /// Serializes to a JSON file.
+    ///
+    /// The write is crash-safe (tmp file + fsync + rename via
+    /// [`ams_obs::fsio::atomic_write`]): a process killed mid-save leaves
+    /// either the previous checkpoint or the new one, never a torn file.
     ///
     /// # Errors
     ///
     /// Returns [`LoadError::Io`] on filesystem or serialization failure.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), LoadError> {
         let json = serde_json::to_string(self).map_err(|e| LoadError::Io(e.to_string()))?;
-        std::fs::write(path, json).map_err(|e| LoadError::Io(e.to_string()))
+        ams_obs::fsio::atomic_write(path, json.as_bytes()).map_err(|e| LoadError::Io(e.to_string()))
     }
 
     /// Deserializes from a JSON file written by [`Checkpoint::save_json`].
@@ -223,6 +274,34 @@ mod tests {
         fn name(&self) -> &str {
             "bn_adapter"
         }
+    }
+
+    #[test]
+    fn velocities_round_trip() {
+        let mut r = rng::seeded(4);
+        let mut a = crate::Linear::new("fc", 3, 2, &mut r);
+        // Give the momentum buffers non-trivial content via one real step.
+        let x = Tensor::ones(&[2, 3]);
+        let y = a.forward(&ExecCtx::serial(), &x, Mode::Train);
+        a.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
+        crate::Sgd::with_momentum(0.1, 0.9).step(&mut a);
+        let snap = Checkpoint::velocities_from(&mut a);
+        assert!(!snap.is_empty());
+
+        let mut b = crate::Linear::new("fc", 3, 2, &mut r);
+        snap.load_velocities_into(&mut b).unwrap();
+        let mut pairs = Vec::new();
+        b.for_each_param(&mut |p| pairs.push((p.name().to_string(), p.velocity.clone())));
+        for (name, v) in pairs {
+            assert_eq!(snap.get(&name).unwrap(), &v);
+        }
+
+        // A model with differently named params is rejected.
+        let mut c = crate::Linear::new("other", 3, 2, &mut r);
+        assert!(matches!(
+            snap.load_velocities_into(&mut c),
+            Err(LoadError::Missing { .. })
+        ));
     }
 
     #[test]

@@ -92,6 +92,11 @@ impl MetricsReport {
         self.timers.iter().find(|t| t.name == name)
     }
 
+    /// Looks up a histogram entry by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
     /// Whether nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()

@@ -163,6 +163,22 @@ impl ExecCtx {
         ExecCtx::new(Parallelism::auto())
     }
 
+    /// A context sized from the `AMS_THREADS` environment variable (a
+    /// positive integer), falling back to [`ExecCtx::auto`] when unset or
+    /// unparseable. This is how CI's thread matrix pins the pool width
+    /// without threading a flag through every binary — results are
+    /// bit-identical for any value, so only wall-clock changes.
+    pub fn from_env() -> Self {
+        match std::env::var("AMS_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            Some(n) => ExecCtx::with_threads(n),
+            None => ExecCtx::auto(),
+        }
+    }
+
     /// A context with exactly `threads` workers.
     ///
     /// # Panics

@@ -177,6 +177,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for exact checkpoint/resume
+        /// of a stream mid-flight (see `ams_tensor::rng::RngState`).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator positioned exactly where [`StdRng::state`]
+        /// was captured: the next draw continues the original stream.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
@@ -264,6 +278,19 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
         assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn state_round_trip_resumes_mid_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let saved = a.state();
+        let tail: Vec<u64> = (0..32).map(|_| a.gen::<u64>()).collect();
+        let mut b = StdRng::from_state(saved);
+        let replay: Vec<u64> = (0..32).map(|_| b.gen::<u64>()).collect();
+        assert_eq!(tail, replay, "restored stream must continue bit-exactly");
     }
 
     #[test]

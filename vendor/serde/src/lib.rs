@@ -130,6 +130,20 @@ pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<
 // Serialize impls
 // ---------------------------------------------------------------------
 
+// Reflexive impls: a `Value` field passes through untouched, so types can
+// carry schema-free payloads (e.g. the sweep journal's per-point records).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()
