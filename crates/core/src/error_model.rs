@@ -1,0 +1,663 @@
+//! Pluggable per-layer error models.
+//!
+//! The paper's headline abstraction is "error-free dot product plus
+//! additive error" (Eq. 1/2), but §4 notes that modeling the multipliers
+//! and the ADC separately — or simulating each VMAC conversion — enables
+//! finer-grained analysis. This module unifies those alternatives behind
+//! one [`ErrorModel`] trait so the network layers, the trainer, the sweep
+//! engine, and the CLI all select an error model through a single
+//! serializable [`ErrorModelConfig`] instead of being hardwired to the
+//! lumped Gaussian path.
+//!
+//! # RNG / resume contract
+//!
+//! Every implementation — including the no-op [`IdealModel`] — owns
+//! exactly **one** [`GaussianInjector`] stream, so [`ErrorModel::rng_cursors`]
+//! always returns one cursor per layer. That keeps the checkpoint format
+//! of DESIGN.md §9 (a flat `Vec<RngState>`, one entry per injecting layer)
+//! valid for every model, and it keeps [`ErrorModelConfig::Lumped`]
+//! bit-identical to the pre-trait `GaussianInjector` wiring: same seed,
+//! same stream, same draw order.
+//!
+//! # Choosing an implementation
+//!
+//! * [`ErrorModelConfig::Lumped`] — the paper's main method (default).
+//!   One Gaussian per output activation at the Eq. 2 σ. Cheapest; use for
+//!   training and for every headline figure.
+//! * [`ErrorModelConfig::Ideal`] — injects nothing. Use to isolate
+//!   quantization effects from AMS error on otherwise-identical configs.
+//! * [`ErrorModelConfig::Composite`] — multiplier RMS error and ADC
+//!   quantization budgeted separately (paper §4), lumped into a single
+//!   Gaussian at the combined σ. Use to study multiplier/ADC trade-offs.
+//! * [`ErrorModelConfig::PerVmac`] — chunked per-conversion simulation at
+//!   evaluation time (training falls back to the lumped Gaussian so the
+//!   backward pass stays differentiable). Use to validate the Gaussian
+//!   lumping claim at network scale, or to run ΔΣ / reference-scaled /
+//!   partitioned converters end to end.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use ams_tensor::obs::WelfordState;
+use ams_tensor::{rng, Tensor};
+
+use crate::composite::CompositeError;
+use crate::inject::{checked_sigma_f32, layer_error_sigma, GaussianInjector};
+use crate::mismatch::MismatchModel;
+use crate::partition::PartitionedVmac;
+use crate::vmac::Vmac;
+use crate::vmac_sim::{AdcBehavior, VmacSimulator};
+
+/// Which error-model implementation a configuration selects.
+///
+/// Displayed (and parsed) as the CLI spellings `ideal`, `lumped`,
+/// `composite`, `per-vmac`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorModelKind {
+    /// No injected error.
+    Ideal,
+    /// Single lumped Gaussian per output activation (paper Eq. 1/2).
+    Lumped,
+    /// Separate multiplier + ADC budgets folded to one Gaussian (§4).
+    Composite,
+    /// Chunked per-conversion ADC simulation at eval time (§4).
+    PerVmac,
+}
+
+impl fmt::Display for ErrorModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorModelKind::Ideal => "ideal",
+            ErrorModelKind::Lumped => "lumped",
+            ErrorModelKind::Composite => "composite",
+            ErrorModelKind::PerVmac => "per-vmac",
+        })
+    }
+}
+
+impl std::str::FromStr for ErrorModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ideal" => Ok(ErrorModelKind::Ideal),
+            "lumped" => Ok(ErrorModelKind::Lumped),
+            "composite" => Ok(ErrorModelKind::Composite),
+            "per-vmac" => Ok(ErrorModelKind::PerVmac),
+            other => Err(format!(
+                "unknown error model {other:?}; expected lumped|composite|per-vmac|ideal"
+            )),
+        }
+    }
+}
+
+/// Multiplication-partitioning parameters for the per-VMAC model: split
+/// each multiply into `n_w × n_x` slices, each digitized at `slice_enob`
+/// bits (paper §4, see [`PartitionedVmac`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Weight-operand slice count.
+    pub n_w: u32,
+    /// Activation-operand slice count.
+    pub n_x: u32,
+    /// Per-slice conversion resolution in bits.
+    pub slice_enob: f64,
+}
+
+/// Serializable selection of an error model plus its parameters.
+///
+/// This is what travels through `HardwareConfig`, the CLI, and training
+/// checkpoints; [`ErrorModelConfig::build`] turns it into a live
+/// [`ErrorModel`] for one layer.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ErrorModelConfig {
+    /// No injected error.
+    Ideal,
+    /// The paper's lumped Gaussian (Eq. 1/2). The default, bit-identical
+    /// to the pre-trait injection path.
+    #[default]
+    Lumped,
+    /// Multiplier + ADC split: the layer's `Vmac` describes the ADC and
+    /// `multiplier_sigma` the per-multiplier RMS error, combined per
+    /// [`CompositeError`] into one Gaussian.
+    Composite {
+        /// RMS error of one analog multiplier, in product full-scale units.
+        multiplier_sigma: f64,
+    },
+    /// Chunked per-conversion simulation at eval time, with an optional
+    /// operand partition folded into the conversion resolution.
+    PerVmac {
+        /// How each partial-sum conversion behaves.
+        behavior: AdcBehavior,
+        /// Optional multiplication partitioning (paper §4).
+        partition: Option<PartitionSpec>,
+    },
+}
+
+impl ErrorModelConfig {
+    /// The plain per-VMAC configuration (quantizing ADC, no partition) —
+    /// what `--error-model per-vmac` selects by default.
+    pub fn per_vmac() -> Self {
+        ErrorModelConfig::PerVmac {
+            behavior: AdcBehavior::Quantizing,
+            partition: None,
+        }
+    }
+
+    /// Which implementation this configuration selects.
+    pub fn kind(&self) -> ErrorModelKind {
+        match self {
+            ErrorModelConfig::Ideal => ErrorModelKind::Ideal,
+            ErrorModelConfig::Lumped => ErrorModelKind::Lumped,
+            ErrorModelConfig::Composite { .. } => ErrorModelKind::Composite,
+            ErrorModelConfig::PerVmac { .. } => ErrorModelKind::PerVmac,
+        }
+    }
+
+    /// Builds the live model for one layer.
+    ///
+    /// `vmac` is the layer's converter geometry (`None` on hardware
+    /// without an AMS error budget — the model then injects nothing),
+    /// `mismatch` the optional static device-mismatch overlay, and
+    /// `stream_seed` the layer's noise-stream seed (the same value the
+    /// pre-trait code handed to `GaussianInjector::new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`PartitionSpec`] does not divide the operand bits
+    /// evenly (see [`PartitionedVmac::new`]) or composite parameters are
+    /// invalid (see [`CompositeError::new`]).
+    pub fn build(
+        &self,
+        vmac: Option<Vmac>,
+        mismatch: Option<MismatchModel>,
+        stream_seed: u64,
+    ) -> Box<dyn ErrorModel> {
+        let injector = GaussianInjector::new(stream_seed);
+        match *self {
+            ErrorModelConfig::Ideal => Box::new(IdealModel { mismatch, injector }),
+            ErrorModelConfig::Lumped => Box::new(LumpedGaussian {
+                vmac,
+                mismatch,
+                injector,
+            }),
+            ErrorModelConfig::Composite { multiplier_sigma } => Box::new(CompositeModel {
+                composite: vmac.map(|v| CompositeError::new(v, multiplier_sigma)),
+                mismatch,
+                injector,
+            }),
+            ErrorModelConfig::PerVmac {
+                behavior,
+                partition,
+            } => Box::new(PerVmacSim {
+                vmac: vmac.map(|v| match partition {
+                    Some(spec) => partition_equivalent(v, spec),
+                    None => v,
+                }),
+                behavior,
+                mismatch,
+                injector,
+            }),
+        }
+    }
+}
+
+/// Folds a partitioned multiply into an equivalent unpartitioned `Vmac`
+/// whose single-conversion error variance matches the partition's summed
+/// slice errors, so the chunked simulator can run it directly.
+fn partition_equivalent(vmac: Vmac, spec: PartitionSpec) -> Vmac {
+    let pv = PartitionedVmac::new(vmac, spec.n_w, spec.n_x, spec.slice_enob)
+        .unwrap_or_else(|e| panic!("invalid partition for {vmac}: {e}"));
+    // One output chunk (n_tot = n_mult) isolates a single conversion's
+    // variance; invert LSB²/12 with LSB = N_mult·2^(1−ENOB) for the ENOB
+    // a monolithic converter would need to match it.
+    let var_conv = pv.total_error_variance(vmac.n_mult);
+    let n = vmac.n_mult as f64;
+    vmac.with_enob(1.0 - 0.5 * (12.0 * var_conv / (n * n)).log2())
+}
+
+/// A per-layer hardware error model: given a layer's output activations
+/// and its `n_tot` (multiplies per output activation), produce the
+/// additive error — plus the σ hint for metrics and the RNG cursors for
+/// bit-identical training resume (DESIGN.md §9).
+///
+/// Implementations are built per layer by [`ErrorModelConfig::build`];
+/// layer identity enters through the `stream_seed` at build time and the
+/// `layer_index` handed to [`ErrorModel::realize_weights`].
+pub trait ErrorModel: fmt::Debug + Send {
+    /// Which configuration family built this model.
+    fn kind(&self) -> ErrorModelKind;
+
+    /// The lumped-equivalent σ of the injected error for a layer with
+    /// `n_tot` multiplies per output activation (Eq. 2), used for metrics
+    /// and error budgets. `None` when the model injects nothing (no VMAC
+    /// on this hardware, or [`ErrorModelKind::Ideal`]). For per-VMAC
+    /// simulation this is the Eq. 2 prediction the simulation is expected
+    /// to match, not a measurement.
+    fn sigma_hint(&self, n_tot: usize) -> Option<f32>;
+
+    /// Adds this model's error to `acts` in place, advancing the RNG
+    /// cursor. A model without an error budget is a no-op.
+    fn inject(&mut self, acts: &mut Tensor, n_tot: usize);
+
+    /// Like [`ErrorModel::inject`], but returns Welford statistics of the
+    /// injected samples for metrics. Must draw the **identical RNG
+    /// stream** as `inject` so tracing never perturbs results.
+    fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState;
+
+    /// Applies static per-chip weight perturbations (device mismatch),
+    /// returning the perturbed copy, or `None` when the model carries no
+    /// mismatch overlay. Deterministic per `(chip_seed, layer_index)` —
+    /// never touches the RNG cursor.
+    fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor>;
+
+    /// The chunked conversion simulator for models that replace the
+    /// matmul inner loop at eval time ([`ErrorModelKind::PerVmac`]);
+    /// `None` for purely additive models.
+    fn operand_sim(&self) -> Option<VmacSimulator> {
+        None
+    }
+
+    /// Repositions the noise stream at a fresh seed (one per validation
+    /// pass — see `reseed_noise` on the networks).
+    fn reseed(&mut self, stream_seed: u64);
+
+    /// Snapshots every RNG cursor this model owns (always exactly one —
+    /// see the module docs) for a training checkpoint.
+    fn rng_cursors(&self) -> Vec<rng::RngState>;
+
+    /// Repositions the model at previously captured cursors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cursors` does not hold exactly the number of streams
+    /// this model owns.
+    fn restore(&mut self, cursors: &[rng::RngState]);
+}
+
+/// Shares the single-injector RNG plumbing every implementation repeats.
+macro_rules! impl_single_cursor {
+    () => {
+        fn reseed(&mut self, stream_seed: u64) {
+            self.injector.reseed(stream_seed);
+        }
+
+        fn rng_cursors(&self) -> Vec<rng::RngState> {
+            vec![self.injector.rng_state()]
+        }
+
+        fn restore(&mut self, cursors: &[rng::RngState]) {
+            assert_eq!(
+                cursors.len(),
+                1,
+                "error model owns one RNG stream, got {} cursors",
+                cursors.len()
+            );
+            self.injector.restore_rng_state(&cursors[0]);
+        }
+    };
+}
+
+/// Injects additive Gaussian error at `sigma_hint` — the shared forward
+/// path of every lumped-style model.
+fn inject_gaussian(
+    injector: &mut GaussianInjector,
+    sigma: Option<f32>,
+    acts: &mut Tensor,
+) -> WelfordState {
+    match sigma {
+        Some(s) => injector.inject_sigma_traced(acts, s),
+        None => WelfordState::new(),
+    }
+}
+
+/// No injected error; still carries the optional mismatch overlay and an
+/// (unused) RNG stream so checkpoints keep one cursor per layer.
+#[derive(Debug)]
+pub struct IdealModel {
+    mismatch: Option<MismatchModel>,
+    injector: GaussianInjector,
+}
+
+impl ErrorModel for IdealModel {
+    fn kind(&self) -> ErrorModelKind {
+        ErrorModelKind::Ideal
+    }
+
+    fn sigma_hint(&self, _n_tot: usize) -> Option<f32> {
+        None
+    }
+
+    fn inject(&mut self, _acts: &mut Tensor, _n_tot: usize) {}
+
+    fn inject_traced(&mut self, _acts: &mut Tensor, _n_tot: usize) -> WelfordState {
+        WelfordState::new()
+    }
+
+    fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
+        self.mismatch.map(|m| m.apply(weights, layer_index))
+    }
+
+    impl_single_cursor!();
+}
+
+/// The paper's main method: one additive Gaussian per output activation
+/// at the Eq. 2 σ. Bit-identical — same σ arithmetic, same RNG stream —
+/// to the pre-trait `GaussianInjector` wiring.
+#[derive(Debug)]
+pub struct LumpedGaussian {
+    vmac: Option<Vmac>,
+    mismatch: Option<MismatchModel>,
+    injector: GaussianInjector,
+}
+
+impl ErrorModel for LumpedGaussian {
+    fn kind(&self) -> ErrorModelKind {
+        ErrorModelKind::Lumped
+    }
+
+    fn sigma_hint(&self, n_tot: usize) -> Option<f32> {
+        self.vmac.map(|v| layer_error_sigma(&v, n_tot))
+    }
+
+    fn inject(&mut self, acts: &mut Tensor, n_tot: usize) {
+        if let Some(sigma) = self.sigma_hint(n_tot) {
+            self.injector.inject_sigma(acts, sigma);
+        }
+    }
+
+    fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState {
+        let sigma = self.sigma_hint(n_tot);
+        inject_gaussian(&mut self.injector, sigma, acts)
+    }
+
+    fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
+        self.mismatch.map(|m| m.apply(weights, layer_index))
+    }
+
+    impl_single_cursor!();
+}
+
+/// Multiplier + ADC budgets (paper §4) folded to a single Gaussian at the
+/// combined σ of [`CompositeError`].
+#[derive(Debug)]
+pub struct CompositeModel {
+    composite: Option<CompositeError>,
+    mismatch: Option<MismatchModel>,
+    injector: GaussianInjector,
+}
+
+impl ErrorModel for CompositeModel {
+    fn kind(&self) -> ErrorModelKind {
+        ErrorModelKind::Composite
+    }
+
+    fn sigma_hint(&self, n_tot: usize) -> Option<f32> {
+        self.composite
+            .as_ref()
+            .map(|c| checked_sigma_f32(c.total_error_sigma(n_tot), "composite"))
+    }
+
+    fn inject(&mut self, acts: &mut Tensor, n_tot: usize) {
+        if let Some(sigma) = self.sigma_hint(n_tot) {
+            self.injector.inject_sigma(acts, sigma);
+        }
+    }
+
+    fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState {
+        let sigma = self.sigma_hint(n_tot);
+        inject_gaussian(&mut self.injector, sigma, acts)
+    }
+
+    fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
+        self.mismatch.map(|m| m.apply(weights, layer_index))
+    }
+
+    impl_single_cursor!();
+}
+
+/// Chunked per-conversion simulation at eval time (paper §4). Training
+/// passes fall back to the lumped Gaussian — the chunked converter is not
+/// differentiable, and the paper trains against the lumped model anyway.
+/// An operand partition, when configured, is folded into the conversion
+/// ENOB at build time (see [`PartitionSpec`]).
+#[derive(Debug)]
+pub struct PerVmacSim {
+    vmac: Option<Vmac>,
+    behavior: AdcBehavior,
+    mismatch: Option<MismatchModel>,
+    injector: GaussianInjector,
+}
+
+impl ErrorModel for PerVmacSim {
+    fn kind(&self) -> ErrorModelKind {
+        ErrorModelKind::PerVmac
+    }
+
+    fn sigma_hint(&self, n_tot: usize) -> Option<f32> {
+        self.vmac.map(|v| layer_error_sigma(&v, n_tot))
+    }
+
+    fn inject(&mut self, acts: &mut Tensor, n_tot: usize) {
+        if let Some(sigma) = self.sigma_hint(n_tot) {
+            self.injector.inject_sigma(acts, sigma);
+        }
+    }
+
+    fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState {
+        let sigma = self.sigma_hint(n_tot);
+        inject_gaussian(&mut self.injector, sigma, acts)
+    }
+
+    fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
+        self.mismatch.map(|m| m.apply(weights, layer_index))
+    }
+
+    fn operand_sim(&self) -> Option<VmacSimulator> {
+        self.vmac.map(|v| VmacSimulator::new(v, self.behavior))
+    }
+
+    impl_single_cursor!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_display_and_parse() {
+        for kind in [
+            ErrorModelKind::Ideal,
+            ErrorModelKind::Lumped,
+            ErrorModelKind::Composite,
+            ErrorModelKind::PerVmac,
+        ] {
+            assert_eq!(kind.to_string().parse::<ErrorModelKind>().unwrap(), kind);
+        }
+        assert!("bogus".parse::<ErrorModelKind>().is_err());
+    }
+
+    #[test]
+    fn config_serde_round_trips() {
+        for cfg in [
+            ErrorModelConfig::Ideal,
+            ErrorModelConfig::Lumped,
+            ErrorModelConfig::Composite {
+                multiplier_sigma: 1e-3,
+            },
+            ErrorModelConfig::PerVmac {
+                behavior: AdcBehavior::DeltaSigma {
+                    final_extra_bits: 2.0,
+                },
+                partition: Some(PartitionSpec {
+                    n_w: 2,
+                    n_x: 2,
+                    slice_enob: 10.0,
+                }),
+            },
+        ] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: ErrorModelConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn lumped_matches_raw_injector_bitwise() {
+        // The tentpole's bit-identity contract: LumpedGaussian with the
+        // same stream seed produces byte-identical activations to the
+        // pre-trait GaussianInjector path.
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let n_tot = 576;
+        let seed = 0xC0FFEE;
+        let mut legacy = GaussianInjector::new(seed);
+        let mut a = Tensor::zeros(&[2, 4, 6, 6]);
+        legacy.inject_sigma(&mut a, layer_error_sigma(&vmac, n_tot));
+
+        let mut model = ErrorModelConfig::Lumped.build(Some(vmac), None, seed);
+        let mut b = Tensor::zeros(&[2, 4, 6, 6]);
+        model.inject(&mut b, n_tot);
+        assert_eq!(a, b);
+
+        // Traced injection draws the identical stream.
+        let mut traced = ErrorModelConfig::Lumped.build(Some(vmac), None, seed);
+        let mut c = Tensor::zeros(&[2, 4, 6, 6]);
+        let stats = traced.inject_traced(&mut c, n_tot);
+        assert_eq!(a, c);
+        assert_eq!(stats.count, a.len() as u64);
+    }
+
+    #[test]
+    fn ideal_injects_nothing_but_keeps_one_cursor() {
+        let mut model = ErrorModelConfig::Ideal.build(Some(Vmac::default()), None, 7);
+        let mut t = Tensor::ones(&[3, 3]);
+        model.inject(&mut t, 64);
+        assert_eq!(t, Tensor::ones(&[3, 3]));
+        assert!(model.sigma_hint(64).is_none());
+        assert!(model.inject_traced(&mut t, 64).is_empty());
+        assert_eq!(model.rng_cursors().len(), 1);
+    }
+
+    #[test]
+    fn composite_sigma_matches_core_model() {
+        let vmac = Vmac::new(8, 8, 8, 10.0);
+        let sigma_m = 2e-3;
+        let model = ErrorModelConfig::Composite {
+            multiplier_sigma: sigma_m,
+        }
+        .build(Some(vmac), None, 1);
+        let expect = CompositeError::new(vmac, sigma_m).total_error_sigma(512) as f32;
+        assert_eq!(model.sigma_hint(512), Some(expect));
+        assert!(model.operand_sim().is_none());
+    }
+
+    #[test]
+    fn per_vmac_exposes_simulator_and_lumped_hint() {
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let model = ErrorModelConfig::per_vmac().build(Some(vmac), None, 1);
+        let sim = model.operand_sim().expect("per-VMAC exposes a simulator");
+        assert_eq!(*sim.vmac(), vmac);
+        assert_eq!(sim.behavior(), AdcBehavior::Quantizing);
+        assert_eq!(model.sigma_hint(512), Some(layer_error_sigma(&vmac, 512)));
+    }
+
+    #[test]
+    fn degenerate_partition_is_identity() {
+        // A 1×1 partition at the base ENOB is exactly the unpartitioned
+        // converter, so the folded equivalent ENOB must round-trip.
+        let vmac = Vmac::new(9, 9, 8, 12.0);
+        let eq = partition_equivalent(
+            vmac,
+            PartitionSpec {
+                n_w: 1,
+                n_x: 1,
+                slice_enob: 12.0,
+            },
+        );
+        assert!((eq.enob - 12.0).abs() < 1e-9, "enob {}", eq.enob);
+    }
+
+    #[test]
+    fn partition_fold_tracks_slice_resolution() {
+        // Slicing 9-bit operands 2×2 at the same 10-bit slice resolution
+        // costs a hair of ENOB (four conversions instead of one, the top
+        // slices dominating), while raising the slice resolution buys it
+        // back — the partition's whole point is that slice conversions
+        // are cheap enough to over-provision.
+        let vmac = Vmac::new(9, 9, 8, 10.0);
+        let same = partition_equivalent(
+            vmac,
+            PartitionSpec {
+                n_w: 2,
+                n_x: 2,
+                slice_enob: 10.0,
+            },
+        );
+        assert!(
+            same.enob < 10.0 && same.enob > 9.8,
+            "equivalent enob {}",
+            same.enob
+        );
+        let finer = partition_equivalent(
+            vmac,
+            PartitionSpec {
+                n_w: 2,
+                n_x: 2,
+                slice_enob: 12.0,
+            },
+        );
+        assert!(
+            finer.enob > same.enob + 1.5,
+            "equivalent enob {}",
+            finer.enob
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid partition")]
+    fn bad_partition_rejected_at_build() {
+        // 8-bit weights have 7 magnitude bits — not divisible by 2.
+        ErrorModelConfig::PerVmac {
+            behavior: AdcBehavior::Quantizing,
+            partition: Some(PartitionSpec {
+                n_w: 2,
+                n_x: 1,
+                slice_enob: 8.0,
+            }),
+        }
+        .build(Some(Vmac::new(8, 8, 8, 10.0)), None, 1);
+    }
+
+    #[test]
+    fn mismatch_overlay_applies_through_any_model() {
+        let mismatch = MismatchModel::new(0.05, 42);
+        let w = Tensor::ones(&[4, 4]);
+        let direct = mismatch.apply(&w, 3);
+        for cfg in [ErrorModelConfig::Ideal, ErrorModelConfig::Lumped] {
+            let model = cfg.build(None, Some(mismatch), 1);
+            let via = model.realize_weights(&w, 3).expect("mismatch configured");
+            assert_eq!(via, direct);
+        }
+        let bare = ErrorModelConfig::Lumped.build(None, None, 1);
+        assert!(bare.realize_weights(&w, 3).is_none());
+    }
+
+    #[test]
+    fn reseed_and_cursor_restore_reproduce_stream() {
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let mut model = ErrorModelConfig::Lumped.build(Some(vmac), None, 5);
+        let cursors = model.rng_cursors();
+        let mut a = Tensor::zeros(&[8, 8]);
+        model.inject(&mut a, 64);
+        // Restoring the captured cursor replays the identical noise.
+        model.restore(&cursors);
+        let mut b = Tensor::zeros(&[8, 8]);
+        model.inject(&mut b, 64);
+        assert_eq!(a, b);
+        // Reseeding to the original seed does too.
+        model.reseed(5);
+        let mut c = Tensor::zeros(&[8, 8]);
+        model.inject(&mut c, 64);
+        assert_eq!(a, c);
+    }
+}

@@ -14,17 +14,77 @@ use rand::Rng;
 
 use crate::vmac::Vmac;
 
+/// A positive f64 model σ that flushed to zero or subnormal when narrowed
+/// to `f32` — injecting it would add silently-zero (or denormal) noise and
+/// invalidate the experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SigmaUnderflow {
+    /// The exact model σ before narrowing.
+    pub sigma: f64,
+    /// What the σ narrowed to (zero or subnormal).
+    pub narrowed: f32,
+}
+
+impl std::fmt::Display for SigmaUnderflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "error σ = {:.3e} underflows f32 (narrows to {:e}); injected noise \
+             would be zero or denormal — the ENOB is too high for this n_tot",
+            self.sigma, self.narrowed
+        )
+    }
+}
+
+impl std::error::Error for SigmaUnderflow {}
+
+/// Narrows a model σ to `f32` for activation tensors, warning **loudly**
+/// on stderr when a positive f64 σ flushes to zero or subnormal (at very
+/// high ENOB × small `n_tot` the Eq. 2 σ can drop below f32's smallest
+/// normal, and silently injecting zero noise would fake a perfect
+/// accelerator).
+pub(crate) fn checked_sigma_f32(sigma: f64, what: &str) -> f32 {
+    let narrowed = sigma as f32;
+    if sigma > 0.0 && (narrowed == 0.0 || narrowed.is_subnormal()) {
+        eprintln!("warning: {what}: {}", SigmaUnderflow { sigma, narrowed });
+    }
+    narrowed
+}
+
 /// Standard deviation of the lumped error for a layer needing `n_tot`
 /// multiplies per output activation (paper Eq. 2, as a σ).
 ///
 /// Convenience free function mirroring [`Vmac::total_error_sigma`] but
-/// returning `f32` for direct use on activation tensors.
+/// returning `f32` for direct use on activation tensors. If the f64 σ is
+/// positive but flushes to zero/subnormal in f32, a loud warning is
+/// printed to stderr (use [`layer_error_sigma_checked`] to handle that
+/// case programmatically).
 ///
 /// # Panics
 ///
 /// Panics if `n_tot == 0`.
 pub fn layer_error_sigma(vmac: &Vmac, n_tot: usize) -> f32 {
-    vmac.total_error_sigma(n_tot) as f32
+    checked_sigma_f32(vmac.total_error_sigma(n_tot), "layer_error_sigma")
+}
+
+/// Like [`layer_error_sigma`], but returns an error instead of warning
+/// when the σ underflows f32.
+///
+/// # Errors
+///
+/// Returns [`SigmaUnderflow`] when the positive f64 σ narrows to zero or
+/// a subnormal f32.
+///
+/// # Panics
+///
+/// Panics if `n_tot == 0`.
+pub fn layer_error_sigma_checked(vmac: &Vmac, n_tot: usize) -> Result<f32, SigmaUnderflow> {
+    let sigma = vmac.total_error_sigma(n_tot);
+    let narrowed = sigma as f32;
+    if sigma > 0.0 && (narrowed == 0.0 || narrowed.is_subnormal()) {
+        return Err(SigmaUnderflow { sigma, narrowed });
+    }
+    Ok(narrowed)
 }
 
 /// A seeded source of additive Gaussian error.
@@ -203,6 +263,29 @@ mod tests {
         inj.standard_normal();
         inj.reseed(3);
         assert_eq!(inj.standard_normal(), first);
+    }
+
+    #[test]
+    fn sigma_underflow_is_an_error_not_silence() {
+        // At extreme ENOB × tiny n_tot the f64 σ is positive but below
+        // f32's smallest normal — the checked variant must refuse rather
+        // than hand back a silently-useless σ.
+        let vmac = Vmac::new(8, 8, 8, 140.0);
+        let err = layer_error_sigma_checked(&vmac, 8).unwrap_err();
+        assert!(err.sigma > 0.0);
+        assert!(err.narrowed == 0.0 || err.narrowed.is_subnormal());
+        assert!(err.to_string().contains("underflows f32"), "{err}");
+        // The unchecked path narrows identically (plus a stderr warning),
+        // so existing callers see unchanged values.
+        assert_eq!(layer_error_sigma(&vmac, 8), err.narrowed);
+    }
+
+    #[test]
+    fn normal_sigma_passes_checked_path() {
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let sigma = layer_error_sigma_checked(&vmac, 576).unwrap();
+        assert_eq!(sigma, layer_error_sigma(&vmac, 576));
+        assert!(sigma > 0.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | Fig. 8 — (ENOB, N_mult) design space, energy–accuracy tradeoff | [`tradeoff`] |
 //! | §4 — per-VMAC simulation, ΔΣ error recycling, reference scaling | [`vmac_sim`] |
 //! | §4 — multiplication partitioning | [`partition`] |
+//! | §4 — pluggable error-model selection (lumped / composite / per-VMAC) | [`error_model`] |
 //!
 //! # Example: the paper's headline numbers
 //!
@@ -46,6 +47,7 @@
 
 pub mod composite;
 pub mod energy;
+pub mod error_model;
 pub mod inject;
 pub mod mismatch;
 pub mod partition;
@@ -54,6 +56,7 @@ pub mod vmac;
 pub mod vmac_sim;
 
 pub use energy::{adc_energy_pj, mac_energy_fj, mac_energy_pj};
+pub use error_model::{ErrorModel, ErrorModelConfig, ErrorModelKind, PartitionSpec};
 pub use inject::GaussianInjector;
 pub use tradeoff::{AccuracyCurve, DesignPoint, TradeoffGrid};
 pub use vmac::{PrecisionBudget, Vmac};

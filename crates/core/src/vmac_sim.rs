@@ -118,6 +118,41 @@ impl VmacSimulator {
         ((s / step).round() * step).clamp(-max_code, max_code)
     }
 
+    /// Converts one analog partial sum `s` — the `chunk_index`-th of
+    /// `n_chunks` contributing to the same output activation — through
+    /// the configured behaviour. `feedback` is the ΔΣ error memory the
+    /// caller must carry (zero-initialized) across the chunks of one
+    /// output; the other behaviours ignore it.
+    ///
+    /// This is the per-conversion kernel [`VmacSimulator::dot`] and the
+    /// network layers' per-VMAC forward paths share, so a matmul inner
+    /// loop and the reference dot product quantize identically.
+    pub fn convert_partial(
+        &self,
+        s: f64,
+        chunk_index: usize,
+        n_chunks: usize,
+        feedback: &mut f64,
+    ) -> f64 {
+        let fs = self.vmac.n_mult as f64;
+        match self.behavior {
+            AdcBehavior::Ideal => s,
+            AdcBehavior::Quantizing => Self::convert(s, self.vmac.enob, fs),
+            AdcBehavior::DeltaSigma { final_extra_bits } => {
+                let u = s - *feedback;
+                let enob = if chunk_index + 1 == n_chunks {
+                    self.vmac.enob + final_extra_bits
+                } else {
+                    self.vmac.enob
+                };
+                let q = Self::convert(u, enob, fs);
+                *feedback = q - u;
+                q
+            }
+            AdcBehavior::RefScaled { alpha } => Self::convert(s, self.vmac.enob, alpha * fs),
+        }
+    }
+
     /// Computes the digital dot product of `w` and `x` through chunked
     /// analog partial sums and modeled conversions, summing the digital
     /// outputs (the paper's "partial sums are accumulated digitally").
@@ -129,7 +164,6 @@ impl VmacSimulator {
         assert_eq!(w.len(), x.len(), "dot: operand length mismatch");
         assert!(!w.is_empty(), "dot: empty operands");
         let n_mult = self.vmac.n_mult;
-        let fs = n_mult as f64;
         let chunks = w.len().div_ceil(n_mult);
         let mut total = 0.0f64;
         let mut feedback = 0.0f64; // ΔΣ error memory
@@ -139,23 +173,7 @@ impl VmacSimulator {
                 .zip(xc)
                 .map(|(&a, &b)| f64::from(a) * f64::from(b))
                 .sum();
-            let q = match self.behavior {
-                AdcBehavior::Ideal => s,
-                AdcBehavior::Quantizing => Self::convert(s, self.vmac.enob, fs),
-                AdcBehavior::DeltaSigma { final_extra_bits } => {
-                    let u = s - feedback;
-                    let enob = if k + 1 == chunks {
-                        self.vmac.enob + final_extra_bits
-                    } else {
-                        self.vmac.enob
-                    };
-                    let q = Self::convert(u, enob, fs);
-                    feedback = q - u;
-                    q
-                }
-                AdcBehavior::RefScaled { alpha } => Self::convert(s, self.vmac.enob, alpha * fs),
-            };
-            total += q;
+            total += self.convert_partial(s, k, chunks, &mut feedback);
         }
         total
     }
@@ -367,6 +385,41 @@ mod tests {
         assert!(rms_tiny > rms_half, "{rms_tiny} !> {rms_half}");
         // Clip fractions order the same way.
         assert!(tiny.clip_fraction(n_tot, 50, 31) > half.clip_fraction(n_tot, 50, 31));
+    }
+
+    #[test]
+    fn convert_partial_matches_whole_dot() {
+        // The per-conversion kernel, driven chunk by chunk the way a
+        // matmul inner loop drives it, must reproduce dot() exactly for
+        // every behaviour (including the stateful ΔΣ feedback).
+        use rand::Rng;
+        let vmac = Vmac::new(8, 8, 4, 7.0);
+        let behaviors = [
+            AdcBehavior::Ideal,
+            AdcBehavior::Quantizing,
+            AdcBehavior::DeltaSigma {
+                final_extra_bits: 2.0,
+            },
+            AdcBehavior::RefScaled { alpha: 0.5 },
+        ];
+        let mut rng = ams_tensor::rng::seeded(23);
+        for behavior in behaviors {
+            let sim = VmacSimulator::new(vmac, behavior);
+            let w: Vec<f32> = (0..22).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+            let x: Vec<f32> = (0..22).map(|_| rng.gen::<f32>()).collect();
+            let chunks = w.len().div_ceil(vmac.n_mult);
+            let mut feedback = 0.0f64;
+            let mut total = 0.0f64;
+            for (k, (wc, xc)) in w.chunks(vmac.n_mult).zip(x.chunks(vmac.n_mult)).enumerate() {
+                let s: f64 = wc
+                    .iter()
+                    .zip(xc)
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum();
+                total += sim.convert_partial(s, k, chunks, &mut feedback);
+            }
+            assert_eq!(total, sim.dot(&w, &x), "{behavior:?}");
+        }
     }
 
     #[test]

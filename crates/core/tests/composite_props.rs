@@ -1,0 +1,57 @@
+//! Property tests for the composite (multiplier + ADC) error budget.
+//!
+//! The contract under test: folding a composite budget into a lumped
+//! `Vmac` via [`CompositeError::effective_enob`] / `to_lumped` must
+//! reproduce the composite variance — the fold is an exact algebraic
+//! inversion of Eq. 1, so agreement is required at ULP scale, not just
+//! statistically.
+
+use ams_core::composite::CompositeError;
+use ams_core::vmac::Vmac;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn effective_enob_round_trips_composite_variance(
+        n_mult in 1usize..=256,
+        enob in 2.0f64..16.0,
+        multiplier_sigma in 0.0f64..0.05,
+        n_tot_chunks in 1usize..=64,
+    ) {
+        let adc = Vmac::new(8, 8, n_mult, enob);
+        let composite = CompositeError::new(adc, multiplier_sigma);
+        let lumped = composite.to_lumped();
+
+        // Per-conversion variance round-trips through the folded ENOB.
+        let conv = composite.conversion_variance();
+        let conv_lumped = lumped.error_variance();
+        prop_assert!(
+            (conv_lumped - conv).abs() <= 64.0 * f64::EPSILON * conv,
+            "conversion variance {conv} vs folded {conv_lumped}"
+        );
+
+        // And so does the Eq. 2 layer total for any chunk count.
+        let n_tot = n_mult * n_tot_chunks;
+        let total = composite.total_error_variance(n_tot);
+        let total_lumped = lumped.total_error_variance(n_tot);
+        prop_assert!(
+            (total_lumped - total).abs() <= 64.0 * f64::EPSILON * total,
+            "total variance {total} vs folded {total_lumped} at n_tot {n_tot}"
+        );
+    }
+
+    #[test]
+    fn effective_enob_never_exceeds_adc_enob(
+        n_mult in 1usize..=256,
+        enob in 2.0f64..16.0,
+        multiplier_sigma in 0.0f64..0.05,
+    ) {
+        // Multiplier error can only degrade the budget; σ_m = 0 recovers
+        // the ADC's own ENOB exactly.
+        let adc = Vmac::new(8, 8, n_mult, enob);
+        let composite = CompositeError::new(adc, multiplier_sigma);
+        prop_assert!(composite.effective_enob() <= enob + 1e-12);
+        let pure = CompositeError::new(adc, 0.0);
+        prop_assert!((pure.effective_enob() - enob).abs() < 1e-12);
+    }
+}

@@ -2,14 +2,8 @@
 //! sigma error recycling, ADC reference scaling, multiplication
 //! partitioning, and the last-layer training-injection rule.
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let ab = exp.ablations();
-    ab.report(exp.results_dir(), &exp.scale().name);
-    cli.write_metrics();
+    run_bin(Experiments::ablations, &[]);
 }

@@ -1,17 +1,15 @@
 //! Regenerates the paper's Figure 4 (loss vs ENOB re: the 8b quantized
 //! network; eval-only vs retrained-with-error).
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let f4 = exp.fig4();
-    f4.report(exp.results_dir(), &exp.scale().name);
-    println!("\nPaper shape: loss falls with ENOB; retraining recovers up to ~half the loss at");
-    println!("low ENOB and is slightly worse than eval-only at high ENOB. Our grids sit at lower");
-    println!("ENOB because ResNet-mini layers have much smaller N_tot (see DESIGN.md).");
-    cli.write_metrics();
+    run_bin(
+        Experiments::fig4,
+        &[
+            "Paper shape: loss falls with ENOB; retraining recovers up to ~half the loss at",
+            "low ENOB and is slightly worse than eval-only at high ENOB. Our grids sit at lower",
+            "ENOB because ResNet-mini layers have much smaller N_tot (see DESIGN.md).",
+        ],
+    );
 }

@@ -1,16 +1,14 @@
 //! Regenerates the paper's Figure 5 (loss vs ENOB re: the 6b quantized
 //! network; AMS error at evaluation only).
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let f5 = exp.fig5();
-    f5.report(exp.results_dir(), &exp.scale().name);
-    println!("\nPaper shape: monotone decrease; <1% loss beyond a cutoff ENOB, within one sample");
-    println!("standard deviation of the 6b baseline at the highest ENOBs.");
-    cli.write_metrics();
+    run_bin(
+        Experiments::fig5,
+        &[
+            "Paper shape: monotone decrease; <1% loss beyond a cutoff ENOB, within one sample",
+            "standard deviation of the 6b baseline at the highest ENOBs.",
+        ],
+    );
 }

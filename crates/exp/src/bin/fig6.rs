@@ -2,15 +2,11 @@
 //! retraining with AMS error teaches batch norm to push activation means
 //! away from zero, more so at higher noise.
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let f6 = exp.fig6();
-    f6.report(exp.results_dir(), &exp.scale().name);
-    println!("\nPaper: means pushed away from zero in 43 of 53 conv layers, more at higher noise.");
-    cli.write_metrics();
+    run_bin(
+        Experiments::fig6,
+        &["Paper: means pushed away from zero in 43 of 53 conv layers, more at higher noise."],
+    );
 }

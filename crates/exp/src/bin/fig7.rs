@@ -2,16 +2,14 @@
 //! FOM hull) on a synthetic survey — the model (Eq. 3) is exact; the
 //! survey points are synthesized above it (see DESIGN.md).
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let f7 = exp.fig7();
-    f7.report(exp.results_dir(), &exp.scale().name);
-    println!("\nModel: E_ADC = 0.3 pJ for ENOB <= 10.5, then 10^(0.1(6.02*ENOB - 68.25)) pJ");
-    println!("(the 187 dB Schreier-FOM line; energy quadruples per extra bit).");
-    cli.write_metrics();
+    run_bin(
+        Experiments::fig7,
+        &[
+            "Model: E_ADC = 0.3 pJ for ENOB <= 10.5, then 10^(0.1(6.02*ENOB - 68.25)) pJ",
+            "(the 187 dB Schreier-FOM line; energy quadruples per extra bit).",
+        ],
+    );
 }

@@ -2,18 +2,14 @@
 //! accuracy-loss and energy-per-MAC level curves, mapped from the measured
 //! N_mult = 8 retrained curve exactly as the paper does.
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let f8 = exp.fig8();
-    f8.report(exp.results_dir(), &exp.scale().name);
-    println!(
-        "\nPaper headline (ResNet-50): <0.4% loss needs >= ~313 fJ/MAC; <1% needs ~78 fJ/MAC;"
+    run_bin(
+        Experiments::fig8,
+        &[
+            "Paper headline (ResNet-50): <0.4% loss needs >= ~313 fJ/MAC; <1% needs ~78 fJ/MAC;",
+            "accuracy-loss and energy level curves are parallel in the thermal-noise region.",
+        ],
     );
-    println!("accuracy-loss and energy level curves are parallel in the thermal-noise region.");
-    cli.write_metrics();
 }

@@ -1,16 +1,14 @@
 //! Regenerates the paper's Table 1 (quantization baselines) on the
 //! SynthImageNet + ResNet-mini substrate.
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let t1 = exp.table1();
-    t1.report(exp.results_dir(), &exp.scale().name);
-    println!("\nPaper (ResNet-50/ImageNet): FP32 0.778, 8b/8b 0.781, 6b/6b 0.757, 6b/4b 0.606.");
-    println!("Expected shape: 8b ~= FP32; 6b slightly below; 6b/4b clearly degraded.");
-    cli.write_metrics();
+    run_bin(
+        Experiments::table1,
+        &[
+            "Paper (ResNet-50/ImageNet): FP32 0.778, 8b/8b 0.781, 6b/6b 0.757, 6b/4b 0.606.",
+            "Expected shape: 8b ~= FP32; 6b slightly below; 6b/4b clearly degraded.",
+        ],
+    );
 }

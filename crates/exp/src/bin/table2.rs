@@ -2,16 +2,14 @@
 //! retraining): freezing batch norm (and FC) destroys the accuracy
 //! recovery; freezing convolutions does not.
 
-use ams_exp::{Cli, Experiments, Report};
+use ams_exp::{run_bin, Experiments};
 
 fn main() {
-    let cli = Cli::from_args();
-    let exp = Experiments::new(cli.scale.clone(), &cli.results)
-        .with_ctx(cli.ctx())
-        .with_resume(cli.resume);
-    let t2 = exp.table2();
-    t2.report(exp.results_dir(), &exp.scale().name);
-    println!("\nPaper (ENOB 10, ResNet-50): None 0.0353, Conv 0.0341, BN 0.0886, FC 0.0774, BN+FC 0.120.");
-    println!("Expected shape: Conv ~= None; BN / FC / BN+FC markedly worse.");
-    cli.write_metrics();
+    run_bin(
+        Experiments::table2,
+        &[
+            "Paper (ENOB 10, ResNet-50): None 0.0353, Conv 0.0341, BN 0.0886, FC 0.0774, BN+FC 0.120.",
+            "Expected shape: Conv ~= None; BN / FC / BN+FC markedly worse.",
+        ],
+    );
 }

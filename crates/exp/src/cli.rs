@@ -3,17 +3,32 @@
 
 use std::path::{Path, PathBuf};
 
+use ams_core::error_model::{ErrorModelConfig, ErrorModelKind, PartitionSpec};
+use ams_core::vmac_sim::AdcBehavior;
 use ams_tensor::obs::{MetricsReport, CSV_HEADERS};
 use ams_tensor::{ExecCtx, MetricsSink};
 
-use crate::report::write_csv;
+use crate::report::{write_csv, Report};
+use crate::runner::Experiments;
 use crate::scale::Scale;
 
 /// Parsed command-line options common to every experiment binary:
 ///
 /// ```text
 /// [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume]
+/// [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S]
+/// [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]
 /// ```
+///
+/// `--error-model` selects how the VMAC error budget is realized (see
+/// DESIGN.md §10): the default `lumped` Gaussian reproduces the paper's
+/// Eq. 1/2 pipeline bit-for-bit; `composite` splits the budget into a
+/// multiplier term (`--multiplier-sigma`, RMS per D-to-A multiplier,
+/// default 0.01) plus the ADC; `per-vmac` simulates every chunked
+/// conversion at evaluation (`--adc` picks the converter behavior,
+/// `--partition NW,NX,ENOB` folds a §4 multiplication partition in);
+/// `ideal` injects nothing. Non-lumped runs write their artifacts under
+/// model-suffixed names, so they never overwrite the lumped outputs.
 ///
 /// `--resume` makes the run honor any sweep journal and train-state files
 /// a previous (killed) run left in the results directory: completed sweep
@@ -54,6 +69,9 @@ pub struct Cli {
     pub metrics_path: Option<PathBuf>,
     /// Whether `--resume` was given (honor sweep journals + train state).
     pub resume: bool,
+    /// The error model selected by `--error-model` and its parameter
+    /// flags (default: the lumped Gaussian).
+    pub error_model: ErrorModelConfig,
     ctx: ExecCtx,
 }
 
@@ -75,6 +93,10 @@ impl Cli {
         let mut ctx = ExecCtx::from_env();
         let mut metrics_path: Option<PathBuf> = None;
         let mut resume = false;
+        let mut kind = ErrorModelKind::Lumped;
+        let mut multiplier_sigma: Option<f64> = None;
+        let mut adc: Option<AdcBehavior> = None;
+        let mut partition: Option<PartitionSpec> = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -113,8 +135,41 @@ impl Cli {
                     resume = true;
                     i += 1;
                 }
+                "--error-model" => {
+                    kind = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--error-model needs a value"))
+                        .parse()
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    i += 2;
+                }
+                "--multiplier-sigma" => {
+                    multiplier_sigma = Some(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--multiplier-sigma needs a value"))
+                            .parse()
+                            .unwrap_or_else(|e| {
+                                panic!("--multiplier-sigma needs a number: {e}")
+                            }),
+                    );
+                    i += 2;
+                }
+                "--adc" => {
+                    adc = Some(parse_adc(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--adc needs a value")),
+                    ));
+                    i += 2;
+                }
+                "--partition" => {
+                    partition = Some(parse_partition(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--partition needs a value")),
+                    ));
+                    i += 2;
+                }
                 other => panic!(
-                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume]"
+                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]"
                 ),
             }
         }
@@ -126,6 +181,7 @@ impl Cli {
             results,
             metrics_path,
             resume,
+            error_model: assemble_error_model(kind, multiplier_sigma, adc, partition),
             ctx,
         }
     }
@@ -158,6 +214,132 @@ impl Cli {
             Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
         }
     }
+}
+
+/// Assembles the [`ErrorModelConfig`] from the parsed flags, rejecting
+/// parameter flags that do not apply to the selected model.
+fn assemble_error_model(
+    kind: ErrorModelKind,
+    multiplier_sigma: Option<f64>,
+    adc: Option<AdcBehavior>,
+    partition: Option<PartitionSpec>,
+) -> ErrorModelConfig {
+    match kind {
+        ErrorModelKind::Composite => {
+            assert!(
+                adc.is_none() && partition.is_none(),
+                "--adc/--partition apply to --error-model per-vmac only"
+            );
+            ErrorModelConfig::Composite {
+                multiplier_sigma: multiplier_sigma.unwrap_or(0.01),
+            }
+        }
+        ErrorModelKind::PerVmac => {
+            assert!(
+                multiplier_sigma.is_none(),
+                "--multiplier-sigma applies to --error-model composite only"
+            );
+            ErrorModelConfig::PerVmac {
+                behavior: adc.unwrap_or(AdcBehavior::Quantizing),
+                partition,
+            }
+        }
+        ErrorModelKind::Lumped | ErrorModelKind::Ideal => {
+            assert!(
+                multiplier_sigma.is_none() && adc.is_none() && partition.is_none(),
+                "--multiplier-sigma/--adc/--partition require --error-model composite or per-vmac"
+            );
+            if kind == ErrorModelKind::Ideal {
+                ErrorModelConfig::Ideal
+            } else {
+                ErrorModelConfig::Lumped
+            }
+        }
+    }
+}
+
+/// Parses an `--adc` value: `ideal`, `quantizing`, `delta-sigma[:BITS]`
+/// (extra final-conversion bits, default 2), or `ref-scaled:ALPHA`.
+fn parse_adc(value: &str) -> AdcBehavior {
+    let (name, arg) = match value.split_once(':') {
+        Some((n, a)) => (n, Some(a)),
+        None => (value, None),
+    };
+    match (name, arg) {
+        ("ideal", None) => AdcBehavior::Ideal,
+        ("quantizing", None) => AdcBehavior::Quantizing,
+        ("delta-sigma", arg) => AdcBehavior::DeltaSigma {
+            final_extra_bits: arg.map_or(2.0, |a| {
+                a.parse()
+                    .unwrap_or_else(|e| panic!("--adc delta-sigma:BITS needs a number: {e}"))
+            }),
+        },
+        ("ref-scaled", Some(a)) => AdcBehavior::RefScaled {
+            alpha: a
+                .parse()
+                .unwrap_or_else(|e| panic!("--adc ref-scaled:ALPHA needs a number: {e}")),
+        },
+        _ => panic!(
+            "unknown --adc value {value:?}; expected ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA"
+        ),
+    }
+}
+
+/// Parses a `--partition` value `NW,NX,SLICE_ENOB` into a [`PartitionSpec`].
+fn parse_partition(value: &str) -> PartitionSpec {
+    let parts: Vec<&str> = value.split(',').collect();
+    let [nw, nx, slice_enob] = parts.as_slice() else {
+        panic!("--partition needs NW,NX,SLICE_ENOB (e.g. 2,2,12.0), got {value:?}");
+    };
+    PartitionSpec {
+        n_w: nw
+            .parse()
+            .unwrap_or_else(|e| panic!("--partition NW needs an integer: {e}")),
+        n_x: nx
+            .parse()
+            .unwrap_or_else(|e| panic!("--partition NX needs an integer: {e}")),
+        slice_enob: slice_enob
+            .parse()
+            .unwrap_or_else(|e| panic!("--partition SLICE_ENOB needs a number: {e}")),
+    }
+}
+
+/// The shared scaffolding of every experiment binary: parse the CLI,
+/// assemble the [`Experiments`] suite from it, run `build`, print/write
+/// the result's report (under the model-suffixed scale name), print the
+/// `epilogue` lines, and snapshot metrics.
+///
+/// ```no_run
+/// use ams_exp::{run_bin, Experiments};
+///
+/// fn main() {
+///     run_bin(Experiments::table1, &["Expected shape: 8b ~= FP32."]);
+/// }
+/// ```
+pub fn run_bin<R: Report>(build: impl FnOnce(&Experiments) -> R, epilogue: &[&str]) {
+    run_bin_custom(|exp, _cli| {
+        let result = build(exp);
+        result.report(exp.results_dir(), &exp.report_scale_name());
+        if !epilogue.is_empty() {
+            println!();
+        }
+        for line in epilogue {
+            println!("{line}");
+        }
+    });
+}
+
+/// [`run_bin`] for binaries with bespoke output (e.g. the combined
+/// `report` binary): handles CLI parsing, suite assembly and the final
+/// metrics snapshot, leaving the body to `run`.
+pub fn run_bin_custom(run: impl FnOnce(&Experiments, &Cli)) {
+    let cli = Cli::from_args();
+    let exp = Experiments::new(cli.scale.clone(), &cli.results)
+        .with_ctx(cli.ctx())
+        .with_resume(cli.resume)
+        .with_error_model(cli.error_model);
+    run(&exp, &cli);
+    cli.write_metrics();
 }
 
 /// Writes a metrics report to `path` — CSV (flat kind/name table) when the
@@ -235,6 +417,82 @@ mod tests {
     fn resume_flag_parses() {
         assert!(Cli::parse(args(&["--resume"])).resume);
         assert!(!Cli::parse(args(&[])).resume);
+    }
+
+    #[test]
+    fn error_model_flags_parse() {
+        assert_eq!(Cli::parse(args(&[])).error_model, ErrorModelConfig::Lumped);
+        assert_eq!(
+            Cli::parse(args(&["--error-model", "ideal"])).error_model,
+            ErrorModelConfig::Ideal
+        );
+        assert_eq!(
+            Cli::parse(args(&[
+                "--error-model",
+                "composite",
+                "--multiplier-sigma",
+                "0.03"
+            ]))
+            .error_model,
+            ErrorModelConfig::Composite {
+                multiplier_sigma: 0.03
+            }
+        );
+        assert_eq!(
+            Cli::parse(args(&["--error-model", "per-vmac"])).error_model,
+            ErrorModelConfig::per_vmac()
+        );
+        assert_eq!(
+            Cli::parse(args(&[
+                "--error-model",
+                "per-vmac",
+                "--adc",
+                "delta-sigma:3",
+                "--partition",
+                "2,2,12.0",
+            ]))
+            .error_model,
+            ErrorModelConfig::PerVmac {
+                behavior: AdcBehavior::DeltaSigma {
+                    final_extra_bits: 3.0
+                },
+                partition: Some(PartitionSpec {
+                    n_w: 2,
+                    n_x: 2,
+                    slice_enob: 12.0
+                }),
+            }
+        );
+        assert_eq!(
+            Cli::parse(args(&[
+                "--error-model",
+                "per-vmac",
+                "--adc",
+                "ref-scaled:0.5"
+            ]))
+            .error_model,
+            ErrorModelConfig::PerVmac {
+                behavior: AdcBehavior::RefScaled { alpha: 0.5 },
+                partition: None,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown error model")]
+    fn rejects_unknown_error_model() {
+        Cli::parse(args(&["--error-model", "bogus"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "--multiplier-sigma applies to --error-model composite only")]
+    fn rejects_mismatched_model_params() {
+        Cli::parse(args(&[
+            "--error-model",
+            "per-vmac",
+            "--multiplier-sigma",
+            "0.1",
+        ]));
     }
 
     #[test]

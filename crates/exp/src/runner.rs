@@ -13,7 +13,7 @@ use ams_core::tradeoff::{AccuracyCurve, TradeoffGrid};
 use ams_core::vmac::Vmac;
 use ams_core::vmac_sim::{AdcBehavior, VmacSimulator};
 use ams_data::SynthImageNet;
-use ams_models::{FreezePolicy, HardwareConfig, ResNetMini};
+use ams_models::{ErrorModelConfig, ErrorModelKind, FreezePolicy, HardwareConfig, ResNetMini};
 use ams_nn::Checkpoint;
 use ams_quant::QuantConfig;
 use ams_tensor::ExecCtx;
@@ -49,6 +49,7 @@ pub struct Experiments {
     data: SynthImageNet,
     ctx: ExecCtx,
     resume: bool,
+    error_model: ErrorModelConfig,
 }
 
 impl Experiments {
@@ -61,6 +62,34 @@ impl Experiments {
             data,
             ctx: ExecCtx::serial(),
             resume: false,
+            error_model: ErrorModelConfig::default(),
+        }
+    }
+
+    /// Selects the error model every AMS configuration in this suite
+    /// realizes (`--error-model` on the binaries). The default lumped
+    /// Gaussian reproduces the pre-trait pipeline bit-for-bit; other
+    /// models cache and journal under suffixed keys so they never collide
+    /// with (or corrupt) the lumped artifacts.
+    pub fn with_error_model(mut self, error_model: ErrorModelConfig) -> Self {
+        self.error_model = error_model;
+        self
+    }
+
+    /// The stem binaries pass to [`crate::Report::report`]: the scale
+    /// name, plus the error-model suffix for non-default models so their
+    /// CSVs never overwrite the lumped (golden) artifacts.
+    pub fn report_scale_name(&self) -> String {
+        format!("{}{}", self.scale.name, self.model_suffix())
+    }
+
+    /// Cache-key / journal-name suffix for the active error model; empty
+    /// for the default lumped model so existing caches, journals and
+    /// golden CSVs keep their exact paths.
+    fn model_suffix(&self) -> String {
+        match self.error_model.kind() {
+            ErrorModelKind::Lumped => String::new(),
+            kind => format!("_{kind}"),
         }
     }
 
@@ -270,7 +299,7 @@ impl Experiments {
     pub fn ams_eval_only(&self, quant: QuantConfig, enob: f64) -> Stat {
         let (q_ckpt, _) = self.quantized_baseline(quant);
         let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
-        let hw = HardwareConfig::ams_eval_only(quant, vmac);
+        let hw = HardwareConfig::ams_eval_only(quant, vmac).with_error_model(self.error_model);
         let mut net = ResNetMini::new(&self.scale.arch, &hw);
         q_ckpt.load_into(&mut net).expect("architectures match");
         eval_passes(
@@ -288,7 +317,13 @@ impl Experiments {
     /// FP32 checkpoint, quantization + injection active, last layer
     /// excluded during training per §2).
     pub fn ams_retrained(&self, quant: QuantConfig, enob: f64) -> (Checkpoint, Stat) {
-        let key = format!("ams_w{}a{}_e{}", quant.bw, quant.bx, format_enob(enob));
+        let key = format!(
+            "ams_w{}a{}_e{}{}",
+            quant.bw,
+            quant.bx,
+            format_enob(enob),
+            self.model_suffix()
+        );
         let (fp32_ckpt, _) = self.fp32_baseline();
         self.cached(&key, |state| {
             eprintln!(
@@ -296,7 +331,7 @@ impl Experiments {
                 self.scale.name
             );
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
-            let hw = HardwareConfig::ams(quant, vmac);
+            let hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");
             let out = train_scheduled_resumable(
@@ -387,7 +422,7 @@ impl Experiments {
         // below only ever read them from the cache.
         let (_, baseline) = self.quantized_baseline(quant);
         let _ = self.fp32_baseline();
-        let sweep = self.sweep("fig4");
+        let sweep = self.sweep(&format!("fig4{}", self.model_suffix()));
         let rows = self
             .ctx
             .parallel_map(&self.scale.enob_grid, |&enob| {
@@ -421,7 +456,7 @@ impl Experiments {
         let _t = self.ctx.metrics().scope(|| "experiment.fig5".to_string());
         let quant = QuantConfig::w6a6();
         let (_, baseline) = self.quantized_baseline(quant);
-        let sweep = self.sweep("fig5");
+        let sweep = self.sweep(&format!("fig5{}", self.model_suffix()));
         let rows = self
             .ctx
             .parallel_map(&self.scale.enob_grid_6b, |&enob| {
@@ -458,7 +493,7 @@ impl Experiments {
         let enob = self.scale.table2_enob;
         // Every freezing variant retrains independently from the shared
         // FP32 checkpoint warmed above — run them concurrently.
-        let sweep = self.sweep("table2");
+        let sweep = self.sweep(&format!("table2{}", self.model_suffix()));
         let rows = self.ctx.parallel_map(&FreezePolicy::ALL, |&policy| {
             let point = format!("{policy}").replace(' ', "_").to_lowercase();
             sweep.run_point(point, || {
@@ -466,14 +501,15 @@ impl Experiments {
                     .ctx
                     .metrics()
                     .scope(|| format!("sweep.table2.{policy}").replace(' ', "_"));
-                let key = format!("table2_{policy}").replace(' ', "_").to_lowercase();
+                let key = format!("table2_{policy}").replace(' ', "_").to_lowercase()
+                    + &self.model_suffix();
                 let (_, stat) = self.cached(&key, |state| {
                     eprintln!(
                         "[{}] table2: retraining with frozen {policy} ...",
                         self.scale.name
                     );
                     let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
-                    let hw = HardwareConfig::ams(quant, vmac);
+                    let hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
                     let mut net = ResNetMini::new(&self.scale.arch, &hw);
                     fp32_ckpt.load_into(&mut net).expect("architectures match");
                     net.apply_freeze(policy);
@@ -549,7 +585,7 @@ impl Experiments {
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
             variants.push((
                 format!("AMS {}b", format_enob(enob)),
-                HardwareConfig::ams(quant, vmac),
+                HardwareConfig::ams(quant, vmac).with_error_model(self.error_model),
                 ckpt,
                 Some(enob),
             ));
@@ -788,13 +824,14 @@ impl Experiments {
         let enob = self.scale.table2_enob;
         let (fp32_ckpt, _) = self.fp32_baseline();
         let (_, normal) = self.ams_retrained(quant, enob);
-        let (_, with_last) = self.cached("ablation_lastlayer", |state| {
+        let lastlayer_key = format!("ablation_lastlayer{}", self.model_suffix());
+        let (_, with_last) = self.cached(&lastlayer_key, |state| {
             eprintln!(
                 "[{}] ablation: retraining WITH last-layer injection ...",
                 self.scale.name
             );
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
-            let mut hw = HardwareConfig::ams(quant, vmac);
+            let mut hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
             hw.inject_last_layer_train = true;
             let mut net = ResNetMini::new(&self.scale.arch, &hw);
             fp32_ckpt.load_into(&mut net).expect("architectures match");

@@ -4,7 +4,7 @@ use std::path::Path;
 use std::time::Instant;
 
 use ams_data::{Batcher, Dataset};
-use ams_models::ResNetMini;
+use ams_models::{ErrorModelConfig, ResNetMini};
 use ams_nn::{accuracy, softmax_cross_entropy, Checkpoint, Layer, Mode, Sgd};
 use ams_tensor::{rng, ExecCtx};
 use serde::{Deserialize, Serialize};
@@ -100,6 +100,10 @@ pub struct TrainState {
     pub velocities: Checkpoint,
     /// Cursor of the shuffle/augmentation stream.
     pub shuffle_rng: rng::RngState,
+    /// The error model the run was configured with. Resume refuses a
+    /// state written under a different model: the noise cursors below
+    /// would silently reposition the *wrong* error process.
+    pub error_model: ErrorModelConfig,
     /// Per-layer AMS noise-stream cursors, in the model's forward order.
     pub noise_states: Vec<rng::RngState>,
     /// Snapshot of the best-validation epoch so far.
@@ -204,6 +208,15 @@ pub fn train_scheduled_resumable(
     let mut start_epoch = 1usize;
 
     if let Some(state) = state_path.and_then(TrainState::load) {
+        let configured = net.hardware().error_model;
+        assert!(
+            state.error_model == configured,
+            "refusing to resume from {}: checkpoint was written with error model {:?}, \
+             this run uses {:?} — delete the state file to restart from scratch",
+            state_path.expect("load implies a path").display(),
+            state.error_model,
+            configured,
+        );
         eprintln!(
             "[train] resuming at epoch {}/{epochs} from {}",
             state.epochs_done + 1,
@@ -264,6 +277,7 @@ pub fn train_scheduled_resumable(
                     model: Checkpoint::from_layer(net),
                     velocities: Checkpoint::velocities_from(net),
                     shuffle_rng: rng::RngState::capture(&shuffle_rng),
+                    error_model: net.hardware().error_model,
                     noise_states: net.noise_states(),
                     best_checkpoint: best.best_checkpoint.clone(),
                     best_val_acc: best.best_val_acc,
@@ -448,6 +462,7 @@ mod tests {
             model: Checkpoint::from_layer(&mut prefix),
             velocities: Checkpoint::velocities_from(&mut prefix),
             shuffle_rng: rng::RngState::capture(&rng2),
+            error_model: hw.error_model,
             noise_states: prefix.noise_states(),
             best_checkpoint: best_ckpt,
             best_val_acc: best_acc,
@@ -481,6 +496,54 @@ mod tests {
         }
         assert!(!state.exists(), "state file is cleaned up on completion");
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to resume")]
+    fn resume_refuses_a_mismatched_error_model() {
+        // A TrainState written under the per-VMAC model must not silently
+        // reposition a lumped run's noise cursors.
+        let data = SynthConfig::tiny().generate();
+        let ctx = ExecCtx::serial();
+        let dir = std::env::temp_dir().join(format!("ams_train_refuse_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state.json");
+
+        let hw = ams_models::HardwareConfig::ams(
+            ams_quant::QuantConfig::w8a8(),
+            ams_core::vmac::Vmac::new(8, 8, 8, 6.0),
+        );
+        let arch = ResNetMiniConfig::tiny();
+        let mut net = ResNetMini::new(&arch, &hw);
+        let st = TrainState {
+            epochs_done: 1,
+            lr: 0.05,
+            model: Checkpoint::from_layer(&mut net),
+            velocities: Checkpoint::velocities_from(&mut net),
+            shuffle_rng: rng::RngState::capture(&rng::seeded(9)),
+            error_model: hw.with_per_vmac_eval().error_model,
+            noise_states: net.noise_states(),
+            best_checkpoint: Checkpoint::from_layer(&mut net),
+            best_val_acc: 0.5,
+            best_epoch: 1,
+            history: vec![(1.0, 0.5)],
+        };
+        std::fs::write(&state, serde_json::to_string(&st).unwrap()).unwrap();
+
+        let mut resumed = ResNetMini::new(&arch, &hw);
+        train_scheduled_resumable(
+            &ctx,
+            &mut resumed,
+            &data.train,
+            &data.val,
+            2,
+            0.05,
+            16,
+            9,
+            &[],
+            Some(&state),
+        );
     }
 
     #[test]

@@ -27,15 +27,16 @@ fn metrics_report_has_per_layer_noise_matching_eq2() {
 
     let report = sink.registry().expect("recording sink").report();
 
-    // Every injecting layer records a `noise.<layer>.enob<e>` gauge whose
-    // sample variance matches the Eq. 2 model (same chi-square-derived
-    // band as crates/core/tests/error_stats.rs, scaled to each layer's
-    // sample count; the seed is fixed, so this is deterministic).
+    // Every injecting layer records a `noise.<layer>.<kind>.enob<e>`
+    // gauge whose sample variance matches the Eq. 2 model (same
+    // chi-square-derived band as crates/core/tests/error_stats.rs, scaled
+    // to each layer's sample count; the seed is fixed, so this is
+    // deterministic). The default error model is the lumped Gaussian.
     let budget = net.error_budget();
     assert!(!budget.is_empty());
     for (name, _n_tot, sigma) in &budget {
         let sigma = f64::from(sigma.expect("AMS hardware sets σ on every layer"));
-        let key = format!("noise.{name}.enob{enob:.1}");
+        let key = format!("noise.{name}.lumped.enob{enob:.1}");
         let g = report
             .gauge(&key)
             .unwrap_or_else(|| panic!("missing noise gauge {key}"));

@@ -1,25 +1,11 @@
 //! The hardware description applied to a network.
 
+use ams_core::error_model::{ErrorModel, ErrorModelConfig};
 use ams_core::mismatch::MismatchModel;
 use ams_core::vmac::Vmac;
 use ams_quant::{QuantConfig, WeightScheme};
+use ams_tensor::noise_stream_seed;
 use serde::{Deserialize, Serialize};
-
-/// How AMS error is realized at evaluation time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub enum ErrorMode {
-    /// One Gaussian per output activation with Eq. 2's σ — the paper's
-    /// main method (fast; assumes independent per-VMAC errors).
-    #[default]
-    Lumped,
-    /// Chunk every reduction into `N_mult`-sized analog partial sums and
-    /// quantize each on the ADC grid (paper §4's proposed refinement:
-    /// "split up the convolution into VMAC-sized units and inject error
-    /// at the output of each VMAC separately... this modeling can be
-    /// performed for evaluation only"). Training still uses the lumped
-    /// model, exactly as the paper suggests to avoid the slowdown.
-    PerVmac,
-}
 
 /// How a quantized layer interprets its input activations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -72,9 +58,10 @@ pub struct HardwareConfig {
     /// destroys learning and leaves it off (§2); it stays available for
     /// the ablation that reproduces that finding.
     pub inject_last_layer_train: bool,
-    /// How evaluation-time error is realized (lumped Gaussian vs
-    /// per-VMAC chunked quantization, paper §4).
-    pub error_mode: ErrorMode,
+    /// Which error model realizes the VMAC error budget (lumped Gaussian,
+    /// composite multiplier + ADC, per-VMAC chunked simulation, or ideal —
+    /// see [`ErrorModelConfig`]).
+    pub error_model: ErrorModelConfig,
     /// Optional static device mismatch applied to the realized weights
     /// (paper §4's "non-additive and data-dependent errors").
     pub mismatch: Option<MismatchModel>,
@@ -92,7 +79,7 @@ impl HardwareConfig {
             inject_train: false,
             inject_eval: false,
             inject_last_layer_train: false,
-            error_mode: ErrorMode::Lumped,
+            error_model: ErrorModelConfig::Lumped,
             mismatch: None,
             noise_seed: 0,
         }
@@ -135,10 +122,27 @@ impl HardwareConfig {
     }
 
     /// Returns a copy using per-VMAC chunked quantization at evaluation
-    /// (paper §4's fine-grained mode).
-    pub fn with_per_vmac_eval(mut self) -> Self {
-        self.error_mode = ErrorMode::PerVmac;
+    /// (paper §4's fine-grained mode; training still uses the lumped
+    /// Gaussian, exactly as the paper suggests to avoid the slowdown).
+    pub fn with_per_vmac_eval(self) -> Self {
+        self.with_error_model(ErrorModelConfig::per_vmac())
+    }
+
+    /// Returns a copy selecting a different error model.
+    pub fn with_error_model(mut self, error_model: ErrorModelConfig) -> Self {
+        self.error_model = error_model;
         self
+    }
+
+    /// Builds the live per-layer error model for the layer at
+    /// `layer_index`, seeding its noise stream from this config's master
+    /// seed exactly as the pre-trait injector wiring did.
+    pub fn build_error_model(&self, layer_index: u64) -> Box<dyn ErrorModel> {
+        self.error_model.build(
+            self.vmac,
+            self.mismatch,
+            noise_stream_seed(self.noise_seed, layer_index),
+        )
     }
 
     /// Returns a copy with static device mismatch applied to the realized
@@ -195,5 +199,22 @@ mod tests {
         assert!(eo.injects(false, false));
         // Digital hardware never injects.
         assert!(!HardwareConfig::quantized(QuantConfig::w8a8()).injects(false, false));
+    }
+
+    #[test]
+    fn error_model_selection_flows_into_built_models() {
+        use ams_core::error_model::ErrorModelKind;
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::default());
+        assert_eq!(hw.error_model, ErrorModelConfig::Lumped);
+        assert_eq!(hw.build_error_model(0).kind(), ErrorModelKind::Lumped);
+
+        let pv = hw.with_per_vmac_eval();
+        assert_eq!(pv.error_model, ErrorModelConfig::per_vmac());
+        let model = pv.build_error_model(3);
+        assert_eq!(model.kind(), ErrorModelKind::PerVmac);
+        assert!(model.operand_sim().is_some());
+
+        let ideal = hw.with_error_model(ErrorModelConfig::Ideal);
+        assert!(ideal.build_error_model(0).sigma_hint(64).is_none());
     }
 }

@@ -44,9 +44,10 @@ mod qlinear;
 mod resnet;
 pub mod surgery;
 
+pub use ams_core::error_model::{ErrorModel, ErrorModelConfig, ErrorModelKind};
 pub use block::BasicBlock;
 pub use cnn::{PlainCnn, PlainCnnConfig};
-pub use config::{ErrorMode, HardwareConfig, InputKind};
+pub use config::{HardwareConfig, InputKind};
 pub use freeze::FreezePolicy;
 pub use qconv::QConv2d;
 pub use qlinear::QLinear;

@@ -1,6 +1,6 @@
 //! Quantized convolution with AMS error injection (paper Fig. 3).
 
-use ams_core::inject::GaussianInjector;
+use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{conv2d_backward, conv2d_forward, ConvCache};
 use ams_nn::{Layer, Mode, Param};
@@ -9,7 +9,7 @@ use ams_tensor::obs::WelfordState;
 use ams_tensor::{im2col_in, mat_to_nchw_in, noise_stream_seed, rng, ConvGeom, ExecCtx, Tensor};
 use rand::Rng;
 
-use crate::config::{ErrorMode, HardwareConfig, InputKind};
+use crate::config::{HardwareConfig, InputKind};
 
 /// A convolution implementing the paper's quantized layer (Fig. 3):
 /// input activations quantized to `B_X` bits, shadow FP32 weights
@@ -48,7 +48,7 @@ pub struct QConv2d {
     input_kind: InputKind,
     hw: HardwareConfig,
     layer_index: u64,
-    injector: GaussianInjector,
+    model: Box<dyn ErrorModel>,
     cache: Option<ConvCache>,
     ste_scale: Option<Tensor>,
     probe_enabled: bool,
@@ -89,7 +89,7 @@ impl QConv2d {
         rng::fill_kaiming(&mut w, c_in * k * k, init_rng);
         let weight = Param::new(format!("{name}.weight"), w);
         QConv2d {
-            injector: GaussianInjector::new(noise_stream_seed(hw.noise_seed, layer_index)),
+            model: hw.build_error_model(layer_index),
             wq: WeightQuantizer::with_scheme(hw.quant.bw, hw.scheme),
             bx: hw.quant.bx,
             input_kind,
@@ -121,28 +121,34 @@ impl QConv2d {
         &self.weight
     }
 
-    /// The σ of the AMS error this layer injects per output element
-    /// (`None` when no VMAC is configured).
+    /// The lumped-equivalent σ of the error this layer injects per output
+    /// element (`None` when the configured error model injects nothing).
     pub fn error_sigma(&self) -> Option<f32> {
-        self.hw
-            .vmac
-            .map(|v| v.total_error_sigma(self.n_tot()) as f32)
+        self.model.sigma_hint(self.n_tot())
+    }
+
+    /// The live error model realizing this layer's hardware error budget.
+    pub fn error_model(&self) -> &dyn ErrorModel {
+        self.model.as_ref()
     }
 
     /// Reseeds the AMS noise stream (fresh noise per validation pass).
     pub fn reseed_noise(&mut self, pass_seed: u64, layer_index: u64) {
-        self.injector
-            .reseed(noise_stream_seed(pass_seed, layer_index));
+        self.model.reseed(noise_stream_seed(pass_seed, layer_index));
     }
 
     /// The current cursor of this layer's noise stream (checkpoint/resume).
     pub fn noise_state(&self) -> ams_tensor::rng::RngState {
-        self.injector.rng_state()
+        self.model
+            .rng_cursors()
+            .into_iter()
+            .next()
+            .expect("every error model owns one RNG stream")
     }
 
     /// Repositions the noise stream at a captured cursor.
     pub fn restore_noise_state(&mut self, state: &ams_tensor::rng::RngState) {
-        self.injector.restore_rng_state(state);
+        self.model.restore(std::slice::from_ref(state));
     }
 
     /// Enables or disables output-mean probing (paper Fig. 6); enabling
@@ -166,18 +172,24 @@ impl QConv2d {
     }
 
     /// The §4 fine-grained path: lower the convolution, chop every
-    /// reduction into `N_mult`-sized analog partial sums, and quantize
-    /// each partial sum on the ADC grid (mid-rise, full-scale
-    /// `±N_mult`), accumulating the digital codes.
-    fn forward_per_vmac(&self, ctx: &ExecCtx, xq: &Tensor, wmat: &Tensor) -> Tensor {
-        let vmac = self.hw.vmac.expect("per-VMAC mode requires a VMAC");
+    /// reduction into `N_mult`-sized analog partial sums, and push each
+    /// through the simulator's modeled conversion (plain quantizing, ΔΣ
+    /// error recycling, or reference-scaled), accumulating the digital
+    /// codes.
+    fn forward_per_vmac(
+        &self,
+        ctx: &ExecCtx,
+        xq: &Tensor,
+        wmat: &Tensor,
+        sim: &VmacSimulator,
+    ) -> Tensor {
         let ws = ctx.workspace();
         let (n, c_in, h, w) = xq.dims4();
         let geom = ConvGeom::new(n, c_in, h, w, self.k, self.k, self.stride, self.pad);
         let cols = im2col_in(ctx, xq, &geom);
         let (rows, ncols) = (geom.rows(), geom.cols());
-        let n_mult = vmac.n_mult;
-        let fs = n_mult as f64;
+        let n_mult = sim.vmac().n_mult;
+        let n_chunks = rows.div_ceil(n_mult);
         let wd = wmat.data();
         let cd = cols.data();
         let mut ymat = ws.take_tensor(&[self.c_out, ncols]);
@@ -186,7 +198,11 @@ impl QConv2d {
         ctx.for_each_chunk(ymat.data_mut(), ncols, rows * ncols, |co, yrow| {
             let wrow = &wd[co * rows..(co + 1) * rows];
             let mut acc = vec![0.0f64; ncols];
+            // ΔΣ error memory, carried per output element across the
+            // successive conversions of its partial sums.
+            let mut feedback = vec![0.0f64; ncols];
             let mut chunk_start = 0;
+            let mut k = 0;
             while chunk_start < rows {
                 let chunk_end = (chunk_start + n_mult).min(rows);
                 for a in acc.iter_mut() {
@@ -202,10 +218,11 @@ impl QConv2d {
                         *a += wv * f64::from(cv);
                     }
                 }
-                for (yv, &a) in yrow.iter_mut().zip(acc.iter()) {
-                    *yv += VmacSimulator::convert(a, vmac.enob, fs) as f32;
+                for ((yv, &a), fb) in yrow.iter_mut().zip(acc.iter()).zip(feedback.iter_mut()) {
+                    *yv += sim.convert_partial(a, k, n_chunks, fb) as f32;
                 }
                 chunk_start = chunk_end;
+                k += 1;
             }
         });
         let y = mat_to_nchw_in(ctx, &ymat, &geom, self.c_out);
@@ -249,9 +266,8 @@ impl Layer for QConv2d {
         let qw = self.wq.quantize_in(ws, &self.weight.value);
         let density = qw.density;
         let ste_scale = qw.ste_scale;
-        let realized = match &self.hw.mismatch {
-            Some(m) => {
-                let r = m.apply(&qw.values, self.layer_index);
+        let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
+            Some(r) => {
                 ws.recycle(qw.values);
                 r
             }
@@ -261,11 +277,16 @@ impl Layer for QConv2d {
             .reshape(&[self.c_out, self.c_in * self.k * self.k])
             .expect("QConv2d: weight matrix shape");
         let injecting = self.hw.injects(mode.is_train(), false);
-        // Paper §4's fine-grained mode: chunked per-VMAC ADC quantization,
-        // evaluation only (training keeps the fast lumped model).
-        let per_vmac = injecting && !mode.is_train() && self.hw.error_mode == ErrorMode::PerVmac;
-        let (mut y, cache) = if per_vmac {
-            (self.forward_per_vmac(ctx, &xq, &wmat), None)
+        // Paper §4's fine-grained mode: chunked per-VMAC conversion
+        // simulation, evaluation only (training keeps the fast additive
+        // model the error model falls back to).
+        let operand_sim = if injecting && !mode.is_train() {
+            self.model.operand_sim()
+        } else {
+            None
+        };
+        let (mut y, cache) = if let Some(sim) = &operand_sim {
+            (self.forward_per_vmac(ctx, &xq, &wmat, sim), None)
         } else {
             conv2d_forward(
                 ctx,
@@ -282,19 +303,24 @@ impl Layer for QConv2d {
         };
         ws.recycle(xq);
         ws.recycle(wmat);
-        if injecting && !per_vmac {
-            let sigma = self.error_sigma().expect("injects() implies a VMAC");
+        if injecting && operand_sim.is_none() {
+            let n_tot = self.n_tot();
             if ctx.metrics().enabled() {
                 // Traced injection draws the identical RNG stream, so the
                 // noisy activations are bit-identical with metrics on or off.
-                let stats = self.injector.inject_sigma_traced(&mut y, sigma);
-                let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
-                // Key by ENOB: sweeps (Fig. 4/5) drive the same layer at
-                // several ENOBs, and each has a different Eq. 2 variance.
-                ctx.metrics()
-                    .merge_observations(&format!("noise.{}.enob{enob:.1}", self.name), &stats);
+                let stats = self.model.inject_traced(&mut y, n_tot);
+                if !stats.is_empty() {
+                    let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
+                    // Key by model kind and ENOB: sweeps (Fig. 4/5) drive
+                    // the same layer at several ENOBs, and each (model,
+                    // ENOB) pair has a different error distribution.
+                    ctx.metrics().merge_observations(
+                        &format!("noise.{}.{}.enob{enob:.1}", self.name, self.model.kind()),
+                        &stats,
+                    );
+                }
             } else {
-                self.injector.inject_sigma(&mut y, sigma);
+                self.model.inject(&mut y, n_tot);
             }
         }
         if ctx.metrics().enabled() {

@@ -1,6 +1,6 @@
 //! Quantized fully-connected layer with AMS error injection.
 
-use ams_core::inject::GaussianInjector;
+use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{linear_backward, linear_forward, LinearCache};
 use ams_nn::{Layer, Mode, Param};
@@ -8,7 +8,7 @@ use ams_quant::{quantize_activations_in, WeightQuantizer};
 use ams_tensor::{noise_stream_seed, rng, ExecCtx, Tensor};
 use rand::Rng;
 
-use crate::config::{ErrorMode, HardwareConfig};
+use crate::config::HardwareConfig;
 
 /// A fully-connected layer with DoReFa weight/activation quantization and
 /// AMS error injection — the classifier head of the paper's networks.
@@ -45,7 +45,7 @@ pub struct QLinear {
     is_last: bool,
     hw: HardwareConfig,
     layer_index: u64,
-    injector: GaussianInjector,
+    model: Box<dyn ErrorModel>,
     cache: Option<LinearCache>,
     ste_scale: Option<Tensor>,
 }
@@ -83,7 +83,7 @@ impl QLinear {
             is_last,
             hw: *hw,
             layer_index,
-            injector: GaussianInjector::new(noise_stream_seed(hw.noise_seed, layer_index)),
+            model: hw.build_error_model(layer_index),
             name,
             in_features,
             out_features,
@@ -107,11 +107,15 @@ impl QLinear {
         &self.weight
     }
 
-    /// The σ of the AMS error this layer injects per output element.
+    /// The lumped-equivalent σ of the error this layer injects per output
+    /// element (`None` when the configured error model injects nothing).
     pub fn error_sigma(&self) -> Option<f32> {
-        self.hw
-            .vmac
-            .map(|v| v.total_error_sigma(self.n_tot()) as f32)
+        self.model.sigma_hint(self.n_tot())
+    }
+
+    /// The live error model realizing this layer's hardware error budget.
+    pub fn error_model(&self) -> &dyn ErrorModel {
+        self.model.as_ref()
     }
 
     /// MAC operations per image (`out_features · in_features`).
@@ -121,37 +125,49 @@ impl QLinear {
 
     /// Reseeds the AMS noise stream.
     pub fn reseed_noise(&mut self, pass_seed: u64, layer_index: u64) {
-        self.injector
-            .reseed(noise_stream_seed(pass_seed, layer_index));
+        self.model.reseed(noise_stream_seed(pass_seed, layer_index));
     }
 
     /// The current cursor of this layer's noise stream (checkpoint/resume).
     pub fn noise_state(&self) -> ams_tensor::rng::RngState {
-        self.injector.rng_state()
+        self.model
+            .rng_cursors()
+            .into_iter()
+            .next()
+            .expect("every error model owns one RNG stream")
     }
 
     /// Repositions the noise stream at a captured cursor.
     pub fn restore_noise_state(&mut self, state: &ams_tensor::rng::RngState) {
-        self.injector.restore_rng_state(state);
+        self.model.restore(std::slice::from_ref(state));
     }
 
     /// The §4 fine-grained path for the classifier: chunk the reduction
-    /// into `N_mult`-sized analog partial sums and quantize each on the
-    /// ADC grid; the bias is added digitally afterwards.
-    fn forward_per_vmac(&self, xq: &Tensor, weight: &Tensor) -> Tensor {
-        let vmac = self.hw.vmac.expect("per-VMAC mode requires a VMAC");
+    /// into `N_mult`-sized analog partial sums and push each through the
+    /// simulator's modeled conversion; the bias is added digitally
+    /// afterwards. Each batch row is independent, so the simulation
+    /// parallelizes over rows on the ExecCtx pool.
+    fn forward_per_vmac(
+        &self,
+        ctx: &ExecCtx,
+        xq: &Tensor,
+        weight: &Tensor,
+        sim: &VmacSimulator,
+    ) -> Tensor {
         let n = xq.dims()[0];
-        let (n_mult, fs) = (vmac.n_mult, vmac.n_mult as f64);
+        let n_mult = sim.vmac().n_mult;
         let (wd, xd, bd) = (weight.data(), xq.data(), self.bias.value.data());
         let (fin, fout) = (self.in_features, self.out_features);
+        let n_chunks = fin.div_ceil(n_mult);
         let mut y = Tensor::zeros(&[n, fout]);
-        let yd = y.data_mut();
-        for row in 0..n {
+        ctx.for_each_chunk(y.data_mut(), fout, n * fout, |row, yrow| {
             let xrow = &xd[row * fin..(row + 1) * fin];
-            for o in 0..fout {
+            for (o, yv) in yrow.iter_mut().enumerate() {
                 let wrow = &wd[o * fin..(o + 1) * fin];
                 let mut total = 0.0f64;
+                let mut feedback = 0.0f64; // ΔΣ error memory
                 let mut start = 0;
+                let mut k = 0;
                 while start < fin {
                     let end = (start + n_mult).min(fin);
                     let partial: f64 = wrow[start..end]
@@ -159,12 +175,13 @@ impl QLinear {
                         .zip(&xrow[start..end])
                         .map(|(&a, &b)| f64::from(a) * f64::from(b))
                         .sum();
-                    total += VmacSimulator::convert(partial, vmac.enob, fs);
+                    total += sim.convert_partial(partial, k, n_chunks, &mut feedback);
                     start = end;
+                    k += 1;
                 }
-                yd[row * fout + o] = total as f32 + bd[o];
+                *yv = total as f32 + bd[o];
             }
-        }
+        });
         y
     }
 }
@@ -186,18 +203,21 @@ impl Layer for QLinear {
         let xq = quantize_activations_in(ws, input, self.bx);
         let qw = self.wq.quantize_in(ws, &self.weight.value);
         let ste_scale = qw.ste_scale;
-        let realized = match &self.hw.mismatch {
-            Some(m) => {
-                let r = m.apply(&qw.values, self.layer_index);
+        let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
+            Some(r) => {
                 ws.recycle(qw.values);
                 r
             }
             None => qw.values,
         };
         let injecting = self.hw.injects(mode.is_train(), self.is_last);
-        let per_vmac = injecting && !mode.is_train() && self.hw.error_mode == ErrorMode::PerVmac;
-        let (mut y, cache) = if per_vmac {
-            (self.forward_per_vmac(&xq, &realized), None)
+        let operand_sim = if injecting && !mode.is_train() {
+            self.model.operand_sim()
+        } else {
+            None
+        };
+        let (mut y, cache) = if let Some(sim) = &operand_sim {
+            (self.forward_per_vmac(ctx, &xq, &realized, sim), None)
         } else {
             linear_forward(
                 ctx,
@@ -209,15 +229,19 @@ impl Layer for QLinear {
         };
         ws.recycle(xq);
         ws.recycle(realized);
-        if injecting && !per_vmac {
-            let sigma = self.error_sigma().expect("injects() implies a VMAC");
+        if injecting && operand_sim.is_none() {
+            let n_tot = self.n_tot();
             if ctx.metrics().enabled() {
-                let stats = self.injector.inject_sigma_traced(&mut y, sigma);
-                let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
-                ctx.metrics()
-                    .merge_observations(&format!("noise.{}.enob{enob:.1}", self.name), &stats);
+                let stats = self.model.inject_traced(&mut y, n_tot);
+                if !stats.is_empty() {
+                    let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
+                    ctx.metrics().merge_observations(
+                        &format!("noise.{}.{}.enob{enob:.1}", self.name, self.model.kind()),
+                        &stats,
+                    );
+                }
             } else {
-                self.injector.inject_sigma(&mut y, sigma);
+                self.model.inject(&mut y, n_tot);
             }
         }
         self.cache = cache;

@@ -1,0 +1,124 @@
+//! Statistical agreement between the per-VMAC chunked simulation and the
+//! lumped Gaussian model.
+//!
+//! Eq. 2 predicts `Var(E_tot) = (N_tot / N_mult) · LSB²/12` per output
+//! activation. The lumped model draws that variance directly; the
+//! per-VMAC simulator realizes it mechanically by quantizing each
+//! `N_mult`-sized partial sum on the ADC grid. Over random inputs the
+//! two must agree — this is the paper's justification for training on
+//! the cheap lumped path (§4).
+
+use ams_core::inject::layer_error_sigma;
+use ams_core::vmac::Vmac;
+use ams_models::{HardwareConfig, InputKind, QConv2d, QLinear};
+use ams_nn::{Layer, Mode};
+use ams_quant::QuantConfig;
+use ams_tensor::{rng, ExecCtx, Tensor};
+
+fn random_input(dims: &[usize], seed: u64) -> Tensor {
+    let mut x = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+    x
+}
+
+/// Sample variance of `noisy − clean` (mean removed).
+fn error_variance(noisy: &Tensor, clean: &Tensor) -> f64 {
+    let diff = noisy.sub(clean);
+    let d = diff.data();
+    let n = d.len() as f64;
+    let mean: f64 = d.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    d.iter()
+        .map(|&v| (f64::from(v) - mean).powi(2))
+        .sum::<f64>()
+        / (n - 1.0)
+}
+
+fn assert_matches_eq2(label: &str, empirical: f64, predicted: f64, lo: f64, hi: f64) {
+    let ratio = empirical / predicted;
+    assert!(
+        ratio > lo && ratio < hi,
+        "{label}: empirical error variance {empirical:.3e} vs Eq. 2 prediction \
+         {predicted:.3e} (ratio {ratio:.3}, expected in ({lo}, {hi}))"
+    );
+}
+
+#[test]
+fn conv_per_vmac_variance_matches_lumped_and_eq2() {
+    let quant = QuantConfig::w8a8();
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let ctx = ExecCtx::serial();
+    let (c_in, c_out, k) = (8, 8, 3);
+
+    let build = |hw: &HardwareConfig| {
+        let mut r = rng::seeded(42);
+        QConv2d::new("conv", c_in, c_out, k, 1, 1, hw, InputKind::Unit, 0, &mut r)
+    };
+    let mut clean = build(&HardwareConfig::quantized(quant));
+    let mut lumped = build(&HardwareConfig::ams_eval_only(quant, vmac));
+    let mut per_vmac = build(&HardwareConfig::ams_eval_only(quant, vmac).with_per_vmac_eval());
+
+    let x = random_input(&[4, c_in, 8, 8], 7);
+    let yc = clean.forward(&ctx, &x, Mode::Eval);
+    let yl = lumped.forward(&ctx, &x, Mode::Eval);
+    let yp = per_vmac.forward(&ctx, &x, Mode::Eval);
+
+    let n_tot = clean.n_tot();
+    let predicted = f64::from(layer_error_sigma(&vmac, n_tot)).powi(2);
+    // The lumped path draws i.i.d. N(0, σ): sample variance over the 2048
+    // output elements lands within a few percent of Eq. 2.
+    assert_matches_eq2(
+        "conv lumped",
+        error_variance(&yl, &yc),
+        predicted,
+        0.8,
+        1.25,
+    );
+    // The chunked simulation's quantization residuals are only
+    // approximately uniform, so allow a wider statistical band.
+    assert_matches_eq2(
+        "conv per-vmac",
+        error_variance(&yp, &yc),
+        predicted,
+        0.5,
+        2.0,
+    );
+}
+
+#[test]
+fn linear_per_vmac_variance_matches_lumped_and_eq2() {
+    let quant = QuantConfig::w8a8();
+    let vmac = Vmac::new(8, 8, 8, 8.0);
+    let ctx = ExecCtx::serial();
+    let (fin, fout) = (64, 32);
+
+    let build = |hw: &HardwareConfig| {
+        let mut r = rng::seeded(43);
+        QLinear::new("fc", fin, fout, hw, false, 0, &mut r)
+    };
+    let mut clean = build(&HardwareConfig::quantized(quant));
+    let mut lumped = build(&HardwareConfig::ams_eval_only(quant, vmac));
+    let mut per_vmac = build(&HardwareConfig::ams_eval_only(quant, vmac).with_per_vmac_eval());
+
+    let x = random_input(&[64, fin], 9);
+    let yc = clean.forward(&ctx, &x, Mode::Eval);
+    let yl = lumped.forward(&ctx, &x, Mode::Eval);
+    let yp = per_vmac.forward(&ctx, &x, Mode::Eval);
+
+    let n_tot = clean.n_tot();
+    let predicted = f64::from(layer_error_sigma(&vmac, n_tot)).powi(2);
+    assert_matches_eq2(
+        "linear lumped",
+        error_variance(&yl, &yc),
+        predicted,
+        0.8,
+        1.25,
+    );
+    assert_matches_eq2(
+        "linear per-vmac",
+        error_variance(&yp, &yc),
+        predicted,
+        0.5,
+        2.0,
+    );
+}

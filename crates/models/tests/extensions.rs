@@ -4,7 +4,7 @@
 
 use ams_core::mismatch::MismatchModel;
 use ams_core::vmac::Vmac;
-use ams_models::{ErrorMode, HardwareConfig, ResNetMini, ResNetMiniConfig};
+use ams_models::{ErrorModelConfig, HardwareConfig, ResNetMini, ResNetMiniConfig};
 use ams_nn::{Layer, Mode};
 use ams_quant::QuantConfig;
 use ams_tensor::{rng, ExecCtx, Tensor};
@@ -22,7 +22,7 @@ fn per_vmac_eval_is_deterministic_and_close_to_lumped_scale() {
     let quant = QuantConfig::w8a8();
     let vmac = Vmac::new(8, 8, 8, 8.0);
     let hw_pv = HardwareConfig::ams_eval_only(quant, vmac).with_per_vmac_eval();
-    assert_eq!(hw_pv.error_mode, ErrorMode::PerVmac);
+    assert_eq!(hw_pv.error_model, ErrorModelConfig::per_vmac());
     let mut net = ResNetMini::new(&arch, &hw_pv);
     let x = random_input(1);
     // Chunked quantization is deterministic: repeated eval passes agree
