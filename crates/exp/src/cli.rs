@@ -5,6 +5,8 @@ use std::path::{Path, PathBuf};
 
 use ams_core::error_model::{ErrorModelConfig, ErrorModelKind, PartitionSpec};
 use ams_core::vmac_sim::AdcBehavior;
+use ams_models::ModelKind;
+use ams_quant::QuantScheme;
 use ams_tensor::obs::{MetricsReport, CSV_HEADERS};
 use ams_tensor::{ExecCtx, MetricsSink};
 
@@ -16,9 +18,17 @@ use crate::scale::Scale;
 ///
 /// ```text
 /// [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume]
+/// [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N]
 /// [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S]
 /// [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]
 /// ```
+///
+/// `--model` picks the zoo member the suite builds (see DESIGN.md §12):
+/// the default `resnet-mini` or the LeNet-style `lenet5`, both sized for
+/// the active `--scale`'s dataset. `--quant` picks the weight/activation
+/// quantizer: the default `dorefa` or the adaptive block-floating-point
+/// `bfp` (`--bfp-block N` sets its block size, default 16, and is only
+/// valid together with `--quant bfp`).
 ///
 /// `--error-model` selects how the VMAC error budget is realized (see
 /// DESIGN.md §10): the default `lumped` Gaussian reproduces the paper's
@@ -27,8 +37,9 @@ use crate::scale::Scale;
 /// default 0.01) plus the ADC; `per-vmac` simulates every chunked
 /// conversion at evaluation (`--adc` picks the converter behavior,
 /// `--partition NW,NX,ENOB` folds a §4 multiplication partition in);
-/// `ideal` injects nothing. Non-lumped runs write their artifacts under
-/// model-suffixed names, so they never overwrite the lumped outputs.
+/// `ideal` injects nothing. Every non-default `{model}-{quant}-{error}`
+/// scenario writes its artifacts under scenario-suffixed names, so it
+/// never overwrites the default pipeline's outputs.
 ///
 /// `--resume` makes the run honor any sweep journal and train-state files
 /// a previous (killed) run left in the results directory: completed sweep
@@ -72,6 +83,11 @@ pub struct Cli {
     /// The error model selected by `--error-model` and its parameter
     /// flags (default: the lumped Gaussian).
     pub error_model: ErrorModelConfig,
+    /// The model topology selected by `--model` (default: ResNet-mini).
+    pub model: ModelKind,
+    /// The quantizer scheme selected by `--quant` / `--bfp-block`
+    /// (default: DoReFa).
+    pub quant: QuantScheme,
     ctx: ExecCtx,
 }
 
@@ -97,6 +113,9 @@ impl Cli {
         let mut multiplier_sigma: Option<f64> = None;
         let mut adc: Option<AdcBehavior> = None;
         let mut partition: Option<PartitionSpec> = None;
+        let mut model = ModelKind::ResNetMini;
+        let mut quant_name = "dorefa".to_string();
+        let mut bfp_block: Option<usize> = None;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -135,6 +154,30 @@ impl Cli {
                     resume = true;
                     i += 1;
                 }
+                "--model" => {
+                    model = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--model needs a value"))
+                        .parse()
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    i += 2;
+                }
+                "--quant" => {
+                    quant_name = args
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("--quant needs a value"))
+                        .clone();
+                    i += 2;
+                }
+                "--bfp-block" => {
+                    bfp_block = Some(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--bfp-block needs a value"))
+                            .parse()
+                            .unwrap_or_else(|e| panic!("--bfp-block needs a positive integer: {e}")),
+                    );
+                    i += 2;
+                }
                 "--error-model" => {
                     kind = args
                         .get(i + 1)
@@ -169,7 +212,7 @@ impl Cli {
                     i += 2;
                 }
                 other => panic!(
-                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]"
+                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]"
                 ),
             }
         }
@@ -182,6 +225,8 @@ impl Cli {
             metrics_path,
             resume,
             error_model: assemble_error_model(kind, multiplier_sigma, adc, partition),
+            model,
+            quant: assemble_quant_scheme(&quant_name, bfp_block),
             ctx,
         }
     }
@@ -255,6 +300,26 @@ fn assemble_error_model(
                 ErrorModelConfig::Lumped
             }
         }
+    }
+}
+
+/// Assembles the [`QuantScheme`] from `--quant` / `--bfp-block`,
+/// rejecting `--bfp-block` when the DoReFa quantizer is selected.
+fn assemble_quant_scheme(name: &str, bfp_block: Option<usize>) -> QuantScheme {
+    match name {
+        "dorefa" => {
+            assert!(
+                bfp_block.is_none(),
+                "--bfp-block applies to --quant bfp only"
+            );
+            QuantScheme::Dorefa
+        }
+        "bfp" => {
+            let block = bfp_block.unwrap_or(16);
+            assert!(block >= 1, "--bfp-block needs a positive block size");
+            QuantScheme::Bfp { block }
+        }
+        other => panic!("unknown quantizer {other:?}; use dorefa|bfp"),
     }
 }
 
@@ -337,7 +402,9 @@ pub fn run_bin_custom(run: impl FnOnce(&Experiments, &Cli)) {
     let exp = Experiments::new(cli.scale.clone(), &cli.results)
         .with_ctx(cli.ctx())
         .with_resume(cli.resume)
-        .with_error_model(cli.error_model);
+        .with_error_model(cli.error_model)
+        .with_model(cli.model)
+        .with_quant(cli.quant);
     run(&exp, &cli);
     cli.write_metrics();
 }
@@ -476,6 +543,41 @@ mod tests {
                 partition: None,
             }
         );
+    }
+
+    #[test]
+    fn model_and_quant_flags_parse() {
+        let cli = Cli::parse(args(&[]));
+        assert_eq!(cli.model, ModelKind::ResNetMini);
+        assert_eq!(cli.quant, QuantScheme::Dorefa);
+
+        let cli = Cli::parse(args(&["--model", "lenet5", "--quant", "bfp"]));
+        assert_eq!(cli.model, ModelKind::LeNet5);
+        assert_eq!(cli.quant, QuantScheme::Bfp { block: 16 });
+
+        let cli = Cli::parse(args(&["--quant", "bfp", "--bfp-block", "8"]));
+        assert_eq!(cli.quant, QuantScheme::Bfp { block: 8 });
+        // Flag order must not matter.
+        let cli = Cli::parse(args(&["--bfp-block", "8", "--quant", "bfp"]));
+        assert_eq!(cli.quant, QuantScheme::Bfp { block: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "--bfp-block applies to --quant bfp only")]
+    fn rejects_bfp_block_without_bfp() {
+        Cli::parse(args(&["--bfp-block", "8"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown quantizer")]
+    fn rejects_unknown_quantizer() {
+        Cli::parse(args(&["--quant", "int4"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn rejects_unknown_model() {
+        Cli::parse(args(&["--model", "vgg"]));
     }
 
     #[test]

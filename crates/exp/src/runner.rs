@@ -13,9 +13,11 @@ use ams_core::tradeoff::{AccuracyCurve, TradeoffGrid};
 use ams_core::vmac::Vmac;
 use ams_core::vmac_sim::{AdcBehavior, VmacSimulator};
 use ams_data::SynthImageNet;
-use ams_models::{ErrorModelConfig, ErrorModelKind, FreezePolicy, HardwareConfig, ResNetMini};
+use ams_models::{
+    ErrorModelConfig, ErrorModelKind, FreezePolicy, HardwareConfig, ModelKind, ModelSpec,
+};
 use ams_nn::Checkpoint;
-use ams_quant::QuantConfig;
+use ams_quant::{QuantConfig, QuantScheme};
 use ams_tensor::ExecCtx;
 use serde::{Deserialize, Serialize};
 
@@ -50,12 +52,15 @@ pub struct Experiments {
     ctx: ExecCtx,
     resume: bool,
     error_model: ErrorModelConfig,
+    model: ModelSpec,
+    quant_scheme: QuantScheme,
 }
 
 impl Experiments {
     /// Creates the suite, generating the dataset for the given scale.
     pub fn new(scale: Scale, results_dir: impl AsRef<Path>) -> Self {
         let data = scale.synth.generate();
+        let model = scale.model_spec(ModelKind::ResNetMini);
         Experiments {
             scale,
             dir: results_dir.as_ref().to_path_buf(),
@@ -63,34 +68,105 @@ impl Experiments {
             ctx: ExecCtx::serial(),
             resume: false,
             error_model: ErrorModelConfig::default(),
+            model,
+            quant_scheme: QuantScheme::Dorefa,
         }
     }
 
     /// Selects the error model every AMS configuration in this suite
     /// realizes (`--error-model` on the binaries). The default lumped
     /// Gaussian reproduces the pre-trait pipeline bit-for-bit; other
-    /// models cache and journal under suffixed keys so they never collide
-    /// with (or corrupt) the lumped artifacts.
+    /// models cache and journal under scenario-suffixed keys so they
+    /// never collide with (or corrupt) the lumped artifacts.
     pub fn with_error_model(mut self, error_model: ErrorModelConfig) -> Self {
         self.error_model = error_model;
         self
     }
 
-    /// The stem binaries pass to [`crate::Report::report`]: the scale
-    /// name, plus the error-model suffix for non-default models so their
-    /// CSVs never overwrite the lumped (golden) artifacts.
-    pub fn report_scale_name(&self) -> String {
-        format!("{}{}", self.scale.name, self.model_suffix())
+    /// Selects the network topology every experiment in this suite builds
+    /// (`--model` on the binaries), sized by this suite's scale preset.
+    pub fn with_model(mut self, kind: ModelKind) -> Self {
+        self.model = self.scale.model_spec(kind);
+        self
     }
 
-    /// Cache-key / journal-name suffix for the active error model; empty
-    /// for the default lumped model so existing caches, journals and
-    /// golden CSVs keep their exact paths.
-    fn model_suffix(&self) -> String {
-        match self.error_model.kind() {
-            ErrorModelKind::Lumped => String::new(),
-            kind => format!("_{kind}"),
+    /// Selects the quantizer scheme applied to every bit-width preset in
+    /// this suite (`--quant` on the binaries). The default DoReFa scheme
+    /// reproduces the original pipeline bit-for-bit.
+    pub fn with_quant(mut self, scheme: QuantScheme) -> Self {
+        self.quant_scheme = scheme;
+        self
+    }
+
+    /// The `{model}-{quant}-{error_model}` triple this suite is running —
+    /// the key under which non-default scenarios cache, journal and write
+    /// CSVs so no two scenarios ever share an artifact path.
+    pub fn scenario_key(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            self.model.kind().key(),
+            self.quant_scheme.key(),
+            self.error_model.kind()
+        )
+    }
+
+    /// Whether this suite runs the original pipeline (ResNetMini, DoReFa,
+    /// lumped Gaussian) whose artifacts keep their legacy unsuffixed
+    /// names — the committed goldens stay byte-identical.
+    fn is_default_scenario(&self) -> bool {
+        self.model.kind() == ModelKind::ResNetMini
+            && self.quant_scheme == QuantScheme::Dorefa
+            && self.error_model.kind() == ErrorModelKind::Lumped
+    }
+
+    /// Artifact-name suffix for the full scenario; empty for the default
+    /// scenario so existing caches, journals and golden CSVs keep their
+    /// exact paths.
+    fn scenario_suffix(&self) -> String {
+        if self.is_default_scenario() {
+            String::new()
+        } else {
+            format!("_{}", self.scenario_key())
         }
+    }
+
+    /// Cache-key suffix for artifacts that depend on the topology and the
+    /// quantizer but not the error model (the quantized digital
+    /// baselines, which never inject).
+    fn model_quant_suffix(&self) -> String {
+        if self.model.kind() == ModelKind::ResNetMini && self.quant_scheme == QuantScheme::Dorefa {
+            String::new()
+        } else {
+            format!("_{}-{}", self.model.kind().key(), self.quant_scheme.key())
+        }
+    }
+
+    /// Cache-key suffix for artifacts that depend only on the topology:
+    /// the FP32 baseline trains identically under every quantizer (32-bit
+    /// passthrough) and injects nothing.
+    fn model_only_suffix(&self) -> String {
+        match self.model.kind() {
+            ModelKind::ResNetMini => String::new(),
+            kind => format!("_{}", kind.key()),
+        }
+    }
+
+    /// Applies the suite's quantizer scheme to a bit-width preset.
+    fn schemed(&self, quant: QuantConfig) -> QuantConfig {
+        quant.with_scheme(self.quant_scheme)
+    }
+
+    /// Opens the crash-safe journal for a sweep, under its scenario-keyed
+    /// name (unsuffixed in the default scenario).
+    fn scenario_sweep(&self, stem: &str) -> Sweep {
+        self.sweep(&format!("{stem}{}", self.scenario_suffix()))
+    }
+
+    /// The stem binaries pass to [`crate::Report::report`]: the scale
+    /// name, plus the scenario suffix for non-default scenarios so their
+    /// CSVs never overwrite the default (golden) artifacts.
+    pub fn report_scale_name(&self) -> String {
+        format!("{}{}", self.scale.name, self.scenario_suffix())
     }
 
     /// Enables crash-resume: sweeps honor their journals (completed points
@@ -211,16 +287,19 @@ impl Experiments {
     }
 
     /// The FP32 baseline: trained from scratch, reported over
-    /// `eval_passes` subsampled validation passes.
+    /// `eval_passes` subsampled validation passes. Cached per topology —
+    /// at 32 bits every quantizer scheme is a passthrough, so scenarios
+    /// that differ only in quantizer or error model share it.
     pub fn fp32_baseline(&self) -> (Checkpoint, Stat) {
-        self.cached("fp32", |state| {
+        let key = format!("fp32{}", self.model_only_suffix());
+        self.cached(&key, |state| {
             eprintln!("[{}] training FP32 baseline ...", self.scale.name);
-            let mut net = ResNetMini::new(&self.scale.arch, &HardwareConfig::fp32());
+            let mut net = self.model.build(&HardwareConfig::fp32());
             let epochs = self.scale.fp32_epochs;
             let decay = [epochs * 3 / 5, epochs * 17 / 20];
             let out = train_scheduled_resumable(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.train,
                 &self.data.val,
                 epochs,
@@ -232,7 +311,7 @@ impl Experiments {
             );
             let stat = eval_passes(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.val,
                 self.scale.eval_passes,
                 self.scale.batch,
@@ -249,10 +328,17 @@ impl Experiments {
         })
     }
 
-    /// A DoReFa-quantized digital network (Table 1 rows 2–4): FP32
-    /// weights loaded, then retrained at the given bit-widths.
+    /// A quantized digital network (Table 1 rows 2–4): FP32 weights
+    /// loaded, then retrained at the given bit-widths under the suite's
+    /// quantizer scheme.
     pub fn quantized_baseline(&self, quant: QuantConfig) -> (Checkpoint, Stat) {
-        let key = format!("quant_w{}a{}", quant.bw, quant.bx);
+        let quant = self.schemed(quant);
+        let key = format!(
+            "quant_w{}a{}{}",
+            quant.bw,
+            quant.bx,
+            self.model_quant_suffix()
+        );
         let (fp32_ckpt, _) = self.fp32_baseline();
         self.cached(&key, |state| {
             eprintln!(
@@ -260,11 +346,11 @@ impl Experiments {
                 self.scale.name
             );
             let hw = HardwareConfig::quantized(quant);
-            let mut net = ResNetMini::new(&self.scale.arch, &hw);
-            fp32_ckpt.load_into(&mut net).expect("architectures match");
+            let mut net = self.model.build(&hw);
+            fp32_ckpt.load_into(&mut *net).expect("architectures match");
             let out = train_scheduled_resumable(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.train,
                 &self.data.val,
                 self.scale.retrain_epochs,
@@ -276,7 +362,7 @@ impl Experiments {
             );
             let stat = eval_passes(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.val,
                 self.scale.eval_passes,
                 self.scale.batch,
@@ -297,14 +383,15 @@ impl Experiments {
     /// a quantized baseline's best checkpoint (the paper's "AMS error in
     /// eval only" series).
     pub fn ams_eval_only(&self, quant: QuantConfig, enob: f64) -> Stat {
+        let quant = self.schemed(quant);
         let (q_ckpt, _) = self.quantized_baseline(quant);
         let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
         let hw = HardwareConfig::ams_eval_only(quant, vmac).with_error_model(self.error_model);
-        let mut net = ResNetMini::new(&self.scale.arch, &hw);
-        q_ckpt.load_into(&mut net).expect("architectures match");
+        let mut net = self.model.build(&hw);
+        q_ckpt.load_into(&mut *net).expect("architectures match");
         eval_passes(
             &self.ctx,
-            &mut net,
+            &mut *net,
             &self.data.val,
             self.scale.eval_passes,
             self.scale.batch,
@@ -317,12 +404,13 @@ impl Experiments {
     /// FP32 checkpoint, quantization + injection active, last layer
     /// excluded during training per §2).
     pub fn ams_retrained(&self, quant: QuantConfig, enob: f64) -> (Checkpoint, Stat) {
+        let quant = self.schemed(quant);
         let key = format!(
             "ams_w{}a{}_e{}{}",
             quant.bw,
             quant.bx,
             format_enob(enob),
-            self.model_suffix()
+            self.scenario_suffix()
         );
         let (fp32_ckpt, _) = self.fp32_baseline();
         self.cached(&key, |state| {
@@ -332,11 +420,11 @@ impl Experiments {
             );
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
             let hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
-            let mut net = ResNetMini::new(&self.scale.arch, &hw);
-            fp32_ckpt.load_into(&mut net).expect("architectures match");
+            let mut net = self.model.build(&hw);
+            fp32_ckpt.load_into(&mut *net).expect("architectures match");
             let out = train_scheduled_resumable(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.train,
                 &self.data.val,
                 self.scale.retrain_epochs,
@@ -348,7 +436,7 @@ impl Experiments {
             );
             let stat = eval_passes(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.val,
                 self.scale.eval_passes,
                 self.scale.batch,
@@ -376,7 +464,7 @@ impl Experiments {
     /// quarantined while the rest of the table still reports.
     pub fn table1(&self) -> Table1Result {
         let _t = self.ctx.metrics().scope(|| "experiment.table1".to_string());
-        let sweep = self.sweep("table1");
+        let sweep = self.scenario_sweep("table1");
         // The first four rows mirror the paper; the extended rows
         // calibrate where degradation bites on our small substrate (like
         // the small networks/datasets the paper's introduction cites,
@@ -422,7 +510,7 @@ impl Experiments {
         // below only ever read them from the cache.
         let (_, baseline) = self.quantized_baseline(quant);
         let _ = self.fp32_baseline();
-        let sweep = self.sweep(&format!("fig4{}", self.model_suffix()));
+        let sweep = self.scenario_sweep("fig4");
         let rows = self
             .ctx
             .parallel_map(&self.scale.enob_grid, |&enob| {
@@ -456,7 +544,7 @@ impl Experiments {
         let _t = self.ctx.metrics().scope(|| "experiment.fig5".to_string());
         let quant = QuantConfig::w6a6();
         let (_, baseline) = self.quantized_baseline(quant);
-        let sweep = self.sweep(&format!("fig5{}", self.model_suffix()));
+        let sweep = self.scenario_sweep("fig5");
         let rows = self
             .ctx
             .parallel_map(&self.scale.enob_grid_6b, |&enob| {
@@ -487,67 +575,71 @@ impl Experiments {
     /// fixed ENOB, losses relative to the 8b quantized network.
     pub fn table2(&self) -> Table2Result {
         let _t = self.ctx.metrics().scope(|| "experiment.table2".to_string());
-        let quant = QuantConfig::w8a8();
+        let quant = self.schemed(QuantConfig::w8a8());
         let (_, baseline) = self.quantized_baseline(quant);
         let (fp32_ckpt, _) = self.fp32_baseline();
         let enob = self.scale.table2_enob;
         // Every freezing variant retrains independently from the shared
-        // FP32 checkpoint warmed above — run them concurrently.
-        let sweep = self.sweep(&format!("table2{}", self.model_suffix()));
-        let rows = self.ctx.parallel_map(&FreezePolicy::ALL, |&policy| {
-            let point = format!("{policy}").replace(' ', "_").to_lowercase();
-            sweep.run_point(point, || {
-                let _t = self
-                    .ctx
-                    .metrics()
-                    .scope(|| format!("sweep.table2.{policy}").replace(' ', "_"));
-                let key = format!("table2_{policy}").replace(' ', "_").to_lowercase()
-                    + &self.model_suffix();
-                let (_, stat) = self.cached(&key, |state| {
-                    eprintln!(
-                        "[{}] table2: retraining with frozen {policy} ...",
-                        self.scale.name
-                    );
-                    let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
-                    let hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
-                    let mut net = ResNetMini::new(&self.scale.arch, &hw);
-                    fp32_ckpt.load_into(&mut net).expect("architectures match");
-                    net.apply_freeze(policy);
-                    let out = train_scheduled_resumable(
-                        &self.ctx,
-                        &mut net,
-                        &self.data.train,
-                        &self.data.val,
-                        self.scale.retrain_epochs,
-                        self.scale.retrain_lr,
-                        self.scale.batch,
-                        self.scale.seed ^ 0x5555,
-                        &[],
-                        Some(state),
-                    );
-                    let stat = eval_passes(
-                        &self.ctx,
-                        &mut net,
-                        &self.data.val,
-                        self.scale.eval_passes,
-                        self.scale.batch,
-                        true,
-                        self.scale.seed ^ 0x6666,
-                    );
-                    (
-                        out.best_checkpoint,
-                        TrainedMeta {
-                            accuracy: stat,
-                            best_epoch: out.best_epoch,
-                        },
-                    )
-                });
-                Table2Row {
-                    policy,
-                    loss: stat.loss_relative_to(baseline),
-                }
-            })
-        });
+        // FP32 checkpoint warmed above — run them concurrently. The spec
+        // decides which Table-2 policies are meaningful for the topology.
+        let sweep = self.scenario_sweep("table2");
+        let rows = self
+            .ctx
+            .parallel_map(self.model.freeze_policies(), |&policy| {
+                let point = format!("{policy}").replace(' ', "_").to_lowercase();
+                sweep.run_point(point, || {
+                    let _t = self
+                        .ctx
+                        .metrics()
+                        .scope(|| format!("sweep.table2.{policy}").replace(' ', "_"));
+                    let key = format!("table2_{policy}").replace(' ', "_").to_lowercase()
+                        + &self.scenario_suffix();
+                    let (_, stat) = self.cached(&key, |state| {
+                        eprintln!(
+                            "[{}] table2: retraining with frozen {policy} ...",
+                            self.scale.name
+                        );
+                        let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
+                        let hw =
+                            HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
+                        let mut net = self.model.build(&hw);
+                        fp32_ckpt.load_into(&mut *net).expect("architectures match");
+                        net.apply_freeze(policy);
+                        let out = train_scheduled_resumable(
+                            &self.ctx,
+                            &mut *net,
+                            &self.data.train,
+                            &self.data.val,
+                            self.scale.retrain_epochs,
+                            self.scale.retrain_lr,
+                            self.scale.batch,
+                            self.scale.seed ^ 0x5555,
+                            &[],
+                            Some(state),
+                        );
+                        let stat = eval_passes(
+                            &self.ctx,
+                            &mut *net,
+                            &self.data.val,
+                            self.scale.eval_passes,
+                            self.scale.batch,
+                            true,
+                            self.scale.seed ^ 0x6666,
+                        );
+                        (
+                            out.best_checkpoint,
+                            TrainedMeta {
+                                accuracy: stat,
+                                best_epoch: out.best_epoch,
+                            },
+                        )
+                    });
+                    Table2Row {
+                        policy,
+                        loss: stat.loss_relative_to(baseline),
+                    }
+                })
+            });
         let rows = rows.into_iter().flatten().collect();
         // Reference: no retraining at all (eval-only) bounds the damage
         // retraining is recovering from.
@@ -569,7 +661,7 @@ impl Experiments {
     /// levels.
     pub fn fig6(&self) -> Fig6Result {
         let _t = self.ctx.metrics().scope(|| "experiment.fig6".to_string());
-        let quant = QuantConfig::w8a8();
+        let quant = self.schemed(QuantConfig::w8a8());
         let mut variants: Vec<(String, HardwareConfig, Checkpoint, Option<f64>)> = Vec::new();
         let (fp_ckpt, _) = self.fp32_baseline();
         variants.push(("FP32".to_string(), HardwareConfig::fp32(), fp_ckpt, None));
@@ -594,12 +686,12 @@ impl Experiments {
         let mut rows: Vec<Fig6Row> = Vec::new();
         let mut layer_names: Vec<String> = Vec::new();
         for (label, hw, ckpt, enob) in variants {
-            let mut net = ResNetMini::new(&self.scale.arch, &hw);
-            ckpt.load_into(&mut net).expect("architectures match");
+            let mut net = self.model.build(&hw);
+            ckpt.load_into(&mut *net).expect("architectures match");
             net.set_probes(true);
             // One pass over the validation set accumulates the means.
             let _ =
-                crate::train::eval_accuracy(&self.ctx, &mut net, &self.data.val, self.scale.batch);
+                crate::train::eval_accuracy(&self.ctx, &mut *net, &self.data.val, self.scale.batch);
             let means = net.probe_means();
             if layer_names.is_empty() {
                 layer_names = means.iter().map(|(n, _)| n.clone()).collect();
@@ -820,11 +912,11 @@ impl Experiments {
 
         // (e) Last-layer training injection (the paper's §2 workaround):
         // retraining with last-layer injection enabled should hurt.
-        let quant = QuantConfig::w8a8();
+        let quant = self.schemed(QuantConfig::w8a8());
         let enob = self.scale.table2_enob;
         let (fp32_ckpt, _) = self.fp32_baseline();
         let (_, normal) = self.ams_retrained(quant, enob);
-        let lastlayer_key = format!("ablation_lastlayer{}", self.model_suffix());
+        let lastlayer_key = format!("ablation_lastlayer{}", self.scenario_suffix());
         let (_, with_last) = self.cached(&lastlayer_key, |state| {
             eprintln!(
                 "[{}] ablation: retraining WITH last-layer injection ...",
@@ -833,11 +925,11 @@ impl Experiments {
             let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
             let mut hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
             hw.inject_last_layer_train = true;
-            let mut net = ResNetMini::new(&self.scale.arch, &hw);
-            fp32_ckpt.load_into(&mut net).expect("architectures match");
+            let mut net = self.model.build(&hw);
+            fp32_ckpt.load_into(&mut *net).expect("architectures match");
             let out = train_scheduled_resumable(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.train,
                 &self.data.val,
                 self.scale.retrain_epochs,
@@ -849,7 +941,7 @@ impl Experiments {
             );
             let stat = eval_passes(
                 &self.ctx,
-                &mut net,
+                &mut *net,
                 &self.data.val,
                 self.scale.eval_passes,
                 self.scale.batch,
@@ -873,11 +965,11 @@ impl Experiments {
             let vmac_net = Vmac::new(quant.bw, quant.bx, 8, level);
             let lumped_stat = self.ams_eval_only(quant, level);
             let hw_pv = HardwareConfig::ams_eval_only(quant, vmac_net).with_per_vmac_eval();
-            let mut pv_net = ResNetMini::new(&self.scale.arch, &hw_pv);
-            q_ckpt.load_into(&mut pv_net).expect("architectures match");
+            let mut pv_net = self.model.build(&hw_pv);
+            q_ckpt.load_into(&mut *pv_net).expect("architectures match");
             let acc = f64::from(crate::train::eval_accuracy(
                 &self.ctx,
-                &mut pv_net,
+                &mut *pv_net,
                 &self.data.val,
                 self.scale.batch,
             ));
@@ -893,11 +985,11 @@ impl Experiments {
                 if sigma > 0.0 {
                     hw = hw.with_mismatch(MismatchModel::new(sigma, self.scale.seed));
                 }
-                let mut net = ResNetMini::new(&self.scale.arch, &hw);
-                q_ckpt.load_into(&mut net).expect("architectures match");
+                let mut net = self.model.build(&hw);
+                q_ckpt.load_into(&mut *net).expect("architectures match");
                 let acc = f64::from(crate::train::eval_accuracy(
                     &self.ctx,
-                    &mut net,
+                    &mut *net,
                     &self.data.val,
                     self.scale.batch,
                 ));

@@ -1,7 +1,7 @@
 //! Experiment scale presets and CLI parsing.
 
 use ams_data::SynthConfig;
-use ams_models::ResNetMiniConfig;
+use ams_models::{LeNet5Config, ModelKind, ModelSpec, ResNetMiniConfig};
 use serde::{Deserialize, Serialize};
 
 /// Everything that sizes an experiment run: dataset, architecture,
@@ -18,8 +18,10 @@ pub struct Scale {
     pub name: String,
     /// Dataset configuration.
     pub synth: SynthConfig,
-    /// Network architecture.
+    /// ResNet-mini architecture (the default `--model resnet-mini`).
     pub arch: ResNetMiniConfig,
+    /// LeNet-5 architecture sized for the same dataset (`--model lenet5`).
+    pub lenet: LeNet5Config,
     /// Minibatch size.
     pub batch: usize,
     /// Epochs of FP32 pretraining.
@@ -56,6 +58,7 @@ impl Scale {
             name: "quick".to_string(),
             synth: SynthConfig::quick(),
             arch: ResNetMiniConfig::quick(),
+            lenet: LeNet5Config::quick(),
             batch: 64,
             fp32_epochs: 36,
             retrain_epochs: 7,
@@ -78,6 +81,7 @@ impl Scale {
             name: "full".to_string(),
             synth: SynthConfig::full(),
             arch: ResNetMiniConfig::full(),
+            lenet: LeNet5Config::full(),
             batch: 64,
             fp32_epochs: 50,
             retrain_epochs: 10,
@@ -100,6 +104,7 @@ impl Scale {
             name: "test".to_string(),
             synth: SynthConfig::tiny(),
             arch: ResNetMiniConfig::tiny(),
+            lenet: LeNet5Config::tiny(),
             batch: 16,
             fp32_epochs: 3,
             retrain_epochs: 1,
@@ -113,6 +118,16 @@ impl Scale {
             survey_points: 60,
             fig8_n_mults: vec![4, 8, 16],
             seed: 1234,
+        }
+    }
+
+    /// The [`ModelSpec`] this scale builds for the requested topology —
+    /// both zoo members are sized for the same synthetic dataset, so
+    /// `--model` swaps the network without touching anything else.
+    pub fn model_spec(&self, kind: ModelKind) -> ModelSpec {
+        match kind {
+            ModelKind::ResNetMini => ModelSpec::ResNetMini(self.arch),
+            ModelKind::LeNet5 => ModelSpec::LeNet5(self.lenet),
         }
     }
 
@@ -147,6 +162,20 @@ mod tests {
         assert_eq!(Scale::by_name("full").unwrap().name, "full");
         assert_eq!(Scale::by_name("test").unwrap().name, "test");
         assert!(Scale::by_name("huge").is_err());
+    }
+
+    #[test]
+    fn lenet_presets_match_their_datasets() {
+        for s in [Scale::quick(), Scale::full(), Scale::test()] {
+            assert_eq!(s.lenet.image_size, s.synth.image_size, "{}", s.name);
+            assert_eq!(s.lenet.classes, s.synth.classes, "{}", s.name);
+            assert_eq!(s.lenet.in_channels, s.synth.channels, "{}", s.name);
+            assert_eq!(s.model_spec(ModelKind::LeNet5).kind(), ModelKind::LeNet5);
+            assert_eq!(
+                s.model_spec(ModelKind::ResNetMini).kind(),
+                ModelKind::ResNetMini
+            );
+        }
     }
 
     #[test]

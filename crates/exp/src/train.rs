@@ -4,8 +4,9 @@ use std::path::Path;
 use std::time::Instant;
 
 use ams_data::{Batcher, Dataset};
-use ams_models::{ErrorModelConfig, ResNetMini};
-use ams_nn::{accuracy, softmax_cross_entropy, Checkpoint, Layer, Mode, Sgd};
+use ams_models::{AmsModel, ErrorModelConfig, ModelKind};
+use ams_nn::{accuracy, softmax_cross_entropy, Checkpoint, Mode, Sgd};
+use ams_quant::QuantScheme;
 use ams_tensor::{rng, ExecCtx};
 use serde::{Deserialize, Serialize};
 
@@ -42,7 +43,7 @@ pub struct TrainOutcome {
 #[allow(clippy::too_many_arguments)]
 pub fn train_with_eval(
     ctx: &ExecCtx,
-    net: &mut ResNetMini,
+    net: &mut dyn AmsModel,
     train: &Dataset,
     val: &Dataset,
     epochs: usize,
@@ -66,7 +67,7 @@ pub fn train_with_eval(
 #[allow(clippy::too_many_arguments)]
 pub fn train_scheduled(
     ctx: &ExecCtx,
-    net: &mut ResNetMini,
+    net: &mut dyn AmsModel,
     train: &Dataset,
     val: &Dataset,
     epochs: usize,
@@ -104,6 +105,16 @@ pub struct TrainState {
     /// state written under a different model: the noise cursors below
     /// would silently reposition the *wrong* error process.
     pub error_model: ErrorModelConfig,
+    /// The quantizer scheme the run was configured with. Resume refuses a
+    /// state written under a different quantizer: the parameters were
+    /// trained against a different forward function (absent in states
+    /// written before the quantizer seam; defaults to DoReFa).
+    pub quant: QuantScheme,
+    /// The topology the run was training. Resume refuses a state written
+    /// for a different model before the checkpoint load can fail with a
+    /// less actionable key-mismatch error (absent in states written
+    /// before the model seam; defaults to ResNetMini).
+    pub model_kind: ModelKind,
     /// Per-layer AMS noise-stream cursors, in the model's forward order.
     pub noise_states: Vec<rng::RngState>,
     /// Snapshot of the best-validation epoch so far.
@@ -182,7 +193,7 @@ impl TrainState {
 #[allow(clippy::too_many_arguments)]
 pub fn train_scheduled_resumable(
     ctx: &ExecCtx,
-    net: &mut ResNetMini,
+    net: &mut dyn AmsModel,
     train: &Dataset,
     val: &Dataset,
     epochs: usize,
@@ -217,6 +228,24 @@ pub fn train_scheduled_resumable(
             state.error_model,
             configured,
         );
+        let configured_quant = net.hardware().quant.scheme;
+        assert!(
+            state.quant == configured_quant,
+            "refusing to resume from {}: checkpoint was written with quantizer {}, \
+             this run uses {} — delete the state file to restart from scratch",
+            state_path.expect("load implies a path").display(),
+            state.quant,
+            configured_quant,
+        );
+        let configured_model = net.kind();
+        assert!(
+            state.model_kind == configured_model,
+            "refusing to resume from {}: checkpoint was written for model {}, \
+             this run trains {} — delete the state file to restart from scratch",
+            state_path.expect("load implies a path").display(),
+            state.model_kind,
+            configured_model,
+        );
         eprintln!(
             "[train] resuming at epoch {}/{epochs} from {}",
             state.epochs_done + 1,
@@ -224,11 +253,11 @@ pub fn train_scheduled_resumable(
         );
         state
             .model
-            .load_into(net)
+            .load_into(&mut *net)
             .expect("state matches architecture");
         state
             .velocities
-            .load_velocities_into(net)
+            .load_velocities_into(&mut *net)
             .expect("state matches architecture");
         net.restore_noise_states(&state.noise_states);
         shuffle_rng = state.shuffle_rng.restore();
@@ -255,11 +284,11 @@ pub fn train_scheduled_resumable(
             let logits = net.forward(ctx, &images, Mode::Train);
             let (loss, grad) = softmax_cross_entropy(&logits, &labels);
             net.backward(ctx, &grad);
-            opt.step(net);
+            opt.step(&mut *net);
             loss_sum += f64::from(loss);
             batches += 1;
         }
-        let val_acc = f64::from(eval_accuracy(ctx, net, val, batch));
+        let val_acc = f64::from(eval_accuracy(ctx, &mut *net, val, batch));
         ctx.metrics()
             .observe("train.epoch_loss", loss_sum / batches as f64);
         ctx.metrics().observe("train.epoch_val_acc", val_acc);
@@ -267,17 +296,19 @@ pub fn train_scheduled_resumable(
         if val_acc > best.best_val_acc {
             best.best_val_acc = val_acc;
             best.best_epoch = epoch;
-            best.best_checkpoint = Checkpoint::from_layer(net);
+            best.best_checkpoint = Checkpoint::from_layer(&mut *net);
         }
         if let Some(path) = state_path {
             if epoch < epochs {
                 TrainState {
                     epochs_done: epoch,
                     lr: opt.lr,
-                    model: Checkpoint::from_layer(net),
-                    velocities: Checkpoint::velocities_from(net),
+                    model: Checkpoint::from_layer(&mut *net),
+                    velocities: Checkpoint::velocities_from(&mut *net),
                     shuffle_rng: rng::RngState::capture(&shuffle_rng),
                     error_model: net.hardware().error_model,
+                    quant: net.hardware().quant.scheme,
+                    model_kind: net.kind(),
                     noise_states: net.noise_states(),
                     best_checkpoint: best.best_checkpoint.clone(),
                     best_val_acc: best.best_val_acc,
@@ -290,7 +321,7 @@ pub fn train_scheduled_resumable(
     }
     // Leave the network at its best epoch, as the paper reports it.
     best.best_checkpoint
-        .load_into(net)
+        .load_into(&mut *net)
         .expect("own snapshot always loads");
     if let Some(path) = state_path {
         // The run completed; the state file has served its purpose.
@@ -304,7 +335,7 @@ pub fn train_scheduled_resumable(
 /// # Panics
 ///
 /// Panics if the dataset is empty.
-pub fn eval_accuracy(ctx: &ExecCtx, net: &mut ResNetMini, data: &Dataset, batch: usize) -> f32 {
+pub fn eval_accuracy(ctx: &ExecCtx, net: &mut dyn AmsModel, data: &Dataset, batch: usize) -> f32 {
     assert!(!data.is_empty(), "eval_accuracy: empty dataset");
     let _t = ctx.metrics().scope(|| "eval.pass".to_string());
     let mut correct_weighted = 0.0f64;
@@ -333,7 +364,7 @@ pub fn eval_accuracy(ctx: &ExecCtx, net: &mut ResNetMini, data: &Dataset, batch:
 /// Panics if `passes == 0` or the dataset is empty.
 pub fn eval_passes(
     ctx: &ExecCtx,
-    net: &mut ResNetMini,
+    net: &mut dyn AmsModel,
     val: &Dataset,
     passes: usize,
     batch: usize,
@@ -349,11 +380,11 @@ pub fn eval_passes(
                     .wrapping_add(pass as u64)
                     .wrapping_mul(0x9E37_79B9),
             );
-            eval_accuracy(ctx, net, val, batch)
+            eval_accuracy(ctx, &mut *net, val, batch)
         } else {
             let mut r = rng::seeded(base_seed.wrapping_add(pass as u64));
             let sub = val.subsample(0.8, &mut r);
-            eval_accuracy(ctx, net, &sub, batch)
+            eval_accuracy(ctx, &mut *net, &sub, batch)
         };
         samples.push(f64::from(acc));
     }
@@ -364,7 +395,8 @@ pub fn eval_passes(
 mod tests {
     use super::*;
     use ams_data::SynthConfig;
-    use ams_models::{HardwareConfig, ResNetMiniConfig};
+    use ams_models::{HardwareConfig, LeNet5, LeNet5Config, ResNetMini, ResNetMiniConfig};
+    use ams_nn::Layer;
 
     #[test]
     fn training_learns_above_chance() {
@@ -463,6 +495,8 @@ mod tests {
             velocities: Checkpoint::velocities_from(&mut prefix),
             shuffle_rng: rng::RngState::capture(&rng2),
             error_model: hw.error_model,
+            quant: hw.quant.scheme,
+            model_kind: ModelKind::ResNetMini,
             noise_states: prefix.noise_states(),
             best_checkpoint: best_ckpt,
             best_val_acc: best_acc,
@@ -498,40 +532,42 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
-    #[test]
-    #[should_panic(expected = "refusing to resume")]
-    fn resume_refuses_a_mismatched_error_model() {
-        // A TrainState written under the per-VMAC model must not silently
-        // reposition a lumped run's noise cursors.
+    /// A valid epoch-1 state for `net` under `hw`; refusal tests corrupt
+    /// exactly one scenario field before writing it.
+    fn epoch1_state(net: &mut ResNetMini, hw: &HardwareConfig) -> TrainState {
+        TrainState {
+            epochs_done: 1,
+            lr: 0.05,
+            model: Checkpoint::from_layer(net),
+            velocities: Checkpoint::velocities_from(net),
+            shuffle_rng: rng::RngState::capture(&rng::seeded(9)),
+            error_model: hw.error_model,
+            quant: hw.quant.scheme,
+            model_kind: ModelKind::ResNetMini,
+            noise_states: net.noise_states(),
+            best_checkpoint: Checkpoint::from_layer(net),
+            best_val_acc: 0.5,
+            best_epoch: 1,
+            history: vec![(1.0, 0.5)],
+        }
+    }
+
+    /// Writes `st` to a temp state file and resumes a fresh ResNetMini
+    /// from it — the refusal asserts fire before any training happens.
+    fn resume_from(st: &TrainState, tag: &str) {
         let data = SynthConfig::tiny().generate();
         let ctx = ExecCtx::serial();
-        let dir = std::env::temp_dir().join(format!("ams_train_refuse_{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("ams_train_{tag}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let state = dir.join("state.json");
+        std::fs::write(&state, serde_json::to_string(st).unwrap()).unwrap();
 
         let hw = ams_models::HardwareConfig::ams(
             ams_quant::QuantConfig::w8a8(),
             ams_core::vmac::Vmac::new(8, 8, 8, 6.0),
         );
-        let arch = ResNetMiniConfig::tiny();
-        let mut net = ResNetMini::new(&arch, &hw);
-        let st = TrainState {
-            epochs_done: 1,
-            lr: 0.05,
-            model: Checkpoint::from_layer(&mut net),
-            velocities: Checkpoint::velocities_from(&mut net),
-            shuffle_rng: rng::RngState::capture(&rng::seeded(9)),
-            error_model: hw.with_per_vmac_eval().error_model,
-            noise_states: net.noise_states(),
-            best_checkpoint: Checkpoint::from_layer(&mut net),
-            best_val_acc: 0.5,
-            best_epoch: 1,
-            history: vec![(1.0, 0.5)],
-        };
-        std::fs::write(&state, serde_json::to_string(&st).unwrap()).unwrap();
-
-        let mut resumed = ResNetMini::new(&arch, &hw);
+        let mut resumed = ResNetMini::new(&ResNetMiniConfig::tiny(), &hw);
         train_scheduled_resumable(
             &ctx,
             &mut resumed,
@@ -544,6 +580,155 @@ mod tests {
             &[],
             Some(&state),
         );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn refusal_hw_and_state() -> (HardwareConfig, TrainState) {
+        let hw = ams_models::HardwareConfig::ams(
+            ams_quant::QuantConfig::w8a8(),
+            ams_core::vmac::Vmac::new(8, 8, 8, 6.0),
+        );
+        let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &hw);
+        let st = epoch1_state(&mut net, &hw);
+        (hw, st)
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint was written with error model")]
+    fn resume_refuses_a_mismatched_error_model() {
+        // A TrainState written under the per-VMAC model must not silently
+        // reposition a lumped run's noise cursors.
+        let (hw, mut st) = refusal_hw_and_state();
+        st.error_model = hw.with_per_vmac_eval().error_model;
+        resume_from(&st, "refuse_error_model");
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint was written with quantizer bfp16")]
+    fn resume_refuses_a_mismatched_quantizer() {
+        // Parameters trained under block-floating-point must not continue
+        // under the DoReFa forward function.
+        let (_, mut st) = refusal_hw_and_state();
+        st.quant = QuantScheme::Bfp { block: 16 };
+        resume_from(&st, "refuse_quant");
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint was written for model lenet5")]
+    fn resume_refuses_a_mismatched_model() {
+        let (_, mut st) = refusal_hw_and_state();
+        st.model_kind = ModelKind::LeNet5;
+        resume_from(&st, "refuse_model");
+    }
+
+    #[test]
+    fn old_train_state_without_scenario_fields_still_parses() {
+        // States written before the quantizer/model seam lack both fields;
+        // they must deserialize to the default scenario, not error.
+        let hw = HardwareConfig::fp32();
+        let mut net = ResNetMini::new(&ResNetMiniConfig::tiny(), &hw);
+        let st = epoch1_state(&mut net, &hw);
+        let mut v = serde::Serialize::to_value(&st);
+        if let serde::Value::Map(entries) = &mut v {
+            entries.retain(|(k, _)| k != "quant" && k != "model_kind");
+        }
+        let back =
+            <TrainState as serde::Deserialize>::from_value(&v).expect("pre-seam state must parse");
+        assert_eq!(back.quant, QuantScheme::Dorefa);
+        assert_eq!(back.model_kind, ModelKind::ResNetMini);
+    }
+
+    #[test]
+    fn lenet5_resumable_training_runs_through_the_spec() {
+        // Straight 2-epoch run vs. manual epoch 1 + persisted TrainState +
+        // resumed epoch 2, every net a boxed ModelSpec build under the BFP
+        // quantizer: the §9 bit-identity contract holds for every zoo
+        // member and quantizer, not just the default pipeline.
+        let data = SynthConfig::tiny().generate();
+        let ctx = ExecCtx::serial();
+        let dir = std::env::temp_dir().join(format!("ams_train_lenet_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state.json");
+
+        let quant = ams_quant::QuantConfig::w8a8().with_scheme(QuantScheme::Bfp { block: 16 });
+        let hw = HardwareConfig::ams(quant, ams_core::vmac::Vmac::new(8, 8, 8, 6.0));
+        let spec = ams_models::ModelSpec::LeNet5(LeNet5Config::tiny());
+
+        let mut straight = spec.build(&hw);
+        let full = train_scheduled(
+            &ctx,
+            &mut *straight,
+            &data.train,
+            &data.val,
+            2,
+            0.05,
+            16,
+            9,
+            &[],
+        );
+
+        // Manual epoch 1 (same seed ⇒ same trajectory as the straight
+        // run), persisted as the TrainState a mid-run kill leaves behind.
+        let mut prefix = spec.build(&hw);
+        let mut rng2 = rng::seeded(9);
+        let opt = Sgd::with_momentum(0.05, 0.9).weight_decay(5e-4);
+        let augmented = data.train.random_flip(&mut rng2);
+        let mut loss_sum = 0.0;
+        let mut batches = 0usize;
+        for (images, labels) in Batcher::new(&augmented, 16, &mut rng2) {
+            let logits = prefix.forward(&ctx, &images, Mode::Train);
+            let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+            prefix.backward(&ctx, &grad);
+            opt.step(&mut *prefix);
+            loss_sum += f64::from(loss);
+            batches += 1;
+        }
+        let val_acc = f64::from(eval_accuracy(&ctx, &mut *prefix, &data.val, 16));
+        let st = TrainState {
+            epochs_done: 1,
+            lr: opt.lr,
+            model: Checkpoint::from_layer(&mut *prefix),
+            velocities: Checkpoint::velocities_from(&mut *prefix),
+            shuffle_rng: rng::RngState::capture(&rng2),
+            error_model: hw.error_model,
+            quant: hw.quant.scheme,
+            model_kind: ModelKind::LeNet5,
+            noise_states: prefix.noise_states(),
+            best_checkpoint: Checkpoint::from_layer(&mut *prefix),
+            best_val_acc: val_acc,
+            best_epoch: 1,
+            history: vec![(loss_sum / batches as f64, val_acc)],
+        };
+        std::fs::write(&state, serde_json::to_string(&st).unwrap()).unwrap();
+
+        // Resume into a *fresh* build — everything must come from the file.
+        let mut resumed = spec.build(&hw);
+        let out = train_scheduled_resumable(
+            &ctx,
+            &mut *resumed,
+            &data.train,
+            &data.val,
+            2,
+            0.05,
+            16,
+            9,
+            &[],
+            Some(&state),
+        );
+        assert_eq!(out.history, full.history, "history must match bitwise");
+        assert_eq!(out.best_val_acc, full.best_val_acc);
+        for ((n1, t1), (n2, t2)) in full.best_checkpoint.iter().zip(out.best_checkpoint.iter()) {
+            assert_eq!(n1, n2);
+            assert_eq!(t1, t2, "checkpoint tensor {n1} differs after resume");
+        }
+        assert!(!state.exists(), "state file is cleaned up on completion");
+        // The best checkpoint loads back into a concrete LeNet5.
+        let mut concrete = LeNet5::new(&LeNet5Config::tiny(), &hw);
+        out.best_checkpoint
+            .load_into(&mut concrete)
+            .expect("same key-space");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

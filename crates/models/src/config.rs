@@ -1,11 +1,13 @@
 //! The hardware description applied to a network.
 
-use ams_core::error_model::{ErrorModel, ErrorModelConfig};
+use ams_core::error_model::{ErrorModel, ErrorModelConfig, ErrorModelKind};
 use ams_core::mismatch::MismatchModel;
 use ams_core::vmac::Vmac;
-use ams_quant::{QuantConfig, WeightScheme};
+use ams_quant::{QuantConfig, QuantScheme, WeightScheme};
 use ams_tensor::noise_stream_seed;
 use serde::{Deserialize, Serialize};
+
+use crate::spec::ModelKind;
 
 /// How a quantized layer interprets its input activations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -67,6 +69,11 @@ pub struct HardwareConfig {
     pub mismatch: Option<MismatchModel>,
     /// Master seed for the per-layer error streams.
     pub noise_seed: u64,
+    /// Which topology this hardware is mounted on. Stamped by the model
+    /// constructors; scopes per-layer metric keys so quantizer × model ×
+    /// error-model scenarios don't collide (absent in configs serialized
+    /// before the model seam existed; defaults to ResNetMini).
+    pub model_tag: ModelKind,
 }
 
 impl HardwareConfig {
@@ -82,6 +89,7 @@ impl HardwareConfig {
             error_model: ErrorModelConfig::Lumped,
             mismatch: None,
             noise_seed: 0,
+            model_tag: ModelKind::ResNetMini,
         }
     }
 
@@ -150,6 +158,32 @@ impl HardwareConfig {
     pub fn with_mismatch(mut self, mismatch: MismatchModel) -> Self {
         self.mismatch = Some(mismatch);
         self
+    }
+
+    /// Returns a copy tagged with the topology it is mounted on (stamped
+    /// by the model constructors; scopes per-layer metric keys).
+    pub fn with_model_tag(mut self, model: ModelKind) -> Self {
+        self.model_tag = model;
+        self
+    }
+
+    /// The gauge key under which a layer reports its injected-noise
+    /// statistics.
+    ///
+    /// The default scenario (ResNetMini topology, DoReFa quantization)
+    /// keeps the legacy `noise.<layer>.<kind>.enob<e>` key so committed
+    /// dashboards and CI assertions stay valid; any other scenario scopes
+    /// the key as `noise.<layer>.<model>.<quant>.<kind>.enob<e>`.
+    pub fn noise_gauge_key(&self, layer: &str, kind: ErrorModelKind, enob: f64) -> String {
+        if self.model_tag == ModelKind::ResNetMini && self.quant.scheme == QuantScheme::Dorefa {
+            format!("noise.{layer}.{kind}.enob{enob:.1}")
+        } else {
+            format!(
+                "noise.{layer}.{}.{}.{kind}.enob{enob:.1}",
+                self.model_tag.key(),
+                self.quant.scheme.key()
+            )
+        }
     }
 
     /// Whether a layer built from this config injects error in the given

@@ -3,6 +3,43 @@
 use ams_nn::Layer;
 use serde::{Deserialize, Serialize};
 
+/// How a topology's parameter names map onto the paper's Table-2 groups
+/// (classifier / batch-norm / convolutional).
+///
+/// Produced by [`crate::ModelSpec::key_space`], so freezing classifies
+/// against the *spec* rather than assuming one concrete net's naming. The
+/// default matches every current zoo member: classifiers live under
+/// `fc.`, batch-norm affines end in `.gamma` / `.beta`, and everything
+/// else is convolutional.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointKeySpace {
+    /// Name prefixes of classifier (fully-connected) parameters.
+    pub fc_prefixes: &'static [&'static str],
+    /// Name suffixes of batch-norm affine parameters.
+    pub bn_suffixes: &'static [&'static str],
+}
+
+impl Default for CheckpointKeySpace {
+    fn default() -> Self {
+        CheckpointKeySpace {
+            fc_prefixes: &["fc."],
+            bn_suffixes: &[".gamma", ".beta"],
+        }
+    }
+}
+
+impl CheckpointKeySpace {
+    /// Whether `name` is a classifier parameter.
+    pub fn is_fc(&self, name: &str) -> bool {
+        self.fc_prefixes.iter().any(|p| name.starts_with(p))
+    }
+
+    /// Whether `name` is a batch-norm affine parameter.
+    pub fn is_bn(&self, name: &str) -> bool {
+        self.bn_suffixes.iter().any(|s| name.ends_with(s))
+    }
+}
+
 /// Which parameter groups to freeze during AMS retraining.
 ///
 /// The paper freezes each group in turn to locate the mechanism of
@@ -52,14 +89,19 @@ impl FreezePolicy {
     ];
 
     /// Whether a parameter with this hierarchical name belongs to a frozen
-    /// group under this policy.
-    ///
-    /// Classification: names starting with `fc.` are classifier
-    /// parameters, names ending in `.gamma` / `.beta` are batch-norm
-    /// parameters, and everything else is convolutional.
+    /// group under this policy, in the default [`CheckpointKeySpace`]:
+    /// names starting with `fc.` are classifier parameters, names ending
+    /// in `.gamma` / `.beta` are batch-norm parameters, and everything
+    /// else is convolutional.
     pub fn applies_to(&self, param_name: &str) -> bool {
-        let is_fc = param_name.starts_with("fc.");
-        let is_bn = param_name.ends_with(".gamma") || param_name.ends_with(".beta");
+        self.applies_to_with(&CheckpointKeySpace::default(), param_name)
+    }
+
+    /// [`FreezePolicy::applies_to`] classified against an explicit model
+    /// key-space.
+    pub fn applies_to_with(&self, keys: &CheckpointKeySpace, param_name: &str) -> bool {
+        let is_fc = keys.is_fc(param_name);
+        let is_bn = keys.is_bn(param_name);
         let is_conv = !is_fc && !is_bn;
         match self {
             FreezePolicy::None => false,
@@ -75,8 +117,14 @@ impl FreezePolicy {
     /// this policy (clearing flags the policy does not cover, so policies
     /// can be swapped on a live model).
     pub fn apply(&self, model: &mut dyn Layer) {
+        self.apply_with(&CheckpointKeySpace::default(), model);
+    }
+
+    /// [`FreezePolicy::apply`] classified against an explicit model
+    /// key-space (see [`crate::ModelSpec::key_space`]).
+    pub fn apply_with(&self, keys: &CheckpointKeySpace, model: &mut dyn Layer) {
         model.for_each_param(&mut |p| {
-            p.frozen = self.applies_to(p.name());
+            p.frozen = self.applies_to_with(keys, p.name());
         });
     }
 }

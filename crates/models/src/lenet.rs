@@ -1,0 +1,458 @@
+//! A LeNet-5-shaped quantized conv net for the model zoo.
+//!
+//! Two 5×5 convolution blocks (conv → BN → ReLU-1 → 2×2 max pool) feeding
+//! a single fully-connected classifier — the classic LeCun topology
+//! re-expressed on the same quantized/AMS layer stack as
+//! [`crate::ResNetMini`], so every experiment (Table 1/2, Fig. 4–8) runs
+//! unchanged against a second, non-residual model. Batch norm replaces the
+//! original's per-map bias so the paper's Table-2 freeze probes (BN vs FC
+//! vs conv) stay meaningful.
+
+use ams_nn::{BatchNorm2d, ClippedRelu, Flatten, Layer, MaxPool2d, Mode, Param};
+use ams_tensor::{rng, ExecCtx, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{HardwareConfig, InputKind};
+use crate::freeze::FreezePolicy;
+use crate::qconv::QConv2d;
+use crate::qlinear::QLinear;
+use crate::spec::{AmsModel, ModelKind};
+use crate::surgery::{EnergyReport, LayerEnergy};
+
+/// Architecture of a [`LeNet5`].
+///
+/// # Example
+///
+/// ```
+/// use ams_models::{HardwareConfig, LeNet5, LeNet5Config};
+/// use ams_nn::{Layer, Mode};
+/// use ams_tensor::{ExecCtx, Tensor};
+///
+/// let arch = LeNet5Config::tiny();
+/// let mut net = LeNet5::new(&arch, &HardwareConfig::fp32());
+/// let y = net.forward(&ExecCtx::serial(), &Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval);
+/// assert_eq!(y.dims(), &[2, arch.classes]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeNet5Config {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Square input size in pixels (needed to size the classifier).
+    pub image_size: usize,
+    /// Channel widths of the two conv blocks (LeCun's 6 and 16, scaled to
+    /// the synthetic substrate here).
+    pub conv_channels: [usize; 2],
+    /// Weight-initialization seed.
+    pub init_seed: u64,
+}
+
+impl LeNet5Config {
+    /// Quantized convolution layers in the topology.
+    pub const CONV_LAYERS: usize = 2;
+
+    /// Sized for the `quick` synthetic dataset (16×16, 16 classes).
+    pub fn quick() -> Self {
+        LeNet5Config {
+            in_channels: 3,
+            classes: 16,
+            image_size: 16,
+            conv_channels: [6, 16],
+            init_seed: 42,
+        }
+    }
+
+    /// Sized for the `full` synthetic dataset (24×24, 20 classes).
+    pub fn full() -> Self {
+        LeNet5Config {
+            in_channels: 3,
+            classes: 20,
+            image_size: 24,
+            conv_channels: [8, 20],
+            init_seed: 42,
+        }
+    }
+
+    /// Sized for the `test` synthetic dataset (8×8, 4 classes).
+    pub fn tiny() -> Self {
+        LeNet5Config {
+            in_channels: 3,
+            classes: 4,
+            image_size: 8,
+            conv_channels: [4, 8],
+            init_seed: 42,
+        }
+    }
+
+    /// Spatial size after the two 2×2 pools.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not survive the pools.
+    pub fn final_spatial(&self) -> usize {
+        assert!(
+            self.image_size >= 4,
+            "LeNet5Config: image size {} too small for two 2x2 pools",
+            self.image_size
+        );
+        self.image_size / 4
+    }
+
+    /// Classifier input features.
+    pub fn fc_in(&self) -> usize {
+        let s = self.final_spatial();
+        self.conv_channels[1] * s * s
+    }
+}
+
+/// Noise-stream index reserved for the classifier, far from the conv
+/// indices so architectures can grow without colliding (matches
+/// [`crate::ResNetMini`]'s convention).
+const FC_NOISE_INDEX: u64 = 1000;
+
+/// The LeNet-5-shaped network (see module docs).
+#[derive(Debug)]
+pub struct LeNet5 {
+    name: String,
+    conv1: QConv2d,
+    bn1: BatchNorm2d,
+    act1: ClippedRelu,
+    pool1: MaxPool2d,
+    conv2: QConv2d,
+    bn2: BatchNorm2d,
+    act2: ClippedRelu,
+    pool2: MaxPool2d,
+    flatten: Flatten,
+    fc: QLinear,
+    config: LeNet5Config,
+    hw: HardwareConfig,
+}
+
+impl LeNet5 {
+    /// Builds the network for the given architecture and hardware.
+    ///
+    /// The first convolution reads sign-magnitude rescaled images
+    /// (`InputKind::SignedRescaled`), like ResNetMini's stem; the second
+    /// reads ReLU-1 activations. Noise streams: conv1 = 0, conv2 = 1,
+    /// classifier = 1000.
+    pub fn new(arch: &LeNet5Config, hw: &HardwareConfig) -> Self {
+        let hw = hw.with_model_tag(ModelKind::LeNet5);
+        let mut init = rng::seeded(arch.init_seed);
+        let [c1, c2] = arch.conv_channels;
+        let conv1 = QConv2d::new(
+            "conv1",
+            arch.in_channels,
+            c1,
+            5,
+            1,
+            2,
+            &hw,
+            InputKind::SignedRescaled,
+            0,
+            &mut init,
+        );
+        let bn1 = BatchNorm2d::new("bn1", c1);
+        let conv2 = QConv2d::new("conv2", c1, c2, 5, 1, 2, &hw, InputKind::Unit, 1, &mut init);
+        let bn2 = BatchNorm2d::new("bn2", c2);
+        let fc = QLinear::new(
+            "fc",
+            arch.fc_in(),
+            arch.classes,
+            &hw,
+            true,
+            FC_NOISE_INDEX,
+            &mut init,
+        );
+        LeNet5 {
+            name: "lenet5".to_string(),
+            conv1,
+            bn1,
+            act1: ClippedRelu::new("act1"),
+            pool1: MaxPool2d::new("pool1", 2),
+            conv2,
+            bn2,
+            act2: ClippedRelu::new("act2"),
+            pool2: MaxPool2d::new("pool2", 2),
+            flatten: Flatten::new("flatten"),
+            fc,
+            config: *arch,
+            hw,
+        }
+    }
+
+    /// The architecture this network was built from.
+    pub fn config(&self) -> &LeNet5Config {
+        &self.config
+    }
+
+    /// Visits both quantized convolutions in forward order.
+    pub fn for_each_qconv(&mut self, f: &mut dyn FnMut(&mut QConv2d)) {
+        f(&mut self.conv1);
+        f(&mut self.conv2);
+    }
+}
+
+impl Layer for LeNet5 {
+    fn forward(&mut self, ctx: &ExecCtx, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = self.conv1.forward(ctx, input, mode);
+        x = self.bn1.forward(ctx, &x, mode);
+        x = self.act1.forward(ctx, &x, mode);
+        x = self.pool1.forward(ctx, &x, mode);
+        x = self.conv2.forward(ctx, &x, mode);
+        x = self.bn2.forward(ctx, &x, mode);
+        x = self.act2.forward(ctx, &x, mode);
+        x = self.pool2.forward(ctx, &x, mode);
+        x = self.flatten.forward(ctx, &x, mode);
+        self.fc.forward(ctx, &x, mode)
+    }
+
+    fn backward(&mut self, ctx: &ExecCtx, grad_output: &Tensor) -> Tensor {
+        let mut g = self.fc.backward(ctx, grad_output);
+        g = self.flatten.backward(ctx, &g);
+        g = self.pool2.backward(ctx, &g);
+        g = self.act2.backward(ctx, &g);
+        g = self.bn2.backward(ctx, &g);
+        g = self.conv2.backward(ctx, &g);
+        g = self.pool1.backward(ctx, &g);
+        g = self.act1.backward(ctx, &g);
+        g = self.bn1.backward(ctx, &g);
+        self.conv1.backward(ctx, &g)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.for_each_param(f);
+        self.bn1.for_each_param(f);
+        self.conv2.for_each_param(f);
+        self.bn2.for_each_param(f);
+        self.fc.for_each_param(f);
+    }
+
+    fn for_each_state(&mut self, f: &mut dyn FnMut(&str, &mut Tensor)) {
+        self.conv1.for_each_state(f);
+        self.bn1.for_each_state(f);
+        self.conv2.for_each_state(f);
+        self.bn2.for_each_state(f);
+        self.fc.for_each_state(f);
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl AmsModel for LeNet5 {
+    fn kind(&self) -> ModelKind {
+        ModelKind::LeNet5
+    }
+
+    fn hardware(&self) -> &HardwareConfig {
+        &self.hw
+    }
+
+    fn reseed_noise(&mut self, pass_seed: u64) {
+        let mut idx = 0u64;
+        self.for_each_qconv(&mut |c| {
+            c.reseed_noise(pass_seed, idx);
+            idx += 1;
+        });
+        self.fc.reseed_noise(pass_seed, FC_NOISE_INDEX);
+    }
+
+    fn noise_states(&mut self) -> Vec<rng::RngState> {
+        let mut out = Vec::new();
+        self.for_each_qconv(&mut |c| out.push(c.noise_state()));
+        out.push(self.fc.noise_state());
+        out
+    }
+
+    fn restore_noise_states(&mut self, states: &[rng::RngState]) {
+        assert_eq!(
+            states.len(),
+            LeNet5Config::CONV_LAYERS + 1,
+            "noise-state checkpoint has {} streams, this architecture needs {}",
+            states.len(),
+            LeNet5Config::CONV_LAYERS + 1,
+        );
+        let mut it = states.iter();
+        self.for_each_qconv(&mut |c| {
+            c.restore_noise_state(it.next().expect("length checked above"));
+        });
+        self.fc
+            .restore_noise_state(it.next().expect("length checked above"));
+    }
+
+    fn set_probes(&mut self, enabled: bool) {
+        self.for_each_qconv(&mut |c| c.set_probe(enabled));
+    }
+
+    fn probe_means(&mut self) -> Vec<(String, f32)> {
+        let mut out = Vec::new();
+        self.for_each_qconv(&mut |c| {
+            if let Some(m) = c.probe_mean() {
+                out.push((c.name().to_string(), m));
+            }
+        });
+        out
+    }
+
+    fn apply_freeze(&mut self, policy: FreezePolicy) {
+        policy.apply(self);
+    }
+
+    fn energy_report(&mut self, ctx: &ExecCtx, image_size: usize) -> EnergyReport {
+        let dummy = Tensor::zeros(&[1, self.config.in_channels, image_size, image_size]);
+        let _ = self.forward(ctx, &dummy, Mode::Eval);
+        let vmac = self.hw.vmac;
+        let mut layers = Vec::new();
+        self.for_each_qconv(&mut |c| {
+            let macs = c.macs_per_image().expect("forward just ran");
+            let energy_pj = vmac
+                .map(|v| crate::surgery::layer_energy_pj(macs, v.enob, v.n_mult))
+                .unwrap_or(0.0);
+            layers.push(LayerEnergy {
+                name: c.name().to_string(),
+                macs,
+                n_tot: c.n_tot(),
+                energy_pj,
+            });
+        });
+        let fc_macs = self.fc.macs_per_image();
+        layers.push(LayerEnergy {
+            name: self.fc.name().to_string(),
+            macs: fc_macs,
+            n_tot: self.fc.n_tot(),
+            energy_pj: vmac
+                .map(|v| crate::surgery::layer_energy_pj(fc_macs, v.enob, v.n_mult))
+                .unwrap_or(0.0),
+        });
+        EnergyReport { layers }
+    }
+
+    fn error_budget(&mut self) -> Vec<(String, usize, Option<f32>)> {
+        let mut out = Vec::new();
+        self.for_each_qconv(&mut |c| {
+            out.push((c.name().to_string(), c.n_tot(), c.error_sigma()));
+        });
+        out.push((
+            self.fc.name().to_string(),
+            self.fc.n_tot(),
+            self.fc.error_sigma(),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_core::vmac::Vmac;
+    use ams_nn::Checkpoint;
+    use ams_quant::QuantConfig;
+
+    #[test]
+    fn forward_shapes_at_all_presets() {
+        for (arch, batch) in [
+            (LeNet5Config::tiny(), 2),
+            (LeNet5Config::quick(), 1),
+            (LeNet5Config::full(), 1),
+        ] {
+            let mut net = LeNet5::new(&arch, &HardwareConfig::fp32());
+            let s = arch.image_size;
+            let y = net.forward(
+                &ExecCtx::serial(),
+                &Tensor::zeros(&[batch, 3, s, s]),
+                Mode::Eval,
+            );
+            assert_eq!(y.dims(), &[batch, arch.classes]);
+        }
+    }
+
+    #[test]
+    fn param_names_match_the_table2_key_space() {
+        let mut net = LeNet5::new(&LeNet5Config::tiny(), &HardwareConfig::fp32());
+        let mut names = Vec::new();
+        net.for_each_param(&mut |p| names.push(p.name().to_string()));
+        assert!(names.contains(&"conv1.weight".to_string()));
+        assert!(names.contains(&"bn2.gamma".to_string()));
+        assert!(names.contains(&"fc.weight".to_string()));
+        assert!(names.contains(&"fc.bias".to_string()));
+        // Every name classifies into exactly the intended Table-2 group.
+        for n in &names {
+            let is_fc = FreezePolicy::Fc.applies_to(n);
+            let is_bn = FreezePolicy::Bn.applies_to(n);
+            let is_conv = FreezePolicy::Conv.applies_to(n);
+            assert_eq!(
+                [is_fc, is_bn, is_conv].iter().filter(|&&b| b).count(),
+                1,
+                "{n} must belong to exactly one group"
+            );
+            if n.starts_with("conv") {
+                assert!(is_conv, "{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn trains_a_step_under_ams_hardware() {
+        let hw = HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 7.0));
+        let mut net = LeNet5::new(&LeNet5Config::tiny(), &hw);
+        let mut r = rng::seeded(1);
+        let mut x = Tensor::zeros(&[4, 3, 8, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let y = net.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let (loss, grad) = ams_nn::softmax_cross_entropy(&y, &[0, 1, 2, 3]);
+        assert!(loss.is_finite());
+        net.backward(&ExecCtx::serial(), &grad);
+        ams_nn::Sgd::new(0.01).step(&mut net);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_bit_identical() {
+        let mut a = LeNet5::new(&LeNet5Config::tiny(), &HardwareConfig::fp32());
+        let ckpt = Checkpoint::from_layer(&mut a);
+        let arch_b = LeNet5Config {
+            init_seed: 43,
+            ..LeNet5Config::tiny()
+        };
+        let mut b = LeNet5::new(&arch_b, &HardwareConfig::fp32());
+        ckpt.load_into(&mut b).expect("same structure");
+        let x = Tensor::full(&[1, 3, 8, 8], 0.3);
+        let ya = a.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let yb = b.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    fn noise_states_round_trip() {
+        let hw = HardwareConfig::ams_eval_only(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 6.0));
+        let mut net = LeNet5::new(&LeNet5Config::tiny(), &hw);
+        net.reseed_noise(7);
+        let x = Tensor::full(&[1, 3, 8, 8], 0.4);
+        let _ = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let states = net.noise_states();
+        assert_eq!(states.len(), 3);
+        let a = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        net.restore_noise_states(&states);
+        let b = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        assert_eq!(a.data(), b.data(), "same cursor, same noise");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise-state checkpoint has 2 streams")]
+    fn restore_rejects_wrong_stream_count() {
+        let mut net = LeNet5::new(&LeNet5Config::tiny(), &HardwareConfig::fp32());
+        let states = net.noise_states();
+        net.restore_noise_states(&states[..2]);
+    }
+
+    #[test]
+    fn runs_under_bfp_quantization() {
+        use ams_quant::QuantScheme;
+        let quant = QuantConfig::w8a8().with_scheme(QuantScheme::Bfp { block: 16 });
+        let mut net = LeNet5::new(&LeNet5Config::tiny(), &HardwareConfig::quantized(quant));
+        let x = Tensor::full(&[2, 3, 8, 8], 0.25);
+        let y = net.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        assert!(y.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -15,6 +15,9 @@
 //!   same architecture serves as the FP32 baseline (identity quantizers),
 //!   the quantized digital baseline (Table 1), and the AMS network
 //!   (Figs. 4–6, Table 2).
+//! * [`LeNet5`] — a small LeNet-style conv net; with [`ResNetMini`] it
+//!   forms the model zoo behind [`ModelSpec`], the topology-agnostic seam
+//!   the experiment runner builds against.
 //! * [`FreezePolicy`] — the Table 2 selective-freezing study.
 //! * Activation probes — per-layer output means across a dataset (Fig. 6).
 //!
@@ -39,17 +42,21 @@ mod block;
 mod cnn;
 mod config;
 mod freeze;
+mod lenet;
 mod qconv;
 mod qlinear;
 mod resnet;
+mod spec;
 pub mod surgery;
 
 pub use ams_core::error_model::{ErrorModel, ErrorModelConfig, ErrorModelKind};
 pub use block::BasicBlock;
 pub use cnn::{PlainCnn, PlainCnnConfig};
 pub use config::{HardwareConfig, InputKind};
-pub use freeze::FreezePolicy;
+pub use freeze::{CheckpointKeySpace, FreezePolicy};
+pub use lenet::{LeNet5, LeNet5Config};
 pub use qconv::QConv2d;
 pub use qlinear::QLinear;
 pub use resnet::{ResNetMini, ResNetMiniConfig};
+pub use spec::{AmsModel, ModelKind, ModelSpec};
 pub use surgery::{fold_bn_into_conv, EnergyReport, LayerEnergy};

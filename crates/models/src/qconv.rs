@@ -4,7 +4,7 @@ use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{conv2d_backward, conv2d_forward, ConvCache};
 use ams_nn::{Layer, Mode, Param};
-use ams_quant::{quantize_activations_in, quantize_signed_in, WeightQuantizer};
+use ams_quant::{build_quantizer, Quantizer};
 use ams_tensor::obs::WelfordState;
 use ams_tensor::{im2col_in, mat_to_nchw_in, noise_stream_seed, rng, ConvGeom, ExecCtx, Tensor};
 use rand::Rng;
@@ -43,8 +43,7 @@ pub struct QConv2d {
     stride: usize,
     pad: usize,
     weight: Param,
-    wq: WeightQuantizer,
-    bx: u32,
+    quantizer: Box<dyn Quantizer>,
     input_kind: InputKind,
     hw: HardwareConfig,
     layer_index: u64,
@@ -90,8 +89,7 @@ impl QConv2d {
         let weight = Param::new(format!("{name}.weight"), w);
         QConv2d {
             model: hw.build_error_model(layer_index),
-            wq: WeightQuantizer::with_scheme(hw.quant.bw, hw.scheme),
-            bx: hw.quant.bx,
+            quantizer: build_quantizer(hw.quant, hw.scheme),
             input_kind,
             hw: *hw,
             layer_index,
@@ -234,11 +232,11 @@ impl QConv2d {
     fn quantize_input(&self, ctx: &ExecCtx, input: &Tensor) -> Tensor {
         let ws = ctx.workspace();
         match self.input_kind {
-            InputKind::Unit => quantize_activations_in(ws, input, self.bx),
+            InputKind::Unit => self.quantizer.quantize_activations_in(ws, input),
             InputKind::SignedRescaled => {
                 // [0, 1] → [-1, 1], then sign-magnitude quantization.
                 let rescaled = ws.map_tensor(input, |v| 2.0 * v - 1.0);
-                let q = quantize_signed_in(ws, &rescaled, self.bx);
+                let q = self.quantizer.quantize_signed_in(ws, &rescaled);
                 ws.recycle(rescaled);
                 q
             }
@@ -263,7 +261,7 @@ impl Layer for QConv2d {
             ws.recycle(old);
         }
         let xq = self.quantize_input(ctx, input);
-        let qw = self.wq.quantize_in(ws, &self.weight.value);
+        let qw = self.quantizer.quantize_weights_in(ws, &self.weight.value);
         let density = qw.density;
         let ste_scale = qw.ste_scale;
         let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
@@ -311,11 +309,11 @@ impl Layer for QConv2d {
                 let stats = self.model.inject_traced(&mut y, n_tot);
                 if !stats.is_empty() {
                     let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
-                    // Key by model kind and ENOB: sweeps (Fig. 4/5) drive
+                    // Key by scenario and ENOB: sweeps (Fig. 4/5) drive
                     // the same layer at several ENOBs, and each (model,
                     // ENOB) pair has a different error distribution.
                     ctx.metrics().merge_observations(
-                        &format!("noise.{}.{}.enob{enob:.1}", self.name, self.model.kind()),
+                        &self.hw.noise_gauge_key(&self.name, self.model.kind(), enob),
                         &stats,
                     );
                 }

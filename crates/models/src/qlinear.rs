@@ -4,7 +4,7 @@ use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{linear_backward, linear_forward, LinearCache};
 use ams_nn::{Layer, Mode, Param};
-use ams_quant::{quantize_activations_in, WeightQuantizer};
+use ams_quant::{build_quantizer, Quantizer};
 use ams_tensor::{noise_stream_seed, rng, ExecCtx, Tensor};
 use rand::Rng;
 
@@ -40,8 +40,7 @@ pub struct QLinear {
     out_features: usize,
     weight: Param,
     bias: Param,
-    wq: WeightQuantizer,
-    bx: u32,
+    quantizer: Box<dyn Quantizer>,
     is_last: bool,
     hw: HardwareConfig,
     layer_index: u64,
@@ -78,8 +77,7 @@ impl QLinear {
         QLinear {
             weight: Param::new(format!("{name}.weight"), w),
             bias: Param::new_no_decay(format!("{name}.bias"), Tensor::zeros(&[out_features])),
-            wq: WeightQuantizer::with_scheme(hw.quant.bw, hw.scheme),
-            bx: hw.quant.bx,
+            quantizer: build_quantizer(hw.quant, hw.scheme),
             is_last,
             hw: *hw,
             layer_index,
@@ -200,8 +198,8 @@ impl Layer for QLinear {
         if let Some(old) = self.ste_scale.take() {
             ws.recycle(old);
         }
-        let xq = quantize_activations_in(ws, input, self.bx);
-        let qw = self.wq.quantize_in(ws, &self.weight.value);
+        let xq = self.quantizer.quantize_activations_in(ws, input);
+        let qw = self.quantizer.quantize_weights_in(ws, &self.weight.value);
         let ste_scale = qw.ste_scale;
         let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
             Some(r) => {
@@ -236,7 +234,7 @@ impl Layer for QLinear {
                 if !stats.is_empty() {
                     let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;
                     ctx.metrics().merge_observations(
-                        &format!("noise.{}.{}.enob{enob:.1}", self.name, self.model.kind()),
+                        &self.hw.noise_gauge_key(&self.name, self.model.kind(), enob),
                         &stats,
                     );
                 }

@@ -9,6 +9,7 @@ use crate::config::{HardwareConfig, InputKind};
 use crate::freeze::FreezePolicy;
 use crate::qconv::QConv2d;
 use crate::qlinear::QLinear;
+use crate::spec::{AmsModel, ModelKind};
 use crate::surgery::{EnergyReport, LayerEnergy};
 
 /// Architecture of a [`ResNetMini`].
@@ -128,6 +129,7 @@ const FC_NOISE_INDEX: u64 = 1000;
 impl ResNetMini {
     /// Builds the network for the given architecture and hardware.
     pub fn new(arch: &ResNetMiniConfig, hw: &HardwareConfig) -> Self {
+        let hw = &hw.with_model_tag(ModelKind::ResNetMini);
         let mut init = rng::seeded(arch.init_seed);
         let stem = QConv2d::new(
             "stem",
@@ -394,6 +396,50 @@ impl Layer for ResNetMini {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+// Inherent methods take precedence in resolution, so each trait method
+// dispatches to the concrete implementation above.
+impl AmsModel for ResNetMini {
+    fn kind(&self) -> ModelKind {
+        ModelKind::ResNetMini
+    }
+
+    fn hardware(&self) -> &HardwareConfig {
+        self.hardware()
+    }
+
+    fn reseed_noise(&mut self, pass_seed: u64) {
+        self.reseed_noise(pass_seed);
+    }
+
+    fn noise_states(&mut self) -> Vec<rng::RngState> {
+        self.noise_states()
+    }
+
+    fn restore_noise_states(&mut self, states: &[rng::RngState]) {
+        self.restore_noise_states(states);
+    }
+
+    fn set_probes(&mut self, enabled: bool) {
+        self.set_probes(enabled);
+    }
+
+    fn probe_means(&mut self) -> Vec<(String, f32)> {
+        self.probe_means()
+    }
+
+    fn apply_freeze(&mut self, policy: FreezePolicy) {
+        self.apply_freeze(policy);
+    }
+
+    fn energy_report(&mut self, ctx: &ExecCtx, image_size: usize) -> EnergyReport {
+        self.energy_report(ctx, image_size)
+    }
+
+    fn error_budget(&mut self) -> Vec<(String, usize, Option<f32>)> {
+        self.error_budget()
     }
 }
 

@@ -1,0 +1,278 @@
+//! The model seam: [`ModelKind`], [`AmsModel`] and [`ModelSpec`].
+//!
+//! The experiment harness used to hardcode [`crate::ResNetMini`] at every
+//! build site. [`ModelSpec`] packages what the harness actually needs —
+//! an architecture constructor, the checkpoint key-space, the Table-2
+//! freeze-policy set, and the input shape — behind one dispatch point, and
+//! [`AmsModel`] is the object-safe capability surface every network in the
+//! zoo implements (noise-stream checkpointing, probes, freezing, energy
+//! accounting) on top of [`ams_nn::Layer`].
+//!
+//! # Example
+//!
+//! ```
+//! use ams_models::{HardwareConfig, LeNet5Config, ModelSpec};
+//! use ams_nn::Mode;
+//! use ams_tensor::{ExecCtx, Tensor};
+//!
+//! let spec = ModelSpec::LeNet5(LeNet5Config::tiny());
+//! let mut net = spec.build(&HardwareConfig::fp32());
+//! let (c, s) = spec.input_shape();
+//! let s = s.expect("LeNet5 has a fixed input size");
+//! let y = net.forward(&ExecCtx::serial(), &Tensor::zeros(&[2, c, s, s]), Mode::Eval);
+//! assert_eq!(y.dims(), &[2, spec.classes()]);
+//! ```
+
+use ams_nn::Layer;
+use ams_tensor::{rng::RngState, ExecCtx};
+use serde::{Deserialize, Serialize};
+
+use crate::config::HardwareConfig;
+use crate::freeze::{CheckpointKeySpace, FreezePolicy};
+use crate::lenet::{LeNet5, LeNet5Config};
+use crate::resnet::{ResNetMini, ResNetMiniConfig};
+use crate::surgery::EnergyReport;
+
+/// Which network topology an artifact (checkpoint, journal, metric key)
+/// belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub enum ModelKind {
+    /// The three-stage residual substrate network (DESIGN.md §3).
+    #[default]
+    ResNetMini,
+    /// The LeNet-5-shaped plain conv net (two 5×5 conv/pool blocks).
+    LeNet5,
+}
+
+impl ModelKind {
+    /// Short identifier used in artifact names, CLI flags and metric keys.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ModelKind::ResNetMini => "resnet-mini",
+            ModelKind::LeNet5 => "lenet5",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "resnet-mini" | "resnet_mini" | "resnet" => Ok(ModelKind::ResNetMini),
+            "lenet5" | "lenet-5" | "lenet" => Ok(ModelKind::LeNet5),
+            other => Err(format!("unknown model `{other}`; use resnet-mini|lenet5")),
+        }
+    }
+}
+
+// Hand-written so checkpoints/train states serialized before the model
+// seam existed (no `model` field) deserialize as ResNetMini — the vendored
+// serde facade's equivalent of `#[serde(default)]`.
+impl serde::Deserialize for ModelKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) if s == "ResNetMini" => Ok(ModelKind::ResNetMini),
+            serde::Value::Str(s) if s == "LeNet5" => Ok(ModelKind::LeNet5),
+            serde::Value::Str(other) => Err(serde::DeError::unknown_variant("ModelKind", other)),
+            _ => Err(serde::DeError::expected("enum ModelKind")),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(ModelKind::ResNetMini)
+    }
+}
+
+/// The capability surface the experiment harness needs from a network,
+/// over and above [`Layer`]: AMS noise-stream checkpointing (crash-safe
+/// resume, DESIGN.md §9), activation probes (Fig. 6), Table-2 freezing,
+/// and Eq. 3–4 energy accounting.
+///
+/// Implementations delegate to their inherent methods; `&mut dyn AmsModel`
+/// upcasts to `&mut dyn Layer` wherever checkpoints or the optimizer need
+/// the parameter tree.
+pub trait AmsModel: Layer {
+    /// Which topology this is (keys artifacts and metric names).
+    fn kind(&self) -> ModelKind;
+
+    /// The hardware configuration the network was built with.
+    fn hardware(&self) -> &HardwareConfig;
+
+    /// Reseeds every layer's AMS noise stream for an independent pass.
+    fn reseed_noise(&mut self, pass_seed: u64);
+
+    /// Snapshots every layer's noise-stream cursor in forward order.
+    fn noise_states(&mut self) -> Vec<RngState>;
+
+    /// Repositions every layer's noise stream at the captured cursors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` was captured from a different architecture
+    /// (wrong stream count).
+    fn restore_noise_states(&mut self, states: &[RngState]);
+
+    /// Enables or disables output-mean probes on every convolution.
+    fn set_probes(&mut self, enabled: bool);
+
+    /// Collects `(layer_name, mean)` for every probed convolution with
+    /// observed data, in forward order.
+    fn probe_means(&mut self) -> Vec<(String, f32)>;
+
+    /// Applies a Table 2 freezing policy to all parameters.
+    fn apply_freeze(&mut self, policy: FreezePolicy);
+
+    /// Prices one inference at the given square input size (Eq. 3–4).
+    fn energy_report(&mut self, ctx: &ExecCtx, image_size: usize) -> EnergyReport;
+
+    /// Per-layer `(name, N_tot, σ)` of the injected AMS error.
+    fn error_budget(&mut self) -> Vec<(String, usize, Option<f32>)>;
+}
+
+/// A buildable model architecture: everything the runner needs to work
+/// with a network without naming its concrete type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// [`ResNetMini`] with the given architecture.
+    ResNetMini(ResNetMiniConfig),
+    /// [`LeNet5`] with the given architecture.
+    LeNet5(LeNet5Config),
+}
+
+impl ModelSpec {
+    /// The topology tag (artifact/metric key component).
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            ModelSpec::ResNetMini(_) => ModelKind::ResNetMini,
+            ModelSpec::LeNet5(_) => ModelKind::LeNet5,
+        }
+    }
+
+    /// Constructs the network for this architecture under `hw` (with the
+    /// hardware tagged by [`ModelSpec::kind`], so layer metric keys carry
+    /// the scenario).
+    pub fn build(&self, hw: &HardwareConfig) -> Box<dyn AmsModel> {
+        let hw = hw.with_model_tag(self.kind());
+        match self {
+            ModelSpec::ResNetMini(arch) => Box::new(ResNetMini::new(arch, &hw)),
+            ModelSpec::LeNet5(arch) => Box::new(LeNet5::new(arch, &hw)),
+        }
+    }
+
+    /// `(channels, square_size)` of the input images the net expects;
+    /// `None` when the topology accepts any size its strides survive
+    /// (ResNetMini's global average pool absorbs the spatial dims).
+    pub fn input_shape(&self) -> (usize, Option<usize>) {
+        match self {
+            ModelSpec::ResNetMini(arch) => (arch.in_channels, None),
+            ModelSpec::LeNet5(arch) => (arch.in_channels, Some(arch.image_size)),
+        }
+    }
+
+    /// Output classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            ModelSpec::ResNetMini(arch) => arch.classes,
+            ModelSpec::LeNet5(arch) => arch.classes,
+        }
+    }
+
+    /// Noise streams a resumable checkpoint must carry (convolutions plus
+    /// the classifier).
+    pub fn noise_stream_count(&self) -> usize {
+        match self {
+            ModelSpec::ResNetMini(arch) => arch.conv_layer_count() + 1,
+            ModelSpec::LeNet5(_) => LeNet5Config::CONV_LAYERS + 1,
+        }
+    }
+
+    /// How parameter names map onto Table-2 groups for this topology.
+    pub fn key_space(&self) -> CheckpointKeySpace {
+        // Both zoo members name their classifier `fc.*` and their
+        // batch-norm affines `*.gamma` / `*.beta`.
+        CheckpointKeySpace::default()
+    }
+
+    /// The Table-2 freeze policies meaningful for this topology.
+    pub fn freeze_policies(&self) -> &'static [FreezePolicy] {
+        &FreezePolicy::ALL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ams_nn::{Checkpoint, Mode};
+    use ams_tensor::{ExecCtx, Tensor};
+
+    #[test]
+    fn kind_keys_and_parsing() {
+        assert_eq!(ModelKind::ResNetMini.key(), "resnet-mini");
+        assert_eq!(ModelKind::LeNet5.key(), "lenet5");
+        assert_eq!(
+            "resnet-mini".parse::<ModelKind>(),
+            Ok(ModelKind::ResNetMini)
+        );
+        assert_eq!("lenet5".parse::<ModelKind>(), Ok(ModelKind::LeNet5));
+        assert!("vgg".parse::<ModelKind>().is_err());
+    }
+
+    #[test]
+    fn model_kind_missing_defaults_to_resnet_mini() {
+        // Pre-seam serialized maps lack the field entirely.
+        let got: ModelKind =
+            serde::field(&[], "model").expect("missing field must default, not error");
+        assert_eq!(got, ModelKind::ResNetMini);
+    }
+
+    #[test]
+    fn specs_build_matching_networks() {
+        for spec in [
+            ModelSpec::ResNetMini(ResNetMiniConfig::tiny()),
+            ModelSpec::LeNet5(LeNet5Config::tiny()),
+        ] {
+            let mut net = spec.build(&HardwareConfig::fp32());
+            assert_eq!(net.kind(), spec.kind());
+            assert_eq!(net.hardware().model_tag, spec.kind());
+            let (c, s) = spec.input_shape();
+            let s = s.unwrap_or(8);
+            let y = net.forward(
+                &ExecCtx::serial(),
+                &Tensor::zeros(&[2, c, s, s]),
+                Mode::Eval,
+            );
+            assert_eq!(y.dims(), &[2, spec.classes()]);
+            assert_eq!(net.noise_states().len(), spec.noise_stream_count());
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_serde() {
+        for spec in [
+            ModelSpec::ResNetMini(ResNetMiniConfig::tiny()),
+            ModelSpec::LeNet5(LeNet5Config::quick()),
+        ] {
+            let v = serde::Serialize::to_value(&spec);
+            let back = <ModelSpec as serde::Deserialize>::from_value(&v).expect("round trip");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn checkpoints_transfer_between_boxed_and_concrete() {
+        // A checkpoint captured through the trait object must load into a
+        // concrete net of the same architecture (same key-space).
+        let spec = ModelSpec::LeNet5(LeNet5Config::tiny());
+        let mut boxed = spec.build(&HardwareConfig::fp32());
+        let ckpt = Checkpoint::from_layer(&mut *boxed);
+        let mut concrete = LeNet5::new(&LeNet5Config::tiny(), &HardwareConfig::fp32());
+        ckpt.load_into(&mut concrete).expect("same key-space");
+    }
+}

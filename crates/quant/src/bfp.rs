@@ -1,0 +1,330 @@
+//! Adaptive block floating-point quantization.
+//!
+//! Values are grouped into fixed-size blocks that share a power-of-two
+//! scale (a "block exponent") chosen adaptively from each block's observed
+//! max magnitude (PAPERS.md: arXiv 2205.06287). Within a block, mantissas
+//! are uniformly quantized against that scale, so dynamic range is spent
+//! where the block actually needs it — cheap on analog hardware because the
+//! shared exponent is a digital shift, not a per-element multiplier.
+//!
+//! The transform keeps the DoReFa range contracts ([`crate::QuantConfig`]):
+//! weights and signed inputs are clamped to `[-1, 1]`, activations to
+//! `[0, 1]`, so the VMAC LSB derivation (paper Eq. 1) applies unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use ams_quant::{AdaptiveBfp, Quantizer};
+//! use ams_tensor::Tensor;
+//!
+//! let q = AdaptiveBfp::new(8, 8, 4);
+//! let w = Tensor::from_vec(&[4], vec![0.5, 0.24, -0.9, 0.1]).unwrap();
+//! let out = q.quantize_weights(&w);
+//! // Error is bounded by the block scale (1.0 here) over the mantissa grid.
+//! for (v, o) in w.data().iter().zip(out.values.data()) {
+//!     assert!((v - o).abs() <= 1.0 / 128.0);
+//! }
+//! ```
+
+use ams_tensor::{Density, Tensor, Workspace};
+
+use crate::config::QuantScheme;
+use crate::dorefa::QuantizedWeights;
+use crate::quantizer::Quantizer;
+
+/// Smallest power of two `>=` `max` (the shared block scale).
+///
+/// Works all the way down into the denormal range: `log2`/`exp2` get within
+/// one step of the answer and the fix-up loops land it exactly, without
+/// assuming normal-number exponent arithmetic.
+fn block_scale(max: f32) -> f32 {
+    debug_assert!(max > 0.0 && max.is_finite(), "block_scale: max={max}");
+    let mut s = max.log2().ceil().exp2();
+    while s < max {
+        s *= 2.0;
+    }
+    // Tighten: the scale must be the *smallest* power of two >= max.
+    while s / 2.0 >= max && s / 2.0 > 0.0 {
+        s /= 2.0;
+    }
+    s
+}
+
+/// Block floating-point with per-block adaptive shared exponents.
+///
+/// `bw`/`bx` follow the [`crate::QuantConfig`] convention (32 = full
+/// precision pass-through). Signed grids (weights, first-layer inputs)
+/// spend one bit on the sign, so their mantissa carries `bits − 1`
+/// fractional bits; the unsigned activation grid carries all `bx` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBfp {
+    bw: u32,
+    bx: u32,
+    block: usize,
+}
+
+impl AdaptiveBfp {
+    /// A BFP quantizer with the given widths and block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero or a width is outside `2..=24` (except
+    /// 32, the full-precision pass-through): one bit cannot carry a signed
+    /// mantissa, and beyond 24 mantissa bits the `f32` grid itself stops
+    /// being exact.
+    pub fn new(bw: u32, bx: u32, block: usize) -> Self {
+        assert!(block >= 1, "AdaptiveBfp: block size must be >= 1");
+        for (name, bits) in [("bw", bw), ("bx", bx)] {
+            assert!(
+                (2..=24).contains(&bits) || bits == 32,
+                "AdaptiveBfp: {name} must be in 2..=24 or 32, got {bits}"
+            );
+        }
+        AdaptiveBfp { bw, bx, block }
+    }
+
+    /// Elements per shared-exponent block.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Quantizes `x` block-wise after clamping to `[lo, hi]`, with
+    /// `mant_bits` fractional mantissa bits against each block's shared
+    /// power-of-two scale.
+    fn quantize_blockwise(
+        &self,
+        ws: &Workspace,
+        x: &Tensor,
+        mant_bits: u32,
+        lo: f32,
+        hi: f32,
+    ) -> Tensor {
+        let mut out = ws.take_tensor(x.dims());
+        // 2^mant_bits steps per unit of scale; exact in f32 for <= 24 bits.
+        let levels = (1u32 << mant_bits) as f32;
+        for (ob, ib) in out
+            .data_mut()
+            .chunks_mut(self.block)
+            .zip(x.data().chunks(self.block))
+        {
+            let mut max = 0.0f32;
+            for &v in ib {
+                max = max.max(v.clamp(lo, hi).abs());
+            }
+            if max <= 0.0 {
+                // All-zero block (including -0.0): exact zeros, no scale.
+                ob.fill(0.0);
+                continue;
+            }
+            let scale = block_scale(max);
+            for (o, &v) in ob.iter_mut().zip(ib) {
+                let c = v.clamp(lo, hi);
+                *o = (c / scale * levels).round() / levels * scale;
+            }
+        }
+        out
+    }
+}
+
+impl Quantizer for AdaptiveBfp {
+    fn scheme(&self) -> QuantScheme {
+        QuantScheme::Bfp { block: self.block }
+    }
+
+    fn weight_bits(&self) -> u32 {
+        self.bw
+    }
+
+    fn activation_bits(&self) -> u32 {
+        self.bx
+    }
+
+    fn quantize_weights_in(&self, ws: &Workspace, w: &Tensor) -> QuantizedWeights {
+        if self.bw == 32 {
+            let values = ws.clone_tensor(w);
+            return QuantizedWeights {
+                density: Density::measure(values.data()),
+                values,
+                ste_scale: ws.map_tensor(w, |_| 1.0),
+            };
+        }
+        let values = self.quantize_blockwise(ws, w, self.bw - 1, -1.0, 1.0);
+        // Straight-through estimator: the clamp mask (like DoReFa's Clamp
+        // scheme) — unity inside [-1, 1], zero outside.
+        let ste_scale = ws.map_tensor(w, |wi| if (-1.0..=1.0).contains(&wi) { 1.0 } else { 0.0 });
+        QuantizedWeights {
+            density: Density::measure(values.data()),
+            values,
+            ste_scale,
+        }
+    }
+
+    fn quantize_activations_in(&self, ws: &Workspace, a: &Tensor) -> Tensor {
+        if self.bx == 32 {
+            return ws.clone_tensor(a);
+        }
+        self.quantize_blockwise(ws, a, self.bx, 0.0, 1.0)
+    }
+
+    fn quantize_signed_in(&self, ws: &Workspace, x: &Tensor) -> Tensor {
+        if self.bx == 32 {
+            return ws.clone_tensor(x);
+        }
+        self.quantize_blockwise(ws, x, self.bx - 1, -1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tensor(values: Vec<f32>) -> Tensor {
+        Tensor::from_vec(&[values.len()], values).unwrap()
+    }
+
+    #[test]
+    fn block_scale_is_smallest_power_of_two_above_max() {
+        for (max, want) in [
+            (1.0f32, 1.0f32),
+            (0.5, 0.5),
+            (0.51, 1.0),
+            (0.26, 0.5),
+            (1.5, 2.0),
+            (f32::MIN_POSITIVE, f32::MIN_POSITIVE),
+        ] {
+            let got = block_scale(max);
+            assert_eq!(got, want, "max={max}");
+        }
+    }
+
+    #[test]
+    fn fp32_widths_pass_through() {
+        let q = AdaptiveBfp::new(32, 32, 4);
+        let w = tensor(vec![-1.7, 0.3, 0.0, 2.5]);
+        assert_eq!(q.quantize_weights(&w).values, w);
+        let ws = Workspace::new();
+        assert_eq!(q.quantize_activations_in(&ws, &w), w);
+        assert_eq!(q.quantize_signed_in(&ws, &w), w);
+    }
+
+    #[test]
+    fn weights_clamp_to_unit_range() {
+        let q = AdaptiveBfp::new(4, 4, 2);
+        let w = tensor(vec![-3.0, -1.0, 0.25, 7.0]);
+        let out = q.quantize_weights(&w);
+        assert!(out.values.max_abs() <= 1.0);
+        // Out-of-range entries saturate exactly to ±1 (scale 1, mantissa 1).
+        assert_eq!(out.values.data()[0], -1.0);
+        assert_eq!(out.values.data()[3], 1.0);
+        // STE is the clamp mask.
+        assert_eq!(out.ste_scale.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn activations_clamp_to_unit_interval() {
+        let q = AdaptiveBfp::new(8, 3, 4);
+        let ws = Workspace::new();
+        let a = tensor(vec![-0.5, 0.1, 0.5, 2.0]);
+        let out = q.quantize_activations_in(&ws, &a);
+        assert!(out.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(out.data()[0], 0.0);
+        assert_eq!(out.data()[3], 1.0);
+    }
+
+    #[test]
+    fn adaptive_exponent_beats_global_grid_on_small_blocks() {
+        // A tiny-magnitude block quantized at 3 signed bits: a global
+        // [-1, 1] grid would round everything to 0; the adaptive block
+        // exponent keeps relative precision.
+        let q = AdaptiveBfp::new(3, 3, 4);
+        let w = tensor(vec![0.011, -0.013, 0.009, 0.014]);
+        let out = q.quantize_weights(&w);
+        assert!(out.values.data().iter().any(|&v| v != 0.0));
+        for (v, o) in w.data().iter().zip(out.values.data()) {
+            // scale = 2^-6 = 0.015625, 4 mantissa steps -> LSB 0.00390625.
+            assert!((v - o).abs() <= 0.015_625 / 4.0 / 2.0 + 1e-9, "{v} vs {o}");
+        }
+    }
+
+    proptest! {
+        /// Quantize→dequantize error is bounded by half an LSB of the
+        /// block's shared exponent: |x − q(x)| ≤ scale / 2^(bits−1) / 2
+        /// for in-range signed values.
+        #[test]
+        fn roundtrip_error_bounded_by_block_exponent(
+            values in proptest::collection::vec(-1.0f32..1.0, 1..64),
+            bw in 2u32..=8,
+            block in 1usize..=16,
+        ) {
+            let q = AdaptiveBfp::new(bw, 8, block);
+            let w = tensor(values.clone());
+            let out = q.quantize_weights(&w);
+            let levels = (1u32 << (bw - 1)) as f32;
+            for (chunk, qchunk) in values.chunks(block).zip(out.values.data().chunks(block)) {
+                let max = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                if max <= 0.0 {
+                    for &o in qchunk {
+                        prop_assert_eq!(o, 0.0);
+                    }
+                    continue;
+                }
+                let scale = block_scale(max);
+                let bound = scale / levels / 2.0 * (1.0 + 1e-5) + f32::MIN_POSITIVE;
+                for (&v, &o) in chunk.iter().zip(qchunk) {
+                    prop_assert!((v - o).abs() <= bound,
+                        "|{} - {}| > {} (scale {}, block max {})", v, o, bound, scale, max);
+                }
+            }
+        }
+
+        /// On a constant block the result is independent of the block
+        /// size: every block sees the same max, hence the same exponent.
+        #[test]
+        fn constant_blocks_are_block_size_invariant(
+            value in -1.0f32..1.0,
+            len in 1usize..=48,
+            bw in 2u32..=8,
+            block_a in 1usize..=16,
+            block_b in 1usize..=16,
+        ) {
+            let w = tensor(vec![value; len]);
+            let qa = AdaptiveBfp::new(bw, 8, block_a).quantize_weights(&w);
+            let qb = AdaptiveBfp::new(bw, 8, block_b).quantize_weights(&w);
+            prop_assert_eq!(qa.values.data(), qb.values.data());
+            // And the constant quantizes to a single shared value.
+            let first = qa.values.data()[0];
+            prop_assert!(qa.values.data().iter().all(|&v| v.to_bits() == first.to_bits()));
+        }
+
+        /// Negative zero and denormal inputs never produce NaN/Inf, zeros
+        /// stay exactly zero, and denormal magnitudes stay finite and
+        /// within one block LSB of the input.
+        #[test]
+        fn negative_zero_and_denormals_are_safe(
+            denorm_steps in 1u32..=1000,
+            bw in 2u32..=8,
+            block in 1usize..=8,
+        ) {
+            let denorm = f32::from_bits(denorm_steps); // smallest denormals
+            prop_assume!(denorm > 0.0 && denorm < f32::MIN_POSITIVE);
+            let w = tensor(vec![-0.0, denorm, -denorm, 0.0]);
+            let q = AdaptiveBfp::new(bw, 8, block);
+            let out = q.quantize_weights(&w);
+            for (&v, &o) in w.data().iter().zip(out.values.data()) {
+                prop_assert!(o.is_finite(), "{} -> {}", v, o);
+                if v == 0.0 {
+                    prop_assert_eq!(o, 0.0);
+                } else {
+                    let scale = block_scale(denorm);
+                    prop_assert!((v - o).abs() <= scale, "{} -> {} (scale {})", v, o, scale);
+                }
+            }
+
+            // An all -0.0 tensor quantizes to exact zeros.
+            let z = tensor(vec![-0.0; 5]);
+            let zq = q.quantize_weights(&z);
+            prop_assert!(zq.values.data().iter().all(|&v| v == 0.0));
+        }
+    }
+}

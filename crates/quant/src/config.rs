@@ -2,10 +2,84 @@
 
 use serde::{Deserialize, Serialize};
 
-/// A `(B_W, B_X)` weight/activation bit-width pair.
+/// Which quantization transform maps full-precision values onto the
+/// hardware grid.
+///
+/// The scheme is orthogonal to the bit-widths in [`QuantConfig`]: both
+/// schemes honor `bw`/`bx` and both keep weights in `[-1, 1]` and
+/// activations in `[0, 1]`, so the VMAC error model (paper Eq. 1) applies
+/// unchanged.
+///
+/// # Example
+///
+/// ```
+/// use ams_quant::QuantScheme;
+///
+/// assert_eq!(QuantScheme::default().key(), "dorefa");
+/// assert_eq!(QuantScheme::Bfp { block: 16 }.key(), "bfp16");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub enum QuantScheme {
+    /// DoReFa uniform quantization (tanh/clamp weight squash, ReLU-1
+    /// activations) — the paper's scheme.
+    #[default]
+    Dorefa,
+    /// Adaptive block floating-point: values share a per-block power-of-two
+    /// exponent chosen from the block's observed max magnitude
+    /// (PAPERS.md: arXiv 2205.06287).
+    Bfp {
+        /// Elements per shared-exponent block.
+        block: usize,
+    },
+}
+
+// Hand-written so an absent `scheme` field (configs serialized before the
+// seam existed) deserializes as DoReFa via `missing()` — the vendored
+// serde facade's equivalent of `#[serde(default)]`.
+impl serde::Deserialize for QuantScheme {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) if s == "Dorefa" => Ok(QuantScheme::Dorefa),
+            serde::Value::Map(entries) if entries.len() == 1 && entries[0].0 == "Bfp" => {
+                let pm = serde::expect_map(&entries[0].1, "QuantScheme::Bfp")?;
+                Ok(QuantScheme::Bfp {
+                    block: serde::field(pm, "block")?,
+                })
+            }
+            serde::Value::Str(other) => Err(serde::DeError::unknown_variant("QuantScheme", other)),
+            _ => Err(serde::DeError::expected("enum QuantScheme")),
+        }
+    }
+
+    fn missing() -> Option<Self> {
+        Some(QuantScheme::Dorefa)
+    }
+}
+
+impl QuantScheme {
+    /// Short identifier used in artifact names and metric keys:
+    /// `"dorefa"` or `"bfp{block}"`.
+    pub fn key(&self) -> String {
+        match self {
+            QuantScheme::Dorefa => "dorefa".to_string(),
+            QuantScheme::Bfp { block } => format!("bfp{block}"),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
+/// A `(B_W, B_X)` weight/activation bit-width pair plus the
+/// [`QuantScheme`] that realizes it.
 ///
 /// `bw == 32` (or `bx == 32`) means "leave that operand in full precision";
-/// the constructors below cover Table 1 of the paper.
+/// the constructors below cover Table 1 of the paper and default to the
+/// DoReFa scheme (configurations serialized before the scheme existed
+/// deserialize as DoReFa).
 ///
 /// # Example
 ///
@@ -21,6 +95,9 @@ pub struct QuantConfig {
     pub bw: u32,
     /// Activation bit-width `B_X` (sign-magnitude; 32 = full precision).
     pub bx: u32,
+    /// Quantization scheme realizing the widths (absent in configs
+    /// serialized before the seam existed; defaults to DoReFa).
+    pub scheme: QuantScheme,
 }
 
 impl QuantConfig {
@@ -38,43 +115,56 @@ impl QuantConfig {
             (1..=32).contains(&bx),
             "QuantConfig: bx must be in 1..=32, got {bx}"
         );
-        QuantConfig { bw, bx }
+        QuantConfig {
+            bw,
+            bx,
+            scheme: QuantScheme::Dorefa,
+        }
+    }
+
+    /// The same widths under a different [`QuantScheme`].
+    pub fn with_scheme(mut self, scheme: QuantScheme) -> Self {
+        if let QuantScheme::Bfp { block } = scheme {
+            assert!(block >= 1, "QuantConfig: BFP block size must be >= 1");
+        }
+        self.scheme = scheme;
+        self
     }
 
     /// Full precision (Table 1, row 1).
     pub fn fp32() -> Self {
-        QuantConfig { bw: 32, bx: 32 }
+        Self::new(32, 32)
     }
 
     /// 8-bit weights and activations (Table 1, row 2).
     pub fn w8a8() -> Self {
-        QuantConfig { bw: 8, bx: 8 }
+        Self::new(8, 8)
     }
 
     /// 6-bit weights and activations (Table 1, row 3).
     pub fn w6a6() -> Self {
-        QuantConfig { bw: 6, bx: 6 }
+        Self::new(6, 6)
     }
 
     /// 6-bit weights, 4-bit activations (Table 1, row 4).
     pub fn w6a4() -> Self {
-        QuantConfig { bw: 6, bx: 4 }
+        Self::new(6, 4)
     }
 
     /// 4-bit weights and activations (extended Table 1; substrate
     /// calibration — see EXPERIMENTS.md).
     pub fn w4a4() -> Self {
-        QuantConfig { bw: 4, bx: 4 }
+        Self::new(4, 4)
     }
 
     /// 3-bit weights and activations (extended Table 1).
     pub fn w3a3() -> Self {
-        QuantConfig { bw: 3, bx: 3 }
+        Self::new(3, 3)
     }
 
     /// 2-bit weights and activations (extended Table 1).
     pub fn w2a2() -> Self {
-        QuantConfig { bw: 2, bx: 2 }
+        Self::new(2, 2)
     }
 
     /// Whether both operands stay in full precision.
@@ -99,10 +189,14 @@ impl Default for QuantConfig {
 impl std::fmt::Display for QuantConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.is_fp32() {
-            write!(f, "FP32")
+            write!(f, "FP32")?;
         } else {
-            write!(f, "BW={}, BX={}", self.bw, self.bx)
+            write!(f, "BW={}, BX={}", self.bw, self.bx)?;
         }
+        if self.scheme != QuantScheme::Dorefa {
+            write!(f, " [{}]", self.scheme.key())?;
+        }
+        Ok(())
     }
 }
 
@@ -121,6 +215,22 @@ mod tests {
     fn display() {
         assert_eq!(QuantConfig::fp32().to_string(), "FP32");
         assert_eq!(QuantConfig::w6a4().to_string(), "BW=6, BX=4");
+        assert_eq!(
+            QuantConfig::w8a8()
+                .with_scheme(QuantScheme::Bfp { block: 16 })
+                .to_string(),
+            "BW=8, BX=8 [bfp16]"
+        );
+    }
+
+    #[test]
+    fn scheme_defaults_to_dorefa_in_old_serialized_configs() {
+        // A config serialized before `scheme` existed must keep parsing
+        // (and comparing equal to today's default construction).
+        let old = r#"{"bw":6,"bx":4}"#;
+        let parsed: QuantConfig = serde_json::from_str(old).expect("legacy json");
+        assert_eq!(parsed, QuantConfig::w6a4());
+        assert_eq!(parsed.scheme, QuantScheme::Dorefa);
     }
 
     #[test]

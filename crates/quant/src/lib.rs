@@ -21,7 +21,10 @@
 //! * [`SignMagnitude`] — the paper's sign-magnitude digital encoding of
 //!   VMAC operands, with exact round-trips;
 //! * [`QuantConfig`] — a `(B_W, B_X)` pair with the paper's configurations
-//!   as constructors.
+//!   as constructors, carrying the [`QuantScheme`] that realizes it;
+//! * [`Quantizer`] — the pluggable quantizer seam: [`DorefaQuantizer`]
+//!   (the transforms above, bit-identical) and [`AdaptiveBfp`] (per-block
+//!   shared exponents from observed range), built via [`build_quantizer`].
 //!
 //! # Example
 //!
@@ -39,15 +42,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bfp;
 mod config;
 mod dorefa;
+mod quantizer;
 mod signmag;
 mod uniform;
 
-pub use config::QuantConfig;
+pub use bfp::AdaptiveBfp;
+pub use config::{QuantConfig, QuantScheme};
 pub use dorefa::{
     quantize_activations, quantize_activations_in, quantize_signed, quantize_signed_in,
     QuantizedWeights, WeightQuantizer, WeightScheme,
 };
+pub use quantizer::{build_quantizer, DorefaQuantizer, Quantizer};
 pub use signmag::SignMagnitude;
 pub use uniform::{quantization_levels, quantize_unit};

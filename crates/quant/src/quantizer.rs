@@ -1,0 +1,159 @@
+//! The pluggable quantizer seam.
+//!
+//! [`Quantizer`] abstracts the three transforms a quantized layer needs —
+//! weights to the `[-1, 1]` grid, activations to the `[0, 1]` grid, and
+//! signed first-layer inputs to the `[-1, 1]` grid — so layers can hold a
+//! `Box<dyn Quantizer>` built from a [`QuantConfig`] instead of hardcoding
+//! the DoReFa functions. Both implementations preserve the range contracts
+//! the VMAC error model depends on (paper Fig. 2 / Eq. 1).
+//!
+//! # Example
+//!
+//! ```
+//! use ams_quant::{build_quantizer, QuantConfig, QuantScheme, WeightScheme};
+//! use ams_tensor::Tensor;
+//!
+//! let cfg = QuantConfig::w8a8().with_scheme(QuantScheme::Bfp { block: 16 });
+//! let q = build_quantizer(cfg, WeightScheme::default());
+//! let w = Tensor::from_vec(&[3], vec![-0.7, 0.01, 2.5]).unwrap();
+//! assert!(q.quantize_weights(&w).values.max_abs() <= 1.0);
+//! ```
+
+use ams_tensor::{Tensor, Workspace};
+
+use crate::bfp::AdaptiveBfp;
+use crate::config::{QuantConfig, QuantScheme};
+use crate::dorefa::{
+    quantize_activations_in, quantize_signed_in, QuantizedWeights, WeightQuantizer, WeightScheme,
+};
+
+/// A weight/activation quantization scheme as seen by the layers.
+///
+/// All three transforms draw their outputs from the caller's
+/// [`Workspace`], matching the allocation discipline of the DoReFa
+/// functions they generalize. A 32-bit width must be an exact pass-through
+/// (modulo the scheme's range clamp being a no-op for in-range values).
+pub trait Quantizer: std::fmt::Debug + Send + Sync {
+    /// The scheme this quantizer realizes (used in artifact/metric keys).
+    fn scheme(&self) -> QuantScheme;
+
+    /// Weight bit-width `B_W`.
+    fn weight_bits(&self) -> u32;
+
+    /// Activation bit-width `B_X`.
+    fn activation_bits(&self) -> u32;
+
+    /// Quantizes weights onto the `[-1, 1]` grid, returning values,
+    /// straight-through gradient scales, and a density hint.
+    fn quantize_weights_in(&self, ws: &Workspace, w: &Tensor) -> QuantizedWeights;
+
+    /// Quantizes activations (already in `[0, 1]` up to clamping) onto the
+    /// unit grid.
+    fn quantize_activations_in(&self, ws: &Workspace, a: &Tensor) -> Tensor;
+
+    /// Quantizes signed inputs (already in `[-1, 1]` up to clamping) onto
+    /// the sign-magnitude grid used for first-layer images.
+    fn quantize_signed_in(&self, ws: &Workspace, x: &Tensor) -> Tensor;
+
+    /// [`Quantizer::quantize_weights_in`] with a throwaway workspace.
+    fn quantize_weights(&self, w: &Tensor) -> QuantizedWeights {
+        self.quantize_weights_in(&Workspace::new(), w)
+    }
+}
+
+/// The paper's DoReFa transforms behind the [`Quantizer`] seam.
+///
+/// Delegates verbatim to [`WeightQuantizer`], [`quantize_activations_in`]
+/// and [`quantize_signed_in`], so a `DorefaQuantizer` is bit-identical to
+/// the pre-seam code path.
+#[derive(Debug, Clone)]
+pub struct DorefaQuantizer {
+    weights: WeightQuantizer,
+    bx: u32,
+}
+
+impl DorefaQuantizer {
+    /// A DoReFa quantizer for the given widths and weight squash scheme.
+    pub fn new(quant: QuantConfig, wscheme: WeightScheme) -> Self {
+        DorefaQuantizer {
+            weights: WeightQuantizer::with_scheme(quant.bw, wscheme),
+            bx: quant.bx,
+        }
+    }
+}
+
+impl Quantizer for DorefaQuantizer {
+    fn scheme(&self) -> QuantScheme {
+        QuantScheme::Dorefa
+    }
+
+    fn weight_bits(&self) -> u32 {
+        self.weights.bits()
+    }
+
+    fn activation_bits(&self) -> u32 {
+        self.bx
+    }
+
+    fn quantize_weights_in(&self, ws: &Workspace, w: &Tensor) -> QuantizedWeights {
+        self.weights.quantize_in(ws, w)
+    }
+
+    fn quantize_activations_in(&self, ws: &Workspace, a: &Tensor) -> Tensor {
+        quantize_activations_in(ws, a, self.bx)
+    }
+
+    fn quantize_signed_in(&self, ws: &Workspace, x: &Tensor) -> Tensor {
+        quantize_signed_in(ws, x, self.bx)
+    }
+}
+
+/// Builds the [`Quantizer`] selected by `quant.scheme`.
+///
+/// `wscheme` only affects the DoReFa weight squash; block floating-point
+/// clamps instead of squashing, so it ignores it.
+pub fn build_quantizer(quant: QuantConfig, wscheme: WeightScheme) -> Box<dyn Quantizer> {
+    match quant.scheme {
+        QuantScheme::Dorefa => Box::new(DorefaQuantizer::new(quant, wscheme)),
+        QuantScheme::Bfp { block } => Box::new(AdaptiveBfp::new(quant.bw, quant.bx, block)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dorefa_quantizer_matches_free_functions() {
+        let ws = Workspace::new();
+        let cfg = QuantConfig::w6a4();
+        let q = build_quantizer(cfg, WeightScheme::default());
+        assert_eq!(q.scheme(), QuantScheme::Dorefa);
+        assert_eq!(q.weight_bits(), 6);
+        assert_eq!(q.activation_bits(), 4);
+
+        let w = Tensor::from_vec(&[5], vec![-1.4, -0.3, 0.0, 0.6, 2.0]).unwrap();
+        let direct = WeightQuantizer::with_scheme(6, WeightScheme::default()).quantize_in(&ws, &w);
+        let seam = q.quantize_weights_in(&ws, &w);
+        assert_eq!(direct.values, seam.values);
+        assert_eq!(direct.ste_scale, seam.ste_scale);
+
+        let a = Tensor::from_vec(&[4], vec![-0.1, 0.2, 0.77, 1.3]).unwrap();
+        assert_eq!(
+            quantize_activations_in(&ws, &a, 4),
+            q.quantize_activations_in(&ws, &a)
+        );
+        let x = Tensor::from_vec(&[4], vec![-0.9, -0.2, 0.4, 0.9]).unwrap();
+        assert_eq!(
+            quantize_signed_in(&ws, &x, 4),
+            q.quantize_signed_in(&ws, &x)
+        );
+    }
+
+    #[test]
+    fn factory_selects_bfp() {
+        let cfg = QuantConfig::w8a8().with_scheme(QuantScheme::Bfp { block: 8 });
+        let q = build_quantizer(cfg, WeightScheme::default());
+        assert_eq!(q.scheme(), QuantScheme::Bfp { block: 8 });
+    }
+}
