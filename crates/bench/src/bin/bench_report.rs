@@ -18,7 +18,10 @@ use ams_models::{HardwareConfig, InputKind, QConv2d};
 use ams_nn::functional::conv2d_forward;
 use ams_nn::{Layer, Mode};
 use ams_quant::QuantConfig;
-use ams_tensor::{im2col_in, matmul_in, matmul_reference, rng, ConvGeom, Density, ExecCtx, Tensor};
+use ams_tensor::{
+    im2col_in, matmul_i8_in, matmul_in, matmul_reference, quantize_symmetric_i8, rng, ConvGeom,
+    Density, ExecCtx, Tensor,
+};
 use serde::Value;
 
 /// Builds a JSON object from string keys (vendored `serde` value tree —
@@ -202,6 +205,27 @@ fn main() {
             drop(y);
         });
         results.push(summary("matmul_naive", shape, &[m, kdim, ncols], &naive));
+
+        // -- integer fast path on the same operands, quantized once
+        // outside the timed region (the layers quantize per forward, but
+        // weight codes are cached there; this isolates the GEMM itself).
+        let (acodes, ascale) = quantize_symmetric_i8(a.data());
+        let (bcodes, bscale) = quantize_symmetric_i8(b.data());
+        let i8s = time_reps(reps, || {
+            let y = matmul_i8_in(
+                &ctx,
+                m,
+                kdim,
+                ncols,
+                &acodes,
+                &bcodes,
+                ascale * bscale,
+                false,
+            );
+            ws.recycle(y);
+        });
+        results.push(summary("matmul_i8", shape, &[m, kdim, ncols], &i8s));
+
         if shape.name == "large" {
             let (tm, nm) = (percentile(&tiled, 0.5), percentile(&naive, 0.5));
             results.push(obj(vec![
@@ -215,6 +239,19 @@ fn main() {
             eprintln!(
                 "  headline: naive {nm:.2} ms, tiled {tm:.2} ms, speedup {:.2}x",
                 nm / tm
+            );
+            let im = percentile(&i8s, 0.5);
+            results.push(obj(vec![
+                ("kernel", Value::Str("i8_vs_tiled_speedup".to_string())),
+                ("shape", Value::Str(shape.name.to_string())),
+                ("dims", dims_value(&[m, kdim, ncols])),
+                ("tiled_median_ms", Value::F64(tm)),
+                ("i8_median_ms", Value::F64(im)),
+                ("speedup", Value::F64(tm / im)),
+            ]));
+            eprintln!(
+                "  headline: tiled {tm:.2} ms, i8 {im:.2} ms, speedup {:.2}x",
+                tm / im
             );
         }
 

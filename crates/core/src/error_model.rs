@@ -251,6 +251,15 @@ pub trait ErrorModel: fmt::Debug + Send {
     /// never touches the RNG cursor.
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor>;
 
+    /// Whether [`ErrorModel::realize_weights`] would return a perturbed
+    /// copy — i.e. the model carries a device-mismatch overlay. Layers use
+    /// this to gate the integer GEMM fast path, which works on pre-coded
+    /// weights and cannot apply an f32 perturbation; models that perturb
+    /// keep the f32 kernels.
+    fn perturbs_weights(&self) -> bool {
+        false
+    }
+
     /// The chunked conversion simulator for models that replace the
     /// matmul inner loop at eval time ([`ErrorModelKind::PerVmac`]);
     /// `None` for purely additive models.
@@ -338,6 +347,10 @@ impl ErrorModel for IdealModel {
         self.mismatch.map(|m| m.apply(weights, layer_index))
     }
 
+    fn perturbs_weights(&self) -> bool {
+        self.mismatch.is_some()
+    }
+
     impl_single_cursor!();
 }
 
@@ -373,6 +386,10 @@ impl ErrorModel for LumpedGaussian {
 
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
         self.mismatch.map(|m| m.apply(weights, layer_index))
+    }
+
+    fn perturbs_weights(&self) -> bool {
+        self.mismatch.is_some()
     }
 
     impl_single_cursor!();
@@ -413,6 +430,10 @@ impl ErrorModel for CompositeModel {
         self.mismatch.map(|m| m.apply(weights, layer_index))
     }
 
+    fn perturbs_weights(&self) -> bool {
+        self.mismatch.is_some()
+    }
+
     impl_single_cursor!();
 }
 
@@ -451,6 +472,10 @@ impl ErrorModel for PerVmacSim {
 
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
         self.mismatch.map(|m| m.apply(weights, layer_index))
+    }
+
+    fn perturbs_weights(&self) -> bool {
+        self.mismatch.is_some()
     }
 
     fn operand_sim(&self) -> Option<VmacSimulator> {

@@ -8,7 +8,7 @@ use ams_core::vmac_sim::AdcBehavior;
 use ams_models::ModelKind;
 use ams_quant::QuantScheme;
 use ams_tensor::obs::{MetricsReport, CSV_HEADERS};
-use ams_tensor::{ExecCtx, MetricsSink};
+use ams_tensor::{ExecCtx, KernelDispatch, MetricsSink};
 
 use crate::report::{write_csv, Report};
 use crate::runner::Experiments;
@@ -18,7 +18,7 @@ use crate::scale::Scale;
 ///
 /// ```text
 /// [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume]
-/// [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N]
+/// [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N] [--kernel f32|i8]
 /// [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S]
 /// [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]
 /// ```
@@ -29,6 +29,13 @@ use crate::scale::Scale;
 /// quantizer: the default `dorefa` or the adaptive block-floating-point
 /// `bfp` (`--bfp-block N` sets its block size, default 16, and is only
 /// valid together with `--quant bfp`).
+///
+/// `--kernel` selects the eval-time matmul dispatch: the default `f32`
+/// runs the tiled f32 kernels (bit-identical to every committed golden);
+/// `i8` routes ≤8-bit eval layers through the packed integer GEMM (see
+/// DESIGN.md §13). The integer path is statistically — not bitwise —
+/// equivalent to f32, so `--kernel i8` runs write their artifacts under
+/// `-i8`-suffixed scenario names and never overwrite f32 outputs.
 ///
 /// `--error-model` selects how the VMAC error budget is realized (see
 /// DESIGN.md §10): the default `lumped` Gaussian reproduces the paper's
@@ -88,6 +95,8 @@ pub struct Cli {
     /// The quantizer scheme selected by `--quant` / `--bfp-block`
     /// (default: DoReFa).
     pub quant: QuantScheme,
+    /// The matmul dispatch selected by `--kernel` (default: f32).
+    pub kernel: KernelDispatch,
     ctx: ExecCtx,
 }
 
@@ -116,6 +125,7 @@ impl Cli {
         let mut model = ModelKind::ResNetMini;
         let mut quant_name = "dorefa".to_string();
         let mut bfp_block: Option<usize> = None;
+        let mut kernel = KernelDispatch::F32;
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
@@ -211,11 +221,22 @@ impl Cli {
                     ));
                     i += 2;
                 }
+                "--kernel" => {
+                    kernel = KernelDispatch::by_name(
+                        args.get(i + 1)
+                            .unwrap_or_else(|| panic!("--kernel needs a value")),
+                    )
+                    .unwrap_or_else(|e| panic!("{e}"));
+                    i += 2;
+                }
                 other => panic!(
-                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]"
+                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N] [--kernel f32|i8] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]"
                 ),
             }
         }
+        // Applied after the loop: `--threads` rebuilds the context, so the
+        // kernel selection must not depend on flag order.
+        ctx = ctx.with_kernel(kernel);
         if metrics_path.is_some() {
             ctx = ctx.with_metrics(MetricsSink::recording());
         }
@@ -227,6 +248,7 @@ impl Cli {
             error_model: assemble_error_model(kind, multiplier_sigma, adc, partition),
             model,
             quant: assemble_quant_scheme(&quant_name, bfp_block),
+            kernel,
             ctx,
         }
     }
@@ -560,6 +582,30 @@ mod tests {
         // Flag order must not matter.
         let cli = Cli::parse(args(&["--bfp-block", "8", "--quant", "bfp"]));
         assert_eq!(cli.quant, QuantScheme::Bfp { block: 8 });
+    }
+
+    #[test]
+    fn kernel_flag_parses_and_reaches_the_context() {
+        let cli = Cli::parse(args(&[]));
+        assert_eq!(cli.kernel, KernelDispatch::F32);
+        assert_eq!(cli.ctx().kernel(), KernelDispatch::F32);
+
+        let cli = Cli::parse(args(&["--kernel", "i8"]));
+        assert_eq!(cli.kernel, KernelDispatch::I8);
+        assert_eq!(cli.ctx().kernel(), KernelDispatch::I8);
+
+        // `--threads` rebuilds the context; the kernel must survive in
+        // either flag order.
+        let cli = Cli::parse(args(&["--kernel", "i8", "--threads", "2"]));
+        assert_eq!(cli.ctx().kernel(), KernelDispatch::I8);
+        let cli = Cli::parse(args(&["--threads", "2", "--kernel", "i8"]));
+        assert_eq!(cli.ctx().kernel(), KernelDispatch::I8);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn rejects_unknown_kernel() {
+        Cli::parse(args(&["--kernel", "f16"]));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use ams_models::{
 };
 use ams_nn::Checkpoint;
 use ams_quant::{QuantConfig, QuantScheme};
-use ams_tensor::ExecCtx;
+use ams_tensor::{ExecCtx, KernelDispatch};
 use serde::{Deserialize, Serialize};
 
 use crate::report::{print_table, write_csv, Report, Stat};
@@ -98,25 +98,38 @@ impl Experiments {
         self
     }
 
-    /// The `{model}-{quant}-{error_model}` triple this suite is running —
-    /// the key under which non-default scenarios cache, journal and write
-    /// CSVs so no two scenarios ever share an artifact path.
+    /// Artifact-key fragment for a non-default kernel dispatch: evaluating
+    /// under `--kernel i8` changes eval outputs (statistically, within the
+    /// quantization bound), so its artifacts must never share a path with
+    /// the f32 goldens. Empty for the default f32 dispatch.
+    fn kernel_suffix(&self) -> &'static str {
+        match self.ctx.kernel() {
+            KernelDispatch::F32 => "",
+            KernelDispatch::I8 => "-i8",
+        }
+    }
+
+    /// The `{model}-{quant}-{error_model}[-kernel]` tuple this suite is
+    /// running — the key under which non-default scenarios cache, journal
+    /// and write CSVs so no two scenarios ever share an artifact path.
     pub fn scenario_key(&self) -> String {
         format!(
-            "{}-{}-{}",
+            "{}-{}-{}{}",
             self.model.kind().key(),
             self.quant_scheme.key(),
-            self.error_model.kind()
+            self.error_model.kind(),
+            self.kernel_suffix()
         )
     }
 
     /// Whether this suite runs the original pipeline (ResNetMini, DoReFa,
-    /// lumped Gaussian) whose artifacts keep their legacy unsuffixed
-    /// names — the committed goldens stay byte-identical.
+    /// lumped Gaussian, f32 kernels) whose artifacts keep their legacy
+    /// unsuffixed names — the committed goldens stay byte-identical.
     fn is_default_scenario(&self) -> bool {
         self.model.kind() == ModelKind::ResNetMini
             && self.quant_scheme == QuantScheme::Dorefa
             && self.error_model.kind() == ErrorModelKind::Lumped
+            && self.ctx.kernel() == KernelDispatch::F32
     }
 
     /// Artifact-name suffix for the full scenario; empty for the default
@@ -130,14 +143,24 @@ impl Experiments {
         }
     }
 
-    /// Cache-key suffix for artifacts that depend on the topology and the
-    /// quantizer but not the error model (the quantized digital
-    /// baselines, which never inject).
+    /// Cache-key suffix for artifacts that depend on the topology, the
+    /// quantizer and the kernel dispatch but not the error model (the
+    /// quantized digital baselines, which never inject). Eval accuracy is
+    /// kernel-dependent — the i8 fast path rounds differently from f32 —
+    /// so i8 runs get their own baseline artifacts.
     fn model_quant_suffix(&self) -> String {
-        if self.model.kind() == ModelKind::ResNetMini && self.quant_scheme == QuantScheme::Dorefa {
+        if self.model.kind() == ModelKind::ResNetMini
+            && self.quant_scheme == QuantScheme::Dorefa
+            && self.ctx.kernel() == KernelDispatch::F32
+        {
             String::new()
         } else {
-            format!("_{}-{}", self.model.kind().key(), self.quant_scheme.key())
+            format!(
+                "_{}-{}{}",
+                self.model.kind().key(),
+                self.quant_scheme.key(),
+                self.kernel_suffix()
+            )
         }
     }
 
@@ -1655,6 +1678,26 @@ mod tests {
     fn format_enob_drops_trailing_zeros() {
         assert_eq!(format_enob(8.0), "8");
         assert_eq!(format_enob(12.5), "12.5");
+    }
+
+    #[test]
+    fn i8_kernel_gets_its_own_artifact_keys() {
+        let dir = std::env::temp_dir().join("ams_exp_kernel_key_test");
+        let exp = Experiments::new(Scale::test(), &dir);
+        assert!(exp.is_default_scenario());
+        assert_eq!(exp.scenario_suffix(), "");
+        assert_eq!(exp.model_quant_suffix(), "");
+
+        let i8 = Experiments::new(Scale::test(), &dir)
+            .with_ctx(ExecCtx::serial().with_kernel(KernelDispatch::I8));
+        // Eval outputs differ under the integer kernel, so nothing may
+        // share a path with the f32 goldens except the fp32 baseline
+        // (32-bit widths never take the i8 path).
+        assert!(!i8.is_default_scenario());
+        assert!(i8.scenario_key().ends_with("-i8"));
+        assert!(i8.model_quant_suffix().ends_with("-i8"));
+        assert_eq!(i8.model_only_suffix(), "");
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
-use ams_nn::functional::{linear_backward, linear_forward, LinearCache};
+use ams_nn::functional::{linear_backward, linear_forward, linear_forward_i8, LinearCache};
 use ams_nn::{Layer, Mode, Param};
 use ams_quant::{build_quantizer, Quantizer};
-use ams_tensor::{noise_stream_seed, rng, ExecCtx, Tensor};
+use ams_tensor::{noise_stream_seed, rng, ExecCtx, KernelDispatch, Tensor};
 use rand::Rng;
 
 use crate::config::HardwareConfig;
@@ -199,34 +199,64 @@ impl Layer for QLinear {
             ws.recycle(old);
         }
         let xq = self.quantizer.quantize_activations_in(ws, input);
-        let qw = self.quantizer.quantize_weights_in(ws, &self.weight.value);
-        let ste_scale = qw.ste_scale;
-        let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
-            Some(r) => {
-                ws.recycle(qw.values);
-                r
-            }
-            None => qw.values,
-        };
         let injecting = self.hw.injects(mode.is_train(), self.is_last);
         let operand_sim = if injecting && !mode.is_train() {
             self.model.operand_sim()
         } else {
             None
         };
-        let (mut y, cache) = if let Some(sim) = &operand_sim {
-            (self.forward_per_vmac(ctx, &xq, &realized, sim), None)
-        } else {
-            linear_forward(
+        // The integer GEMM fast path (see QConv2d): eval-only, both widths
+        // ≤ 8 bits, no f32 weight perturbation, not per-VMAC. The bias
+        // stays digital/full-precision, fused into the integer epilogue.
+        let use_i8 = ctx.kernel() == KernelDispatch::I8
+            && !mode.is_train()
+            && self.quantizer.weight_bits() <= 8
+            && self.quantizer.activation_bits() <= 8
+            && !self.model.perturbs_weights()
+            && operand_sim.is_none();
+        let (mut y, cache) = if use_i8 {
+            let qi = self
+                .quantizer
+                .quantize_weights_i8_in(ws, &self.weight.value);
+            let y = linear_forward_i8(
                 ctx,
                 &xq,
-                &realized,
+                &qi.codes,
+                qi.scale,
                 Some(self.bias.value.data()),
-                mode.is_train(),
-            )
+                self.out_features,
+            );
+            (y, None)
+        } else {
+            let qw = self.quantizer.quantize_weights_in(ws, &self.weight.value);
+            let ste_scale = qw.ste_scale;
+            let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
+                Some(r) => {
+                    ws.recycle(qw.values);
+                    r
+                }
+                None => qw.values,
+            };
+            let (y, cache) = if let Some(sim) = &operand_sim {
+                (self.forward_per_vmac(ctx, &xq, &realized, sim), None)
+            } else {
+                linear_forward(
+                    ctx,
+                    &xq,
+                    &realized,
+                    Some(self.bias.value.data()),
+                    mode.is_train(),
+                )
+            };
+            ws.recycle(realized);
+            if mode.is_train() {
+                self.ste_scale = Some(ste_scale);
+            } else {
+                ws.recycle(ste_scale);
+            }
+            (y, cache)
         };
         ws.recycle(xq);
-        ws.recycle(realized);
         if injecting && operand_sim.is_none() {
             let n_tot = self.n_tot();
             if ctx.metrics().enabled() {
@@ -243,11 +273,6 @@ impl Layer for QLinear {
             }
         }
         self.cache = cache;
-        if mode.is_train() {
-            self.ste_scale = Some(ste_scale);
-        } else {
-            ws.recycle(ste_scale);
-        }
         y
     }
 
@@ -325,6 +350,43 @@ mod tests {
         let y = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
         fc.backward(&ExecCtx::serial(), &Tensor::ones(y.dims()));
         assert!(fc.weight().grad.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn i8_kernel_stays_within_the_quantization_bound() {
+        let mut r = rng::seeded(4);
+        let hw = HardwareConfig::quantized(QuantConfig::w8a8());
+        let mut fc = QLinear::new("fc", 16, 5, &hw, false, 0, &mut r);
+        let mut x = Tensor::zeros(&[3, 16]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let want = fc.forward(&ExecCtx::serial(), &x, Mode::Eval);
+        let got = fc.forward(
+            &ExecCtx::serial().with_kernel(KernelDispatch::I8),
+            &x,
+            Mode::Eval,
+        );
+        // DoReFa bounds both operands by 1, so each re-coding scale is at
+        // most 1/127; the digital bias is exact on both paths.
+        let s = 1.0f32 / 127.0;
+        let bound = fc.n_tot() as f32 * (s + s * s * 0.25) + 1e-4;
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert!((g - w).abs() <= bound, "i8 {g} vs f32 {w}, bound {bound}");
+        }
+    }
+
+    #[test]
+    fn i8_kernel_is_inert_in_train_mode() {
+        let mut r = rng::seeded(5);
+        let hw = HardwareConfig::quantized(QuantConfig::w8a8());
+        let mut fc = QLinear::new("fc", 8, 4, &hw, true, 0, &mut r);
+        let x = Tensor::ones(&[2, 8]);
+        let t1 = fc.forward(&ExecCtx::serial(), &x, Mode::Train);
+        let t2 = fc.forward(
+            &ExecCtx::serial().with_kernel(KernelDispatch::I8),
+            &x,
+            Mode::Train,
+        );
+        assert_eq!(t1, t2, "training must stay on the f32 kernels");
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use ams_tensor::{
     col2im_in, im2col_in, mat_to_nchw_in, matmul_a_bt_in, matmul_at_b_in, matmul_hinted_in,
-    matmul_in, nchw_to_mat_in, ConvGeom, Density, ExecCtx, Tensor,
+    matmul_i8_a_bt_in, matmul_i8_in, matmul_in, nchw_to_mat_in, quantize_symmetric_i8, ConvGeom,
+    Density, ExecCtx, Tensor,
 };
 
 /// Cache produced by [`conv2d_forward`], consumed by [`conv2d_backward`].
@@ -99,6 +100,75 @@ pub fn conv2d_forward(
     (y, cache)
 }
 
+/// Eval-only convolution forward on the packed integer fast path.
+///
+/// `w_codes` are symmetric-i8 weight codes in `(C_out, C_in·K_h·K_w)`
+/// layout with dequantization scale `w_scale` (see
+/// `ams_quant::Quantizer::quantize_weights_i8_in`); the im2col'd
+/// activations are re-coded onto the same grid here, and the combined
+/// scale is folded into the integer GEMM's epilogue — no f32 copy of the
+/// weights is ever materialized. `w_sparse` routes the kernel's
+/// zero-skipping dot (weights are the GEMM lhs).
+///
+/// There is no cache variant: the integer path is for inference, training
+/// always runs the f32 kernels.
+///
+/// # Panics
+///
+/// Panics on any shape disagreement between `input`, `w_codes` and the
+/// geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_i8(
+    ctx: &ExecCtx,
+    input: &Tensor,
+    w_codes: &[i8],
+    w_scale: f32,
+    w_sparse: bool,
+    bias: Option<&[f32]>,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    c_out: usize,
+) -> Tensor {
+    let (n, c_in, h, w) = input.dims4();
+    let geom = ConvGeom::new(n, c_in, h, w, kh, kw, stride, pad);
+    assert_eq!(
+        w_codes.len(),
+        c_out * geom.rows(),
+        "conv2d_forward_i8: weight codes length {} != C_out*C_in*K*K = {}",
+        w_codes.len(),
+        c_out * geom.rows()
+    );
+    let ws = ctx.workspace();
+    let cols = im2col_in(ctx, input, &geom);
+    let (acodes, ascale) = quantize_symmetric_i8(cols.data());
+    ws.recycle(cols);
+    let mut ymat = matmul_i8_in(
+        ctx,
+        c_out,
+        geom.rows(),
+        geom.cols(),
+        w_codes,
+        &acodes,
+        w_scale * ascale,
+        w_sparse,
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), c_out, "conv2d_forward_i8: bias length != C_out");
+        let ncols = geom.cols();
+        let yd = ymat.data_mut();
+        for (co, &bv) in b.iter().enumerate() {
+            for v in &mut yd[co * ncols..(co + 1) * ncols] {
+                *v += bv;
+            }
+        }
+    }
+    let y = mat_to_nchw_in(ctx, &ymat, &geom, c_out);
+    ws.recycle(ymat);
+    y
+}
+
 /// Gradients of a convolution computed by [`conv2d_forward`].
 ///
 /// Returns `(d_input, d_weight_mat, d_bias)` where `d_weight_mat` has the
@@ -179,6 +249,50 @@ pub fn linear_forward(
         weight: ctx.workspace().clone_tensor(weight),
     });
     (y, cache)
+}
+
+/// Eval-only fully-connected forward on the packed integer fast path:
+/// `y = (s · x̂·Ŵᵀ) + b` without materializing `Wᵀ` or an f32 copy of the
+/// weights.
+///
+/// `w_codes` are symmetric-i8 weight codes in `(out_features,
+/// in_features)` row-major layout with dequantization scale `w_scale`;
+/// the input batch is re-coded onto the same grid here and the bias (the
+/// paper keeps it digital/full-precision) is fused into the integer
+/// GEMM's epilogue.
+///
+/// # Panics
+///
+/// Panics on shape disagreement.
+pub fn linear_forward_i8(
+    ctx: &ExecCtx,
+    input: &Tensor,
+    w_codes: &[i8],
+    w_scale: f32,
+    bias: Option<&[f32]>,
+    out_features: usize,
+) -> Tensor {
+    assert_eq!(input.rank(), 2, "linear_forward_i8: input must be 2-D");
+    let (n, in_features) = (input.dims()[0], input.dims()[1]);
+    assert_eq!(
+        w_codes.len(),
+        out_features * in_features,
+        "linear_forward_i8: weight codes length {} != out*in = {}",
+        w_codes.len(),
+        out_features * in_features
+    );
+    let (acodes, ascale) = quantize_symmetric_i8(input.data());
+    matmul_i8_a_bt_in(
+        ctx,
+        n,
+        in_features,
+        out_features,
+        &acodes,
+        w_codes,
+        ascale * w_scale,
+        bias,
+        false,
+    )
 }
 
 /// Gradients of a fully-connected layer.
@@ -332,6 +446,65 @@ mod tests {
         }
         // Bias gradient equals the sum of dy per channel; sanity only.
         assert_eq!(db.len(), 3);
+    }
+
+    /// The statistical acceptance bound for one i8-path output element
+    /// against the f32 path (see `matmul_i8` module docs): re-coding each
+    /// operand onto the 127-level grid perturbs every one of the `k`
+    /// products by at most `max|a|·s_w/2 + max|w|·s_a/2 + s_a·s_w/4`.
+    fn i8_bound(k: usize, max_a: f32, max_w: f32) -> f32 {
+        let (sa, sw) = (max_a / 127.0, max_w / 127.0);
+        k as f32 * (max_a * sw * 0.5 + max_w * sa * 0.5 + sa * sw * 0.25) + 1e-4
+    }
+
+    #[test]
+    fn conv_i8_matches_f32_within_the_quantization_bound() {
+        let mut r = rng::seeded(9);
+        let mut x = Tensor::zeros(&[2, 3, 8, 8]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let mut wmat = Tensor::zeros(&[4, 27]);
+        rng::fill_uniform(&mut wmat, -1.0, 1.0, &mut r);
+        let bias = [0.2f32, -0.1, 0.0, 0.4];
+        let (want, _) = conv2d_forward(
+            &CTX,
+            &x,
+            &wmat,
+            Density::Sample,
+            Some(&bias),
+            3,
+            3,
+            1,
+            1,
+            false,
+        );
+        let (wc, wscale) = quantize_symmetric_i8(wmat.data());
+        let got = conv2d_forward_i8(&CTX, &x, &wc, wscale, false, Some(&bias), 3, 3, 1, 1, 4);
+        assert_eq!(got.dims(), want.dims());
+        let bound = i8_bound(27, x.max_abs(), wmat.max_abs());
+        for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+            assert!(
+                (g - w).abs() <= bound,
+                "elem {i}: i8 {g} vs f32 {w}, bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_i8_matches_f32_within_the_quantization_bound() {
+        let mut r = rng::seeded(10);
+        let mut x = Tensor::zeros(&[3, 16]);
+        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let mut w = Tensor::zeros(&[5, 16]);
+        rng::fill_uniform(&mut w, -1.0, 1.0, &mut r);
+        let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let (want, _) = linear_forward(&CTX, &x, &w, Some(&bias), false);
+        let (wc, wscale) = quantize_symmetric_i8(w.data());
+        let got = linear_forward_i8(&CTX, &x, &wc, wscale, Some(&bias), 5);
+        assert_eq!(got.dims(), want.dims());
+        let bound = i8_bound(16, x.max_abs(), w.max_abs());
+        for (g, v) in got.data().iter().zip(want.data()) {
+            assert!((g - v).abs() <= bound, "i8 {g} vs f32 {v}, bound {bound}");
+        }
     }
 
     #[test]

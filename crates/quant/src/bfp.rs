@@ -247,6 +247,64 @@ mod tests {
         }
     }
 
+    #[test]
+    fn all_zero_tensor_is_exact_zero_under_every_transform() {
+        // Degenerate range: a block with max 0.0 has no representable
+        // exponent; the early-out must yield exact zeros (not NaN from
+        // 0/0) on all three transforms, and the STE mask stays unity.
+        let q = AdaptiveBfp::new(4, 4, 8);
+        let ws = Workspace::new();
+        let z = tensor(vec![0.0; 12]);
+        let qw = q.quantize_weights_in(&ws, &z);
+        assert!(qw.values.data().iter().all(|&v| v == 0.0));
+        assert!(qw.ste_scale.data().iter().all(|&v| v == 1.0));
+        assert_eq!(qw.density, Density::Sparse);
+        assert!(q
+            .quantize_activations_in(&ws, &z)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(q
+            .quantize_signed_in(&ws, &z)
+            .data()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_value_blocks_round_on_their_own_exponent() {
+        // block = 1: every element is its own block, so each value v maps
+        // onto the grid of the smallest power of two >= |v| — values that
+        // are themselves powers of two come back exact, everything else
+        // within half its personal LSB.
+        let q = AdaptiveBfp::new(4, 4, 1);
+        let w = tensor(vec![-1.0, 0.5, 0.25, -0.0625, 0.3, -0.7]);
+        let out = q.quantize_weights(&w);
+        for &pow2 in &[0usize, 1, 2, 3] {
+            assert_eq!(
+                out.values.data()[pow2],
+                w.data()[pow2],
+                "powers of two are exact"
+            );
+        }
+        let levels = (1u32 << 3) as f32;
+        for (&v, &o) in w.data().iter().zip(out.values.data()) {
+            let scale = if v == 0.0 { 0.0 } else { block_scale(v.abs()) };
+            assert!((v - o).abs() <= scale / levels / 2.0 + 1e-9, "{v} vs {o}");
+        }
+    }
+
+    #[test]
+    fn block_larger_than_tensor_acts_as_one_block() {
+        // block > len: chunking yields a single short block, which must
+        // behave exactly like block == len (one shared exponent).
+        let w = tensor(vec![0.4, -0.1, 0.02, 0.25, -0.33]);
+        let huge = AdaptiveBfp::new(5, 5, 1024).quantize_weights(&w);
+        let exact = AdaptiveBfp::new(5, 5, w.len()).quantize_weights(&w);
+        assert_eq!(huge.values, exact.values);
+        assert_eq!(huge.ste_scale, exact.ste_scale);
+    }
+
     proptest! {
         /// Quantize→dequantize error is bounded by half an LSB of the
         /// block's shared exponent: |x − q(x)| ≤ scale / 2^(bits−1) / 2

@@ -55,6 +55,6 @@ pub use dorefa::{
     quantize_activations, quantize_activations_in, quantize_signed, quantize_signed_in,
     QuantizedWeights, WeightQuantizer, WeightScheme,
 };
-pub use quantizer::{build_quantizer, DorefaQuantizer, Quantizer};
+pub use quantizer::{build_quantizer, DorefaQuantizer, QuantizedI8, Quantizer};
 pub use signmag::SignMagnitude;
 pub use uniform::{quantization_levels, quantize_unit};

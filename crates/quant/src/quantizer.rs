@@ -19,13 +19,31 @@
 //! assert!(q.quantize_weights(&w).values.max_abs() <= 1.0);
 //! ```
 
-use ams_tensor::{Tensor, Workspace};
+use ams_tensor::{quantize_symmetric_i8, Density, Tensor, Workspace};
 
 use crate::bfp::AdaptiveBfp;
 use crate::config::{QuantConfig, QuantScheme};
 use crate::dorefa::{
     quantize_activations_in, quantize_signed_in, QuantizedWeights, WeightQuantizer, WeightScheme,
 };
+
+/// Weights re-coded onto the symmetric i8 grid for the integer GEMM fast
+/// path (`ams_tensor::matmul_i8_in`).
+///
+/// `codes · scale` reproduces the scheme's quantized f32 weights up to
+/// one extra rounding onto the 127-level grid — the re-coding error the
+/// statistical acceptance bound in `tests/i8_gemm.rs` accounts for. The
+/// `sparse` flag carries the density hint measured at quantize time so
+/// the integer kernel's zero-skipping branch needs no rescan.
+#[derive(Debug, Clone)]
+pub struct QuantizedI8 {
+    /// Symmetric i8 codes, same element order as the source tensor.
+    pub codes: Vec<i8>,
+    /// Dequantization scale: `w ≈ scale · code`.
+    pub scale: f32,
+    /// Whether the quantized weights measured mostly-zero.
+    pub sparse: bool,
+}
 
 /// A weight/activation quantization scheme as seen by the layers.
 ///
@@ -58,6 +76,28 @@ pub trait Quantizer: std::fmt::Debug + Send + Sync {
     /// [`Quantizer::quantize_weights_in`] with a throwaway workspace.
     fn quantize_weights(&self, w: &Tensor) -> QuantizedWeights {
         self.quantize_weights_in(&Workspace::new(), w)
+    }
+
+    /// Re-codes the scheme's quantized weights onto the symmetric i8 grid
+    /// for the integer GEMM fast path.
+    ///
+    /// The default implementation runs the scheme's own
+    /// [`Quantizer::quantize_weights_in`] first and re-codes its f32
+    /// values, so any scheme whose widths fit in 8 bits gets the fast
+    /// path for free; the intermediate f32 tensors are recycled straight
+    /// back into the workspace. Only meaningful when
+    /// `weight_bits() <= 8` — callers gate on that.
+    fn quantize_weights_i8_in(&self, ws: &Workspace, w: &Tensor) -> QuantizedI8 {
+        let qw = self.quantize_weights_in(ws, w);
+        let (codes, scale) = quantize_symmetric_i8(qw.values.data());
+        let sparse = matches!(qw.density, Density::Sparse);
+        ws.recycle(qw.values);
+        ws.recycle(qw.ste_scale);
+        QuantizedI8 {
+            codes,
+            scale,
+            sparse,
+        }
     }
 }
 
@@ -148,6 +188,42 @@ mod tests {
             quantize_signed_in(&ws, &x, 4),
             q.quantize_signed_in(&ws, &x)
         );
+    }
+
+    #[test]
+    fn i8_recode_tracks_the_scheme_grid() {
+        let ws = Workspace::new();
+        let q = build_quantizer(QuantConfig::w8a8(), WeightScheme::default());
+        let w = Tensor::from_vec(&[6], vec![-1.2, -0.4, 0.0, 0.3, 0.8, 1.5]).unwrap();
+        let qw = q.quantize_weights_in(&ws, &w);
+        let qi = q.quantize_weights_i8_in(&ws, &w);
+        assert_eq!(qi.codes.len(), 6);
+        assert!(!qi.sparse);
+        // codes · scale reproduces the scheme's f32 grid to within half an
+        // i8 step.
+        for (c, v) in qi.codes.iter().zip(qw.values.data()) {
+            assert!(
+                (*c as f32 * qi.scale - v).abs() <= qi.scale * 0.5 + 1e-7,
+                "code {c} scale {} vs value {v}",
+                qi.scale
+            );
+        }
+    }
+
+    #[test]
+    fn i8_recode_carries_the_density_hint() {
+        // The identity (32-bit) weight path preserves zeros exactly, so a
+        // mostly-zero tensor must come back flagged sparse. (The DoReFa
+        // tanh grid nudges zeros off zero — its 0.5 midpoint is off-grid —
+        // so it is deliberately not used here.)
+        let q = build_quantizer(QuantConfig::fp32(), WeightScheme::default());
+        let mut vals = vec![0.0f32; 64];
+        vals[0] = 1.0;
+        let w = Tensor::from_vec(&[64], vals).unwrap();
+        let qi = q.quantize_weights_i8_in(&Workspace::new(), &w);
+        assert!(qi.sparse);
+        assert_eq!(qi.codes[0], 127);
+        assert!(qi.codes[1..].iter().all(|&c| c == 0));
     }
 
     #[test]

@@ -81,6 +81,58 @@ impl Default for Parallelism {
     }
 }
 
+/// Which GEMM implementation eval-time layers dispatch to.
+///
+/// Carried by [`ExecCtx`] so one flag near `main` (`--kernel f32|i8` on
+/// the experiment binaries) decides the arithmetic for the whole stack.
+/// The default [`KernelDispatch::F32`] keeps every committed golden
+/// byte-identical; [`KernelDispatch::I8`] routes quantized layer
+/// evaluation through the packed i8×i8→i32 fast path, which is validated
+/// *statistically* against the f32 kernels (see `crates/tensor`'s
+/// `matmul_i8` module) rather than bit-for-bit. Training always runs the
+/// f32 kernels regardless of the dispatch, so checkpoints are shared
+/// between the two paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelDispatch {
+    /// The tiled f32 kernels — bit-identical to the reference kernels and
+    /// to every committed golden. The default.
+    #[default]
+    F32,
+    /// The packed i8×i8→i32 integer fast path with a fused dequantize
+    /// epilogue; exact in integer arithmetic, statistically bounded
+    /// against f32.
+    I8,
+}
+
+impl KernelDispatch {
+    /// Short identifier used in CLI flags and artifact names.
+    pub fn key(&self) -> &'static str {
+        match self {
+            KernelDispatch::F32 => "f32",
+            KernelDispatch::I8 => "i8",
+        }
+    }
+
+    /// Parses the CLI spelling (`"f32"` or `"i8"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown name so callers can report it.
+    pub fn by_name(name: &str) -> Result<Self, String> {
+        match name {
+            "f32" => Ok(KernelDispatch::F32),
+            "i8" => Ok(KernelDispatch::I8),
+            other => Err(format!("unknown kernel {other:?}; expected f32|i8")),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelDispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.key())
+    }
+}
+
 /// The execution context threaded through kernels, layers, models and
 /// experiments.
 ///
@@ -96,15 +148,20 @@ pub struct ExecCtx {
     metrics: MetricsSink,
     /// Reusable-buffer arena so steady-state passes allocate nothing.
     workspace: Workspace,
+    /// Which GEMM family quantized eval forwards dispatch to.
+    kernel: KernelDispatch,
 }
 
 impl Clone for ExecCtx {
     fn clone(&self) -> Self {
         // Dispatch statistics and the buffer workspace are per-instance
         // (a clone starts with a fresh, empty arena so contexts never
-        // contend on a pool lock), but the metrics sink travels with the
-        // context so clones record into the same registry.
-        ExecCtx::new(self.par).with_metrics(self.metrics.clone())
+        // contend on a pool lock), but the metrics sink and kernel
+        // dispatch travel with the context so clones record into the same
+        // registry and compute on the same arithmetic path.
+        ExecCtx::new(self.par)
+            .with_metrics(self.metrics.clone())
+            .with_kernel(self.kernel)
     }
 }
 
@@ -122,7 +179,22 @@ impl ExecCtx {
             parallel_dispatches: AtomicUsize::new(0),
             metrics: MetricsSink::disabled(),
             workspace: Workspace::new(),
+            kernel: KernelDispatch::F32,
         }
+    }
+
+    /// Selects the GEMM dispatch quantized eval forwards use. The default
+    /// [`KernelDispatch::F32`] reproduces every committed golden
+    /// byte-identically; [`KernelDispatch::I8`] enables the integer fast
+    /// path (statistically gated — see the `matmul_i8` module docs).
+    pub fn with_kernel(mut self, kernel: KernelDispatch) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The GEMM dispatch quantized eval forwards use.
+    pub fn kernel(&self) -> KernelDispatch {
+        self.kernel
     }
 
     /// Attaches a metrics sink; every layer holding this context (or a
@@ -507,6 +579,19 @@ mod tests {
             assert_eq!(got, want, "threads = {threads}");
             assert_eq!(ctx.parallel_dispatch_count(), 1);
         }
+    }
+
+    #[test]
+    fn kernel_dispatch_defaults_to_f32_and_travels_with_clones() {
+        let ctx = ExecCtx::serial();
+        assert_eq!(ctx.kernel(), KernelDispatch::F32);
+        let i8ctx = ExecCtx::with_threads(2).with_kernel(KernelDispatch::I8);
+        assert_eq!(i8ctx.kernel(), KernelDispatch::I8);
+        assert_eq!(i8ctx.clone().kernel(), KernelDispatch::I8);
+        assert_eq!(KernelDispatch::by_name("i8"), Ok(KernelDispatch::I8));
+        assert_eq!(KernelDispatch::by_name("f32"), Ok(KernelDispatch::F32));
+        assert!(KernelDispatch::by_name("f16").is_err());
+        assert_eq!(KernelDispatch::I8.to_string(), "i8");
     }
 
     #[test]

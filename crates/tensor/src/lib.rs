@@ -45,6 +45,7 @@
 mod conv;
 pub mod exec;
 mod matmul;
+pub mod matmul_i8;
 mod ops;
 pub mod rng;
 mod shape;
@@ -59,10 +60,14 @@ pub use conv::{
     col2im, col2im_in, im2col, im2col_in, mat_to_nchw, mat_to_nchw_in, nchw_to_mat, nchw_to_mat_in,
     ConvGeom,
 };
-pub use exec::{noise_stream_seed, ExecCtx, Parallelism};
+pub use exec::{noise_stream_seed, ExecCtx, KernelDispatch, Parallelism};
 pub use matmul::{
     matmul, matmul_a_bt, matmul_a_bt_in, matmul_a_bt_reference, matmul_at_b, matmul_at_b_in,
     matmul_at_b_reference, matmul_hinted_in, matmul_in, matmul_reference, Density,
+};
+pub use matmul_i8::{
+    matmul_i8_a_bt_in, matmul_i8_in, matmul_i8_reference, pack_cols_i16, pack_rows_i16,
+    quantize_symmetric_i8, unpack_cols_i16, unpack_rows_i16,
 };
 pub use shape::{ShapeExt, TensorError};
 pub use tensor::Tensor;

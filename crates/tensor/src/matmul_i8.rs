@@ -1,0 +1,587 @@
+//! Packed i8×i8→i32 GEMM fast path with a fused dequantize epilogue.
+//!
+//! The paper's DoReFa-quantized layers carry ≤8-bit operands, so at eval
+//! time the matmul inner loop can run on `i8` codes instead of f32 — the
+//! arithmetic AMS hardware actually performs. The integer kernel mirrors
+//! the tiled f32 kernels in [`crate::matmul`] in spirit (pack once, then
+//! stream cache-resident panels) but uses a layout tuned for what LLVM
+//! can actually vectorize into packed multiply-accumulate instructions:
+//!
+//! * both operands are packed **k-contiguous** and pre-widened to `i16`
+//!   ([`pack_rows_i16`] / [`pack_cols_i16`]), sliced to a 64-byte-aligned
+//!   start so every vector load stays within one cache line;
+//! * the microkernel is a plain single-accumulator `i16·i16→i32` dot
+//!   product ([`BAND_I8`] rows share one L1-resident rhs column). This
+//!   exact reduction shape is what LLVM's x86 partial-reduction pass
+//!   rewrites into `pmaddwd` (8 multiply-adds per instruction — 4 i8
+//!   lanes per f32 lane, the whole point of the integer path). Register
+//!   tiles or multi-output dots break that pattern match and fall back to
+//!   scalar-ish code half as fast, which is why the loop nest here is
+//!   blocked for cache ([`JB_I8`]-column rhs blocks against
+//!   [`BAND_I8`]-row lhs bands) rather than for registers;
+//! * dequantization (and an optional bias) is fused into the epilogue:
+//!   the integer accumulator is scaled straight into the f32 output, so
+//!   callers never materialize an f32 copy of the quantized operand.
+//!
+//! The workspace `.cargo/config.toml` passes
+//! `-C llvm-args=-vectorizer-maximize-bandwidth` so the vectorizer picks
+//! the 16-lane i16 factor instead of sizing by the i32 accumulator; the
+//! flag changes no instruction-set requirements and no f32 semantics
+//! (Rust never licenses reassociation or FMA contraction), it only
+//! unlocks the `pmaddwd` form of this loop.
+//!
+//! # Overflow safety (split-K)
+//!
+//! An i8·i8 product fits in an i16 (|p| ≤ 127² = 16129) and an i32 chain
+//! of them is safe for up to `i32::MAX / 16129 ≈ 133 000` terms. Long
+//! reductions therefore run **split-K**: i32 partial dots over
+//! [`K_CHUNK`]-term chunks (`K_CHUNK · 16129 < i32::MAX`, so no i32
+//! intermediate — including `pmaddwd`'s pairwise sums — can wrap), each
+//! chunk widened into an i64 total. Integer accumulation is exact and
+//! associative, so — unlike the f32 kernels, whose bit-identity contract
+//! forbids k-blocking — splitting the reduction changes nothing, and
+//! results are bit-identical for any thread count *and* any K.
+//!
+//! # Statistical, not bitwise, gating
+//!
+//! The integer path cannot be bitwise-equal to the f32 kernels: operands
+//! are re-quantized onto a symmetric 127-level grid and the accumulation
+//! order differs. Following arXiv 2109.01262, it is validated
+//! *statistically*: the integer part is exact, so the end-to-end error is
+//! bounded by the quantization step sizes alone —
+//! `|Σ a·w − s_a·s_w·Σ â·ŵ| ≤ K · (max|a|·s_w/2 + max|w|·s_a/2 + s_a·s_w/4)`
+//! with `s = max|·|/127` — plus the f32 reference's own rounding. The
+//! repo-root `tests/i8_gemm.rs` harness asserts this bound (and ULP /
+//! relative-error distributions) over odd shapes, thread counts,
+//! saturation edges and the sparse/dense branches.
+
+use crate::exec::ExecCtx;
+use crate::tensor::Tensor;
+
+/// Rows per lhs band: how many output rows share one L1-resident rhs
+/// column before the kernel moves on (the i32 accumulator for a band is
+/// just `BAND_I8` scalars, so nothing ever spills).
+pub const BAND_I8: usize = 4;
+
+/// Columns per rhs block: one block of k-major columns
+/// (`JB_I8 · kdim · 2` bytes for typical layer K) stays L2-resident while
+/// every lhs band streams over it.
+pub const JB_I8: usize = 112;
+
+/// Maximum reduction terms accumulated in i32 before widening to i64:
+/// `K_CHUNK · 127² = 65 536 · 16 129 ≈ 1.06e9 < i32::MAX`.
+pub const K_CHUNK: usize = 1 << 16;
+
+/// Products below this many scalar multiply-adds skip packing and run a
+/// naive loop (same constant as the f32 kernels' tile gate).
+const TILE_GATE_I8: usize = 4096;
+
+/// The symmetric i8 code clamp: codes span `[-127, 127]` (−128 is never
+/// produced, keeping the grid symmetric around zero).
+pub const I8_QMAX: f32 = 127.0;
+
+/// Packed panels start 64-byte-aligned; `vec` allocations only guarantee
+/// element alignment, so buffers are padded by this many i16 elements and
+/// sliced at the aligned offset.
+const ALIGN_PAD: usize = 32;
+
+// ---------------------------------------------------------------------------
+// Symmetric quantization
+// ---------------------------------------------------------------------------
+
+/// Quantizes an f32 slice onto the symmetric i8 grid, returning the codes
+/// and the dequantization scale (`v ≈ scale · code`).
+///
+/// `scale = max|v| / 127`, `code = round(v / scale)` clamped to ±127, so
+/// the largest-magnitude element always maps exactly onto ±127 and no
+/// in-range value ever saturates. An all-zero (or empty) slice returns
+/// zero codes with `scale = 0.0` — the dequantized product is then exactly
+/// zero, which is correct.
+pub fn quantize_symmetric_i8(src: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = src.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+    if max_abs == 0.0 {
+        return (vec![0i8; src.len()], 0.0);
+    }
+    let scale = max_abs / I8_QMAX;
+    let inv = I8_QMAX / max_abs;
+    let codes = src
+        .iter()
+        .map(|&v| (v * inv).round().clamp(-I8_QMAX, I8_QMAX) as i8)
+        .collect();
+    (codes, scale)
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Allocates a zeroed i16 panel buffer with [`ALIGN_PAD`] slack and
+/// returns it with the element offset of the first 64-byte-aligned slot.
+fn aligned_i16_buf(len: usize) -> (Vec<i16>, usize) {
+    let buf = vec![0i16; len + ALIGN_PAD];
+    let off = buf.as_ptr().align_offset(64).min(ALIGN_PAD);
+    (buf, off)
+}
+
+/// Widens i8 codes into an i16 panel, preserving layout: the pack step
+/// for an operand whose reduction axis is already contiguous (lhs rows,
+/// or the rhs of an `A·Bᵀ` product). `out.len()` must equal `src.len()`.
+pub fn pack_rows_i16(src: &[i8], out: &mut [i16]) {
+    for (dst, &v) in out.iter_mut().zip(src.iter()) {
+        *dst = v as i16;
+    }
+}
+
+/// Transpose-widens a row-major `(kdim, n)` i8 matrix into an i16 panel
+/// of `n` k-contiguous columns: `out[j·kdim + kk] = src[kk·n + j]`.
+/// Blocked over `kk` so the strided reads stay cache-resident.
+pub fn pack_cols_i16(src: &[i8], kdim: usize, n: usize, out: &mut [i16]) {
+    const KB: usize = 64;
+    let mut k0 = 0;
+    while k0 < kdim {
+        let k1 = (k0 + KB).min(kdim);
+        for j in 0..n {
+            let col = &mut out[j * kdim + k0..j * kdim + k1];
+            for (kk, dst) in col.iter_mut().enumerate() {
+                *dst = src[(k0 + kk) * n + j] as i16;
+            }
+        }
+        k0 = k1;
+    }
+}
+
+/// Inverse of [`pack_rows_i16`]: narrows an i16 panel back to i8 codes
+/// (lossless for panels produced by packing). The proptest oracle for the
+/// row-panel layout.
+pub fn unpack_rows_i16(panel: &[i16], dst: &mut [i8]) {
+    for (d, &v) in dst.iter_mut().zip(panel.iter()) {
+        *d = v as i8;
+    }
+}
+
+/// Inverse of [`pack_cols_i16`]: scatters the k-contiguous columns back
+/// into a row-major `(kdim, n)` i8 matrix.
+pub fn unpack_cols_i16(panel: &[i16], kdim: usize, n: usize, dst: &mut [i8]) {
+    for j in 0..n {
+        for kk in 0..kdim {
+            dst[kk * n + j] = panel[j * kdim + kk] as i8;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Microkernels
+// ---------------------------------------------------------------------------
+
+/// One ≤[`K_CHUNK`] slice of the reduction: a single-accumulator
+/// `i16·i16→i32` dot product, unrolled in 32-element chunks. The chunk
+/// bound guarantees no i32 intermediate can wrap (`wrapping_add` makes
+/// that independent of debug overflow checks), so the result is exact.
+#[inline]
+fn dot_i16(a: &[i16], b: &[i16]) -> i32 {
+    let mut acc = 0i32;
+    let ac = a.chunks_exact(32);
+    let bc = b.chunks_exact(32);
+    let (ar, br) = (ac.remainder(), bc.remainder());
+    for (ca, cb) in ac.zip(bc) {
+        let mut s = 0i32;
+        for (&x, &y) in ca.iter().zip(cb.iter()) {
+            s = s.wrapping_add(x as i32 * y as i32);
+        }
+        acc = acc.wrapping_add(s);
+    }
+    for (&x, &y) in ar.iter().zip(br.iter()) {
+        acc = acc.wrapping_add(x as i32 * y as i32);
+    }
+    acc
+}
+
+/// [`dot_i16`] with a lhs zero skip for mostly-zero operands (ReLU'd
+/// activations, aggressively quantized weights). Integer accumulation is
+/// exact, so this returns bit-identical results to the dense dot — the
+/// branch is purely a throughput trade.
+#[inline]
+fn dot_i16_skip_zero(a: &[i16], b: &[i16]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x != 0 {
+            acc = acc.wrapping_add(x as i32 * y as i32);
+        }
+    }
+    acc
+}
+
+/// Full-K exact dot: split-K i32 partial dots widened into an i64 total.
+#[inline]
+fn dot_full(a: &[i16], b: &[i16], skip_zero_lhs: bool) -> i64 {
+    if a.len() <= K_CHUNK {
+        // Typical layer K: single chunk, no widening loop.
+        let d = if skip_zero_lhs {
+            dot_i16_skip_zero(a, b)
+        } else {
+            dot_i16(a, b)
+        };
+        return d as i64;
+    }
+    let mut total = 0i64;
+    for (ca, cb) in a.chunks(K_CHUNK).zip(b.chunks(K_CHUNK)) {
+        let d = if skip_zero_lhs {
+            dot_i16_skip_zero(ca, cb)
+        } else {
+            dot_i16(ca, cb)
+        };
+        total += d as i64;
+    }
+    total
+}
+
+/// One worker's share of the blocked integer product: every
+/// [`BAND_I8`]-row band of `span` against [`JB_I8`]-column rhs blocks,
+/// with the fused dequantize(+bias) epilogue writing f32.
+///
+/// A free function, not a closure body, for the same reason as the f32
+/// `gemm_span`: a closure shared with the spawn path keeps its capture
+/// environment in memory and costs measurable throughput in the hot loop.
+#[allow(clippy::too_many_arguments)]
+fn gemm_span_i8(
+    band0: usize,
+    span: &mut [f32],
+    n: usize,
+    kdim: usize,
+    apanel: &[i16],
+    bpanel: &[i16],
+    scale: f32,
+    col_bias: Option<&[f32]>,
+    skip_zero_lhs: bool,
+) {
+    let rows_here = span.len() / n;
+    let row0 = band0 * BAND_I8;
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + JB_I8).min(n);
+        let mut r0 = 0;
+        while r0 < rows_here {
+            let r1 = (r0 + BAND_I8).min(rows_here);
+            for j in j0..j1 {
+                let bc = &bpanel[j * kdim..(j + 1) * kdim];
+                let bias = col_bias.map_or(0.0, |b| b[j]);
+                for r in r0..r1 {
+                    let ar = &apanel[(row0 + r) * kdim..(row0 + r + 1) * kdim];
+                    let wide = dot_full(ar, bc, skip_zero_lhs);
+                    span[r * n + j] = wide as f32 * scale + bias;
+                }
+            }
+            r0 = r1;
+        }
+        j0 = j1;
+    }
+}
+
+/// Naive split-K fallback for products too small to amortize packing.
+#[allow(clippy::too_many_arguments)]
+fn naive_i8(
+    ctx: &ExecCtx,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    a_row: impl Fn(usize, usize) -> i8 + Sync,
+    b_col: impl Fn(usize, usize) -> i8 + Sync,
+    scale: f32,
+    col_bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    let _ = m;
+    ctx.for_each_chunk(out, n, kdim * n, |i, crow| {
+        for (j, cj) in crow.iter_mut().enumerate() {
+            let mut wide = 0i64;
+            let mut k0 = 0;
+            while k0 < kdim {
+                let kc = K_CHUNK.min(kdim - k0);
+                let mut acc = 0i32;
+                for k in k0..k0 + kc {
+                    acc += (a_row(i, k) as i16 * b_col(k, j) as i16) as i32;
+                }
+                wide += acc as i64;
+                k0 += kc;
+            }
+            *cj = wide as f32 * scale + col_bias.map_or(0.0, |b| b[j]);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// `C = (s · A·B)` for i8 code matrices `A: (m, k)` row-major and
+/// `B: (k, n)` row-major, with the dequantization scale `s` (typically
+/// `s_a · s_w` from [`quantize_symmetric_i8`] of each operand) fused into
+/// the epilogue. The integer part is exact for any K (split-K i64
+/// accumulation), so results are bit-identical for any thread count.
+///
+/// `sparse_lhs` selects the zero-skipping dot — callers that measured
+/// their operand density at quantize time pass it down, mirroring the f32
+/// kernels' [`crate::Density`] gate; it never changes results.
+///
+/// The output tensor is drawn from the context's workspace arena;
+/// recycle it like any kernel output. Pack buffers are plain `Vec<i16>`
+/// allocations (the arena pools f32 only).
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_i8_in(
+    ctx: &ExecCtx,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    scale: f32,
+    sparse_lhs: bool,
+) -> Tensor {
+    assert_eq!(a.len(), m * kdim, "matmul_i8: lhs length mismatch");
+    assert_eq!(b.len(), kdim * n, "matmul_i8: rhs length mismatch");
+    let ws = ctx.workspace();
+    let mut c = ws.take_tensor(&[m, n]);
+    if m == 0 || n == 0 || kdim == 0 {
+        return c;
+    }
+    if m * n * kdim < TILE_GATE_I8 {
+        naive_i8(
+            ctx,
+            m,
+            kdim,
+            n,
+            |i, k| a[i * kdim + k],
+            |k, j| b[k * n + j],
+            scale,
+            None,
+            c.data_mut(),
+        );
+        return c;
+    }
+    // A rows are already k-contiguous: widen in place.
+    let (mut abuf, aoff) = aligned_i16_buf(m * kdim);
+    pack_rows_i16(a, &mut abuf[aoff..aoff + m * kdim]);
+    // B is (k, n) row-major: transpose-widen into k-contiguous columns.
+    let (mut bbuf, boff) = aligned_i16_buf(kdim * n);
+    pack_cols_i16(b, kdim, n, &mut bbuf[boff..boff + kdim * n]);
+    let apanel = &abuf[aoff..aoff + m * kdim];
+    let bpanel = &bbuf[boff..boff + kdim * n];
+    ctx.for_each_span(
+        c.data_mut(),
+        BAND_I8 * n,
+        BAND_I8 * n * kdim,
+        |band0, span| {
+            gemm_span_i8(
+                band0, span, n, kdim, apanel, bpanel, scale, None, sparse_lhs,
+            );
+        },
+    );
+    c
+}
+
+/// `C = (s · A·Bᵀ) + bias` for i8 codes `A: (m, k)` and `B: (n, k)`, both
+/// row-major, without materializing `Bᵀ` — the integer twin of
+/// [`crate::matmul_a_bt_in`] (the linear-layer shape, `x · Wᵀ`). `bias`,
+/// when given, is added per output column in the fused epilogue and must
+/// have length `n`. Both operands are k-contiguous already, so packing is
+/// a pure widen.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_i8_a_bt_in(
+    ctx: &ExecCtx,
+    m: usize,
+    kdim: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    scale: f32,
+    bias: Option<&[f32]>,
+    sparse_lhs: bool,
+) -> Tensor {
+    assert_eq!(a.len(), m * kdim, "matmul_i8_a_bt: lhs length mismatch");
+    assert_eq!(b.len(), n * kdim, "matmul_i8_a_bt: rhs length mismatch");
+    if let Some(bv) = bias {
+        assert_eq!(bv.len(), n, "matmul_i8_a_bt: bias length mismatch");
+    }
+    let ws = ctx.workspace();
+    let mut c = ws.take_tensor(&[m, n]);
+    if m == 0 || n == 0 {
+        return c;
+    }
+    if kdim == 0 {
+        if let Some(bv) = bias {
+            for crow in c.data_mut().chunks_mut(n) {
+                crow.copy_from_slice(bv);
+            }
+        }
+        return c;
+    }
+    if m * n * kdim < TILE_GATE_I8 {
+        naive_i8(
+            ctx,
+            m,
+            kdim,
+            n,
+            |i, k| a[i * kdim + k],
+            |k, j| b[j * kdim + k],
+            scale,
+            bias,
+            c.data_mut(),
+        );
+        return c;
+    }
+    let (mut abuf, aoff) = aligned_i16_buf(m * kdim);
+    pack_rows_i16(a, &mut abuf[aoff..aoff + m * kdim]);
+    let (mut bbuf, boff) = aligned_i16_buf(n * kdim);
+    pack_rows_i16(b, &mut bbuf[boff..boff + n * kdim]);
+    let apanel = &abuf[aoff..aoff + m * kdim];
+    let bpanel = &bbuf[boff..boff + n * kdim];
+    ctx.for_each_span(
+        c.data_mut(),
+        BAND_I8 * n,
+        BAND_I8 * n * kdim,
+        |band0, span| {
+            gemm_span_i8(
+                band0, span, n, kdim, apanel, bpanel, scale, bias, sparse_lhs,
+            );
+        },
+    );
+    c
+}
+
+/// The naive serial i8 reference: exact i64 accumulation per element
+/// (i-j-k, no chunking — i64 never wraps for any realistic K), then the
+/// same dequantize(+bias) epilogue. The oracle the blocked integer kernels
+/// must match **bit-for-bit** — integer arithmetic is exact, so unlike
+/// the f32 pair this equality is order-independent.
+pub fn matmul_i8_reference(
+    m: usize,
+    kdim: usize,
+    n: usize,
+    a: &[i8],
+    b: &[i8],
+    scale: f32,
+) -> Tensor {
+    let mut c = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for k in 0..kdim {
+                acc += a[i * kdim + k] as i64 * b[k * n + j] as i64;
+            }
+            c.data_mut()[i * n + j] = acc as f32 * scale;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Parallelism;
+    use crate::rng;
+
+    fn random_codes(len: usize, seed: u64) -> Vec<i8> {
+        let mut t = Tensor::zeros(&[len.max(1)]);
+        let mut r = rng::seeded(seed);
+        rng::fill_uniform(&mut t, -127.0, 127.0, &mut r);
+        t.data().iter().take(len).map(|&v| v as i8).collect()
+    }
+
+    #[test]
+    fn matches_reference_across_shapes_and_branches() {
+        for (m, k, n, seed) in [
+            (1, 1, 1, 1),
+            (4, 8, 8, 2),
+            (33, 17, 29, 3),
+            (7, 128, 31, 4),
+            (65, 40, 67, 5),
+            (9, 300, 130, 6), // crosses both JB_I8 and a band remainder
+        ] {
+            let a = random_codes(m * k, seed);
+            let b = random_codes(k * n, seed + 50);
+            let scale = 0.01f32;
+            let want = matmul_i8_reference(m, k, n, &a, &b, scale);
+            for sparse in [false, true] {
+                let got = matmul_i8_in(&ExecCtx::serial(), m, k, n, &a, &b, scale, sparse);
+                assert_eq!(got.data(), want.data(), "m={m} k={k} n={n} sparse={sparse}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let (m, k, n) = (37, 53, 41);
+        let a = random_codes(m * k, 7);
+        let b = random_codes(k * n, 8);
+        let want = matmul_i8_in(&ExecCtx::serial(), m, k, n, &a, &b, 0.5, false);
+        for threads in [2, 3, 8] {
+            let ctx = ExecCtx::new(Parallelism {
+                threads,
+                min_work: 0,
+            });
+            let got = matmul_i8_in(&ctx, m, k, n, &a, &b, 0.5, false);
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose_with_bias() {
+        let (m, k, n) = (19, 23, 13);
+        let a = random_codes(m * k, 11);
+        let b = random_codes(n * k, 12); // (n, k) row-major
+        let mut bt = vec![0i8; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b[j * k + kk];
+            }
+        }
+        let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.1 - 0.5).collect();
+        let scale = 0.002f32;
+        let plain = matmul_i8_reference(m, k, n, &a, &bt, scale);
+        let got = matmul_i8_a_bt_in(
+            &ExecCtx::serial(),
+            m,
+            k,
+            n,
+            &a,
+            &b,
+            scale,
+            Some(&bias),
+            false,
+        );
+        for i in 0..m {
+            for (j, &bj) in bias.iter().enumerate() {
+                let want = plain.data()[i * n + j] + bj;
+                assert_eq!(got.data()[i * n + j], want, "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_quantization_hits_the_endpoints() {
+        let (codes, scale) = quantize_symmetric_i8(&[-2.0, 0.5, 2.0, 0.0]);
+        assert_eq!(codes, vec![-127, 32, 127, 0]);
+        assert!((scale - 2.0 / 127.0).abs() < 1e-9);
+        let (zc, zs) = quantize_symmetric_i8(&[0.0, 0.0]);
+        assert_eq!(zc, vec![0, 0]);
+        assert_eq!(zs, 0.0);
+    }
+
+    #[test]
+    fn zero_k_a_bt_is_pure_bias() {
+        let bias = [1.0f32, -2.0];
+        let got = matmul_i8_a_bt_in(
+            &ExecCtx::serial(),
+            3,
+            0,
+            2,
+            &[],
+            &[],
+            1.0,
+            Some(&bias),
+            false,
+        );
+        assert_eq!(got.dims(), &[3, 2]);
+        assert_eq!(got.data(), &[1.0, -2.0, 1.0, -2.0, 1.0, -2.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Round-trip and overflow properties of the i8 GEMM panel layout.
+//!
+//! The integer kernel packs its lhs row-major and its rhs
+//! transpose-widened into k-contiguous i16 columns; these tests pin the
+//! layout with the public `pack_*`/`unpack_*` pairs (inverse on every
+//! shape, including remainder tiles around the packing block size) and
+//! pin the split-K accumulator widening at reductions long enough that a
+//! plain i32 accumulator would wrap.
+
+use ams_tensor::rng;
+use ams_tensor::{
+    matmul_i8_in, matmul_i8_reference, pack_cols_i16, pack_rows_i16, unpack_cols_i16,
+    unpack_rows_i16, ExecCtx,
+};
+use proptest::prelude::*;
+use rand::Rng;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Seeded codes over the full i8 range, rails included.
+fn codes(len: usize, seed: u64) -> Vec<i8> {
+    let mut r = rng::seeded(seed);
+    (0..len)
+        .map(|_| (r.gen_range(0..256) as i32 - 128) as i8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Row panels: pack then unpack is the identity, and packing is a
+    /// pure widening (the panel holds exactly the codes, order intact).
+    #[test]
+    fn row_panel_round_trips(
+        m in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let src = codes(m * k, seed);
+        let mut panel = vec![0i16; m * k];
+        pack_rows_i16(&src, &mut panel);
+        for (p, &c) in panel.iter().zip(&src) {
+            prop_assert_eq!(*p, i16::from(c));
+        }
+        let mut back = vec![0i8; m * k];
+        unpack_rows_i16(&panel, &mut back);
+        prop_assert_eq!(back, src);
+    }
+
+    /// Column panels: the transpose-widen and its inverse round-trip on
+    /// every shape, including `kdim` straddling the internal packing
+    /// block, and the panel layout is exactly
+    /// `panel[j·kdim + kk] = src[kk·n + j]`.
+    #[test]
+    fn col_panel_round_trips(
+        kdim in 1usize..100,
+        n in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let src = codes(kdim * n, seed);
+        let mut panel = vec![0i16; kdim * n];
+        pack_cols_i16(&src, kdim, n, &mut panel);
+        for j in 0..n {
+            for kk in 0..kdim {
+                prop_assert_eq!(panel[j * kdim + kk], i16::from(src[kk * n + j]));
+            }
+        }
+        let mut back = vec![0i8; kdim * n];
+        unpack_cols_i16(&panel, kdim, n, &mut back);
+        prop_assert_eq!(back, src);
+    }
+}
+
+/// At `K = 140_000` with every code at the ±127 rail, the reduction
+/// reaches `140_000 · 127² ≈ 2.26e9 > i32::MAX`: a non-widening i32
+/// accumulator would wrap to a negative value. The split-K path must
+/// return the exact count, at every thread count and on both sparsity
+/// branches.
+#[test]
+fn long_k_rails_do_not_wrap() {
+    let k = 140_000usize;
+    let expect = (k as i64) * 127 * 127;
+    assert!(expect > i64::from(i32::MAX), "test must exceed i32 range");
+    let a = vec![127i8; k];
+    let b: Vec<i8> = (0..k)
+        .map(|i| if i % 2 == 0 { 127 } else { -127 })
+        .collect();
+    // Column of all +127 (aligned signs) and a ±alternating column.
+    let rhs: Vec<i8> = (0..k).flat_map(|i| [127i8, b[i]]).collect();
+    let alt: i64 = b.iter().map(|&v| 127 * i64::from(v)).sum();
+    for threads in THREADS {
+        let ctx = ExecCtx::with_threads(threads);
+        for sparse in [false, true] {
+            let y = matmul_i8_in(&ctx, 1, k, 2, &a, &rhs, 1.0, sparse);
+            assert_eq!(
+                y.data(),
+                &[expect as f32, alt as f32],
+                "threads {threads} sparse {sparse}"
+            );
+        }
+    }
+}
+
+/// Mixed-sign codes at a reduction just past the split-K chunk size:
+/// the chunk seam is invisible — the kernel still matches the serial
+/// i64 oracle exactly.
+#[test]
+fn split_k_seam_matches_oracle() {
+    let k = (1usize << 16) + 37; // one full chunk plus a remainder
+    let a = codes(2 * k, 7);
+    let b = codes(3 * k, 11);
+    let want = matmul_i8_reference(2, k, 3, &a, &b, 0.5);
+    for threads in THREADS {
+        let got = matmul_i8_in(&ExecCtx::with_threads(threads), 2, k, 3, &a, &b, 0.5, false);
+        assert_eq!(got, want, "threads {threads}");
+    }
+}

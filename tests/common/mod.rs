@@ -1,0 +1,124 @@
+//! Helpers shared across the workspace integration tests.
+//!
+//! Each file under `tests/` is its own crate, so anything two of them
+//! need lives here behind `mod common;`. Three families:
+//!
+//! * scratch-directory plumbing ([`temp_results`]);
+//! * seeded tensor construction ([`seeded_uniform`], [`seeded_normal`]) —
+//!   the `zeros` + `rng::seeded` + `fill_*` dance every test used to
+//!   hand-roll;
+//! * the statistical acceptance machinery for the integer GEMM fast path
+//!   ([`ulp_stats`], [`i8_quantization_bound`]): the i8 kernel is *not*
+//!   bit-identical to the f32 path — it rounds onto the symmetric i8 grid
+//!   — so its tests gate on error distributions instead of `assert_eq`.
+
+// Each integration-test crate includes this module but uses only a
+// subset of it.
+#![allow(dead_code)]
+
+use ams_repro::tensor::{rng, Tensor};
+
+/// A fresh scratch results directory under the OS temp dir, cleared of
+/// any debris from a previous crashed run.
+pub fn temp_results(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ams_repro_harness_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tensor of the given shape filled uniformly from `[lo, hi)` with its
+/// own seeded generator, so tests get reproducible data without
+/// threading RNG state through their setup.
+pub fn seeded_uniform(dims: &[usize], lo: f32, hi: f32, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_uniform(&mut t, lo, hi, &mut r);
+    t
+}
+
+/// A tensor of the given shape filled with seeded Gaussian samples.
+pub fn seeded_normal(dims: &[usize], mean: f32, std: f32, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let mut r = rng::seeded(seed);
+    rng::fill_normal(&mut t, mean, std, &mut r);
+    t
+}
+
+/// Error distribution of one float slice against a reference slice.
+#[derive(Debug, Clone, Copy)]
+pub struct UlpStats {
+    /// Largest ULP distance over all elements.
+    pub max_ulp: u64,
+    /// Mean ULP distance.
+    pub mean_ulp: f64,
+    /// Largest absolute difference.
+    pub max_abs: f64,
+    /// Mean absolute difference.
+    pub mean_abs: f64,
+    /// Largest relative difference `|a−b| / max(|b|, tiny)`.
+    pub max_rel: f64,
+    /// Mean relative difference.
+    pub mean_rel: f64,
+}
+
+/// Distance in units-in-the-last-place between two finite floats.
+///
+/// Uses the monotone mapping from f32 bit patterns onto a signed integer
+/// line (negative floats reflected below zero), under which adjacent
+/// representable floats are adjacent integers — so the distance counts
+/// representable values between `a` and `b`, across zero included.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    fn monotone(x: f32) -> i64 {
+        let bits = x.to_bits() as i32;
+        i64::from(if bits < 0 { i32::MIN ^ bits } else { bits })
+    }
+    monotone(a).abs_diff(monotone(b))
+}
+
+/// Computes the error distribution of `got` against `want`.
+///
+/// Panics if lengths differ or either side holds a non-finite value —
+/// an infinity or NaN is a kernel bug, not a rounding difference.
+pub fn ulp_stats(got: &[f32], want: &[f32]) -> UlpStats {
+    assert_eq!(got.len(), want.len(), "length mismatch");
+    assert!(!got.is_empty(), "empty comparison");
+    let mut s = UlpStats {
+        max_ulp: 0,
+        mean_ulp: 0.0,
+        max_abs: 0.0,
+        mean_abs: 0.0,
+        max_rel: 0.0,
+        mean_rel: 0.0,
+    };
+    for (&g, &w) in got.iter().zip(want) {
+        assert!(g.is_finite() && w.is_finite(), "non-finite: {g} vs {w}");
+        let ulp = ulp_distance(g, w);
+        let abs = f64::from((g - w).abs());
+        let rel = abs / f64::from(w.abs()).max(1e-12);
+        s.max_ulp = s.max_ulp.max(ulp);
+        s.mean_ulp += ulp as f64;
+        s.max_abs = s.max_abs.max(abs);
+        s.mean_abs += abs;
+        s.max_rel = s.max_rel.max(rel);
+        s.mean_rel += rel;
+    }
+    s.mean_ulp /= got.len() as f64;
+    s.mean_abs /= got.len() as f64;
+    s.mean_rel /= got.len() as f64;
+    s
+}
+
+/// Statistical acceptance bound for one output of the i8 GEMM fast path
+/// against the exact f32 dot product of the *unquantized* operands.
+///
+/// Re-coding each operand onto the symmetric i8 grid perturbs it by at
+/// most half a step (`s_a = max|a|/127`, `s_w = max|w|/127`), so each of
+/// the `k` products is off by at most
+/// `max|a|·s_w/2 + max|w|·s_a/2 + s_a·s_w/4` and the dot product by `k`
+/// times that. The trailing `1e-4` absorbs the f32 rounding of the
+/// reference side, which accumulates in a different order.
+pub fn i8_quantization_bound(k: usize, max_a: f32, max_w: f32) -> f32 {
+    let sa = max_a / 127.0;
+    let sw = max_w / 127.0;
+    k as f32 * (max_a * sw * 0.5 + max_w * sa * 0.5 + sa * sw * 0.25) + 1e-4
+}

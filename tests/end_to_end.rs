@@ -10,6 +10,8 @@ use ams_repro::nn::{Checkpoint, Layer};
 use ams_repro::quant::QuantConfig;
 use ams_repro::tensor::ExecCtx;
 
+mod common;
+
 fn pretrained() -> (
     ams_repro::data::SynthImageNet,
     ResNetMiniConfig,
@@ -161,9 +163,7 @@ fn checkpoint_json_round_trip_through_disk() {
     let mut b = ResNetMini::new(&arch, &HardwareConfig::fp32());
     ckpt.load_into(&mut a).expect("load original");
     loaded.load_into(&mut b).expect("load round-tripped");
-    let mut x = ams_repro::tensor::Tensor::zeros(&[2, 3, 8, 8]);
-    let mut r = ams_repro::tensor::rng::seeded(1);
-    ams_repro::tensor::rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+    let x = common::seeded_uniform(&[2, 3, 8, 8], 0.0, 1.0, 1);
     use ams_repro::nn::Mode;
     assert_eq!(
         a.forward(&ExecCtx::serial(), &x, Mode::Eval),

@@ -10,8 +10,10 @@ use ams_repro::core::vmac_sim::{AdcBehavior, VmacSimulator};
 use ams_repro::models::{HardwareConfig, InputKind, QConv2d};
 use ams_repro::nn::{Layer, Mode};
 use ams_repro::quant::QuantConfig;
-use ams_repro::tensor::{rng, ExecCtx, Tensor};
+use ams_repro::tensor::{rng, ExecCtx};
 use proptest::prelude::*;
+
+mod common;
 
 #[test]
 fn qconv_noise_matches_model_sigma() {
@@ -46,9 +48,7 @@ fn qconv_noise_matches_model_sigma() {
             0,
             &mut r2,
         );
-        let mut x = Tensor::zeros(&[8, c_in, 10, 10]);
-        let mut rx = rng::seeded(23);
-        rng::fill_uniform(&mut x, 0.0, 1.0, &mut rx);
+        let x = common::seeded_uniform(&[8, c_in, 10, 10], 0.0, 1.0, 23);
         let clean = quiet.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let dirty = noisy.forward(&ExecCtx::serial(), &x, Mode::Eval);
         let diff = dirty.sub(&clean);

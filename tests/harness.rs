@@ -4,11 +4,8 @@
 use ams_repro::core::energy::{adc_energy_pj, mac_energy_fj};
 use ams_repro::exp::{Experiments, Scale, Stat};
 
-fn temp_results(tag: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join(format!("ams_repro_harness_{tag}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
+mod common;
+use common::temp_results;
 
 #[test]
 fn fig7_is_deterministic_and_respects_bound() {

@@ -1,0 +1,200 @@
+//! Statistical acceptance suite for the i8×i8→i32 GEMM fast path.
+//!
+//! The integer kernel is deliberately *not* bit-identical to the f32
+//! path: both operands round onto the symmetric i8 grid before the dot
+//! product. What it must satisfy instead is split into two contracts,
+//! tested separately:
+//!
+//! * **determinism** — against its own serial i64 oracle
+//!   (`matmul_i8_reference`) the kernel is exact, for every shape,
+//!   thread count and sparsity branch (integer arithmetic has one right
+//!   answer);
+//! * **accuracy** — against the exact f32 product of the *unquantized*
+//!   operands, every output stays inside the statistical bound derived
+//!   from the quantization step sizes (`common::i8_quantization_bound`),
+//!   and the error *distribution* (via `common::ulp_stats`) behaves: the
+//!   mean relative error sits far below the worst case.
+
+use ams_repro::tensor::{
+    matmul_i8_a_bt_in, matmul_i8_in, matmul_i8_reference, matmul_reference, quantize_symmetric_i8,
+    ExecCtx, Tensor,
+};
+use proptest::prelude::*;
+
+mod common;
+
+/// Thread counts exercised per case: serial, small pool, oversubscribed.
+const THREADS: [usize; 3] = [1, 3, 8];
+
+fn ctx_for(threads: usize) -> ExecCtx {
+    if threads == 1 {
+        ExecCtx::serial()
+    } else {
+        ExecCtx::with_threads(threads)
+    }
+}
+
+/// DoReFa-shaped operands: activations in `[0, 1]`, weights in `[-1, 1]`,
+/// both seeded off the proptest case.
+fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+    let w = common::seeded_uniform(&[m, k], -1.0, 1.0, seed);
+    let a = common::seeded_uniform(&[k, n], 0.0, 1.0, seed ^ 0x9e37_79b9);
+    (w, a)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accuracy: every output of the i8 kernel lands within the
+    /// quantization bound of the exact f32 product, and the error
+    /// distribution is healthy (mean relative error well under 1%).
+    #[test]
+    fn i8_stays_within_the_statistical_bound(
+        m in 1usize..24, k in 1usize..40, n in 1usize..24, seed in 0u64..1024,
+    ) {
+        let (w, a) = operands(m, k, n, seed);
+        let (wc, ws) = quantize_symmetric_i8(w.data());
+        let (ac, ascale) = quantize_symmetric_i8(a.data());
+        let ctx = ExecCtx::serial();
+        let got = matmul_i8_in(&ctx, m, k, n, &wc, &ac, ws * ascale, false);
+        let want = matmul_reference(&w, &a);
+        let bound = common::i8_quantization_bound(k, a.max_abs(), w.max_abs());
+        let stats = common::ulp_stats(got.data(), want.data());
+        prop_assert!(
+            stats.max_abs <= f64::from(bound),
+            "max abs {} exceeds bound {bound} at {m}x{k}x{n}",
+            stats.max_abs
+        );
+        // The bound is a worst case (every element off by half a step,
+        // all errors aligned); the typical error grows like √k, not k,
+        // so the mean must sit well below it.
+        if k >= 8 {
+            prop_assert!(
+                stats.mean_abs < f64::from(bound) * 0.5,
+                "mean abs error {} not well below bound {bound} at {m}x{k}x{n}",
+                stats.mean_abs
+            );
+        }
+    }
+
+    /// Determinism: thread count and the sparse-lhs branch are invisible
+    /// — the kernel matches its serial i64 oracle bit for bit.
+    #[test]
+    fn i8_is_exact_against_its_oracle_on_every_branch(
+        m in 1usize..20, k in 1usize..40, n in 1usize..20, seed in 0u64..1024,
+        sparse_sel in 0u32..2,
+    ) {
+        let sparse = sparse_sel == 1;
+        let (w, a) = operands(m, k, n, seed);
+        let (mut wc, ws) = quantize_symmetric_i8(w.data());
+        if sparse {
+            // Zero out most of the lhs so the skip branch has real work.
+            for (i, c) in wc.iter_mut().enumerate() {
+                if i % 4 != 0 {
+                    *c = 0;
+                }
+            }
+        }
+        let (ac, ascale) = quantize_symmetric_i8(a.data());
+        let scale = ws * ascale;
+        let want = matmul_i8_reference(m, k, n, &wc, &ac, scale);
+        for threads in THREADS {
+            let got = matmul_i8_in(&ctx_for(threads), m, k, n, &wc, &ac, scale, sparse);
+            prop_assert_eq!(&got, &want, "threads {} sparse {}", threads, sparse);
+        }
+    }
+
+    /// The fused-epilogue `A·Bᵀ + bias` variant stays within the same
+    /// statistical bound of its f32 counterpart.
+    #[test]
+    fn i8_a_bt_with_bias_stays_within_the_bound(
+        m in 1usize..16, k in 1usize..40, n in 1usize..16, seed in 0u64..1024,
+    ) {
+        let x = common::seeded_uniform(&[m, k], 0.0, 1.0, seed);
+        let w = common::seeded_uniform(&[n, k], -1.0, 1.0, seed ^ 0x517c_c1b7);
+        let bias = common::seeded_uniform(&[n], -0.5, 0.5, seed ^ 0x2545_f491);
+        let (xc, xs) = quantize_symmetric_i8(x.data());
+        let (wc, ws) = quantize_symmetric_i8(w.data());
+        let got = matmul_i8_a_bt_in(
+            &ExecCtx::serial(), m, k, n, &xc, &wc, xs * ws, Some(bias.data()), false,
+        );
+        // f32 reference: x · wᵀ + bias, accumulated exactly.
+        let mut want = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for t in 0..k {
+                    acc += f64::from(x.data()[i * k + t]) * f64::from(w.data()[j * k + t]);
+                }
+                want[i * n + j] = (acc + f64::from(bias.data()[j])) as f32;
+            }
+        }
+        let bound = common::i8_quantization_bound(k, x.max_abs(), w.max_abs());
+        let stats = common::ulp_stats(got.data(), &want);
+        prop_assert!(
+            stats.max_abs <= f64::from(bound),
+            "max abs {} exceeds bound {bound} at {m}x{k}x{n}",
+            stats.max_abs
+        );
+    }
+}
+
+#[test]
+fn saturated_codes_are_exact() {
+    // Every code at the ±127 rails: products are ±16129 and the result
+    // is exactly representable, so even against f32 outputs the kernel
+    // must be exact (k·16129 stays far inside f32's integer range here).
+    let (m, k, n) = (3usize, 77usize, 5usize);
+    let wc = vec![127i8; m * k];
+    let ac: Vec<i8> = (0..k * n)
+        .map(|i| if i % 2 == 0 { 127 } else { -127 })
+        .collect();
+    let got = matmul_i8_in(&ExecCtx::serial(), m, k, n, &wc, &ac, 1.0, false);
+    let want = matmul_i8_reference(m, k, n, &wc, &ac, 1.0);
+    assert_eq!(got, want);
+    for j in 0..n {
+        let expect: i64 = (0..k).map(|t| 127 * i64::from(ac[t * n + j])).sum();
+        // All m rows of wc are identical, so every row agrees.
+        for i in 0..m {
+            assert_eq!(got.data()[i * n + j], expect as f32, "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn long_k_does_not_wrap_the_accumulator() {
+    // K large enough that a saturated i32 accumulator would overflow
+    // (140_000 · 127² ≈ 2.26e9 > i32::MAX): the split-K/i64 widening
+    // path must return the exact product.
+    let k = 140_000usize;
+    let wc = vec![127i8; k];
+    let ac = vec![127i8; 2 * k];
+    let got = matmul_i8_in(&ExecCtx::serial(), 1, k, 2, &wc, &ac, 1.0, false);
+    let expect = (k as i64 * 127 * 127) as f32;
+    assert_eq!(got.data(), &[expect, expect]);
+    assert_eq!(got, matmul_i8_reference(1, k, 2, &wc, &ac, 1.0));
+}
+
+#[test]
+fn ulp_machinery_is_sound() {
+    // Self-test of the harness the suite gates on.
+    assert_eq!(common::ulp_distance(1.0, 1.0), 0);
+    assert_eq!(
+        common::ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)),
+        1
+    );
+    // Distance is symmetric and counts across zero.
+    assert_eq!(
+        common::ulp_distance(-f32::MIN_POSITIVE, f32::MIN_POSITIVE),
+        common::ulp_distance(f32::MIN_POSITIVE, -f32::MIN_POSITIVE),
+    );
+    assert_eq!(
+        common::ulp_distance(0.0, f32::MIN_POSITIVE.min(f32::from_bits(1))),
+        1
+    );
+    let s = common::ulp_stats(&[1.0, 2.0], &[1.0, 2.5]);
+    assert_eq!(s.max_ulp, common::ulp_distance(2.0, 2.5));
+    assert!((s.max_abs - 0.5).abs() < 1e-12);
+    assert!((s.max_rel - 0.2).abs() < 1e-9);
+    assert!((s.mean_rel - 0.1).abs() < 1e-9);
+}

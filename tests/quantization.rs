@@ -11,6 +11,8 @@ use ams_repro::quant::{
 use ams_repro::tensor::{rng, ExecCtx, Tensor};
 use proptest::prelude::*;
 
+mod common;
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -65,8 +67,7 @@ fn qconv_output_bounded_by_ntot() {
     let hw = HardwareConfig::quantized(QuantConfig::w6a4());
     for &(c_in, k) in &[(3usize, 3usize), (8, 1), (4, 5)] {
         let mut conv = QConv2d::new("c", c_in, 6, k, 1, k / 2, &hw, InputKind::Unit, 0, &mut r);
-        let mut x = Tensor::zeros(&[2, c_in, 8, 8]);
-        rng::fill_uniform(&mut x, 0.0, 1.0, &mut r);
+        let x = common::seeded_uniform(&[2, c_in, 8, 8], 0.0, 1.0, c_in as u64);
         let y = conv.forward(&ExecCtx::serial(), &x, Mode::Eval);
         assert!(
             y.max_abs() <= conv.n_tot() as f32 + 1e-4,
@@ -80,9 +81,7 @@ fn qconv_output_bounded_by_ntot() {
 #[test]
 fn fp32_quantizers_are_exact_passthrough() {
     let q = WeightQuantizer::new(32);
-    let mut r = rng::seeded(4);
-    let mut w = Tensor::zeros(&[64]);
-    rng::fill_normal(&mut w, 0.0, 3.0, &mut r);
+    let w = common::seeded_normal(&[64], 0.0, 3.0, 4);
     assert_eq!(q.quantize(&w).values, w);
     assert_eq!(quantize_activations(&w, 32), w);
     assert_eq!(quantize_signed(&w, 32), w);
