@@ -14,15 +14,37 @@
 
 use std::time::Instant;
 
-use ams_models::{HardwareConfig, InputKind, QConv2d};
+use ams_exp::usage_exit;
+use ams_models::{HardwareConfig, InputKind, QConv2d, QLinear};
 use ams_nn::functional::conv2d_forward;
 use ams_nn::{Layer, Mode};
 use ams_quant::QuantConfig;
 use ams_tensor::{
     im2col_in, matmul_i8_in, matmul_in, matmul_reference, quantize_symmetric_i8, rng, ConvGeom,
-    Density, ExecCtx, Tensor,
+    Density, ExecCtx, KernelDispatch, Tensor,
 };
 use serde::Value;
+
+const USAGE: &str = "[--quick] [--out PATH] [--threads N]";
+
+/// Untimed iterations before each kernel's timed repeats (populates the
+/// workspace pool, faults in pages). Recorded in the report so runs are
+/// comparable: a changed warmup discipline shifts medians on its own.
+const WARMUP_ITERATIONS: usize = 1;
+
+/// First `model name` line of `/proc/cpuinfo`, so the report identifies
+/// the machine it ran on (headline speedups drift across CPU models).
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split_once(':'))
+                .map(|(_, v)| v.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string())
+}
 
 /// Builds a JSON object from string keys (vendored `serde` value tree —
 /// no `json!` macro in the facade).
@@ -117,9 +139,12 @@ fn random(dims: &[usize], seed: u64) -> Tensor {
 }
 
 /// Times `f` (which must leave the workspace in steady state) `reps`
-/// times after one untimed warm-up, returning millisecond samples.
+/// times after [`WARMUP_ITERATIONS`] untimed warm-ups, returning
+/// millisecond samples.
 fn time_reps(reps: usize, mut f: impl FnMut()) -> Vec<f64> {
-    f(); // warm-up: populates the workspace pool, faults in pages
+    for _ in 0..WARMUP_ITERATIONS {
+        f();
+    }
     (0..reps)
         .map(|_| {
             let t0 = Instant::now();
@@ -149,11 +174,10 @@ fn summary(kernel: &str, shape: &ConvShape, dims: &[usize], samples: &[f64]) -> 
     ])
 }
 
-fn main() {
+fn parse(args: Vec<String>) -> Result<(bool, String, usize), String> {
     let mut quick = false;
     let mut out = String::from("BENCH_kernels.json");
     let mut threads = 0usize; // 0 = auto
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -162,20 +186,26 @@ fn main() {
                 i += 1;
             }
             "--out" => {
-                out = args.get(i + 1).expect("--out needs a path").clone();
+                out = args.get(i + 1).ok_or("--out needs a value")?.clone();
                 i += 2;
             }
             "--threads" => {
                 threads = args
                     .get(i + 1)
-                    .expect("--threads needs a count")
+                    .ok_or("--threads needs a value")?
                     .parse()
-                    .expect("--threads must be an integer");
+                    .map_err(|e| format!("--threads needs an integer: {e}"))?;
                 i += 2;
             }
-            other => panic!("unknown argument {other:?}; usage: bench_report [--quick] [--out PATH] [--threads N]"),
+            other => return Err(format!("unknown argument {other:?}")),
         }
     }
+    Ok((quick, out, threads))
+}
+
+fn main() {
+    let (quick, out, threads) = parse(std::env::args().skip(1).collect())
+        .unwrap_or_else(|message| usage_exit(&message, USAGE));
     let reps = if quick { 3 } else { 9 };
     let ctx = if threads == 0 {
         ExecCtx::auto()
@@ -320,26 +350,53 @@ fn main() {
             let y = qc.forward(&ctx, &x01, Mode::Eval);
             ws.recycle(y);
         });
-        results.push(summary(
-            "qconv_eval",
-            shape,
-            &[
-                shape.n,
-                shape.c_in,
-                shape.c_out,
-                shape.hw,
-                shape.hw,
-                shape.k,
-            ],
-            &qfwd,
-        ));
+        let conv_dims = [
+            shape.n,
+            shape.c_in,
+            shape.c_out,
+            shape.hw,
+            shape.hw,
+            shape.k,
+        ];
+        results.push(summary("qconv_eval", shape, &conv_dims, &qfwd));
+
+        // -- the same eval forward through the i8 dispatch, so the
+        // kernel-switch win is tracked on the layer path end-to-end, not
+        // just on the raw GEMM above.
+        let ctx_i8 = ctx.clone().with_kernel(KernelDispatch::I8);
+        let qfwd_i8 = time_reps(reps, || {
+            let y = qc.forward(&ctx_i8, &x01, Mode::Eval);
+            ws.recycle(y);
+        });
+        results.push(summary("qconv_eval_i8", shape, &conv_dims, &qfwd_i8));
+
+        // -- quantized linear eval at a serving-shaped workload: a
+        // coalesced batch of 64 rows against a classifier whose input
+        // width matches the lowered conv's K dimension.
+        let lin_rows = 64;
+        let lin_in = shape.c_in * shape.k * shape.k;
+        let mut ql = QLinear::new("bench_fc", lin_in, shape.c_out, &hw_cfg, false, 1, &mut r);
+        let lx = random(&[lin_rows, lin_in], 7).map(|v| v.abs());
+        let lin_dims = [lin_rows, lin_in, shape.c_out];
+        let lfwd = time_reps(reps, || {
+            let y = ql.forward(&ctx, &lx, Mode::Eval);
+            ws.recycle(y);
+        });
+        results.push(summary("qlinear_eval", shape, &lin_dims, &lfwd));
+        let lfwd_i8 = time_reps(reps, || {
+            let y = ql.forward(&ctx_i8, &lx, Mode::Eval);
+            ws.recycle(y);
+        });
+        results.push(summary("qlinear_eval_i8", shape, &lin_dims, &lfwd_i8));
     }
 
     let report = obj(vec![
-        ("schema", Value::Str("ams-bench/kernels/v1".to_string())),
+        ("schema", Value::Str("ams-bench/kernels/v2".to_string())),
         ("quick", Value::Bool(quick)),
         ("repeats", Value::U64(reps as u64)),
+        ("warmup_iterations", Value::U64(WARMUP_ITERATIONS as u64)),
         ("threads", Value::U64(ctx.threads() as u64)),
+        ("cpu_model", Value::Str(cpu_model())),
         ("results", Value::Seq(results)),
     ]);
     std::fs::write(

@@ -245,6 +245,13 @@ pub trait ErrorModel: fmt::Debug + Send {
     /// stream** as `inject` so tracing never perturbs results.
     fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState;
 
+    /// [`ErrorModel::inject`] over a raw activation slice: identical draws
+    /// in identical order, so injecting a batched tensor one per-image
+    /// slice at a time (reseeding between slices) reproduces a sequence of
+    /// batch-1 `inject` calls bit-exactly. The serving path uses this to
+    /// give every coalesced request its own noise stream.
+    fn inject_slice(&mut self, acts: &mut [f32], n_tot: usize);
+
     /// Applies static per-chip weight perturbations (device mismatch),
     /// returning the perturbed copy, or `None` when the model carries no
     /// mismatch overlay. Deterministic per `(chip_seed, layer_index)` —
@@ -343,6 +350,8 @@ impl ErrorModel for IdealModel {
         WelfordState::new()
     }
 
+    fn inject_slice(&mut self, _acts: &mut [f32], _n_tot: usize) {}
+
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
         self.mismatch.map(|m| m.apply(weights, layer_index))
     }
@@ -382,6 +391,12 @@ impl ErrorModel for LumpedGaussian {
     fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState {
         let sigma = self.sigma_hint(n_tot);
         inject_gaussian(&mut self.injector, sigma, acts)
+    }
+
+    fn inject_slice(&mut self, acts: &mut [f32], n_tot: usize) {
+        if let Some(sigma) = self.sigma_hint(n_tot) {
+            self.injector.inject_sigma_slice(acts, sigma);
+        }
     }
 
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
@@ -426,6 +441,12 @@ impl ErrorModel for CompositeModel {
         inject_gaussian(&mut self.injector, sigma, acts)
     }
 
+    fn inject_slice(&mut self, acts: &mut [f32], n_tot: usize) {
+        if let Some(sigma) = self.sigma_hint(n_tot) {
+            self.injector.inject_sigma_slice(acts, sigma);
+        }
+    }
+
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
         self.mismatch.map(|m| m.apply(weights, layer_index))
     }
@@ -468,6 +489,12 @@ impl ErrorModel for PerVmacSim {
     fn inject_traced(&mut self, acts: &mut Tensor, n_tot: usize) -> WelfordState {
         let sigma = self.sigma_hint(n_tot);
         inject_gaussian(&mut self.injector, sigma, acts)
+    }
+
+    fn inject_slice(&mut self, acts: &mut [f32], n_tot: usize) {
+        if let Some(sigma) = self.sigma_hint(n_tot) {
+            self.injector.inject_sigma_slice(acts, sigma);
+        }
     }
 
     fn realize_weights(&self, weights: &Tensor, layer_index: u64) -> Option<Tensor> {
@@ -665,6 +692,34 @@ mod tests {
         }
         let bare = ErrorModelConfig::Lumped.build(None, None, 1);
         assert!(bare.realize_weights(&w, 3).is_none());
+    }
+
+    #[test]
+    fn per_slice_injection_matches_batch1_injects() {
+        // The serving contract: reseeding per image and injecting each
+        // per-image slice reproduces a sequence of offline batch-1
+        // injections bit-exactly.
+        let vmac = Vmac::new(8, 8, 8, 9.0);
+        let n_tot = 576;
+        let seeds = [11u64, 22, 33];
+        let per_image = 4 * 6 * 6;
+
+        let mut offline = Vec::new();
+        for &s in &seeds {
+            let mut model = ErrorModelConfig::Lumped.build(Some(vmac), None, 0);
+            model.reseed(s);
+            let mut t = Tensor::zeros(&[1, 4, 6, 6]);
+            model.inject(&mut t, n_tot);
+            offline.extend_from_slice(t.data());
+        }
+
+        let mut batched = Tensor::zeros(&[3, 4, 6, 6]);
+        let mut model = ErrorModelConfig::Lumped.build(Some(vmac), None, 0);
+        for (i, chunk) in batched.data_mut().chunks_mut(per_image).enumerate() {
+            model.reseed(seeds[i]);
+            model.inject_slice(chunk, n_tot);
+        }
+        assert_eq!(batched.data(), &offline[..]);
     }
 
     #[test]

@@ -134,10 +134,20 @@ impl GaussianInjector {
     /// A non-positive σ is a no-op, so callers can disable injection by
     /// zeroing the σ rather than branching.
     pub fn inject_sigma(&mut self, activations: &mut Tensor, sigma: f32) {
+        self.inject_sigma_slice(activations.data_mut(), sigma);
+    }
+
+    /// [`GaussianInjector::inject_sigma`] over a raw slice — the same
+    /// draws in the same order, so injecting a tensor's per-image slices
+    /// one at a time (reseeding in between) reproduces what a sequence of
+    /// batch-1 `inject_sigma` calls would produce. This is what makes the
+    /// serving path's coalesced batches bit-identical to offline batch-1
+    /// evaluation.
+    pub fn inject_sigma_slice(&mut self, activations: &mut [f32], sigma: f32) {
         if sigma <= 0.0 {
             return;
         }
-        for v in activations.data_mut() {
+        for v in activations {
             *v += sigma * rng::standard_normal(&mut self.rng);
         }
     }

@@ -125,4 +125,56 @@ mod tests {
         assert_eq!(b.num_batches(), 4);
         assert_eq!(b.count(), 4);
     }
+
+    #[test]
+    fn oversized_batch_yields_one_full_epoch_batch() {
+        // batch_size > len: a single batch holding the whole dataset, for
+        // both orderings, and num_batches agrees.
+        let ds = toy();
+        let mut r = rng::seeded(1);
+        for b in [
+            Batcher::sequential(&ds, 100),
+            Batcher::new(&ds, 100, &mut r),
+        ] {
+            assert_eq!(b.num_batches(), 1);
+            let batches: Vec<_> = b.collect();
+            assert_eq!(batches.len(), 1);
+            let (images, labels) = &batches[0];
+            assert_eq!(images.dims()[0], ds.len());
+            assert_eq!(labels.len(), ds.len());
+            let mut sorted = labels.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn final_partial_batch_has_the_remainder() {
+        // 7 examples at batch 4 → sizes [4, 3]; the shuffled batcher cuts
+        // the same boundary, and the image tensor tracks the label count.
+        let ds = toy();
+        let mut r = rng::seeded(2);
+        for b in [Batcher::sequential(&ds, 4), Batcher::new(&ds, 4, &mut r)] {
+            let batches: Vec<_> = b.collect();
+            let sizes: Vec<usize> = batches.iter().map(|(_, l)| l.len()).collect();
+            assert_eq!(sizes, vec![4, 3]);
+            for (images, labels) in &batches {
+                assert_eq!(images.dims()[0], labels.len());
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_epoch_is_a_permutation_of_sequential() {
+        // Same multiset of indices per epoch, shuffled or not — and the
+        // shuffle actually permutes (seeded, so deterministic here).
+        let ds = toy();
+        let sequential: Vec<usize> = Batcher::sequential(&ds, 3).flat_map(|(_, l)| l).collect();
+        let mut r = rng::seeded(3);
+        let shuffled: Vec<usize> = Batcher::new(&ds, 3, &mut r).flat_map(|(_, l)| l).collect();
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, sequential, "same index multiset per epoch");
+        assert_ne!(shuffled, sequential, "seed 3 must actually permute");
+    }
 }

@@ -100,19 +100,45 @@ pub struct Cli {
     ctx: ExecCtx,
 }
 
+/// The one-line flag synopsis shared by every experiment binary's usage
+/// error (see [`usage_exit`]).
+pub const USAGE: &str = "[--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N] [--kernel f32|i8] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]";
+
+/// The process exit code for command-line usage errors (unknown flag,
+/// missing value, unparsable value). Distinct from the generic panic
+/// code 101, so scripts can tell "you invoked it wrong" from "it broke".
+pub const USAGE_EXIT_CODE: i32 = 2;
+
+/// Prints a usage error to stderr and exits with [`USAGE_EXIT_CODE`].
+///
+/// Shared by the nine experiment binaries (via [`Cli::from_args`]) and
+/// `ams-serve`, which passes its own `usage` synopsis.
+pub fn usage_exit(message: &str, usage: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: {usage}");
+    std::process::exit(USAGE_EXIT_CODE)
+}
+
 impl Cli {
     /// Parses process arguments, defaulting to the `quick` scale, the
     /// `results` directory, all available cores, and no metrics.
     ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on an unknown scale, an unknown or
-    /// dangling flag, or a non-positive thread count.
+    /// On an unknown flag, a flag missing its value, or an unparsable
+    /// value, prints the error plus the flag synopsis to stderr and exits
+    /// with code [`USAGE_EXIT_CODE`] (2).
     pub fn from_args() -> Self {
-        Self::parse(std::env::args().skip(1).collect())
+        Self::try_parse(std::env::args().skip(1).collect())
+            .unwrap_or_else(|message| usage_exit(&message, USAGE))
     }
 
-    fn parse(args: Vec<String>) -> Self {
+    /// Parses an argument vector (without the program name), returning a
+    /// usage-error message instead of exiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable message [`Cli::from_args`] would print
+    /// before exiting with code 2.
+    pub fn try_parse(args: Vec<String>) -> Result<Self, String> {
         let mut scale = Scale::quick();
         let mut results = "results".to_string();
         let mut ctx = ExecCtx::from_env();
@@ -126,38 +152,33 @@ impl Cli {
         let mut quant_name = "dorefa".to_string();
         let mut bfp_block: Option<usize> = None;
         let mut kernel = KernelDispatch::F32;
+        // Returns `--flag`'s value argument, or the usage error for a
+        // flag that ends the argument list.
+        let value = |i: usize, flag: &str| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--scale" => {
-                    let name = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--scale needs a value"));
-                    scale = Scale::by_name(name)
-                        .unwrap_or_else(|n| panic!("unknown scale {n:?}; use quick|full|test"));
+                    scale = Scale::by_name(value(i, "--scale")?)
+                        .map_err(|n| format!("unknown scale {n:?}; use quick|full|test"))?;
                     i += 2;
                 }
                 "--results" => {
-                    results = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--results needs a value"))
-                        .clone();
+                    results = value(i, "--results")?.clone();
                     i += 2;
                 }
                 "--threads" => {
-                    let n: usize = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--threads needs a value"))
+                    let n: usize = value(i, "--threads")?
                         .parse()
-                        .unwrap_or_else(|e| panic!("--threads needs a positive integer: {e}"));
+                        .map_err(|e| format!("--threads needs a positive integer: {e}"))?;
                     ctx = ExecCtx::with_threads(n);
                     i += 2;
                 }
                 "--metrics" => {
-                    metrics_path = Some(PathBuf::from(
-                        args.get(i + 1)
-                            .unwrap_or_else(|| panic!("--metrics needs a value")),
-                    ));
+                    metrics_path = Some(PathBuf::from(value(i, "--metrics")?));
                     i += 2;
                 }
                 "--resume" => {
@@ -165,73 +186,46 @@ impl Cli {
                     i += 1;
                 }
                 "--model" => {
-                    model = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--model needs a value"))
-                        .parse()
-                        .unwrap_or_else(|e| panic!("{e}"));
+                    model = value(i, "--model")?.parse()?;
                     i += 2;
                 }
                 "--quant" => {
-                    quant_name = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--quant needs a value"))
-                        .clone();
+                    quant_name = value(i, "--quant")?.clone();
                     i += 2;
                 }
                 "--bfp-block" => {
                     bfp_block = Some(
-                        args.get(i + 1)
-                            .unwrap_or_else(|| panic!("--bfp-block needs a value"))
+                        value(i, "--bfp-block")?
                             .parse()
-                            .unwrap_or_else(|e| panic!("--bfp-block needs a positive integer: {e}")),
+                            .map_err(|e| format!("--bfp-block needs a positive integer: {e}"))?,
                     );
                     i += 2;
                 }
                 "--error-model" => {
-                    kind = args
-                        .get(i + 1)
-                        .unwrap_or_else(|| panic!("--error-model needs a value"))
-                        .parse()
-                        .unwrap_or_else(|e| panic!("{e}"));
+                    kind = value(i, "--error-model")?.parse()?;
                     i += 2;
                 }
                 "--multiplier-sigma" => {
                     multiplier_sigma = Some(
-                        args.get(i + 1)
-                            .unwrap_or_else(|| panic!("--multiplier-sigma needs a value"))
+                        value(i, "--multiplier-sigma")?
                             .parse()
-                            .unwrap_or_else(|e| {
-                                panic!("--multiplier-sigma needs a number: {e}")
-                            }),
+                            .map_err(|e| format!("--multiplier-sigma needs a number: {e}"))?,
                     );
                     i += 2;
                 }
                 "--adc" => {
-                    adc = Some(parse_adc(
-                        args.get(i + 1)
-                            .unwrap_or_else(|| panic!("--adc needs a value")),
-                    ));
+                    adc = Some(parse_adc(value(i, "--adc")?)?);
                     i += 2;
                 }
                 "--partition" => {
-                    partition = Some(parse_partition(
-                        args.get(i + 1)
-                            .unwrap_or_else(|| panic!("--partition needs a value")),
-                    ));
+                    partition = Some(parse_partition(value(i, "--partition")?)?);
                     i += 2;
                 }
                 "--kernel" => {
-                    kernel = KernelDispatch::by_name(
-                        args.get(i + 1)
-                            .unwrap_or_else(|| panic!("--kernel needs a value")),
-                    )
-                    .unwrap_or_else(|e| panic!("{e}"));
+                    kernel = KernelDispatch::by_name(value(i, "--kernel")?)?;
                     i += 2;
                 }
-                other => panic!(
-                    "unknown argument {other:?}; usage: [--scale quick|full|test] [--results DIR] [--threads N] [--metrics PATH] [--resume] [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--bfp-block N] [--kernel f32|i8] [--error-model lumped|composite|per-vmac|ideal] [--multiplier-sigma S] [--adc ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA] [--partition NW,NX,ENOB]"
-                ),
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
         // Applied after the loop: `--threads` rebuilds the context, so the
@@ -240,17 +234,17 @@ impl Cli {
         if metrics_path.is_some() {
             ctx = ctx.with_metrics(MetricsSink::recording());
         }
-        Cli {
+        Ok(Cli {
             scale,
             results,
             metrics_path,
             resume,
-            error_model: assemble_error_model(kind, multiplier_sigma, adc, partition),
+            error_model: assemble_error_model(kind, multiplier_sigma, adc, partition)?,
             model,
-            quant: assemble_quant_scheme(&quant_name, bfp_block),
+            quant: assemble_quant_scheme(&quant_name, bfp_block)?,
             kernel,
             ctx,
-        }
+        })
     }
 
     /// A clone of the execution context. Clones share the metrics sink,
@@ -290,105 +284,110 @@ fn assemble_error_model(
     multiplier_sigma: Option<f64>,
     adc: Option<AdcBehavior>,
     partition: Option<PartitionSpec>,
-) -> ErrorModelConfig {
+) -> Result<ErrorModelConfig, String> {
     match kind {
         ErrorModelKind::Composite => {
-            assert!(
-                adc.is_none() && partition.is_none(),
-                "--adc/--partition apply to --error-model per-vmac only"
-            );
-            ErrorModelConfig::Composite {
-                multiplier_sigma: multiplier_sigma.unwrap_or(0.01),
+            if adc.is_some() || partition.is_some() {
+                return Err("--adc/--partition apply to --error-model per-vmac only".into());
             }
+            Ok(ErrorModelConfig::Composite {
+                multiplier_sigma: multiplier_sigma.unwrap_or(0.01),
+            })
         }
         ErrorModelKind::PerVmac => {
-            assert!(
-                multiplier_sigma.is_none(),
-                "--multiplier-sigma applies to --error-model composite only"
-            );
-            ErrorModelConfig::PerVmac {
+            if multiplier_sigma.is_some() {
+                return Err("--multiplier-sigma applies to --error-model composite only".into());
+            }
+            Ok(ErrorModelConfig::PerVmac {
                 behavior: adc.unwrap_or(AdcBehavior::Quantizing),
                 partition,
-            }
+            })
         }
         ErrorModelKind::Lumped | ErrorModelKind::Ideal => {
-            assert!(
-                multiplier_sigma.is_none() && adc.is_none() && partition.is_none(),
-                "--multiplier-sigma/--adc/--partition require --error-model composite or per-vmac"
-            );
-            if kind == ErrorModelKind::Ideal {
+            if multiplier_sigma.is_some() || adc.is_some() || partition.is_some() {
+                return Err(
+                    "--multiplier-sigma/--adc/--partition require --error-model composite or per-vmac"
+                        .into(),
+                );
+            }
+            Ok(if kind == ErrorModelKind::Ideal {
                 ErrorModelConfig::Ideal
             } else {
                 ErrorModelConfig::Lumped
-            }
+            })
         }
     }
 }
 
 /// Assembles the [`QuantScheme`] from `--quant` / `--bfp-block`,
 /// rejecting `--bfp-block` when the DoReFa quantizer is selected.
-fn assemble_quant_scheme(name: &str, bfp_block: Option<usize>) -> QuantScheme {
+fn assemble_quant_scheme(name: &str, bfp_block: Option<usize>) -> Result<QuantScheme, String> {
     match name {
         "dorefa" => {
-            assert!(
-                bfp_block.is_none(),
-                "--bfp-block applies to --quant bfp only"
-            );
-            QuantScheme::Dorefa
+            if bfp_block.is_some() {
+                return Err("--bfp-block applies to --quant bfp only".into());
+            }
+            Ok(QuantScheme::Dorefa)
         }
         "bfp" => {
             let block = bfp_block.unwrap_or(16);
-            assert!(block >= 1, "--bfp-block needs a positive block size");
-            QuantScheme::Bfp { block }
+            if block < 1 {
+                return Err("--bfp-block needs a positive block size".into());
+            }
+            Ok(QuantScheme::Bfp { block })
         }
-        other => panic!("unknown quantizer {other:?}; use dorefa|bfp"),
+        other => Err(format!("unknown quantizer {other:?}; use dorefa|bfp")),
     }
 }
 
 /// Parses an `--adc` value: `ideal`, `quantizing`, `delta-sigma[:BITS]`
 /// (extra final-conversion bits, default 2), or `ref-scaled:ALPHA`.
-fn parse_adc(value: &str) -> AdcBehavior {
+fn parse_adc(value: &str) -> Result<AdcBehavior, String> {
     let (name, arg) = match value.split_once(':') {
         Some((n, a)) => (n, Some(a)),
         None => (value, None),
     };
     match (name, arg) {
-        ("ideal", None) => AdcBehavior::Ideal,
-        ("quantizing", None) => AdcBehavior::Quantizing,
-        ("delta-sigma", arg) => AdcBehavior::DeltaSigma {
-            final_extra_bits: arg.map_or(2.0, |a| {
-                a.parse()
-                    .unwrap_or_else(|e| panic!("--adc delta-sigma:BITS needs a number: {e}"))
-            }),
-        },
-        ("ref-scaled", Some(a)) => AdcBehavior::RefScaled {
+        ("ideal", None) => Ok(AdcBehavior::Ideal),
+        ("quantizing", None) => Ok(AdcBehavior::Quantizing),
+        ("delta-sigma", arg) => Ok(AdcBehavior::DeltaSigma {
+            final_extra_bits: match arg {
+                Some(a) => a
+                    .parse()
+                    .map_err(|e| format!("--adc delta-sigma:BITS needs a number: {e}"))?,
+                None => 2.0,
+            },
+        }),
+        ("ref-scaled", Some(a)) => Ok(AdcBehavior::RefScaled {
             alpha: a
                 .parse()
-                .unwrap_or_else(|e| panic!("--adc ref-scaled:ALPHA needs a number: {e}")),
-        },
-        _ => panic!(
+                .map_err(|e| format!("--adc ref-scaled:ALPHA needs a number: {e}"))?,
+        }),
+        _ => Err(format!(
             "unknown --adc value {value:?}; expected ideal|quantizing|delta-sigma[:BITS]|ref-scaled:ALPHA"
-        ),
+        )),
     }
 }
 
 /// Parses a `--partition` value `NW,NX,SLICE_ENOB` into a [`PartitionSpec`].
-fn parse_partition(value: &str) -> PartitionSpec {
+fn parse_partition(value: &str) -> Result<PartitionSpec, String> {
     let parts: Vec<&str> = value.split(',').collect();
     let [nw, nx, slice_enob] = parts.as_slice() else {
-        panic!("--partition needs NW,NX,SLICE_ENOB (e.g. 2,2,12.0), got {value:?}");
+        return Err(format!(
+            "--partition needs NW,NX,SLICE_ENOB (e.g. 2,2,12.0), got {value:?}"
+        ));
     };
-    PartitionSpec {
+    Ok(PartitionSpec {
         n_w: nw
             .parse()
-            .unwrap_or_else(|e| panic!("--partition NW needs an integer: {e}")),
+            .map_err(|e| format!("--partition NW needs an integer: {e}"))?,
         n_x: nx
             .parse()
-            .unwrap_or_else(|e| panic!("--partition NX needs an integer: {e}")),
+            .map_err(|e| format!("--partition NX needs an integer: {e}"))?,
         slice_enob: slice_enob
             .parse()
-            .unwrap_or_else(|e| panic!("--partition SLICE_ENOB needs a number: {e}")),
-    }
+            .map_err(|e| format!("--partition SLICE_ENOB needs a number: {e}"))?,
+    })
 }
 
 /// The shared scaffolding of every experiment binary: parse the CLI,
@@ -457,9 +456,15 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    /// Parses or panics — the happy-path helper for tests that only care
+    /// about the parsed configuration.
+    fn parse(args: Vec<String>) -> Cli {
+        Cli::try_parse(args).expect("arguments should parse")
+    }
+
     #[test]
     fn defaults_without_flags() {
-        let cli = Cli::parse(args(&[]));
+        let cli = parse(args(&[]));
         assert_eq!(cli.scale.name, "quick");
         assert_eq!(cli.results, "results");
         assert!(cli.metrics_path.is_none());
@@ -468,7 +473,7 @@ mod tests {
 
     #[test]
     fn metrics_flag_attaches_recording_sink() {
-        let cli = Cli::parse(args(&["--scale", "test", "--metrics", "/tmp/m.json"]));
+        let cli = parse(args(&["--scale", "test", "--metrics", "/tmp/m.json"]));
         assert_eq!(cli.scale.name, "test");
         assert!(cli.metrics().enabled());
         // The handed-out context shares the registry.
@@ -504,19 +509,19 @@ mod tests {
 
     #[test]
     fn resume_flag_parses() {
-        assert!(Cli::parse(args(&["--resume"])).resume);
-        assert!(!Cli::parse(args(&[])).resume);
+        assert!(parse(args(&["--resume"])).resume);
+        assert!(!parse(args(&[])).resume);
     }
 
     #[test]
     fn error_model_flags_parse() {
-        assert_eq!(Cli::parse(args(&[])).error_model, ErrorModelConfig::Lumped);
+        assert_eq!(parse(args(&[])).error_model, ErrorModelConfig::Lumped);
         assert_eq!(
-            Cli::parse(args(&["--error-model", "ideal"])).error_model,
+            parse(args(&["--error-model", "ideal"])).error_model,
             ErrorModelConfig::Ideal
         );
         assert_eq!(
-            Cli::parse(args(&[
+            parse(args(&[
                 "--error-model",
                 "composite",
                 "--multiplier-sigma",
@@ -528,11 +533,11 @@ mod tests {
             }
         );
         assert_eq!(
-            Cli::parse(args(&["--error-model", "per-vmac"])).error_model,
+            parse(args(&["--error-model", "per-vmac"])).error_model,
             ErrorModelConfig::per_vmac()
         );
         assert_eq!(
-            Cli::parse(args(&[
+            parse(args(&[
                 "--error-model",
                 "per-vmac",
                 "--adc",
@@ -553,7 +558,7 @@ mod tests {
             }
         );
         assert_eq!(
-            Cli::parse(args(&[
+            parse(args(&[
                 "--error-model",
                 "per-vmac",
                 "--adc",
@@ -569,83 +574,118 @@ mod tests {
 
     #[test]
     fn model_and_quant_flags_parse() {
-        let cli = Cli::parse(args(&[]));
+        let cli = parse(args(&[]));
         assert_eq!(cli.model, ModelKind::ResNetMini);
         assert_eq!(cli.quant, QuantScheme::Dorefa);
 
-        let cli = Cli::parse(args(&["--model", "lenet5", "--quant", "bfp"]));
+        let cli = parse(args(&["--model", "lenet5", "--quant", "bfp"]));
         assert_eq!(cli.model, ModelKind::LeNet5);
         assert_eq!(cli.quant, QuantScheme::Bfp { block: 16 });
 
-        let cli = Cli::parse(args(&["--quant", "bfp", "--bfp-block", "8"]));
+        let cli = parse(args(&["--quant", "bfp", "--bfp-block", "8"]));
         assert_eq!(cli.quant, QuantScheme::Bfp { block: 8 });
         // Flag order must not matter.
-        let cli = Cli::parse(args(&["--bfp-block", "8", "--quant", "bfp"]));
+        let cli = parse(args(&["--bfp-block", "8", "--quant", "bfp"]));
         assert_eq!(cli.quant, QuantScheme::Bfp { block: 8 });
     }
 
     #[test]
     fn kernel_flag_parses_and_reaches_the_context() {
-        let cli = Cli::parse(args(&[]));
+        let cli = parse(args(&[]));
         assert_eq!(cli.kernel, KernelDispatch::F32);
         assert_eq!(cli.ctx().kernel(), KernelDispatch::F32);
 
-        let cli = Cli::parse(args(&["--kernel", "i8"]));
+        let cli = parse(args(&["--kernel", "i8"]));
         assert_eq!(cli.kernel, KernelDispatch::I8);
         assert_eq!(cli.ctx().kernel(), KernelDispatch::I8);
 
         // `--threads` rebuilds the context; the kernel must survive in
         // either flag order.
-        let cli = Cli::parse(args(&["--kernel", "i8", "--threads", "2"]));
+        let cli = parse(args(&["--kernel", "i8", "--threads", "2"]));
         assert_eq!(cli.ctx().kernel(), KernelDispatch::I8);
-        let cli = Cli::parse(args(&["--threads", "2", "--kernel", "i8"]));
+        let cli = parse(args(&["--threads", "2", "--kernel", "i8"]));
         assert_eq!(cli.ctx().kernel(), KernelDispatch::I8);
     }
 
+    /// Asserts that parsing fails and the message contains `expect`.
+    fn parse_err(list: &[&str], expect: &str) {
+        let err = Cli::try_parse(args(list)).expect_err("arguments should be rejected");
+        assert!(
+            err.contains(expect),
+            "error {err:?} should contain {expect:?}"
+        );
+    }
+
     #[test]
-    #[should_panic(expected = "unknown kernel")]
     fn rejects_unknown_kernel() {
-        Cli::parse(args(&["--kernel", "f16"]));
+        parse_err(&["--kernel", "f16"], "unknown kernel");
     }
 
     #[test]
-    #[should_panic(expected = "--bfp-block applies to --quant bfp only")]
     fn rejects_bfp_block_without_bfp() {
-        Cli::parse(args(&["--bfp-block", "8"]));
+        parse_err(
+            &["--bfp-block", "8"],
+            "--bfp-block applies to --quant bfp only",
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown quantizer")]
     fn rejects_unknown_quantizer() {
-        Cli::parse(args(&["--quant", "int4"]));
+        parse_err(&["--quant", "int4"], "unknown quantizer");
     }
 
     #[test]
-    #[should_panic(expected = "unknown model")]
     fn rejects_unknown_model() {
-        Cli::parse(args(&["--model", "vgg"]));
+        parse_err(&["--model", "vgg"], "unknown model");
     }
 
     #[test]
-    #[should_panic(expected = "unknown error model")]
     fn rejects_unknown_error_model() {
-        Cli::parse(args(&["--error-model", "bogus"]));
+        parse_err(&["--error-model", "bogus"], "unknown error model");
     }
 
     #[test]
-    #[should_panic(expected = "--multiplier-sigma applies to --error-model composite only")]
     fn rejects_mismatched_model_params() {
-        Cli::parse(args(&[
-            "--error-model",
-            "per-vmac",
-            "--multiplier-sigma",
-            "0.1",
-        ]));
+        parse_err(
+            &["--error-model", "per-vmac", "--multiplier-sigma", "0.1"],
+            "--multiplier-sigma applies to --error-model composite only",
+        );
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
     fn rejects_unknown_flags() {
-        Cli::parse(args(&["--bogus"]));
+        parse_err(&["--bogus"], "unknown argument \"--bogus\"");
+    }
+
+    #[test]
+    fn rejects_flags_missing_their_value() {
+        // Every value-taking flag, dangling at the end of the arg list.
+        for flag in [
+            "--scale",
+            "--results",
+            "--threads",
+            "--metrics",
+            "--model",
+            "--quant",
+            "--bfp-block",
+            "--error-model",
+            "--multiplier-sigma",
+            "--adc",
+            "--partition",
+            "--kernel",
+        ] {
+            parse_err(&[flag], &format!("{flag} needs a value"));
+        }
+    }
+
+    #[test]
+    fn rejects_unparsable_values() {
+        parse_err(&["--threads", "many"], "--threads needs a positive integer");
+        parse_err(&["--scale", "huge"], "unknown scale");
+        parse_err(
+            &["--partition", "2,2"],
+            "--partition needs NW,NX,SLICE_ENOB",
+        );
+        parse_err(&["--adc", "sar"], "unknown --adc value");
     }
 }

@@ -46,7 +46,9 @@ mod scale;
 pub mod sweep;
 mod train;
 
-pub use cli::{run_bin, run_bin_custom, write_metrics_report, Cli};
+pub use cli::{
+    run_bin, run_bin_custom, usage_exit, write_metrics_report, Cli, USAGE, USAGE_EXIT_CODE,
+};
 pub use report::{print_table, write_csv, Report, Stat};
 pub use runner::{
     AblationReport, Experiments, Fig4Result, Fig4Row, Fig5Result, Fig6Result, Fig6Row, Fig7Result,

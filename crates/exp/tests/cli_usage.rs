@@ -1,0 +1,39 @@
+//! Usage-error behavior of the experiment binaries: bad flags must exit
+//! with code 2 (not a panic's 101) and print the shared flag synopsis.
+
+use std::process::Command;
+
+fn run_table1(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(args)
+        .output()
+        .expect("spawn table1")
+}
+
+#[test]
+fn unknown_flag_exits_2_with_usage() {
+    let out = run_table1(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(ams_exp::USAGE_EXIT_CODE));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: unknown argument \"--bogus\""),
+        "stderr was: {stderr}"
+    );
+    assert!(stderr.contains("usage: "), "stderr was: {stderr}");
+    assert!(
+        stderr.contains("--scale quick|full|test"),
+        "stderr was: {stderr}"
+    );
+}
+
+#[test]
+fn missing_flag_value_exits_2_with_usage() {
+    let out = run_table1(&["--scale"]);
+    assert_eq!(out.status.code(), Some(ams_exp::USAGE_EXIT_CODE));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("error: --scale needs a value"),
+        "stderr was: {stderr}"
+    );
+    assert!(stderr.contains("usage: "), "stderr was: {stderr}");
+}

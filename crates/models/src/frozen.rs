@@ -1,0 +1,167 @@
+//! Read-only split of the quantized layer weights for serving.
+//!
+//! Every `QConv2d`/`QLinear` forward re-quantizes its shadow FP32 weights
+//! — correct for training (the shadows move every step) but pure per-call
+//! overhead for a serving replica whose weights never change. This module
+//! splits that state: [`FrozenLayerWeights`] holds one layer's quantized
+//! eval-ready weights (the f32 weight matrix plus, when the widths allow,
+//! the pre-coded i8 form), and [`SharedModelWeights`] collects the whole
+//! network's layers behind `Arc`s so N worker replicas share one copy.
+//!
+//! Because the quantizers are deterministic, a frozen forward is
+//! bit-identical to the per-forward quantization it replaces; the layer
+//! tests pin that equivalence on both the f32 and i8 kernels.
+
+use std::sync::Arc;
+
+use ams_quant::QuantizedI8;
+use ams_tensor::{Density, Tensor};
+
+/// One layer's immutable eval-ready weights.
+///
+/// `wmat` is the quantized (and, under a mismatch overlay, realized) f32
+/// weight matrix in the kernels' layout: `[c_out, c_in·k²]` for a
+/// convolution, `[out_features, in_features]` for a linear layer. `i8` is
+/// the pre-coded integer form when both operand widths fit 8 bits and no
+/// f32 perturbation applies (the same gate the live i8 dispatch uses).
+#[derive(Debug)]
+pub struct FrozenLayerWeights {
+    /// Quantized f32 weight matrix, kernel layout.
+    pub wmat: Tensor,
+    /// Sparsity summary the f32 conv kernel uses for skip decisions.
+    pub density: Density,
+    /// Pre-coded i8 weights, when representable.
+    pub i8: Option<QuantizedI8>,
+}
+
+/// A whole network's frozen weights: one [`FrozenLayerWeights`] per
+/// quantized convolution (forward order) plus the classifier. Cheap to
+/// clone — workers share the underlying buffers through the `Arc`s.
+#[derive(Debug, Clone)]
+pub struct SharedModelWeights {
+    /// Per-convolution frozen weights, in `for_each_qconv` order.
+    pub convs: Vec<Arc<FrozenLayerWeights>>,
+    /// The classifier's frozen weights.
+    pub fc: Arc<FrozenLayerWeights>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HardwareConfig;
+    use crate::resnet::{ResNetMini, ResNetMiniConfig};
+    use ams_core::vmac::Vmac;
+    use ams_nn::{Layer, Mode};
+    use ams_quant::QuantConfig;
+    use ams_tensor::{rng, ExecCtx, KernelDispatch, Tensor};
+
+    fn ams_hw() -> HardwareConfig {
+        HardwareConfig::ams(QuantConfig::w8a8(), Vmac::new(8, 8, 8, 8.0))
+    }
+
+    fn images(n: usize, seed: u64) -> Tensor {
+        let mut t = Tensor::zeros(&[n, 3, 8, 8]);
+        let mut r = rng::seeded(seed);
+        rng::fill_uniform(&mut t, 0.0, 1.0, &mut r);
+        t
+    }
+
+    #[test]
+    fn frozen_eval_is_bitwise_identical_to_unfrozen() {
+        // Same init seed → identical twins; freezing one must not change a
+        // single bit of its eval output, on the f32 and the i8 kernels.
+        let arch = ResNetMiniConfig::tiny();
+        for ctx in [
+            ExecCtx::serial(),
+            ExecCtx::serial().with_kernel(KernelDispatch::I8),
+        ] {
+            let mut plain = ResNetMini::new(&arch, &ams_hw());
+            let mut frozen = ResNetMini::new(&arch, &ams_hw());
+            frozen.freeze_shared_weights(&ctx);
+            let x = images(2, 5);
+            plain.reseed_noise(99);
+            frozen.reseed_noise(99);
+            let a = plain.forward(&ctx, &x, Mode::Eval);
+            let b = frozen.forward(&ctx, &x, Mode::Eval);
+            assert_eq!(a, b, "kernel {:?}", ctx.kernel());
+        }
+    }
+
+    #[test]
+    fn adopted_replicas_share_weights_and_match_the_freezer() {
+        let arch = ResNetMiniConfig::tiny();
+        let ctx = ExecCtx::serial();
+        let mut template = ResNetMini::new(&arch, &ams_hw());
+        let shared = template.freeze_shared_weights(&ctx);
+        let mut replica = ResNetMini::new(&arch, &ams_hw());
+        replica.adopt_shared_weights(&shared);
+        let x = images(2, 6);
+        template.reseed_noise(7);
+        replica.reseed_noise(7);
+        assert_eq!(
+            template.forward(&ctx, &x, Mode::Eval),
+            replica.forward(&ctx, &x, Mode::Eval),
+        );
+    }
+
+    #[test]
+    fn per_request_seeds_match_offline_batch1_eval() {
+        // The serve contract end to end at model scale: a coalesced batch
+        // with per-request seeds is bitwise what per-request offline
+        // reseed_noise + batch-1 forwards produce, frozen or not, on both
+        // kernels.
+        let arch = ResNetMiniConfig::tiny();
+        let seeds = vec![101u64, 202, 303];
+        let x = images(seeds.len(), 8);
+        for ctx in [
+            ExecCtx::serial(),
+            ExecCtx::serial().with_kernel(KernelDispatch::I8),
+        ] {
+            let mut server = ResNetMini::new(&arch, &ams_hw());
+            server.freeze_shared_weights(&ctx);
+            server.set_request_noise_seeds(Some(Arc::new(seeds.clone())));
+            let batched = server.forward(&ctx, &x, Mode::Eval);
+            let classes = batched.dims()[1];
+
+            let mut offline = ResNetMini::new(&arch, &ams_hw());
+            for (i, &seed) in seeds.iter().enumerate() {
+                let mut one = Tensor::zeros(&[1, 3, 8, 8]);
+                let per_image = one.len();
+                one.data_mut()
+                    .copy_from_slice(&x.data()[i * per_image..(i + 1) * per_image]);
+                offline.reseed_noise(seed);
+                let y = offline.forward(&ctx, &one, Mode::Eval);
+                assert_eq!(
+                    y.data(),
+                    &batched.data()[i * classes..(i + 1) * classes],
+                    "request {i}, kernel {:?}",
+                    ctx.kernel()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_ignores_frozen_weights() {
+        let arch = ResNetMiniConfig::tiny();
+        let ctx = ExecCtx::serial();
+        let mut plain = ResNetMini::new(&arch, &ams_hw());
+        let mut frozen = ResNetMini::new(&arch, &ams_hw());
+        frozen.freeze_shared_weights(&ctx);
+        let x = images(2, 9);
+        assert_eq!(
+            plain.forward(&ctx, &x, Mode::Train),
+            frozen.forward(&ctx, &x, Mode::Train),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different architecture")]
+    fn adopting_mismatched_weights_panics() {
+        let ctx = ExecCtx::serial();
+        let mut small = ResNetMini::new(&ResNetMiniConfig::tiny(), &ams_hw());
+        let shared = small.freeze_shared_weights(&ctx);
+        let mut big = ResNetMini::new(&ResNetMiniConfig::quick(), &ams_hw());
+        big.adopt_shared_weights(&shared);
+    }
+}

@@ -12,8 +12,11 @@ use ams_nn::{BatchNorm2d, ClippedRelu, Flatten, Layer, MaxPool2d, Mode, Param};
 use ams_tensor::{rng, ExecCtx, Tensor};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::config::{HardwareConfig, InputKind};
 use crate::freeze::FreezePolicy;
+use crate::frozen::SharedModelWeights;
 use crate::qconv::QConv2d;
 use crate::qlinear::QLinear;
 use crate::spec::{AmsModel, ModelKind};
@@ -298,6 +301,37 @@ impl AmsModel for LeNet5 {
 
     fn apply_freeze(&mut self, policy: FreezePolicy) {
         policy.apply(self);
+    }
+
+    fn freeze_shared_weights(&mut self, ctx: &ExecCtx) -> SharedModelWeights {
+        let mut convs = Vec::new();
+        self.for_each_qconv(&mut |c| convs.push(c.freeze_eval_weights(ctx)));
+        let fc = self.fc.freeze_eval_weights(ctx);
+        SharedModelWeights { convs, fc }
+    }
+
+    fn adopt_shared_weights(&mut self, shared: &SharedModelWeights) {
+        assert_eq!(
+            shared.convs.len(),
+            LeNet5Config::CONV_LAYERS,
+            "shared weights have {} conv layers, this architecture needs {}",
+            shared.convs.len(),
+            LeNet5Config::CONV_LAYERS,
+        );
+        let mut it = shared.convs.iter();
+        self.for_each_qconv(&mut |c| {
+            c.adopt_frozen_weights(Arc::clone(it.next().expect("length checked above")));
+        });
+        self.fc.adopt_frozen_weights(Arc::clone(&shared.fc));
+    }
+
+    fn set_request_noise_seeds(&mut self, seeds: Option<Arc<Vec<u64>>>) {
+        let mut idx = 0u64;
+        self.for_each_qconv(&mut |c| {
+            c.set_request_noise_seeds(seeds.clone(), idx);
+            idx += 1;
+        });
+        self.fc.set_request_noise_seeds(seeds, FC_NOISE_INDEX);
     }
 
     fn energy_report(&mut self, ctx: &ExecCtx, image_size: usize) -> EnergyReport {

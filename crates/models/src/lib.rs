@@ -42,6 +42,7 @@ mod block;
 mod cnn;
 mod config;
 mod freeze;
+mod frozen;
 mod lenet;
 mod qconv;
 mod qlinear;
@@ -54,6 +55,7 @@ pub use block::BasicBlock;
 pub use cnn::{PlainCnn, PlainCnnConfig};
 pub use config::{HardwareConfig, InputKind};
 pub use freeze::{CheckpointKeySpace, FreezePolicy};
+pub use frozen::{FrozenLayerWeights, SharedModelWeights};
 pub use lenet::{LeNet5, LeNet5Config};
 pub use qconv::QConv2d;
 pub use qlinear::QLinear;

@@ -1,5 +1,7 @@
 //! Quantized convolution with AMS error injection (paper Fig. 3).
 
+use std::sync::Arc;
+
 use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{conv2d_backward, conv2d_forward, conv2d_forward_i8, ConvCache};
@@ -12,6 +14,7 @@ use ams_tensor::{
 use rand::Rng;
 
 use crate::config::{HardwareConfig, InputKind};
+use crate::frozen::FrozenLayerWeights;
 
 /// A convolution implementing the paper's quantized layer (Fig. 3):
 /// input activations quantized to `B_X` bits, shadow FP32 weights
@@ -52,6 +55,8 @@ pub struct QConv2d {
     model: Box<dyn ErrorModel>,
     cache: Option<ConvCache>,
     ste_scale: Option<Tensor>,
+    frozen: Option<Arc<FrozenLayerWeights>>,
+    request_seeds: Option<(Arc<Vec<u64>>, u64)>,
     probe_enabled: bool,
     probe_sum: f64,
     probe_count: usize,
@@ -104,6 +109,8 @@ impl QConv2d {
             pad,
             cache: None,
             ste_scale: None,
+            frozen: None,
+            request_seeds: None,
             probe_enabled: false,
             probe_sum: 0.0,
             probe_count: 0,
@@ -149,6 +156,67 @@ impl QConv2d {
     /// Repositions the noise stream at a captured cursor.
     pub fn restore_noise_state(&mut self, state: &ams_tensor::rng::RngState) {
         self.model.restore(std::slice::from_ref(state));
+    }
+
+    /// Quantizes the shadow weights once into an immutable eval-ready
+    /// form, installs it on this layer, and returns it for sharing with
+    /// worker replicas ([`crate::SharedModelWeights`]).
+    ///
+    /// Deterministic quantization makes subsequent eval forwards
+    /// bit-identical to the per-forward quantization they skip. Training
+    /// ignores the frozen copy (the shadows keep moving), and a mismatch
+    /// overlay is folded in here — it is deterministic per layer — with
+    /// the i8 form omitted, matching the live dispatch gate.
+    pub fn freeze_eval_weights(&mut self, ctx: &ExecCtx) -> Arc<FrozenLayerWeights> {
+        let ws = ctx.workspace();
+        let qw = self.quantizer.quantize_weights_in(ws, &self.weight.value);
+        let density = qw.density;
+        ws.recycle(qw.ste_scale);
+        let realized = match self.model.realize_weights(&qw.values, self.layer_index) {
+            Some(r) => {
+                ws.recycle(qw.values);
+                r
+            }
+            None => qw.values,
+        };
+        let wmat = realized
+            .reshape(&[self.c_out, self.c_in * self.k * self.k])
+            .expect("QConv2d: weight matrix shape");
+        let i8 = (self.quantizer.weight_bits() <= 8 && !self.model.perturbs_weights()).then(|| {
+            self.quantizer
+                .quantize_weights_i8_in(ws, &self.weight.value)
+        });
+        let frozen = Arc::new(FrozenLayerWeights { wmat, density, i8 });
+        self.frozen = Some(Arc::clone(&frozen));
+        frozen
+    }
+
+    /// Installs frozen weights produced by [`QConv2d::freeze_eval_weights`]
+    /// on a twin layer (same architecture, typically another worker's
+    /// replica), so replicas share one weight buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frozen matrix does not match this layer's shape.
+    pub fn adopt_frozen_weights(&mut self, fw: Arc<FrozenLayerWeights>) {
+        assert_eq!(
+            fw.wmat.dims(),
+            &[self.c_out, self.c_in * self.k * self.k],
+            "QConv2d {}: frozen weights from a different architecture",
+            self.name
+        );
+        self.frozen = Some(fw);
+    }
+
+    /// Sets (or clears) the per-request noise seeds for the next eval
+    /// forward: image `i` of the batch draws its layer noise from
+    /// `noise_stream_seed(seeds[i], noise_index)`, exactly the stream an
+    /// offline `reseed_noise(seeds[i])` + batch-1 forward would use —
+    /// that is what makes coalesced serving batches bit-identical to
+    /// offline evaluation. `noise_index` is the same sequential index
+    /// `reseed_noise` assigns this layer.
+    pub fn set_request_noise_seeds(&mut self, seeds: Option<Arc<Vec<u64>>>, noise_index: u64) {
+        self.request_seeds = seeds.map(|s| (s, noise_index));
     }
 
     /// Enables or disables output-mean probing (paper Fig. 6); enabling
@@ -282,7 +350,91 @@ impl Layer for QConv2d {
             && self.quantizer.activation_bits() <= 8
             && !self.model.perturbs_weights()
             && operand_sim.is_none();
-        let (mut y, cache) = if use_i8 {
+        // Frozen eval weights (serving replicas): skip the per-forward
+        // quantization entirely. Training ignores the frozen copy.
+        let frozen = if mode.is_train() {
+            None
+        } else {
+            self.frozen.clone()
+        };
+        let (mut y, cache) = if let Some(fw) = &frozen {
+            let frozen_i8 = ctx.kernel() == KernelDispatch::I8
+                && fw.i8.is_some()
+                && self.quantizer.activation_bits() <= 8
+                && operand_sim.is_none();
+            if frozen_i8 {
+                let qi = fw.i8.as_ref().expect("gated on i8.is_some()");
+                if self.request_seeds.is_some() {
+                    // The i8 activation re-coding scale is computed per
+                    // tensor, so a batched call is not batch-invariant.
+                    // Per-request reproducibility demands each image be
+                    // coded alone — exactly what offline batch-1
+                    // evaluation does; only the GEMM loses batch
+                    // amortization, the rest of the net stays batched.
+                    let (n, c, h, w) = xq.dims4();
+                    let per_image = c * h * w;
+                    let mut one = ws.take_tensor(&[1, c, h, w]);
+                    let mut y_all: Option<Tensor> = None;
+                    for i in 0..n {
+                        one.data_mut()
+                            .copy_from_slice(&xq.data()[i * per_image..(i + 1) * per_image]);
+                        let yi = conv2d_forward_i8(
+                            ctx,
+                            &one,
+                            &qi.codes,
+                            qi.scale,
+                            qi.sparse,
+                            None,
+                            self.k,
+                            self.k,
+                            self.stride,
+                            self.pad,
+                            self.c_out,
+                        );
+                        let y = y_all.get_or_insert_with(|| {
+                            let mut dims = yi.dims().to_vec();
+                            dims[0] = n;
+                            ws.take_tensor(&dims)
+                        });
+                        let per_out = yi.len();
+                        y.data_mut()[i * per_out..(i + 1) * per_out].copy_from_slice(yi.data());
+                        ws.recycle(yi);
+                    }
+                    ws.recycle(one);
+                    (y_all.expect("batch is never empty"), None)
+                } else {
+                    let y = conv2d_forward_i8(
+                        ctx,
+                        &xq,
+                        &qi.codes,
+                        qi.scale,
+                        qi.sparse,
+                        None,
+                        self.k,
+                        self.k,
+                        self.stride,
+                        self.pad,
+                        self.c_out,
+                    );
+                    (y, None)
+                }
+            } else if let Some(sim) = &operand_sim {
+                (self.forward_per_vmac(ctx, &xq, &fw.wmat, sim), None)
+            } else {
+                conv2d_forward(
+                    ctx,
+                    &xq,
+                    &fw.wmat,
+                    fw.density,
+                    None,
+                    self.k,
+                    self.k,
+                    self.stride,
+                    self.pad,
+                    false,
+                )
+            }
+        } else if use_i8 {
             let qi = self
                 .quantizer
                 .quantize_weights_i8_in(ws, &self.weight.value);
@@ -341,7 +493,28 @@ impl Layer for QConv2d {
         ws.recycle(xq);
         if injecting && operand_sim.is_none() {
             let n_tot = self.n_tot();
-            if ctx.metrics().enabled() {
+            if let Some((seeds, noise_index)) = (!mode.is_train())
+                .then(|| self.request_seeds.clone())
+                .flatten()
+            {
+                // Per-request noise streams (serving): image `i` draws the
+                // exact stream an offline reseed_noise(seeds[i]) + batch-1
+                // forward would, so coalesced batches stay bit-identical
+                // to offline evaluation regardless of batch composition.
+                let n = y.dims()[0];
+                assert_eq!(
+                    seeds.len(),
+                    n,
+                    "QConv2d {}: {} request seeds for batch of {n}",
+                    self.name,
+                    seeds.len()
+                );
+                let per_image = y.len() / n;
+                for (i, chunk) in y.data_mut().chunks_mut(per_image).enumerate() {
+                    self.model.reseed(noise_stream_seed(seeds[i], noise_index));
+                    self.model.inject_slice(chunk, n_tot);
+                }
+            } else if ctx.metrics().enabled() {
                 // Traced injection draws the identical RNG stream, so the
                 // noisy activations are bit-identical with metrics on or off.
                 let stats = self.model.inject_traced(&mut y, n_tot);

@@ -1,5 +1,7 @@
 //! Quantized fully-connected layer with AMS error injection.
 
+use std::sync::Arc;
+
 use ams_core::error_model::ErrorModel;
 use ams_core::vmac_sim::VmacSimulator;
 use ams_nn::functional::{linear_backward, linear_forward, linear_forward_i8, LinearCache};
@@ -9,6 +11,7 @@ use ams_tensor::{noise_stream_seed, rng, ExecCtx, KernelDispatch, Tensor};
 use rand::Rng;
 
 use crate::config::HardwareConfig;
+use crate::frozen::FrozenLayerWeights;
 
 /// A fully-connected layer with DoReFa weight/activation quantization and
 /// AMS error injection — the classifier head of the paper's networks.
@@ -47,6 +50,8 @@ pub struct QLinear {
     model: Box<dyn ErrorModel>,
     cache: Option<LinearCache>,
     ste_scale: Option<Tensor>,
+    frozen: Option<Arc<FrozenLayerWeights>>,
+    request_seeds: Option<(Arc<Vec<u64>>, u64)>,
 }
 
 impl QLinear {
@@ -87,6 +92,8 @@ impl QLinear {
             out_features,
             cache: None,
             ste_scale: None,
+            frozen: None,
+            request_seeds: None,
         }
     }
 
@@ -138,6 +145,56 @@ impl QLinear {
     /// Repositions the noise stream at a captured cursor.
     pub fn restore_noise_state(&mut self, state: &ams_tensor::rng::RngState) {
         self.model.restore(std::slice::from_ref(state));
+    }
+
+    /// Quantizes the shadow weights once into an immutable eval-ready
+    /// form, installs it on this layer, and returns it for sharing with
+    /// worker replicas (see [`QConv2d::freeze_eval_weights`]).
+    ///
+    /// [`QConv2d::freeze_eval_weights`]: crate::QConv2d::freeze_eval_weights
+    pub fn freeze_eval_weights(&mut self, ctx: &ExecCtx) -> Arc<FrozenLayerWeights> {
+        let ws = ctx.workspace();
+        let qw = self.quantizer.quantize_weights_in(ws, &self.weight.value);
+        let density = qw.density;
+        ws.recycle(qw.ste_scale);
+        let wmat = match self.model.realize_weights(&qw.values, self.layer_index) {
+            Some(r) => {
+                ws.recycle(qw.values);
+                r
+            }
+            None => qw.values,
+        };
+        let i8 = (self.quantizer.weight_bits() <= 8 && !self.model.perturbs_weights()).then(|| {
+            self.quantizer
+                .quantize_weights_i8_in(ws, &self.weight.value)
+        });
+        let frozen = Arc::new(FrozenLayerWeights { wmat, density, i8 });
+        self.frozen = Some(Arc::clone(&frozen));
+        frozen
+    }
+
+    /// Installs frozen weights produced by a twin layer's
+    /// [`QLinear::freeze_eval_weights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frozen matrix does not match this layer's shape.
+    pub fn adopt_frozen_weights(&mut self, fw: Arc<FrozenLayerWeights>) {
+        assert_eq!(
+            fw.wmat.dims(),
+            &[self.out_features, self.in_features],
+            "QLinear {}: frozen weights from a different architecture",
+            self.name
+        );
+        self.frozen = Some(fw);
+    }
+
+    /// Sets (or clears) the per-request noise seeds for the next eval
+    /// forward (see [`QConv2d::set_request_noise_seeds`]).
+    ///
+    /// [`QConv2d::set_request_noise_seeds`]: crate::QConv2d::set_request_noise_seeds
+    pub fn set_request_noise_seeds(&mut self, seeds: Option<Arc<Vec<u64>>>, noise_index: u64) {
+        self.request_seeds = seeds.map(|s| (s, noise_index));
     }
 
     /// The §4 fine-grained path for the classifier: chunk the reduction
@@ -214,7 +271,63 @@ impl Layer for QLinear {
             && self.quantizer.activation_bits() <= 8
             && !self.model.perturbs_weights()
             && operand_sim.is_none();
-        let (mut y, cache) = if use_i8 {
+        // Frozen eval weights (serving replicas): skip the per-forward
+        // quantization entirely. Training ignores the frozen copy.
+        let frozen = if mode.is_train() {
+            None
+        } else {
+            self.frozen.clone()
+        };
+        let (mut y, cache) = if let Some(fw) = &frozen {
+            let frozen_i8 = ctx.kernel() == KernelDispatch::I8
+                && fw.i8.is_some()
+                && self.quantizer.activation_bits() <= 8
+                && operand_sim.is_none();
+            if frozen_i8 {
+                let qi = fw.i8.as_ref().expect("gated on i8.is_some()");
+                if self.request_seeds.is_some() {
+                    // Per-request reproducibility: the i8 activation
+                    // re-coding scale is per tensor, so code each batch
+                    // row alone, matching offline batch-1 evaluation
+                    // (see QConv2d).
+                    let n = xq.dims()[0];
+                    let fin = self.in_features;
+                    let mut one = ws.take_tensor(&[1, fin]);
+                    let mut y_all = ws.take_tensor(&[n, self.out_features]);
+                    for i in 0..n {
+                        one.data_mut()
+                            .copy_from_slice(&xq.data()[i * fin..(i + 1) * fin]);
+                        let yi = linear_forward_i8(
+                            ctx,
+                            &one,
+                            &qi.codes,
+                            qi.scale,
+                            Some(self.bias.value.data()),
+                            self.out_features,
+                        );
+                        y_all.data_mut()[i * self.out_features..(i + 1) * self.out_features]
+                            .copy_from_slice(yi.data());
+                        ws.recycle(yi);
+                    }
+                    ws.recycle(one);
+                    (y_all, None)
+                } else {
+                    let y = linear_forward_i8(
+                        ctx,
+                        &xq,
+                        &qi.codes,
+                        qi.scale,
+                        Some(self.bias.value.data()),
+                        self.out_features,
+                    );
+                    (y, None)
+                }
+            } else if let Some(sim) = &operand_sim {
+                (self.forward_per_vmac(ctx, &xq, &fw.wmat, sim), None)
+            } else {
+                linear_forward(ctx, &xq, &fw.wmat, Some(self.bias.value.data()), false)
+            }
+        } else if use_i8 {
             let qi = self
                 .quantizer
                 .quantize_weights_i8_in(ws, &self.weight.value);
@@ -259,7 +372,25 @@ impl Layer for QLinear {
         ws.recycle(xq);
         if injecting && operand_sim.is_none() {
             let n_tot = self.n_tot();
-            if ctx.metrics().enabled() {
+            if let Some((seeds, noise_index)) = (!mode.is_train())
+                .then(|| self.request_seeds.clone())
+                .flatten()
+            {
+                // Per-request noise streams (serving) — see QConv2d.
+                let n = y.dims()[0];
+                assert_eq!(
+                    seeds.len(),
+                    n,
+                    "QLinear {}: {} request seeds for batch of {n}",
+                    self.name,
+                    seeds.len()
+                );
+                let per_image = y.len() / n;
+                for (i, chunk) in y.data_mut().chunks_mut(per_image).enumerate() {
+                    self.model.reseed(noise_stream_seed(seeds[i], noise_index));
+                    self.model.inject_slice(chunk, n_tot);
+                }
+            } else if ctx.metrics().enabled() {
                 let stats = self.model.inject_traced(&mut y, n_tot);
                 if !stats.is_empty() {
                     let enob = self.hw.vmac.expect("injects() implies a VMAC").enob;

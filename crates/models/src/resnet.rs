@@ -4,9 +4,12 @@ use ams_nn::{BatchNorm2d, ClippedRelu, GlobalAvgPool, Layer, Mode, Param};
 use ams_tensor::{rng, ExecCtx, Tensor};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::block::BasicBlock;
 use crate::config::{HardwareConfig, InputKind};
 use crate::freeze::FreezePolicy;
+use crate::frozen::SharedModelWeights;
 use crate::qconv::QConv2d;
 use crate::qlinear::QLinear;
 use crate::spec::{AmsModel, ModelKind};
@@ -261,6 +264,48 @@ impl ResNetMini {
             .restore_noise_state(it.next().expect("length checked above"));
     }
 
+    /// Quantizes every layer's shadow weights once for serving replicas
+    /// (see [`AmsModel::freeze_shared_weights`]).
+    pub fn freeze_shared_weights(&mut self, ctx: &ExecCtx) -> SharedModelWeights {
+        let mut convs = Vec::new();
+        self.for_each_qconv(&mut |c| convs.push(c.freeze_eval_weights(ctx)));
+        let fc = self.fc.freeze_eval_weights(ctx);
+        SharedModelWeights { convs, fc }
+    }
+
+    /// Installs a twin network's frozen weights on this replica
+    /// (see [`AmsModel::adopt_shared_weights`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared` came from a different architecture.
+    pub fn adopt_shared_weights(&mut self, shared: &SharedModelWeights) {
+        assert_eq!(
+            shared.convs.len(),
+            self.config.conv_layer_count(),
+            "shared weights have {} conv layers, this architecture needs {}",
+            shared.convs.len(),
+            self.config.conv_layer_count(),
+        );
+        let mut it = shared.convs.iter();
+        self.for_each_qconv(&mut |c| {
+            c.adopt_frozen_weights(Arc::clone(it.next().expect("length checked above")));
+        });
+        self.fc.adopt_frozen_weights(Arc::clone(&shared.fc));
+    }
+
+    /// Sets (or clears) per-request noise seeds on every layer, using the
+    /// same per-layer noise indices as [`ResNetMini::reseed_noise`]
+    /// (see [`AmsModel::set_request_noise_seeds`]).
+    pub fn set_request_noise_seeds(&mut self, seeds: Option<Arc<Vec<u64>>>) {
+        let mut idx = 0u64;
+        self.for_each_qconv(&mut |c| {
+            c.set_request_noise_seeds(seeds.clone(), idx);
+            idx += 1;
+        });
+        self.fc.set_request_noise_seeds(seeds, FC_NOISE_INDEX);
+    }
+
     /// Enables or disables output-mean probes on every convolution
     /// (paper Fig. 6). Enabling resets the accumulators.
     pub fn set_probes(&mut self, enabled: bool) {
@@ -440,6 +485,18 @@ impl AmsModel for ResNetMini {
 
     fn error_budget(&mut self) -> Vec<(String, usize, Option<f32>)> {
         self.error_budget()
+    }
+
+    fn freeze_shared_weights(&mut self, ctx: &ExecCtx) -> SharedModelWeights {
+        self.freeze_shared_weights(ctx)
+    }
+
+    fn adopt_shared_weights(&mut self, shared: &SharedModelWeights) {
+        self.adopt_shared_weights(shared);
+    }
+
+    fn set_request_noise_seeds(&mut self, seeds: Option<Arc<Vec<u64>>>) {
+        self.set_request_noise_seeds(seeds);
     }
 }
 

@@ -23,12 +23,15 @@
 //! assert_eq!(y.dims(), &[2, spec.classes()]);
 //! ```
 
+use std::sync::Arc;
+
 use ams_nn::Layer;
 use ams_tensor::{rng::RngState, ExecCtx};
 use serde::{Deserialize, Serialize};
 
 use crate::config::HardwareConfig;
 use crate::freeze::{CheckpointKeySpace, FreezePolicy};
+use crate::frozen::SharedModelWeights;
 use crate::lenet::{LeNet5, LeNet5Config};
 use crate::resnet::{ResNetMini, ResNetMiniConfig};
 use crate::surgery::EnergyReport;
@@ -134,6 +137,29 @@ pub trait AmsModel: Layer {
 
     /// Per-layer `(name, N_tot, σ)` of the injected AMS error.
     fn error_budget(&mut self) -> Vec<(String, usize, Option<f32>)>;
+
+    /// Quantizes every layer's shadow weights once into immutable
+    /// eval-ready form, installs them on this network, and returns the
+    /// bundle so worker replicas can [`AmsModel::adopt_shared_weights`].
+    /// Eval forwards then skip per-call weight quantization and are
+    /// bit-identical to the unfrozen path (deterministic quantizers).
+    fn freeze_shared_weights(&mut self, ctx: &ExecCtx) -> SharedModelWeights;
+
+    /// Installs frozen weights produced by a twin network's
+    /// [`AmsModel::freeze_shared_weights`] — replicas share one buffer per
+    /// layer through the `Arc`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundle came from a different architecture (wrong
+    /// layer count or shapes).
+    fn adopt_shared_weights(&mut self, shared: &SharedModelWeights);
+
+    /// Sets (or clears) per-request noise seeds on every injecting layer:
+    /// image `i` of the next eval batch draws the exact noise an offline
+    /// `reseed_noise(seeds[i])` + batch-1 forward would, making coalesced
+    /// serving batches bit-identical to offline evaluation.
+    fn set_request_noise_seeds(&mut self, seeds: Option<Arc<Vec<u64>>>);
 }
 
 /// A buildable model architecture: everything the runner needs to work

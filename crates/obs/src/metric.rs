@@ -128,6 +128,9 @@ impl Gauge {
 pub struct Histogram {
     bounds: Vec<f64>,
     counts: Vec<AtomicU64>,
+    /// Sum of all observed values, stored as f64 bits (CAS loop on
+    /// observe) so `_sum`-style exports don't need a lock.
+    sum_bits: AtomicU64,
 }
 
 impl Histogram {
@@ -145,6 +148,7 @@ impl Histogram {
         Histogram {
             bounds: bounds.to_vec(),
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
         }
     }
 
@@ -156,6 +160,19 @@ impl Histogram {
             .position(|&b| x <= b)
             .unwrap_or(self.bounds.len());
         self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + x).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
     }
 
     /// The configured bucket upper bounds.
@@ -174,6 +191,13 @@ impl Histogram {
     /// Total observations across all buckets.
     pub fn total(&self) -> u64 {
         self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values (Prometheus `_sum`). Serving uses this
+    /// to cross-check coalescing: the batch-size histogram's sum must
+    /// equal the number of requests served.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 }
 
@@ -222,6 +246,7 @@ mod tests {
         }
         assert_eq!(h.counts(), vec![2, 1, 1]);
         assert_eq!(h.total(), 4);
+        assert!((h.sum() - 102.0).abs() < 1e-12);
     }
 
     #[test]

@@ -122,6 +122,7 @@ impl Registry {
                 name: name.clone(),
                 bounds: h.bounds().to_vec(),
                 counts: h.counts(),
+                sum: h.sum(),
             })
             .collect();
         MetricsReport {

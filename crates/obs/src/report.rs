@@ -53,6 +53,8 @@ pub struct HistogramEntry {
     pub bounds: Vec<f64>,
     /// Per-bucket counts (`bounds.len() + 1` entries; last is overflow).
     pub counts: Vec<u64>,
+    /// Sum of all observed values (Prometheus `_sum`).
+    pub sum: f64,
 }
 
 /// A complete, sorted snapshot of a registry.
@@ -103,6 +105,62 @@ impl MetricsReport {
             && self.timers.is_empty()
             && self.gauges.is_empty()
             && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format —
+    /// the payload behind `ams-serve`'s `/metrics` endpoint.
+    ///
+    /// Metric names are sanitized (`.` and other non-identifier bytes
+    /// become `_`). Counters map to `counter`, timers to `_count`/`_sum`
+    /// (seconds) summaries, Welford gauges to `_count`/`_mean`/`_min`/
+    /// `_max` gauges, and histograms to cumulative `_bucket{le=...}`
+    /// series plus `_sum` and `_count`.
+    pub fn prometheus_text(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut out = String::new();
+        for c in &self.counters {
+            let n = sanitize(&c.name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {}\n", c.value));
+        }
+        for t in &self.timers {
+            let n = sanitize(&t.name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            out.push_str(&format!("{n}_count {}\n", t.count));
+            out.push_str(&format!("{n}_sum {}\n", t.total_nanos as f64 / 1e9));
+        }
+        for g in &self.gauges {
+            let n = sanitize(&g.name);
+            out.push_str(&format!("# TYPE {n}_mean gauge\n"));
+            out.push_str(&format!("{n}_count {}\n", g.count));
+            out.push_str(&format!("{n}_mean {}\n", g.mean));
+            out.push_str(&format!("{n}_min {}\n", g.min));
+            out.push_str(&format!("{n}_max {}\n", g.max));
+        }
+        for h in &self.histograms {
+            let n = sanitize(&h.name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (i, &count) in h.counts.iter().enumerate() {
+                cum += count;
+                match h.bounds.get(i) {
+                    Some(b) => out.push_str(&format!("{n}_bucket{{le=\"{b}\"}} {cum}\n")),
+                    None => out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cum}\n")),
+                }
+            }
+            out.push_str(&format!("{n}_sum {}\n", h.sum));
+            out.push_str(&format!("{n}_count {cum}\n"));
+        }
+        out
     }
 
     /// Flattens the report into one row per metric (histogram buckets get
@@ -193,6 +251,21 @@ mod tests {
         assert!(r.counter("missing").is_none());
         assert!(!r.is_empty());
         assert!(MetricsReport::default().is_empty());
+    }
+
+    #[test]
+    fn prometheus_text_renders_every_kind() {
+        let r = sample_report();
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE exec_dispatch_serial counter\nexec_dispatch_serial 1\n"));
+        assert!(text.contains("layer_fc_forward_count 1\n"));
+        assert!(text.contains("noise_stem_mean 0\n"));
+        // Cumulative buckets: 1 obs <= 1.0, still 1 <= 10.0, 1 total.
+        assert!(text.contains("sizes_bucket{le=\"1\"} 0\n"));
+        assert!(text.contains("sizes_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("sizes_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("sizes_sum 5\n"));
+        assert!(text.contains("sizes_count 1\n"));
     }
 
     #[test]

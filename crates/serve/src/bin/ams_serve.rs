@@ -1,0 +1,130 @@
+//! The `ams-serve` daemon binary: load one scenario, serve until a client
+//! sends the shutdown frame.
+
+use std::time::Duration;
+
+use ams_core::error_model::ErrorModelConfig;
+use ams_exp::{usage_exit, Scale};
+use ams_models::ModelKind;
+use ams_quant::QuantScheme;
+use ams_serve::{ScenarioConfig, ServeConfig};
+use ams_tensor::KernelDispatch;
+
+const USAGE: &str = "[--addr HOST:PORT] [--metrics-addr HOST:PORT] [--workers N] [--worker-threads N] [--max-batch N] [--max-delay-ms MS] [--enob E] [--scale quick|full|test] [--results DIR] [--model resnet-mini|lenet5] [--quant dorefa|bfp] [--error-model lumped|composite|per-vmac|ideal] [--kernel f32|i8]";
+
+struct Args {
+    addr: String,
+    metrics_addr: String,
+    scenario: ScenarioConfig,
+    serve: ServeConfig,
+}
+
+fn parse(args: Vec<String>) -> Result<Args, String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut metrics_addr = "127.0.0.1:7879".to_string();
+    let mut scenario = ScenarioConfig::default_at(Scale::quick());
+    let mut serve = ServeConfig::default();
+    let value = |i: usize, flag: &str| -> Result<&String, String> {
+        args.get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = value(i, "--addr")?.clone(),
+            "--metrics-addr" => metrics_addr = value(i, "--metrics-addr")?.clone(),
+            "--workers" => {
+                serve.workers = value(i, "--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers needs a positive integer: {e}"))?;
+            }
+            "--worker-threads" => {
+                serve.threads_per_worker = value(i, "--worker-threads")?
+                    .parse()
+                    .map_err(|e| format!("--worker-threads needs an integer: {e}"))?;
+            }
+            "--max-batch" => {
+                serve.max_batch = value(i, "--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch needs a positive integer: {e}"))?;
+            }
+            "--max-delay-ms" => {
+                let ms: f64 = value(i, "--max-delay-ms")?
+                    .parse()
+                    .map_err(|e| format!("--max-delay-ms needs a number: {e}"))?;
+                serve.max_delay = Duration::from_secs_f64(ms / 1e3);
+            }
+            "--enob" => {
+                scenario.enob = Some(
+                    value(i, "--enob")?
+                        .parse()
+                        .map_err(|e| format!("--enob needs a number: {e}"))?,
+                );
+            }
+            "--scale" => {
+                scenario.scale = Scale::by_name(value(i, "--scale")?)
+                    .map_err(|n| format!("unknown scale {n:?}; use quick|full|test"))?;
+            }
+            "--results" => scenario.results = value(i, "--results")?.clone(),
+            "--model" => {
+                scenario.model = value(i, "--model")?.parse::<ModelKind>()?;
+            }
+            "--quant" => {
+                scenario.quant = match value(i, "--quant")?.as_str() {
+                    "dorefa" => QuantScheme::Dorefa,
+                    "bfp" => QuantScheme::Bfp { block: 16 },
+                    other => return Err(format!("unknown quantizer {other:?}; use dorefa|bfp")),
+                };
+            }
+            "--error-model" => {
+                let kind: ams_core::error_model::ErrorModelKind =
+                    value(i, "--error-model")?.parse()?;
+                scenario.error_model = match kind {
+                    ams_core::error_model::ErrorModelKind::Ideal => ErrorModelConfig::Ideal,
+                    ams_core::error_model::ErrorModelKind::Lumped => ErrorModelConfig::Lumped,
+                    ams_core::error_model::ErrorModelKind::Composite => {
+                        ErrorModelConfig::Composite {
+                            multiplier_sigma: 0.01,
+                        }
+                    }
+                    ams_core::error_model::ErrorModelKind::PerVmac => ErrorModelConfig::per_vmac(),
+                };
+            }
+            "--kernel" => {
+                scenario.kernel = KernelDispatch::by_name(value(i, "--kernel")?)?;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        // Every flag above takes exactly one value.
+        i += 2;
+    }
+    Ok(Args {
+        addr,
+        metrics_addr,
+        scenario,
+        serve,
+    })
+}
+
+fn main() {
+    let args = parse(std::env::args().skip(1).collect())
+        .unwrap_or_else(|message| usage_exit(&message, USAGE));
+    eprintln!(
+        "[ams-serve] loading scenario (scale {}, model {}, enob {:?}) ...",
+        args.scenario.scale.name,
+        args.scenario.model.key(),
+        args.scenario.enob
+    );
+    let loaded = args.scenario.load();
+    let handle = ams_serve::start(loaded, args.serve, &args.addr, &args.metrics_addr)
+        .unwrap_or_else(|e| {
+            eprintln!("error: failed to bind: {e}");
+            std::process::exit(1);
+        });
+    eprintln!(
+        "[ams-serve] serving on {} (metrics on http://{}/metrics)",
+        handle.addr, handle.metrics_addr
+    );
+    handle.wait();
+    eprintln!("[ams-serve] drained and stopped");
+}

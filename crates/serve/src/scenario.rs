@@ -1,0 +1,145 @@
+//! Scenario loading: resolve a `{model, quant, error-model, kernel}`
+//! tuple to a trained checkpoint (via the experiment harness's cache) and
+//! freeze its quantized weights once for the worker pool to share.
+
+use std::sync::Arc;
+
+use ams_core::error_model::ErrorModelConfig;
+use ams_core::vmac::Vmac;
+use ams_exp::{Experiments, Scale};
+use ams_models::{AmsModel, HardwareConfig, ModelKind, ModelSpec, SharedModelWeights};
+use ams_quant::{QuantConfig, QuantScheme};
+use ams_tensor::{ExecCtx, KernelDispatch};
+
+use crate::protocol::HardwareInfo;
+
+/// What to serve: the scenario tuple plus where its artifacts live.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Scale preset sizing the dataset and the cached checkpoints.
+    pub scale: Scale,
+    /// Results directory holding (or receiving) the trained checkpoint.
+    pub results: String,
+    /// Network topology.
+    pub model: ModelKind,
+    /// Quantizer scheme.
+    pub quant: QuantScheme,
+    /// Error model realized at evaluation.
+    pub error_model: ErrorModelConfig,
+    /// Eval matmul dispatch.
+    pub kernel: KernelDispatch,
+    /// `ENOB_VMAC`; `None` uses the scale's Table-2 operating point.
+    pub enob: Option<f64>,
+}
+
+impl ScenarioConfig {
+    /// The default serving scenario at the given scale: ResNet-mini,
+    /// DoReFa w8a8, lumped Gaussian, f32 kernels, Table-2 ENOB.
+    pub fn default_at(scale: Scale) -> Self {
+        ScenarioConfig {
+            scale,
+            results: "results".to_string(),
+            model: ModelKind::ResNetMini,
+            quant: QuantScheme::Dorefa,
+            error_model: ErrorModelConfig::Lumped,
+            kernel: KernelDispatch::F32,
+            enob: None,
+        }
+    }
+
+    /// Trains (or loads from cache) the scenario's AMS-retrained w8a8
+    /// checkpoint and freezes its quantized weights for replica sharing.
+    pub fn load(&self) -> LoadedScenario {
+        let enob = self.enob.unwrap_or(self.scale.table2_enob);
+        let exp = Experiments::new(self.scale.clone(), &self.results)
+            .with_ctx(ExecCtx::auto().with_kernel(self.kernel))
+            .with_error_model(self.error_model)
+            .with_model(self.model)
+            .with_quant(self.quant);
+        let (ckpt, _) = exp.ams_retrained(QuantConfig::w8a8(), enob);
+
+        let quant = QuantConfig::w8a8().with_scheme(self.quant);
+        let vmac = Vmac::new(quant.bw, quant.bx, 8, enob);
+        let hw = HardwareConfig::ams(quant, vmac).with_error_model(self.error_model);
+        let spec = self.scale.model_spec(self.model);
+
+        let freeze_ctx = ExecCtx::serial().with_kernel(self.kernel);
+        let mut freezer = spec.build(&hw);
+        ckpt.load_into(&mut *freezer)
+            .expect("checkpoint matches the architecture it trained");
+        let shared = freezer.freeze_shared_weights(&freeze_ctx);
+
+        let synth = &self.scale.synth;
+        LoadedScenario {
+            spec,
+            hw,
+            checkpoint: ckpt,
+            shared: Arc::new(shared),
+            kernel: self.kernel,
+            input_dims: [synth.channels, synth.image_size, synth.image_size],
+            classes: synth.classes,
+            hardware_info: HardwareInfo {
+                error_model: self.error_model.kind().to_string(),
+                enob,
+                n_mult: vmac.n_mult as u64,
+            },
+        }
+    }
+}
+
+/// Everything a worker replica needs, resolved and frozen once.
+#[derive(Debug, Clone)]
+pub struct LoadedScenario {
+    /// The architecture each replica builds.
+    pub spec: ModelSpec,
+    /// The hardware configuration each replica builds under.
+    pub hw: HardwareConfig,
+    /// The trained weights (the same data the frozen bundle was cut
+    /// from) — lets offline comparators rebuild an unfrozen twin.
+    pub checkpoint: ams_nn::Checkpoint,
+    /// The frozen quantized weights every replica adopts (`Arc`-shared).
+    pub shared: Arc<SharedModelWeights>,
+    /// The eval matmul dispatch for worker contexts.
+    pub kernel: KernelDispatch,
+    /// `(C, H, W)` of one request image.
+    pub input_dims: [usize; 3],
+    /// Classifier output width.
+    pub classes: usize,
+    /// The config summary echoed in every response.
+    pub hardware_info: HardwareInfo,
+}
+
+impl LoadedScenario {
+    /// Pixels per request image (`C·H·W`).
+    pub fn input_len(&self) -> usize {
+        self.input_dims.iter().product()
+    }
+
+    /// Builds one worker replica sharing the frozen weights.
+    ///
+    /// The frozen bundle carries only the quantized weight matrices; the
+    /// digital biases and any normalization state live in the checkpoint,
+    /// so each replica loads it first and then swaps in the shared
+    /// quantized weights.
+    pub fn build_replica(&self) -> Box<dyn AmsModel> {
+        let mut net = self.spec.build(&self.hw);
+        self.checkpoint
+            .load_into(&mut *net)
+            .expect("checkpoint matches the architecture it trained");
+        net.adopt_shared_weights(&self.shared);
+        net
+    }
+
+    /// Builds a replica *without* the frozen-weight split: every forward
+    /// re-quantizes its shadow weights, the full per-call setup cost each
+    /// prediction paid before the daemon existed. Bitwise identical
+    /// output to [`LoadedScenario::build_replica`]; used as the load
+    /// generator's baseline and the e2e test's offline comparator.
+    pub fn build_unfrozen_replica(&self) -> Box<dyn AmsModel> {
+        let mut net = self.spec.build(&self.hw);
+        self.checkpoint
+            .load_into(&mut *net)
+            .expect("checkpoint matches the architecture it trained");
+        net
+    }
+}
